@@ -1,0 +1,50 @@
+"""Ablation: connection reuse — the paper's central performance claim.
+
+RFC 7858 requires clients and servers to reuse connections whenever
+possible; the paper's methodology treats reuse as "the major scenario".
+This ablation quantifies why: the same vantage, resolver and query mix,
+with reuse on vs off, across near and far vantages.
+"""
+
+from repro.core.client.performance import PerformanceStudy
+from repro.netsim.network import ClientEnvironment
+
+
+def _overheads(suite, reuse: bool, country: str, queries: int = 40):
+    study = PerformanceStudy(suite.scenario)
+    env = ClientEnvironment.in_country(
+        f"ablate-{country}-{reuse}", "172.104.9.9", country,
+        suite.scenario.rng.fork(f"ablate-{country}-{reuse}"))
+    if reuse:
+        from repro.world.population import VantagePoint
+        point = VantagePoint(env=env, platform="controlled",
+                             remaining_uptime_s=10_000.0)
+        timing = study.measure_endpoint(point, queries=queries)
+        assert timing is not None
+        return timing.dot_overhead_ms
+    result = study.measure_no_reuse(env, queries=queries)
+    return result.dot_overhead_ms
+
+
+def test_connection_reuse_ablation(benchmark, suite):
+    def run():
+        return {
+            (country, reuse): _overheads(suite, reuse, country)
+            for country in ("NL", "AU")
+            for reuse in (True, False)
+        }
+
+    overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+    # With reuse the DoT overhead is single-digit milliseconds anywhere;
+    # without reuse it grows with distance and reaches hundreds of ms.
+    assert abs(overheads[("NL", True)]) < 20
+    assert abs(overheads[("AU", True)]) < 20
+    assert overheads[("NL", False)] > overheads[("NL", True)]
+    assert overheads[("AU", False)] > 100
+    amortisation = overheads[("AU", False)] / max(
+        1.0, abs(overheads[("AU", True)]))
+    print()
+    for (country, reuse), value in sorted(overheads.items()):
+        mode = "reused" if reuse else "fresh "
+        print(f"  {country} {mode}: DoT overhead {value:+8.1f} ms")
+    print(f"  reuse amortises the far-vantage overhead ~{amortisation:.0f}x")

@@ -1,0 +1,56 @@
+"""Ablation: Strict vs Opportunistic privacy profiles under interception.
+
+Finding 2.3's mechanism, quantified: the same intercepted population
+queried under both RFC 8310 profiles. Strict fails closed (privacy
+preserved, availability lost); opportunistic keeps resolving while the
+interceptor reads every query.
+"""
+
+from repro.dnswire import RRType, make_query
+from repro.doe.dot import DotClient, PrivacyProfile
+from repro.netsim.middlebox import TlsInterceptor
+from repro.netsim.network import ClientEnvironment
+from repro.tlssim import CertificateAuthority
+
+
+def test_profile_ablation(benchmark, suite):
+    scenario = suite.scenario
+    network = scenario.client_network()
+
+    def run():
+        outcomes = {}
+        for profile in (PrivacyProfile.STRICT,
+                        PrivacyProfile.OPPORTUNISTIC):
+            succeeded = exposed = 0
+            for index in range(40):
+                rng = scenario.rng.fork(f"profile-{profile.value}-{index}")
+                ca = CertificateAuthority.root(f"DPI {index}",
+                                               trusted=False)
+                env = ClientEnvironment.in_country(
+                    f"ablate-prof-{profile.value}-{index}",
+                    "198.51.77.10", "US", rng.fork("env"),
+                    middleboxes=[TlsInterceptor(f"dpi-{index}", ca)])
+                client = DotClient(network, rng.fork("dot"),
+                                   scenario.trust_store, profile=profile)
+                query = make_query(scenario.probe_name(rng.token(8)),
+                                   RRType.A, msg_id=index + 1)
+                result = client.query(env, "1.1.1.1", query, reuse=False)
+                if result.ok:
+                    succeeded += 1
+                    if result.intercepted_by:
+                        exposed += 1
+            outcomes[profile.value] = (succeeded, exposed)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    strict_ok, strict_exposed = outcomes["strict"]
+    opp_ok, opp_exposed = outcomes["opportunistic"]
+    # Strict: zero lookups complete, zero queries exposed.
+    assert strict_ok == 0 and strict_exposed == 0
+    # Opportunistic: everything completes — and everything is exposed.
+    assert opp_ok == 40 and opp_exposed == 40
+    print()
+    print(f"  strict:        {strict_ok}/40 lookups ok, "
+          f"{strict_exposed} exposed to the interceptor")
+    print(f"  opportunistic: {opp_ok}/40 lookups ok, "
+          f"{opp_exposed} exposed to the interceptor")

@@ -1,0 +1,58 @@
+"""Ablation: NetFlow packet-sampling rate vs trend recovery.
+
+The usage study works on 1/3,000-sampled flows. This ablation checks
+how robust the headline trend (Cloudflare DoT +56% Jul→Dec 2018) is to
+the sampling rate, by re-sampling the same ground-truth flow population
+through collectors at different rates.
+"""
+
+from repro.netsim.netflow import NetFlowCollector, PacketizedFlow
+from repro.netsim.rand import SeededRng
+
+
+def _ground_truth_flows(rng, month_counts):
+    flows = []
+    for month_index, count in enumerate(month_counts):
+        for index in range(count):
+            flows.append(PacketizedFlow(
+                src_ip=f"115.{50 + index % 40}.{index % 200}.10",
+                dst_ip="1.1.1.1", src_port=40_000 + index % 20_000,
+                dst_port=853, protocol="tcp",
+                data_packets=rng.randint(2, 12),
+                avg_packet_octets=150,
+                start_ts=month_index * 2_592_000.0 + index * 7.0,
+                duration_s=20.0))
+    return flows
+
+
+def test_sampling_ablation(benchmark):
+    rng = SeededRng(21, "sampling-ablation")
+    # Ground truth: 40% growth between the two "months".
+    flows = _ground_truth_flows(rng.fork("flows"), [5_000, 7_000])
+
+    def run():
+        recovered = {}
+        for rate in (1.0, 1 / 10.0, 1 / 100.0, 1 / 1000.0):
+            collector = NetFlowCollector(sampling_rate=rate,
+                                         rng=rng.fork(f"c{rate}"))
+            collector.observe_all(flows)
+            months = [0, 0]
+            for record in collector.export():
+                months[int(record.start_ts // 2_592_000.0)] += 1
+            recovered[rate] = (months[1] / months[0] - 1.0
+                               if months[0] else None)
+        return recovered
+
+    recovered = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Down to 1/100 the +40% growth survives within a few points; at
+    # 1/1000 the estimate gets noisy but the direction still holds —
+    # which is why the paper can read trends out of 1/3000 sampling at
+    # its (much larger) traffic volumes.
+    assert abs(recovered[1.0] - 0.4) < 0.05
+    assert abs(recovered[1 / 100.0] - 0.4) < 0.25
+    assert recovered[1 / 1000.0] is None or recovered[1 / 1000.0] > -0.5
+    print()
+    for rate, growth in recovered.items():
+        text = "n/a" if growth is None else f"{growth:+.0%}"
+        print(f"  sampling 1/{1 / rate:>5.0f}: recovered growth {text} "
+              f"(truth +40%)")

@@ -1,0 +1,18 @@
+"""Figure 10: per-client query time, clear text vs DoT/DoH."""
+
+from repro.analysis import figures
+
+
+def test_fig10(benchmark, performance):
+    points = benchmark(figures.figure10_points, performance)
+    assert points
+    # Paper: "the majority of clients distribute near the y=x line" —
+    # encrypted medians within a small band of the clear-text medians.
+    near_line = sum(1 for do53, dot, doh in points
+                    if abs(dot - do53) < 30.0 and abs(doh - do53) < 30.0)
+    assert near_line / len(points) > 0.75
+    faster = sum(1 for do53, dot, _ in points if dot < do53)
+    print()
+    print(f"  {len(points)} clients; {near_line} within 30ms of y=x; "
+          f"DoT beat clear text for {faster} "
+          f"({faster / len(points):.0%})")

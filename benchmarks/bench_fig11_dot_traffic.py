@@ -1,0 +1,22 @@
+"""Figure 11: monthly DoT flows to Cloudflare and Quad9 (NetFlow)."""
+
+from repro.analysis import figures
+
+
+def test_fig11(benchmark, netflow):
+    _, report = netflow
+    series = benchmark(figures.figure11_series, report)
+    cloudflare = dict(series["cloudflare"])
+    # Paper: +56% from Jul 2018 (4,674 flows) to Dec 2018 (7,318).
+    growth = report.growth("cloudflare", "2018-07", "2018-12")
+    assert 0.40 < growth < 0.75
+    assert abs(cloudflare["2018-07"] - 4674) / 4674 < 0.15
+    assert abs(cloudflare["2018-12"] - 7318) / 7318 < 0.15
+    # Quad9 fluctuates rather than growing monotonically.
+    quad9 = [count for _, count in series["quad9"]]
+    diffs = [b - a for a, b in zip(quad9, quad9[1:])]
+    assert any(d > 0 for d in diffs) and any(d < 0 for d in diffs)
+    # DoT is 2-3 orders of magnitude below clear-text DNS.
+    assert 100 < report.dot_to_do53_ratio("cloudflare") < 1000
+    print()
+    print(figures.series_text("Figure 11: monthly DoT flows", series))

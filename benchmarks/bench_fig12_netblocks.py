@@ -1,0 +1,21 @@
+"""Figure 12: DoT traffic per client /24 — share vs active time."""
+
+from repro.analysis import figures
+
+
+def test_fig12(benchmark, netflow):
+    _, report = netflow
+    points = benchmark(figures.figure12_points, report)
+    # Paper: 5,623 /24s; top 5 carry 44% and top 20 carry 60% of the
+    # traffic; 96% of netblocks are active under a week with 25%.
+    assert len(points) > 4_500
+    assert 0.35 < report.top_share(5) < 0.55
+    assert 0.50 < report.top_share(20) < 0.72
+    blocks_under_week, traffic_under_week = report.short_lived_stats()
+    assert blocks_under_week > 0.90
+    assert 0.15 < traffic_under_week < 0.35
+    print()
+    print(f"  netblocks: {len(points):,}; top5 {report.top_share(5):.0%}, "
+          f"top20 {report.top_share(20):.0%}; "
+          f"short-lived {blocks_under_week:.0%} of blocks / "
+          f"{traffic_under_week:.0%} of traffic")

@@ -1,0 +1,23 @@
+"""Figure 13: query volumes of popular DoH bootstrap domains."""
+
+from repro.analysis import figures
+
+
+def test_fig13(benchmark, suite):
+    usage = suite.doh_usage()
+    series = benchmark(figures.figure13_series, usage)
+    # Paper: only 4 of 17 DoH domains exceed 10K lifetime lookups;
+    # Google dominates by orders of magnitude; CleanBrowsing grows ~10x
+    # from Sep 2018 (~200) to Mar 2019 (~1,915).
+    assert len(usage.candidates) == 17
+    assert len(usage.popular) == 4
+    assert usage.dominant_domain() == "dns.google.com"
+    assert usage.orders_of_magnitude_above_rest("dns.google.com") > 1.0
+    growth = usage.growth("doh.cleanbrowsing.org", "2018-09", "2019-03")
+    assert 9.0 < growth < 10.5
+    cleanbrowsing = dict(series["doh.cleanbrowsing.org"])
+    assert cleanbrowsing["2018-09"] == 200
+    assert cleanbrowsing["2019-03"] == 1915
+    print()
+    for domain in usage.popular:
+        print(f"  {domain:30s} lifetime {usage.totals[domain]:>12,}")

@@ -1,0 +1,20 @@
+"""Figure 3: open DoT resolvers identified by each scan, by provider."""
+
+from repro.analysis import figures
+
+
+def test_fig3(benchmark, campaign):
+    dates, series = benchmark(figures.figure3_series, campaign)
+    assert len(dates) == len(campaign.rounds)
+    totals = [sum(series[key][index] for key in series)
+              for index in range(len(dates))]
+    # Paper: "over 1.5K open DoT resolvers are discovered in each scan".
+    assert all(total > 1_500 for total in totals)
+    # Large providers dominate every round.
+    top = max(series, key=lambda key: series[key][-1])
+    assert top != "others"
+    assert series[top][-1] > 0.25 * totals[-1]
+    print()
+    print(figures.series_text(
+        "Figure 3: Open DoT resolvers per scan",
+        {name: list(zip(dates, values)) for name, values in series.items()}))

@@ -1,0 +1,26 @@
+"""Figure 4: providers of open DoT resolvers and certificate hygiene."""
+
+from repro.analysis import figures
+from repro.tlssim.certs import ValidationFailure
+
+
+def test_fig4(benchmark, campaign):
+    dates, providers, invalid, cdf = benchmark(figures.figure4_series,
+                                               campaign)
+    # Paper: ~25% of providers have >=1 resolver with an invalid cert,
+    # and ~70% of providers run a single resolver address.
+    final_fraction = invalid[-1] / providers[-1]
+    assert 0.18 < final_fraction < 0.35
+    singles = next(fraction for size, fraction in cdf if size == 1)
+    assert 0.60 < singles < 0.82
+    # Final-scan failure breakdown matches Finding 1.2 exactly.
+    stats = campaign.last.provider_statistics()
+    assert stats.invalid_cert_resolvers == 122
+    assert stats.invalid_cert_providers == 62
+    assert stats.failure_totals[ValidationFailure.EXPIRED] == 27
+    assert stats.failure_totals[ValidationFailure.SELF_SIGNED] == 67
+    assert stats.failure_totals[ValidationFailure.BROKEN_CHAIN] == 28
+    print()
+    for date, total, bad in zip(dates, providers, invalid):
+        print(f"  {date}: {total:4d} providers, {bad:3d} invalid "
+              f"({bad / total:.0%})")

@@ -1,0 +1,26 @@
+"""Figure 9: per-country query performance with connection reuse."""
+
+from repro.analysis import figures
+
+
+def test_fig9(benchmark, performance):
+    series = benchmark(figures.figure9_series, performance, 3)
+    assert series, "expected per-country summaries"
+    summary = performance.global_summary()
+    # Paper: global overhead of a few milliseconds (avg/median 5/9 ms DoT
+    # and 8/6 ms DoH); India *gains* ~100 ms via Cloudflare DoH.
+    assert -5.0 < summary["dot_median"] < 20.0
+    assert -5.0 < summary["doh_median"] < 25.0
+    by_country = {row["country"]: row for row in series}
+    if "IN" in by_country:
+        assert by_country["IN"]["doh_median_ms"] < -40.0
+    print()
+    print(f"  global: DoT {summary['dot_avg']:+.1f}/"
+          f"{summary['dot_median']:+.1f} ms, "
+          f"DoH {summary['doh_avg']:+.1f}/"
+          f"{summary['doh_median']:+.1f} ms "
+          f"(n={summary['clients']:.0f})")
+    for row in series[:10]:
+        print(f"  {row['country']}: n={row['clients']:4.0f} "
+              f"DoT {row['dot_avg_ms']:+7.1f}/{row['dot_median_ms']:+7.1f} "
+              f"DoH {row['doh_avg_ms']:+7.1f}/{row['doh_median_ms']:+7.1f}")

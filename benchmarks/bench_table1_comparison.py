@@ -1,0 +1,20 @@
+"""Table 1: the 10-criteria comparison of five DoE protocols."""
+
+from repro.analysis import tables
+from repro.core.comparative import Grade, build_comparison_table
+
+
+def test_table1(benchmark):
+    rows = benchmark(build_comparison_table)
+    assert len(rows) == 10
+    grades = {(row.criterion, key): grade
+              for row in rows for key, grade in row.grades.items()}
+    # Paper: DoT/DoH standardized and widely supported; DoH hides in
+    # HTTPS; DoH has no fallback; DNSCrypt uses non-standard crypto.
+    assert grades[("Standardized by IETF", "dot")] is Grade.SATISFYING
+    assert grades[("Standardized by IETF", "doh")] is Grade.SATISFYING
+    assert grades[("Resists DNS traffic analysis", "doh")] is Grade.SATISFYING
+    assert grades[("Provides fallback mechanism", "doh")] is Grade.NOT_SATISFYING
+    assert grades[("Uses standard TLS", "dnscrypt")] is Grade.NOT_SATISFYING
+    print()
+    print(tables.table1_text())

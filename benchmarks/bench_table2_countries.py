@@ -1,0 +1,18 @@
+"""Table 2: top countries of open DoT resolvers, Feb 1 vs May 1 2019."""
+
+from repro.analysis import tables
+
+
+def test_table2(benchmark, campaign):
+    rows = benchmark(tables.table2_rows, campaign)
+    counts = {code: (first, last) for code, first, last, _ in rows}
+    growth = {code: pct for code, _, _, pct in rows}
+    # Paper: IE 456->951 (+108%), CN 257->40 (-84%), US 100->531 (+431%).
+    assert abs(counts["IE"][0] - 456) <= 3
+    assert abs(counts["IE"][1] - 951) <= 3
+    assert abs(counts["US"][1] - 531) <= 3
+    assert growth["IE"] > 90
+    assert growth["CN"] < -75
+    assert growth["US"] > 350
+    print()
+    print(tables.table2_text(campaign))

@@ -1,0 +1,20 @@
+"""Table 4: reachability of public resolvers from 2 proxy platforms."""
+
+from repro.analysis import tables
+
+
+def test_table4(benchmark, reachability):
+    rows = benchmark(tables.table4_rows, reachability)
+    assert len(rows) == 24  # 2 platforms x 3 protocols x 4 resolvers
+    rates = reachability.rates
+    # Paper shape: clear text to Cloudflare fails ~16%, DoT ~1%, DoH <1%;
+    # Google DoH is dead from China; Quad9 DoH SERVFAILs ~13% globally.
+    assert rates("proxyrack", "Cloudflare", "do53")["failed"] > 0.10
+    assert rates("proxyrack", "Cloudflare", "dot")["failed"] < 0.05
+    assert rates("zhima", "Google", "doh")["failed"] > 0.98
+    assert 0.06 < rates("proxyrack", "Quad9", "doh")["incorrect"] < 0.22
+    assert rates("zhima", "Quad9", "doh")["incorrect"] < 0.02
+    # The self-built resolver is reachable nearly everywhere.
+    assert rates("proxyrack", "Self-built", "dot")["correct"] > 0.97
+    print()
+    print(tables.table4_text(reachability))

@@ -1,0 +1,21 @@
+"""Table 5: ports open on 1.1.1.1 for clients failing Cloudflare DoT."""
+
+from repro.analysis import tables
+
+
+def test_table5(benchmark, suite, reachability):
+    diagnosis = suite.diagnosis()
+    rows = benchmark(tables.table5_rows, diagnosis)
+    assert rows[0][0] == "None"
+    # Every diagnosed client contradicts the genuine resolver profile
+    # (ports 53/80/443/853 + the Cloudflare front page).
+    assert diagnosis.conflict_count() == len(diagnosis.clients)
+    # Paper: web-capable devices (routers, modems) are common among the
+    # conflicting hosts.
+    census = diagnosis.port_census()
+    if diagnosis.clients:
+        assert census.get(80, 0) + diagnosis.none_open_count() > 0
+    print()
+    print(tables.table5_text(diagnosis))
+    print(f"  blackholed: {diagnosis.none_open_count()}, "
+          f"crypto-hijacked routers: {diagnosis.hijacked_count()}")

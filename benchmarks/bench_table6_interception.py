@@ -1,0 +1,22 @@
+"""Table 6: clients whose TLS sessions are intercepted and re-signed."""
+
+from repro.analysis import tables
+
+
+def test_table6(benchmark, reachability):
+    rows = benchmark(tables.table6_rows, reachability)
+    assert len(rows) == len(reachability.interceptions)
+    assert rows, "expected intercepted clients in the population"
+    # Finding 2.3: interception re-signs with an untrusted CA; the
+    # opportunistic DoT lookup proceeds anyway (queries visible to the
+    # interceptor), while strict DoH terminates.
+    for case in reachability.interceptions:
+        assert case.ca_common_name
+        if case.intercepts_853:
+            assert case.dot_lookup_succeeded
+    # Some devices only inspect port 443 (3 of 17 in the paper).
+    only_443 = [case for case in reachability.interceptions
+                if case.intercepts_443 and not case.intercepts_853]
+    assert len(only_443) < len(reachability.interceptions)
+    print()
+    print(tables.table6_text(reachability))

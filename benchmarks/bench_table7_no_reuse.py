@@ -1,0 +1,19 @@
+"""Table 7: performance without connection reuse from 4 vantages."""
+
+from repro.analysis import tables
+
+
+def test_table7(benchmark, suite):
+    results = benchmark.pedantic(suite.no_reuse, rounds=1, iterations=1)
+    vantages = {result.vantage.replace("controlled-", ""): result
+                for result in results}
+    assert set(vantages) == {"US", "NL", "AU", "HK"}
+    # Paper shape: overhead is tens to hundreds of ms and grows with
+    # distance to the resolver (NL is nearest to the DE self-built box).
+    for result in results:
+        assert result.dot_overhead_ms > 5.0
+        assert result.doh_overhead_ms > 5.0
+    assert vantages["AU"].dot_overhead_ms > vantages["NL"].dot_overhead_ms
+    assert vantages["AU"].dot_overhead_ms > 100.0
+    print()
+    print(tables.table7_text(results))

@@ -1,0 +1,19 @@
+"""Table 8 (Appendix A): the implementation survey."""
+
+from repro.analysis import tables
+from repro.doe.metadata import support_count
+
+
+def test_table8(benchmark):
+    rows = benchmark(tables.table8_rows)
+    assert len(rows) > 30
+    categories = {row[0] for row in rows}
+    assert len(categories) == 5
+    # Paper: DoT and DoH gained support quickly; DoT leads in server
+    # software and OSes, DoH in browsers; DNSSEC remains the most
+    # widely deployed of the surveyed features.
+    assert support_count("dot") >= 14
+    assert support_count("doh") >= 12
+    assert support_count("dnssec") >= support_count("dnscrypt")
+    print()
+    print(tables.table8_text())

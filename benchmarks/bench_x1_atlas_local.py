@@ -1,0 +1,17 @@
+"""Section 3.1 extra: DoT support on ISP local resolvers (RIPE Atlas)."""
+
+from repro.core.client import AtlasStudy
+
+
+def test_x1_atlas(benchmark, suite):
+    study = AtlasStudy(suite.scenario)
+    result = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    # Paper: only 24 of 6,655 probes (0.3%) complete a DoT query to
+    # their local resolver — ISP DoT deployment is scarce.
+    assert result.attempted > 0
+    assert result.success_rate < 0.05
+    print()
+    print(f"  probes: {result.total_probes}, excluded (public resolver): "
+          f"{result.excluded_public}, attempted: {result.attempted}, "
+          f"DoT-capable: {result.succeeded} "
+          f"({result.success_rate:.2%})")

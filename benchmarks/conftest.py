@@ -1,0 +1,43 @@
+"""Shared state for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper. The
+heavy measurement campaigns run once per session in the fixtures below
+(at ``ScenarioConfig.small()`` scale — 2% of the vantage population,
+full resolver world); the benchmarked callable is the analysis that
+turns raw measurements into the published artefact, and every benchmark
+asserts the paper-shape calibration targets recorded in EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentSuite
+from repro.world.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite.build(ScenarioConfig.small())
+
+
+@pytest.fixture(scope="session")
+def campaign(suite):
+    return suite.campaign()
+
+
+@pytest.fixture(scope="session")
+def reachability(suite):
+    return suite.reachability()
+
+
+@pytest.fixture(scope="session")
+def performance(suite):
+    return suite.performance()
+
+
+@pytest.fixture(scope="session")
+def netflow(suite):
+    return suite.netflow_report()

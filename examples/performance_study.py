@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Query-latency study: encrypted vs clear-text DNS (Section 4.3).
+
+Reproduces Figure 9 (per-country overhead with connection reuse),
+Figure 10 (per-client scatter) and Table 7 (cost without reuse).
+
+Run:  python examples/performance_study.py
+"""
+
+from repro import ExperimentSuite, ScenarioConfig
+from repro.analysis import tables
+
+
+def main() -> None:
+    suite = ExperimentSuite.build(ScenarioConfig.small())
+
+    report = suite.performance()
+    summary = report.global_summary()
+    print("== Reused connections (the common case) ==")
+    print(f"Clients measured: {summary['clients']:.0f}")
+    print(f"DoT overhead vs DNS/TCP: avg {summary['dot_avg']:+.1f}ms, "
+          f"median {summary['dot_median']:+.1f}ms")
+    print(f"DoH overhead vs DNS/TCP: avg {summary['doh_avg']:+.1f}ms, "
+          f"median {summary['doh_median']:+.1f}ms")
+    print()
+
+    print("Figure 9: per-country overhead (avg/median, ms)")
+    for row in report.by_country(min_clients=3):
+        print(f"  {row.country}: n={row.client_count:4d}  "
+              f"DoT {row.dot_overhead_avg_ms:+7.1f}/"
+              f"{row.dot_overhead_median_ms:+7.1f}   "
+              f"DoH {row.doh_overhead_avg_ms:+7.1f}/"
+              f"{row.doh_overhead_median_ms:+7.1f}")
+    print()
+
+    points = report.scatter_points()
+    faster = sum(1 for do53, dot, _ in points if dot < do53)
+    print(f"Figure 10: {len(points)} clients; DoT beat clear text for "
+          f"{faster} of them ({faster / len(points):.0%})")
+    print()
+
+    print(tables.table7_text(suite.no_reuse()))
+
+
+if __name__ == "__main__":
+    main()

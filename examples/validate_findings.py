@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Verify every headline finding of the paper in one run.
+
+Builds the calibrated world, runs all three measurement legs, and
+prints a PASS/FAIL checklist for each finding (the programmatic
+counterpart to EXPERIMENTS.md).
+
+Run:  python examples/validate_findings.py
+"""
+
+import sys
+
+from repro import ExperimentSuite, ScenarioConfig
+from repro.analysis.validate import render_checklist, validate_findings
+
+
+def main() -> int:
+    suite = ExperimentSuite.build(ScenarioConfig.small())
+    findings = validate_findings(suite)
+    print(render_checklist(findings))
+    return 0 if all(check.passed for check in findings) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

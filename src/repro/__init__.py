@@ -1,0 +1,30 @@
+"""repro — an end-to-end DNS-over-Encryption measurement platform.
+
+A faithful, fully self-contained reproduction of *"An End-to-End,
+Large-Scale Measurement of DNS-over-Encryption: How Far Have We Come?"*
+(Lu et al., IMC 2019): the DNS wire protocol, DoT/DoH/Do53 client and
+server implementations, a deterministic simulated Internet standing in
+for the real one, and the paper's three measurement legs — Internet-wide
+service discovery, client-side usability studies through residential
+proxy networks, and passive traffic analysis.
+
+Quick start::
+
+    from repro import ExperimentSuite, ScenarioConfig
+
+    suite = ExperimentSuite.build(ScenarioConfig.small())
+    print(suite.render_all())
+"""
+
+from repro.analysis.report import ExperimentSuite
+from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentSuite",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Analysis: builders that regenerate every table and figure of the paper.
+
+Each ``table*``/``figure*`` function returns structured data (lists of
+rows / series) plus helpers in :mod:`repro.analysis.textfmt` render them
+as aligned text tables, so benchmarks and examples can print the same
+artefacts the paper reports.
+"""
+
+from repro.analysis.textfmt import format_percent, render_table
+from repro.analysis import tables, figures
+from repro.analysis.report import ExperimentSuite
+
+__all__ = ["render_table", "format_percent", "tables", "figures",
+           "ExperimentSuite"]

@@ -1,0 +1,158 @@
+"""Dataset release: machine-readable exports of measurement results.
+
+The paper releases its collected data "for public use at
+dnsencryption.info"; this module implements that release pipeline.
+Exports are JSON- and CSV-friendly plain structures, and client
+identifiers are anonymised to /24 granularity before anything leaves
+the platform — the same ethics rule the collection applies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.core.client.reachability import ReachabilityReport
+from repro.core.scan.campaign import CampaignResult
+from repro.core.usage.netflow_study import DotTrafficReport
+from repro.netsim.ipv4 import slash24
+
+
+def _anonymize(label_or_ip: str) -> str:
+    """Anonymise an endpoint identifier.
+
+    IPv4 addresses are truncated to /24; opaque endpoint labels are
+    replaced by a stable positional token elsewhere, so raw labels pass
+    through unchanged only when they carry no address.
+    """
+    parts = label_or_ip.split(".")
+    if len(parts) == 4 and all(part.isdigit() for part in parts):
+        return slash24(label_or_ip)
+    return label_or_ip
+
+
+def export_dot_resolvers(campaign: CampaignResult) -> List[Dict]:
+    """The open-DoT-resolver list (per final scan), one row per address.
+
+    This is the dataset the paper's resolver list release corresponds
+    to: address, country, provider grouping key, certificate state.
+    """
+    rows = []
+    for record in campaign.last.resolvers:
+        rows.append({
+            "address": record.address,
+            "country": record.country,
+            "provider": record.grouping_key(),
+            "answer_correct": record.answer_correct,
+            "cert_valid": (record.cert_report.valid
+                           if record.cert_report else None),
+            "cert_failure": (
+                record.cert_report.primary_failure().value
+                if record.cert_report is not None
+                and record.cert_report.primary_failure() is not None
+                else None),
+        })
+    return rows
+
+
+def export_doh_resolvers(campaign: CampaignResult) -> List[Dict]:
+    """The working-DoH-service list."""
+    return [
+        {
+            "url": record.url,
+            "hostname": record.hostname,
+            "in_public_list": record.in_public_list,
+            "cert_valid": record.cert_valid,
+        }
+        for record in campaign.working_doh()
+    ]
+
+
+def export_reachability(report: ReachabilityReport) -> List[Dict]:
+    """Per-observation reachability rows with anonymised endpoints."""
+    rows = []
+    for index, observation in enumerate(report.observations):
+        rows.append({
+            "endpoint": f"client-{index // 12:06d}",
+            "platform": observation.platform,
+            "country": observation.country,
+            "target": observation.target,
+            "protocol": observation.protocol,
+            "outcome": observation.outcome.value,
+            "latency_ms": round(observation.result.latency_ms, 3),
+        })
+    return rows
+
+
+def export_scan_timeseries(campaign: CampaignResult) -> List[Dict]:
+    """Per-round summary rows (Figure 3/4 source data)."""
+    rows = []
+    for round_result in campaign.rounds:
+        stats = round_result.provider_statistics()
+        rows.append({
+            "date": round_result.date_text,
+            "port853_open_estimate": round_result.stats.total_open_estimate,
+            "dot_resolvers": len(round_result.resolvers),
+            "providers": stats.provider_count,
+            "invalid_cert_providers": stats.invalid_cert_providers,
+            "invalid_cert_resolvers": stats.invalid_cert_resolvers,
+        })
+    return rows
+
+
+def export_netflow_monthly(report: DotTrafficReport) -> List[Dict]:
+    """Monthly DoT flow counts per resolver family (Figure 11 data)."""
+    rows = []
+    for family, series in sorted(report.monthly_flows.items()):
+        for month, count in sorted(series.items()):
+            rows.append({"family": family, "month": month,
+                         "dot_flows": count,
+                         "do53_flows": report.do53_monthly
+                         .get(family, {}).get(month, 0)})
+    return rows
+
+
+def to_json(rows: List[Dict], indent: int = 2) -> str:
+    """Render export rows as a JSON document."""
+    return json.dumps(rows, indent=indent, sort_keys=True)
+
+
+def to_csv(rows: List[Dict]) -> str:
+    """Render export rows as CSV (headers from the first row)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_release(campaign: CampaignResult,
+                  reachability: Optional[ReachabilityReport],
+                  netflow: Optional[DotTrafficReport],
+                  directory: str) -> List[str]:
+    """Write the full dataset release to a directory; returns the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    artefacts = {
+        "dot_resolvers.json": to_json(export_dot_resolvers(campaign)),
+        "doh_resolvers.json": to_json(export_doh_resolvers(campaign)),
+        "scan_timeseries.csv": to_csv(export_scan_timeseries(campaign)),
+    }
+    if reachability is not None:
+        artefacts["reachability.csv"] = to_csv(
+            export_reachability(reachability))
+    if netflow is not None:
+        artefacts["netflow_monthly.csv"] = to_csv(
+            export_netflow_monthly(netflow))
+    paths = []
+    for name, content in artefacts.items():
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            handle.write(content)
+        paths.append(path)
+    return paths

@@ -1,0 +1,187 @@
+"""Builders for every figure's underlying data series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.textfmt import render_table
+from repro.core.client.performance import PerformanceReport
+from repro.core.client.proxy import ProxyNetwork
+from repro.core.scan.campaign import CampaignResult
+from repro.core.scan.providers import (
+    provider_stats,
+    resolvers_per_provider_cdf,
+)
+from repro.core.usage.netflow_study import DotTrafficReport
+from repro.core.usage.passive_dns_study import DohUsageReport
+
+
+# -- Figure 1: timeline of DNS privacy events --------------------------------------
+
+#: (year, kind, event). Kinds: "standard", "wg", "info".
+TIMELINE_EVENTS: Tuple[Tuple[int, str, str], ...] = (
+    (2009, "standard", "DNSCurve proposal (earliest DNS encryption push)"),
+    (2011, "standard", "DNSCrypt protocol released"),
+    (2014, "wg", "IETF DPRIVE working group chartered"),
+    (2015, "info", "RFC 7626: DNS privacy considerations"),
+    (2016, "standard", "RFC 7858: DNS over TLS standardized"),
+    (2016, "info", "RFC 7816: QNAME minimisation"),
+    (2017, "standard", "RFC 8094: DNS over DTLS (experimental)"),
+    (2018, "wg", "IETF DOH working group chartered"),
+    (2018, "standard", "RFC 8484: DNS over HTTPS standardized"),
+    (2018, "info", "RFC 8310: usage profiles for DoT/DoDTLS"),
+    (2019, "standard", "DNS-over-QUIC draft under discussion"),
+)
+
+
+def figure1_timeline() -> List[Tuple[int, str, str]]:
+    return sorted(TIMELINE_EVENTS)
+
+
+# -- Figure 2: the two DoH request encodings ----------------------------------------
+
+
+def figure2_requests(domain: str = "example.com") -> Dict[str, str]:
+    """Render a GET and a POST DoH request for an A query of ``domain``.
+
+    Reproduces Figure 2 with genuine wire-format payloads produced by
+    the codec.
+    """
+    from repro.dnswire import DnsName, RRType, make_query
+    from repro.doe.framing import b64url_encode
+    from repro.httpsim.messages import HttpRequest
+
+    query = make_query(DnsName.from_text(domain), RRType.A, with_edns=False)
+    wire = query.encode()
+    get_request = HttpRequest.get(
+        f"/dns-query?dns={b64url_encode(wire)}",
+        headers={"Accept": "application/dns-message",
+                 "Host": "dns.example.com"})
+    post_request = HttpRequest.post(
+        "/dns-query", wire, "application/dns-message",
+        headers={"Host": "dns.example.com"})
+    return {
+        "GET": f"GET {get_request.target()} HTTP/1.1",
+        "POST": (f"POST {post_request.path} HTTP/1.1 "
+                 f"(content-length {len(post_request.body)})"),
+    }
+
+
+# -- Figure 3: open DoT resolvers per scan ------------------------------------------
+
+
+def figure3_series(campaign: CampaignResult,
+                   top_providers: int = 6
+                   ) -> Tuple[List[str], Dict[str, List[int]]]:
+    """(scan dates, {provider key or 'others': counts per scan})."""
+    dates = [round_result.date_text for round_result in campaign.rounds]
+    final_groups = sorted(campaign.last.groups,
+                          key=lambda group: -group.address_count)
+    top_keys = [group.key for group in final_groups[:top_providers]]
+    series: Dict[str, List[int]] = {key: [] for key in top_keys}
+    series["others"] = []
+    for round_result in campaign.rounds:
+        by_key = {group.key: group.address_count
+                  for group in round_result.groups}
+        others = len(round_result.resolvers)
+        for key in top_keys:
+            count = by_key.get(key, 0)
+            series[key].append(count)
+            others -= count
+        series["others"].append(others)
+    return dates, series
+
+
+# -- Figure 4: provider counts and invalid certificates ------------------------------
+
+
+def figure4_series(campaign: CampaignResult
+                   ) -> Tuple[List[str], List[int], List[int],
+                              List[Tuple[int, float]]]:
+    """(dates, provider counts, invalid-cert provider counts, final CDF)."""
+    dates = []
+    provider_counts = []
+    invalid_counts = []
+    for round_result in campaign.rounds:
+        stats = round_result.provider_statistics()
+        dates.append(round_result.date_text)
+        provider_counts.append(stats.provider_count)
+        invalid_counts.append(stats.invalid_cert_providers)
+    cdf = resolvers_per_provider_cdf(campaign.last.groups)
+    return dates, provider_counts, invalid_counts, cdf
+
+
+# -- Figure 6: vantage-point geo distribution -----------------------------------------
+
+
+def figure6_distribution(network: ProxyNetwork,
+                         top_n: Optional[int] = None
+                         ) -> List[Tuple[str, int]]:
+    distribution = network.country_distribution().most_common(top_n)
+    return list(distribution)
+
+
+# -- Figures 9-10: performance -----------------------------------------------------------
+
+
+def figure9_series(report: PerformanceReport,
+                   min_clients: int = 5) -> List[Dict[str, float]]:
+    """Per-country average/median overheads, biggest populations first."""
+    return [
+        {
+            "country": summary.country,
+            "clients": summary.client_count,
+            "dot_avg_ms": summary.dot_overhead_avg_ms,
+            "dot_median_ms": summary.dot_overhead_median_ms,
+            "doh_avg_ms": summary.doh_overhead_avg_ms,
+            "doh_median_ms": summary.doh_overhead_median_ms,
+        }
+        for summary in report.by_country(min_clients)
+    ]
+
+
+def figure10_points(report: PerformanceReport
+                    ) -> List[Tuple[float, float, float]]:
+    return report.scatter_points()
+
+
+# -- Figures 11-12: DoT traffic ---------------------------------------------------------
+
+
+def figure11_series(report: DotTrafficReport
+                    ) -> Dict[str, List[Tuple[str, int]]]:
+    """Monthly DoT flow counts per resolver family."""
+    return {
+        family: sorted(series.items())
+        for family, series in report.monthly_flows.items()
+    }
+
+
+def figure12_points(report: DotTrafficReport
+                    ) -> List[Tuple[float, int, int]]:
+    """(traffic share, active days, flow count) per /24."""
+    return report.scatter_points()
+
+
+# -- Figure 13: DoH domain query volumes ---------------------------------------------
+
+
+def figure13_series(report: DohUsageReport
+                    ) -> Dict[str, List[Tuple[str, int]]]:
+    return {domain: sorted(series.items())
+            for domain, series in report.monthly_series.items()}
+
+
+# -- text rendering helpers -----------------------------------------------------------
+
+
+def series_text(title: str, series: Dict[str, List[Tuple[str, int]]]) -> str:
+    months = sorted({month for values in series.values()
+                     for month, _ in values})
+    headers = ["Series"] + months
+    rows = []
+    for name, values in series.items():
+        lookup = dict(values)
+        rows.append([name] + [str(lookup.get(month, ""))
+                              for month in months])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,175 @@
+"""End-to-end experiment suite: run every study, render every artefact.
+
+:class:`ExperimentSuite` is the one-stop entry point used by the
+examples and the EXPERIMENTS.md generator: it owns a scenario, runs each
+measurement leg lazily (results are cached), and renders the paper's
+tables and figure series as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis import figures, tables
+from repro.core.client import (
+    AtlasStudy,
+    FailureDiagnosis,
+    PerformanceStudy,
+    ProxyNetwork,
+    ReachabilityReport,
+    ReachabilityStudy,
+)
+from repro.core.scan.campaign import CampaignResult, ScanCampaign
+from repro.core.usage import (
+    DohUsageStudy,
+    DotTrafficStudy,
+    NetworkScanMonitor,
+)
+from repro.datasets.netflow import generate_netflow_dataset
+from repro.datasets.passive_dns import build_passive_dns_stores
+from repro.httpsim.uri import UriTemplate
+from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
+
+
+@dataclass
+class ExperimentSuite:
+    """Runs the full reproduction over one scenario."""
+
+    scenario: Scenario
+    #: Fraction of each vantage population the client studies use
+    #: (1.0 = everything the scenario built).
+    client_sample: float = 1.0
+    netflow_scale: float = 1.0
+    _campaign: Optional[CampaignResult] = field(default=None, repr=False)
+    _reachability: Optional[ReachabilityReport] = field(default=None,
+                                                        repr=False)
+    _performance = None
+    _no_reuse = None
+    _diagnosis = None
+    _netflow_report = None
+    _doh_usage = None
+    _atlas = None
+
+    @classmethod
+    def build(cls, config: Optional[ScenarioConfig] = None,
+              **kwargs) -> "ExperimentSuite":
+        return cls(scenario=build_scenario(config), **kwargs)
+
+    # -- populations ------------------------------------------------------------
+
+    def proxyrack_network(self) -> ProxyNetwork:
+        points = self.scenario.proxyrack()
+        return ProxyNetwork("ProxyRack", self._sample(points))
+
+    def zhima_network(self) -> ProxyNetwork:
+        points = self.scenario.zhima()
+        return ProxyNetwork("Zhima", self._sample(points))
+
+    def _sample(self, points):
+        if self.client_sample >= 1.0:
+            return points
+        keep = max(1, round(len(points) * self.client_sample))
+        return points[:keep]
+
+    # -- studies (lazy, cached) ----------------------------------------------------
+
+    def campaign(self) -> CampaignResult:
+        if self._campaign is None:
+            self._campaign = ScanCampaign(self.scenario).run()
+        return self._campaign
+
+    def reachability(self) -> ReachabilityReport:
+        if self._reachability is None:
+            study = ReachabilityStudy(self.scenario)
+            report = study.run("proxyrack",
+                               self.proxyrack_network().endpoints())
+            self._reachability = study.run(
+                "zhima", self.zhima_network().endpoints(), report)
+        return self._reachability
+
+    def diagnosis(self):
+        if self._diagnosis is None:
+            report = self.reachability()
+            failed = set(report.failed_endpoints("proxyrack", "Cloudflare",
+                                                 "dot"))
+            points = [point for point in self.proxyrack_network().endpoints()
+                      if point.env.label in failed]
+            diagnosis = FailureDiagnosis(
+                self.scenario.client_network(),
+                self.scenario.rng.fork("diagnosis"))
+            self._diagnosis = diagnosis.diagnose_all(points)
+        return self._diagnosis
+
+    def performance(self):
+        if self._performance is None:
+            study = PerformanceStudy(self.scenario)
+            self._performance = study.run(
+                self.proxyrack_network().usable_for(2_590.0))
+        return self._performance
+
+    def no_reuse(self):
+        if self._no_reuse is None:
+            study = PerformanceStudy(self.scenario)
+            self._no_reuse = study.run_no_reuse()
+        return self._no_reuse
+
+    def netflow_report(self):
+        if self._netflow_report is None:
+            dataset = generate_netflow_dataset(
+                self.scenario.rng.fork("netflow"), scale=self.netflow_scale)
+            resolver_list = [
+                record.address for round_result in self.campaign().rounds
+                for record in round_result.resolvers]
+            report = DotTrafficStudy(resolver_list).analyze(dataset)
+            self._netflow_report = (dataset, report)
+        return self._netflow_report
+
+    def doh_usage(self):
+        if self._doh_usage is None:
+            domains = [UriTemplate(template).hostname
+                       for template in self.scenario.all_doh_templates()]
+            stores = build_passive_dns_stores(
+                domains, self.scenario.rng.fork("passive-dns"))
+            self._doh_usage = DohUsageStudy(stores).analyze(domains)
+        return self._doh_usage
+
+    def atlas(self):
+        if self._atlas is None:
+            self._atlas = AtlasStudy(self.scenario).run()
+        return self._atlas
+
+    def scanner_vetting(self) -> Dict[str, bool]:
+        dataset, report = self.netflow_report()
+        top_blocks = [block.netblock for block in
+                      sorted(report.netblocks,
+                             key=lambda block: -block.flow_count)[:100]]
+        return NetworkScanMonitor().vet_netblocks(dataset.records,
+                                                  top_blocks)
+
+    # -- full report -----------------------------------------------------------------
+
+    def render_all(self) -> str:
+        """Every artefact as one text report."""
+        sections: List[str] = [tables.table1_text()]
+        campaign = self.campaign()
+        sections.append(tables.table2_text(campaign))
+        reachability = self.reachability()
+        sections.append(tables.table4_text(reachability))
+        sections.append(tables.table5_text(self.diagnosis()))
+        sections.append(tables.table6_text(reachability))
+        sections.append(tables.table7_text(self.no_reuse()))
+        sections.append(tables.table8_text())
+        dates, series = figures.figure3_series(campaign)
+        sections.append(figures.series_text(
+            "Figure 3: Open DoT resolvers per scan",
+            {name: list(zip(dates, values))
+             for name, values in series.items()}))
+        _, report = self.netflow_report()
+        sections.append(figures.series_text(
+            "Figure 11: Monthly DoT flows",
+            figures.figure11_series(report)))
+        sections.append(figures.series_text(
+            "Figure 13: Monthly DoH domain queries",
+            figures.figure13_series(self.doh_usage())))
+        return "\n\n".join(sections)

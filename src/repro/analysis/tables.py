@@ -1,0 +1,220 @@
+"""Builders for every table of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.textfmt import format_percent, render_table
+from repro.core.comparative import PROTOCOL_ORDER, build_comparison_table
+from repro.core.client.diagnosis import DiagnosisReport, PROBE_PORTS
+from repro.core.client.performance import NoReuseResult
+from repro.core.client.proxy import ProxyNetwork
+from repro.core.client.reachability import ReachabilityReport
+from repro.core.scan.campaign import CampaignResult
+from repro.doe.metadata import IMPLEMENTATIONS, PROTOCOLS
+
+
+# -- Table 1: protocol comparison ------------------------------------------------
+
+
+def table1_rows() -> List[Tuple[str, str, Dict[str, str]]]:
+    """(category, criterion, {protocol: symbol}) rows."""
+    rows = []
+    for row in build_comparison_table():
+        rows.append((row.category, row.criterion,
+                     {key: grade.symbol for key, grade in
+                      row.grades.items()}))
+    return rows
+
+
+def table1_text() -> str:
+    headers = ["Category", "Criterion"] + [
+        PROTOCOLS[key].display_name for key in PROTOCOL_ORDER]
+    rows = []
+    for category, criterion, grades in table1_rows():
+        rows.append([category, criterion]
+                    + [grades[key] for key in PROTOCOL_ORDER])
+    return render_table(headers, rows,
+                        title="Table 1: Comparison of DNS-over-Encryption "
+                              "protocols")
+
+
+# -- Table 2: top countries of open DoT resolvers ---------------------------------
+
+
+def table2_rows(campaign: CampaignResult,
+                top_n: int = 10) -> List[Tuple[str, int, int, float]]:
+    return campaign.country_growth(top_n)
+
+
+def table2_text(campaign: CampaignResult) -> str:
+    rows = [(code, first, last, f"{growth:+.0f}%")
+            for code, first, last, growth in table2_rows(campaign)]
+    return render_table(
+        ["CC", f"# {campaign.first.date_text}",
+         f"# {campaign.last.date_text}", "Growth"],
+        rows, title="Table 2: Top countries of open DoT resolvers")
+
+
+# -- Table 3: client-side dataset -------------------------------------------------
+
+
+def table3_rows(networks: Sequence[Tuple[str, ProxyNetwork]],
+                performance_counts: Optional[Dict[str, int]] = None
+                ) -> List[Tuple[str, str, int, int, int]]:
+    """(test, platform, distinct IPs, countries, AS count) rows."""
+    rows = []
+    for test_name, network in networks:
+        rows.append((
+            test_name,
+            network.name,
+            len(network),
+            len(network.country_distribution()),
+            network.distinct_as_count(),
+        ))
+    if performance_counts:
+        for platform, count in performance_counts.items():
+            rows.append(("Performance", platform, count, 0, 0))
+    return rows
+
+
+# -- Table 4: reachability matrix -------------------------------------------------
+
+TABLE4_TARGETS = ("Cloudflare", "Google", "Quad9", "Self-built")
+TABLE4_PROTOCOLS = ("do53", "dot", "doh")
+
+
+def table4_rows(report: ReachabilityReport
+                ) -> List[Tuple[str, str, str, str, str, str]]:
+    """(platform, protocol, target, correct, incorrect, failed) rows."""
+    rows = []
+    for platform in report.platforms():
+        for protocol in TABLE4_PROTOCOLS:
+            for target in TABLE4_TARGETS:
+                rates = report.rates(platform, target, protocol)
+                if not rates.get("total"):
+                    rows.append((platform, protocol, target,
+                                 "n/a", "n/a", "n/a"))
+                    continue
+                rows.append((
+                    platform, protocol, target,
+                    format_percent(rates["correct"]),
+                    format_percent(rates["incorrect"]),
+                    format_percent(rates["failed"]),
+                ))
+    return rows
+
+
+def table4_text(report: ReachabilityReport) -> str:
+    return render_table(
+        ["Platform", "Type", "Resolver", "Correct", "Incorrect", "Failed"],
+        table4_rows(report),
+        title="Table 4: Reachability test results of public resolvers")
+
+
+# -- Table 5: ports open on the conflicting 1.1.1.1 -------------------------------
+
+
+def table5_rows(diagnosis: DiagnosisReport
+                ) -> List[Tuple[str, int, str]]:
+    """(port label, client count, example AS) rows, 'None' first."""
+    rows: List[Tuple[str, int, str]] = [
+        ("None", diagnosis.none_open_count(), "")]
+    census = diagnosis.port_census()
+    for port in PROBE_PORTS:
+        count = census.get(port, 0)
+        if count == 0:
+            continue
+        example = diagnosis.example_as_for_port(port) or ""
+        rows.append((str(port), count, example))
+    return rows
+
+
+def table5_text(diagnosis: DiagnosisReport) -> str:
+    return render_table(
+        ["Port", "# Clients", "Example AS"],
+        table5_rows(diagnosis),
+        title="Table 5: Ports open on 1.1.1.1, probed from clients "
+              "failing Cloudflare DoT")
+
+
+# -- Table 6: TLS-intercepted clients ---------------------------------------------
+
+
+def table6_rows(report: ReachabilityReport
+                ) -> List[Tuple[str, str, str, str, str]]:
+    rows = []
+    for case in report.interceptions:
+        rows.append((
+            case.ca_common_name,
+            case.country,
+            f"AS{case.asn} {case.as_name}".strip(),
+            "yes" if case.intercepts_443 else "no",
+            "yes" if case.intercepts_853 else "no",
+        ))
+    return rows
+
+
+def table6_text(report: ReachabilityReport) -> str:
+    return render_table(
+        ["CA Common Name", "CC", "Client AS", "Port 443", "Port 853"],
+        table6_rows(report),
+        title="Table 6: Example clients affected by TLS interception")
+
+
+# -- Table 7: performance without connection reuse --------------------------------
+
+
+def table7_rows(results: Sequence[NoReuseResult]
+                ) -> List[Tuple[str, float, str, str]]:
+    rows = []
+    for result in results:
+        rows.append((
+            result.vantage.replace("controlled-", ""),
+            result.median_do53_ms / 1000.0,
+            f"{result.median_dot_ms / 1000.0:.3f} "
+            f"({result.dot_overhead_ms:.0f}ms)",
+            f"{result.median_doh_ms / 1000.0:.3f} "
+            f"({result.doh_overhead_ms:.0f}ms)",
+        ))
+    return rows
+
+
+def table7_text(results: Sequence[NoReuseResult]) -> str:
+    return render_table(
+        ["Vantage", "DNS/TCP (s)", "DoT (overhead)", "DoH (overhead)"],
+        table7_rows(results),
+        title="Table 7: Performance test results w/o connection reuse")
+
+
+# -- Table 8: implementation survey ------------------------------------------------
+
+_CATEGORY_LABELS = (
+    ("public-dns", "Public DNS"),
+    ("server", "DNS Software (Server)"),
+    ("stub", "DNS Software (Stub)"),
+    ("browser", "Browser"),
+    ("os", "OS"),
+)
+
+
+def table8_rows() -> List[Tuple[str, str, str, str, str, str, str, str]]:
+    def mark(flag: bool) -> str:
+        return "+" if flag else ""
+
+    rows = []
+    for category, label in _CATEGORY_LABELS:
+        for impl in IMPLEMENTATIONS:
+            if impl.category != category:
+                continue
+            rows.append((label, impl.name, mark(impl.dot), mark(impl.doh),
+                         mark(impl.dnscrypt), mark(impl.dnssec),
+                         mark(impl.qname_minimization), impl.since))
+    return rows
+
+
+def table8_text() -> str:
+    return render_table(
+        ["Category", "Name", "DoT", "DoH", "DC", "DNSSEC", "QM", "Since"],
+        table8_rows(),
+        title="Table 8: Current implementations of DNS-over-Encryption")

@@ -1,0 +1,159 @@
+"""Findings checklist: verify every headline claim of the paper.
+
+:func:`validate_findings` runs (or reuses) the full experiment suite and
+checks each of the paper's key observations and findings, returning a
+structured verdict list — the programmatic version of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.report import ExperimentSuite
+from repro.tlssim.certs import ValidationFailure
+
+
+@dataclass(frozen=True)
+class FindingCheck:
+    """One verified claim."""
+
+    finding: str
+    claim: str
+    passed: bool
+    measured: str
+
+
+def _check(findings: List[FindingCheck], finding: str, claim: str,
+           passed: bool, measured: str) -> None:
+    findings.append(FindingCheck(finding, claim, bool(passed), measured))
+
+
+def validate_findings(suite: ExperimentSuite) -> List[FindingCheck]:
+    """Check every finding; returns the full verdict list."""
+    findings: List[FindingCheck] = []
+    _validate_servers(suite, findings)
+    _validate_clients(suite, findings)
+    _validate_performance(suite, findings)
+    _validate_usage(suite, findings)
+    return findings
+
+
+def _validate_servers(suite: ExperimentSuite,
+                      findings: List[FindingCheck]) -> None:
+    campaign = suite.campaign()
+    counts = [len(round_result.resolvers)
+              for round_result in campaign.rounds]
+    _check(findings, "1.1", "over 1.5K open DoT resolvers in each scan",
+           min(counts) > 1_500, f"min {min(counts):,} per scan")
+    _check(findings, "1.1", "millions of port-853 hosts, mostly not DoT",
+           campaign.first.stats.total_open_estimate > 2_000_000,
+           f"{campaign.first.stats.total_open_estimate:,} estimated open")
+    stats = campaign.last.provider_statistics()
+    _check(findings, "1.1", "~70% of providers run one resolver address",
+           0.6 < stats.single_address_fraction < 0.82,
+           f"{stats.single_address_fraction:.0%}")
+    working = campaign.working_doh()
+    _check(findings, "1.1", "17 public DoH resolvers, 2 beyond the lists",
+           len(working) == 17 and sum(
+               1 for record in working if not record.in_public_list) == 2,
+           f"{len(working)} working")
+    _check(findings, "1.2", "~25% of DoT providers use invalid certificates",
+           0.18 < stats.invalid_provider_fraction < 0.35,
+           f"{stats.invalid_cert_providers}/{stats.provider_count} "
+           f"({stats.invalid_provider_fraction:.0%})")
+    breakdown = stats.failure_totals
+    _check(findings, "1.2",
+           "27 expired / 67 self-signed / 28 broken chains at May 1",
+           breakdown.get(ValidationFailure.EXPIRED) == 27
+           and breakdown.get(ValidationFailure.SELF_SIGNED) == 67
+           and breakdown.get(ValidationFailure.BROKEN_CHAIN) == 28,
+           str({key.value: value for key, value in breakdown.items()}))
+    _check(findings, "1.2", "no invalid certificates among DoH resolvers",
+           all(record.cert_valid for record in working),
+           "all valid")
+
+
+def _validate_clients(suite: ExperimentSuite,
+                      findings: List[FindingCheck]) -> None:
+    report = suite.reachability()
+    do53 = report.rates("proxyrack", "Cloudflare", "do53")["failed"]
+    dot = report.rates("proxyrack", "Cloudflare", "dot")["failed"]
+    _check(findings, "2.1",
+           "clear text to Cloudflare fails far more often than DoT",
+           do53 > 0.10 and dot < 0.06 and do53 > 4 * dot,
+           f"Do53 {do53:.1%} vs DoT {dot:.1%}")
+    google_cn = report.rates("zhima", "Google", "doh")["failed"]
+    _check(findings, "2.2", "censorship blocks Google DoH from China",
+           google_cn > 0.98, f"{google_cn:.2%} failed")
+    cells = [case for case in report.interceptions if case.intercepts_853]
+    _check(findings, "2.3",
+           "TLS interception: opportunistic DoT proceeds, DoH breaks",
+           bool(cells) and all(case.dot_lookup_succeeded
+                               for case in cells),
+           f"{len(cells)} intercepted clients on port 853")
+    quad9 = report.rates("proxyrack", "Quad9", "doh")["incorrect"]
+    _check(findings, "2.4", "Quad9 DoH SERVFAILs at a significant rate",
+           0.06 < quad9 < 0.22, f"{quad9:.1%} incorrect")
+
+
+def _validate_performance(suite: ExperimentSuite,
+                          findings: List[FindingCheck]) -> None:
+    summary = suite.performance().global_summary()
+    _check(findings, "3.1",
+           "reused-connection overhead is a few milliseconds",
+           abs(summary["dot_median"]) < 20 and abs(
+               summary["doh_median"]) < 25,
+           f"DoT {summary['dot_median']:+.1f}ms / "
+           f"DoH {summary['doh_median']:+.1f}ms median")
+    no_reuse = {result.vantage.replace("controlled-", ""): result
+                for result in suite.no_reuse()}
+    _check(findings, "3.1",
+           "without reuse the overhead reaches hundreds of ms",
+           no_reuse["AU"].dot_overhead_ms > 100,
+           f"AU +{no_reuse['AU'].dot_overhead_ms:.0f}ms")
+    by_country = {row.country: row
+                  for row in suite.performance().by_country(min_clients=2)}
+    if "IN" in by_country:
+        _check(findings, "3.2",
+               "DoE can beat clear text (India via Cloudflare DoH)",
+               by_country["IN"].doh_overhead_median_ms < -40,
+               f"IN {by_country['IN'].doh_overhead_median_ms:+.0f}ms")
+
+
+def _validate_usage(suite: ExperimentSuite,
+                    findings: List[FindingCheck]) -> None:
+    _, report = suite.netflow_report()
+    growth = report.growth("cloudflare", "2018-07", "2018-12")
+    _check(findings, "4.1", "Cloudflare DoT grows ~56% Jul-Dec 2018",
+           0.40 < growth < 0.75, f"{growth:+.0%}")
+    ratio = report.dot_to_do53_ratio("cloudflare")
+    _check(findings, "4.1", "DoT is 2-3 orders below clear-text DNS",
+           100 < ratio < 1000, f"{ratio:.0f}x")
+    blocks, traffic = report.short_lived_stats()
+    _check(findings, "4.1",
+           "~96% of netblocks are temporary, with ~25% of traffic",
+           blocks > 0.90 and 0.1 < traffic < 0.4,
+           f"{blocks:.0%} of blocks / {traffic:.0%} of traffic")
+    _check(findings, "4.1", "observed DoT clients are not scanners",
+           not any(suite.scanner_vetting().values()), "0 flagged")
+    usage = suite.doh_usage()
+    _check(findings, "4.2", "4 popular DoH domains; Google dominates",
+           len(usage.popular) == 4
+           and usage.dominant_domain() == "dns.google.com",
+           ", ".join(usage.popular))
+    cb = usage.growth("doh.cleanbrowsing.org", "2018-09", "2019-03")
+    _check(findings, "4.2", "CleanBrowsing DoH grows ~10x Sep18-Mar19",
+           8.0 < cb < 11.0, f"{cb:.1f}x")
+
+
+def render_checklist(findings: List[FindingCheck]) -> str:
+    """Render the verdicts as an aligned report."""
+    lines = []
+    for check in findings:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{verdict}] Finding {check.finding}: {check.claim}")
+        lines.append(f"       measured: {check.measured}")
+    passed = sum(1 for check in findings if check.passed)
+    lines.append(f"\n{passed}/{len(findings)} findings reproduced")
+    return "\n".join(lines)

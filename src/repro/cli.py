@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's measurement legs:
+
+* ``scan`` — run the discovery campaign (Tables 2, Figures 3-4);
+* ``reachability`` — the client-side reachability study (Tables 4-6);
+* ``performance`` — the latency study (Figure 9, Table 7);
+* ``usage`` — NetFlow + passive-DNS usage analysis (Figures 11-13);
+* ``compare`` — the protocol comparison (Tables 1 and 8);
+* ``report`` — everything, as one text report;
+* ``release`` — write the machine-readable dataset release.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures, tables
+from repro.analysis.report import ExperimentSuite
+from repro.world.scenario import ScenarioConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end DNS-over-Encryption measurement platform "
+                    "(IMC 2019 reproduction)")
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="scenario seed (default: 2019)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="vantage-population scale, 1.0 = paper scale "
+                             "(default: 0.02)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
+    sub.add_parser("reachability", help="run the reachability study")
+    sub.add_parser("performance", help="run the performance study")
+    sub.add_parser("usage", help="run the traffic usage analysis")
+    sub.add_parser("compare", help="print the protocol comparison")
+    sub.add_parser("report", help="run everything and print all artefacts")
+    release = sub.add_parser("release",
+                             help="write the dataset release to a directory")
+    release.add_argument("directory", help="output directory")
+    return parser
+
+
+def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
+    config = ScenarioConfig(seed=args.seed, vantage_scale=args.scale,
+                            background_sample_size=200,
+                            url_dataset_noise=5_000,
+                            intercepted_clients=max(
+                                2, round(17 * args.scale)),
+                            hijacked_routers=max(1, round(12 * args.scale)))
+    return ExperimentSuite.build(config)
+
+
+def cmd_scan(suite: ExperimentSuite) -> None:
+    campaign = suite.campaign()
+    print(tables.table2_text(campaign))
+    print()
+    dates, providers, invalid, _ = figures.figure4_series(campaign)
+    for date, total, bad in zip(dates, providers, invalid):
+        print(f"{date}: {total} providers, {bad} with invalid certs "
+              f"({bad / total:.0%})")
+    working = campaign.working_doh()
+    print(f"\nDoH: {len(working)} working services, "
+          f"{sum(1 for r in working if not r.in_public_list)} beyond the "
+          f"public list")
+
+
+def cmd_reachability(suite: ExperimentSuite) -> None:
+    report = suite.reachability()
+    print(tables.table4_text(report))
+    print()
+    print(tables.table6_text(report))
+
+
+def cmd_performance(suite: ExperimentSuite) -> None:
+    report = suite.performance()
+    summary = report.global_summary()
+    print(f"Reused connections (n={summary['clients']:.0f}): "
+          f"DoT {summary['dot_avg']:+.1f}/{summary['dot_median']:+.1f} ms, "
+          f"DoH {summary['doh_avg']:+.1f}/{summary['doh_median']:+.1f} ms")
+    print()
+    print(tables.table7_text(suite.no_reuse()))
+
+
+def cmd_usage(suite: ExperimentSuite) -> None:
+    _, report = suite.netflow_report()
+    print(figures.series_text("Monthly DoT flows",
+                              figures.figure11_series(report)))
+    usage = suite.doh_usage()
+    print(f"\nPopular DoH domains: {', '.join(usage.popular)}")
+
+
+def cmd_compare(_: Optional[ExperimentSuite]) -> None:
+    print(tables.table1_text())
+    print()
+    print(tables.table8_text())
+
+
+def cmd_report(suite: ExperimentSuite) -> None:
+    print(suite.render_all())
+
+
+def cmd_release(suite: ExperimentSuite, directory: str) -> None:
+    from repro.analysis.export import write_release
+    _, netflow = suite.netflow_report()
+    paths = write_release(suite.campaign(), suite.reachability(),
+                          netflow, directory)
+    for path in paths:
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        cmd_compare(None)
+        return 0
+    suite = _make_suite(args)
+    if args.command == "scan":
+        cmd_scan(suite)
+    elif args.command == "reachability":
+        cmd_reachability(suite)
+    elif args.command == "performance":
+        cmd_performance(suite)
+    elif args.command == "usage":
+        cmd_usage(suite)
+    elif args.command == "report":
+        cmd_report(suite)
+    elif args.command == "release":
+        cmd_release(suite, args.directory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

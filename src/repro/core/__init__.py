@@ -1,0 +1,18 @@
+"""The paper's primary contribution: the end-to-end measurement platform.
+
+Three measurement legs, mirroring the paper's structure:
+
+* :mod:`repro.core.scan` — Internet-wide discovery of DoT/DoH services
+  and their security analysis (Section 3);
+* :mod:`repro.core.client` — client-side reachability and performance
+  studies through residential proxy networks (Section 4);
+* :mod:`repro.core.usage` — real-world traffic analysis from NetFlow and
+  passive DNS (Section 5);
+
+plus :mod:`repro.core.comparative`, the protocol comparison engine behind
+Table 1 (Section 2).
+"""
+
+from repro.core.comparative import Grade, build_comparison_table
+
+__all__ = ["Grade", "build_comparison_table"]

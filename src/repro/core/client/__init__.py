@@ -1,0 +1,31 @@
+"""Client-side usability studies through proxy networks (Section 4)."""
+
+from repro.core.client.proxy import ProxyNetwork
+from repro.core.client.reachability import (
+    ReachabilityReport,
+    ReachabilityStudy,
+    TargetSpec,
+    default_targets,
+)
+from repro.core.client.diagnosis import DiagnosisReport, FailureDiagnosis
+from repro.core.client.performance import (
+    NoReuseResult,
+    PerformanceReport,
+    PerformanceStudy,
+)
+from repro.core.client.atlas import AtlasStudy, AtlasResult
+
+__all__ = [
+    "ProxyNetwork",
+    "TargetSpec",
+    "default_targets",
+    "ReachabilityStudy",
+    "ReachabilityReport",
+    "FailureDiagnosis",
+    "DiagnosisReport",
+    "PerformanceStudy",
+    "PerformanceReport",
+    "NoReuseResult",
+    "AtlasStudy",
+    "AtlasResult",
+]

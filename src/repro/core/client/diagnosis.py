@@ -1,0 +1,144 @@
+"""Failure diagnosis: why can't a client reach 1.1.1.1? (Table 5)
+
+For clients that fail the Cloudflare DoT test, probe a set of common
+ports on 1.1.1.1 and fetch its webpage, then compare against the genuine
+resolver's profile (ports 53/80/443 open, Cloudflare front page). A
+mismatch means something else answers on that address inside the
+client's network — IP conflict.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.httpsim.messages import HttpRequest
+from repro.netsim.network import Network
+from repro.netsim.rand import SeededRng
+from repro.netsim.transport import TcpConnection
+from repro.world.population import VantagePoint
+
+#: Ports probed on each failed client (the Table 5 census).
+PROBE_PORTS: Tuple[int, ...] = (22, 23, 53, 67, 80, 123, 139, 161, 179,
+                                443, 853)
+
+#: The genuine resolver's open-port profile ("Cloudflare's 1.1.1.1 opens
+#: port 53, 80 and 443"; 853 as well, being the DoT endpoint).
+GENUINE_PORTS = frozenset({53, 80, 443, 853})
+
+COINMINER_MARKER = "coinhive"
+
+
+@dataclass
+class ClientDiagnosis:
+    """Probe results for one failed client."""
+
+    endpoint: str
+    country: str
+    asn: int
+    as_name: str
+    open_ports: Tuple[int, ...]
+    webpage_title: str = ""
+    crypto_hijacked: bool = False
+
+    @property
+    def no_ports_open(self) -> bool:
+        return not self.open_ports
+
+    @property
+    def is_conflict(self) -> bool:
+        """True when the port/webpage profile contradicts the genuine host."""
+        return set(self.open_ports) != GENUINE_PORTS
+
+
+@dataclass
+class DiagnosisReport:
+    """Aggregated Table 5 data."""
+
+    clients: List[ClientDiagnosis] = field(default_factory=list)
+
+    def port_census(self) -> Dict[int, int]:
+        """How many failed clients had each probed port open."""
+        census: Counter = Counter()
+        for client in self.clients:
+            census.update(client.open_ports)
+        return dict(census)
+
+    def none_open_count(self) -> int:
+        """Presumed blackholed / internal-routing addresses."""
+        return sum(1 for client in self.clients if client.no_ports_open)
+
+    def hijacked_count(self) -> int:
+        return sum(1 for client in self.clients if client.crypto_hijacked)
+
+    def conflict_count(self) -> int:
+        return sum(1 for client in self.clients if client.is_conflict)
+
+    def example_as_for_port(self, port: int) -> Optional[str]:
+        for client in self.clients:
+            if port in client.open_ports and client.as_name:
+                return f"AS{client.asn} {client.as_name}"
+        return None
+
+
+class FailureDiagnosis:
+    """Probes failed clients' view of one resolver address."""
+
+    def __init__(self, network: Network, rng: SeededRng,
+                 resolver_ip: str = "1.1.1.1",
+                 ports: Tuple[int, ...] = PROBE_PORTS):
+        self.network = network
+        self.rng = rng
+        self.resolver_ip = resolver_ip
+        self.ports = ports
+
+    def diagnose(self, point: VantagePoint) -> ClientDiagnosis:
+        env = point.env
+        probe_rng = self.rng.fork(f"diag-{env.label}")
+        open_ports = []
+        for port in self.ports:
+            try:
+                connection = TcpConnection.open(
+                    self.network, env, self.resolver_ip, port, probe_rng,
+                    timeout_s=3.0)
+            except TransportError:
+                continue
+            connection.close()
+            open_ports.append(port)
+        webpage_title, hijacked = self._fetch_webpage(env, probe_rng,
+                                                      open_ports)
+        return ClientDiagnosis(
+            endpoint=env.label,
+            country=env.country_code,
+            asn=env.asn,
+            as_name=env.as_name,
+            open_ports=tuple(open_ports),
+            webpage_title=webpage_title,
+            crypto_hijacked=hijacked,
+        )
+
+    def diagnose_all(self, points: List[VantagePoint]) -> DiagnosisReport:
+        report = DiagnosisReport()
+        for point in points:
+            report.clients.append(self.diagnose(point))
+        return report
+
+    def _fetch_webpage(self, env, probe_rng,
+                       open_ports: List[int]) -> Tuple[str, bool]:
+        if 80 not in open_ports:
+            return "", False
+        try:
+            connection = TcpConnection.open(
+                self.network, env, self.resolver_ip, 80, probe_rng,
+                timeout_s=3.0)
+            response = connection.request(HttpRequest.get("/"))
+            connection.close()
+        except TransportError:
+            return "", False
+        body = response.body.decode("utf-8", errors="replace")
+        title = ""
+        if "<title>" in body:
+            title = body.split("<title>", 1)[1].split("</title>", 1)[0]
+        return title, COINMINER_MARKER in body.lower()

@@ -1,0 +1,56 @@
+"""Residential SOCKS proxy networks as measurement vantage points.
+
+Models the operational constraints of the paper's two platforms:
+TCP-only forwarding (the reason DNS/TCP is the clear-text baseline),
+limited endpoint lifetime (the uptime check before the performance
+test), and endpoint rotation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.world.population import VantagePoint
+
+
+class ProxyNetwork:
+    """A pool of recruited endpoints with lifetime bookkeeping."""
+
+    #: Proxy platforms only forward TCP; UDP-based tests are impossible
+    #: (paper Section 4.1, Limitations).
+    supports_udp = False
+
+    def __init__(self, name: str, endpoints: List[VantagePoint]):
+        self.name = name
+        self._endpoints = list(endpoints)
+        self._removed: set = set()
+
+    def endpoints(self) -> List[VantagePoint]:
+        return [point for point in self._endpoints
+                if point.env.label not in self._removed]
+
+    def __len__(self) -> int:
+        return len(self.endpoints())
+
+    def usable_for(self, duration_s: float) -> List[VantagePoint]:
+        """Endpoints whose remaining uptime survives a test of this length.
+
+        The performance test "first check[s the] remaining uptime (using
+        ProxyRack API) and discard[s the endpoint] if expiring soon".
+        """
+        return [point for point in self.endpoints()
+                if point.remaining_uptime_s >= duration_s]
+
+    def remove(self, point: VantagePoint) -> None:
+        """Drop an endpoint after an unexpected service disruption."""
+        self._removed.add(point.env.label)
+
+    def country_distribution(self) -> Counter:
+        """Endpoint count per country (Figure 6)."""
+        return Counter(point.env.country_code
+                       for point in self.endpoints())
+
+    def distinct_as_count(self) -> int:
+        return len({(point.env.asn, point.env.as_name)
+                    for point in self.endpoints()})

@@ -1,0 +1,264 @@
+"""The reachability test (Section 4.2, Table 4, Finding 2.x).
+
+From every vantage point, issue clear-text DNS (over TCP — the proxy
+platforms forward TCP only), opportunistic DoT and strict DoH queries to
+each resolver's primary address, classify the outcome into Correct /
+Incorrect / Failed, and collect certificates to spot TLS interception.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnswire.builder import make_query
+from repro.dnswire.rdtypes import RRType
+from repro.doe.do53 import Do53Client
+from repro.doe.doh import DohClient, DohMethod
+from repro.doe.dot import DotClient, PrivacyProfile
+from repro.doe.result import QueryOutcome, QueryResult
+from repro.httpsim.uri import UriTemplate
+from repro.netsim.network import Network
+from repro.netsim.rand import SeededRng
+from repro.tlssim.certs import ValidationFailure
+from repro.world.population import VantagePoint
+from repro.world.scenario import (
+    GOOGLE_DO53_IPS,
+    SELF_BUILT_IP,
+    Scenario,
+)
+
+MAX_ATTEMPTS = 5
+TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """One resolver under test (primary addresses only, as in Fig. 7)."""
+
+    name: str
+    do53_ip: str
+    dot_ip: Optional[str]
+    doh_template: Optional[str]
+
+
+def default_targets(scenario: Scenario) -> List[TargetSpec]:
+    """The paper's four targets: Cloudflare, Google, Quad9, self-built.
+
+    Google DoT was not announced at experiment time → ``dot_ip=None``.
+    """
+    return [
+        TargetSpec("Cloudflare", "1.1.1.1", "1.1.1.1",
+                   "https://mozilla.cloudflare-dns.com/dns-query{?dns}"),
+        TargetSpec("Google", GOOGLE_DO53_IPS[0], None,
+                   "https://dns.google.com/resolve{?dns}"),
+        TargetSpec("Quad9", "9.9.9.9", "9.9.9.9",
+                   "https://dns.quad9.net/dns-query{?dns}"),
+        TargetSpec("Self-built", SELF_BUILT_IP, SELF_BUILT_IP,
+                   f"https://dns.selfbuilt.example/dns-query{{?dns}}"),
+    ]
+
+
+@dataclass
+class Observation:
+    """One endpoint × target × protocol measurement."""
+
+    endpoint: str
+    platform: str
+    country: str
+    target: str
+    protocol: str
+    outcome: QueryOutcome
+    result: QueryResult
+
+
+@dataclass
+class InterceptionCase:
+    """A client whose TLS sessions are proxied (Table 6 rows)."""
+
+    endpoint: str
+    country: str
+    asn: int
+    as_name: str
+    ca_common_name: str
+    intercepts_853: bool
+    intercepts_443: bool
+    #: Whether the opportunistic DoT lookup still answered (it does: the
+    #: proxy forwards to the real resolver).
+    dot_lookup_succeeded: bool
+
+
+@dataclass
+class ReachabilityReport:
+    """Aggregated Table 4 plus the finding-specific case lists."""
+
+    observations: List[Observation] = field(default_factory=list)
+    interceptions: List[InterceptionCase] = field(default_factory=list)
+
+    def add(self, observation: Observation) -> None:
+        self.observations.append(observation)
+
+    def rates(self, platform: str, target: str,
+              protocol: str) -> Dict[str, float]:
+        """Correct/Incorrect/Failed fractions for one table cell."""
+        relevant = [obs for obs in self.observations
+                    if obs.platform == platform and obs.target == target
+                    and obs.protocol == protocol]
+        total = len(relevant)
+        if not total:
+            return {"correct": 0.0, "incorrect": 0.0, "failed": 0.0,
+                    "total": 0}
+        counts = defaultdict(int)
+        for obs in relevant:
+            counts[obs.outcome.value] += 1
+        return {
+            "correct": counts["correct"] / total,
+            "incorrect": counts["incorrect"] / total,
+            "failed": counts["failed"] / total,
+            "total": total,
+        }
+
+    def failed_endpoints(self, platform: str, target: str,
+                         protocol: str) -> List[str]:
+        return [obs.endpoint for obs in self.observations
+                if obs.platform == platform and obs.target == target
+                and obs.protocol == protocol
+                and obs.outcome is QueryOutcome.FAILED]
+
+    def platforms(self) -> Tuple[str, ...]:
+        return tuple(sorted({obs.platform for obs in self.observations}))
+
+
+class ReachabilityStudy:
+    """Runs the full reachability workflow of Figure 7."""
+
+    def __init__(self, scenario: Scenario,
+                 network: Optional[Network] = None,
+                 rng: Optional[SeededRng] = None,
+                 max_attempts: int = MAX_ATTEMPTS):
+        self.scenario = scenario
+        self.network = network or scenario.client_network()
+        self.rng = rng or scenario.rng.fork("reachability")
+        self.max_attempts = max_attempts
+        self.targets = default_targets(scenario)
+
+    # -- single-endpoint workflow ----------------------------------------------
+
+    def measure_endpoint(self, point: VantagePoint,
+                         report: ReachabilityReport) -> None:
+        env = point.env
+        endpoint_rng = self.rng.fork(f"ep-{env.label}")
+        do53 = Do53Client(self.network, endpoint_rng.fork("do53"))
+        dot = DotClient(self.network, endpoint_rng.fork("dot"),
+                        self.scenario.trust_store,
+                        profile=PrivacyProfile.OPPORTUNISTIC)
+        doh = DohClient(self.network, endpoint_rng.fork("doh"),
+                        self.scenario.trust_store,
+                        bootstrap=self.scenario.bootstrap,
+                        method=DohMethod.POST)
+        dot_results: Dict[str, QueryResult] = {}
+        doh_results: Dict[str, QueryResult] = {}
+        for target in self.targets:
+            query_rng = endpoint_rng.fork(f"q-{target.name}")
+            result = self._attempt(
+                lambda: do53.query_tcp(
+                    env, target.do53_ip,
+                    self._probe_query(query_rng), reuse=False,
+                    timeout_s=TIMEOUT_S))
+            report.add(self._observe(point, target, "do53", result))
+            if target.dot_ip is not None:
+                result = self._attempt(
+                    lambda: dot.query(env, target.dot_ip,
+                                      self._probe_query(query_rng),
+                                      reuse=False, timeout_s=TIMEOUT_S))
+                dot_results[target.name] = result
+                report.add(self._observe(point, target, "dot", result))
+            if target.doh_template is not None:
+                template = UriTemplate(target.doh_template)
+                result = self._attempt(
+                    lambda: doh.query(env, template,
+                                      self._probe_query(query_rng),
+                                      reuse=False, timeout_s=TIMEOUT_S))
+                doh_results[target.name] = result
+                report.add(self._observe(point, target, "doh", result))
+        self._detect_interception(point, dot_results, doh_results, report)
+
+    def run(self, platform_name: str, points: List[VantagePoint],
+            report: Optional[ReachabilityReport] = None
+            ) -> ReachabilityReport:
+        """Measure every endpoint of one platform."""
+        if report is None:
+            report = ReachabilityReport()
+        for point in points:
+            self.measure_endpoint(point, report)
+        return report
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _probe_query(self, rng: SeededRng):
+        token = rng.token(10)
+        return make_query(self.scenario.probe_name(token), RRType.A,
+                          msg_id=rng.randint(1, 0xFFFF))
+
+    def _attempt(self, once) -> QueryResult:
+        """Repeat a failing request up to ``max_attempts`` times."""
+        result = once()
+        attempts = 1
+        while result.response is None and attempts < self.max_attempts:
+            result = once()
+            attempts += 1
+        result.attempts = attempts
+        return result
+
+    def _observe(self, point: VantagePoint, target: TargetSpec,
+                 protocol: str, result: QueryResult) -> Observation:
+        outcome = result.classify(self.scenario.expected_probe_answer())
+        return Observation(
+            endpoint=point.env.label,
+            platform=point.platform,
+            country=point.env.country_code,
+            target=target.name,
+            protocol=protocol,
+            outcome=outcome,
+            result=result,
+        )
+
+    def _detect_interception(self, point: VantagePoint,
+                             dot_results: Dict[str, QueryResult],
+                             doh_results: Dict[str, QueryResult],
+                             report: ReachabilityReport) -> None:
+        """Finding 2.3: re-signed certificates reveal TLS interception."""
+        resigned_cn = None
+        dot_intercepted = False
+        dot_ok = False
+        for result in dot_results.values():
+            if self._is_resigned(result):
+                resigned_cn = result.presented_chain[0].issuer_cn
+                dot_intercepted = True
+                dot_ok = dot_ok or result.ok
+        doh_intercepted = False
+        for result in doh_results.values():
+            if self._is_resigned(result):
+                resigned_cn = result.presented_chain[0].issuer_cn
+                doh_intercepted = True
+        if resigned_cn is None:
+            return
+        report.interceptions.append(InterceptionCase(
+            endpoint=point.env.label,
+            country=point.env.country_code,
+            asn=point.env.asn,
+            as_name=point.env.as_name,
+            ca_common_name=resigned_cn,
+            intercepts_853=dot_intercepted,
+            intercepts_443=doh_intercepted,
+            dot_lookup_succeeded=dot_ok,
+        ))
+
+    @staticmethod
+    def _is_resigned(result: QueryResult) -> bool:
+        report = result.cert_report
+        if report is None or report.valid:
+            return False
+        return (report.has(ValidationFailure.UNTRUSTED_CA)
+                and result.intercepted_by is not None)

@@ -1,0 +1,155 @@
+"""The comparative study engine (Section 2.2, Table 1).
+
+Grades every protocol in :data:`repro.doe.metadata.PROTOCOLS` against the
+paper's 10 criteria in 5 categories. Grades are *derived* from protocol
+facts rather than hard-coded, so the table stays consistent with the
+metadata (and with any protocol added later).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.doe.metadata import PROTOCOLS, ProtocolFacts
+
+
+class Grade(enum.Enum):
+    """The paper's three-level grading."""
+
+    SATISFYING = "satisfying"
+    PARTIAL = "partially satisfying"
+    NOT_SATISFYING = "not satisfying"
+
+    @property
+    def symbol(self) -> str:
+        return {"satisfying": "●", "partially satisfying": "◐",
+                "not satisfying": "○"}[self.value]
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One grading criterion."""
+
+    category: str
+    label: str
+    grade: Callable[[ProtocolFacts], Grade]
+
+
+def _grade_native_protocol(facts: ProtocolFacts) -> Grade:
+    # "whether the new protocol is based on traditional DNS or switches
+    # to a different application-layer protocol"
+    if facts.uses_other_app_layer:
+        return Grade.NOT_SATISFYING
+    return Grade.SATISFYING
+
+
+def _grade_fallback(facts: ProtocolFacts) -> Grade:
+    return Grade.SATISFYING if facts.has_fallback else Grade.NOT_SATISFYING
+
+
+def _grade_standard_tls(facts: ProtocolFacts) -> Grade:
+    if facts.crypto == "tls":
+        return Grade.SATISFYING
+    if facts.crypto in ("dtls", "quic-tls"):
+        # TLS-derived but not the plain TLS record protocol.
+        return Grade.PARTIAL
+    return Grade.NOT_SATISFYING
+
+
+def _grade_traffic_analysis(facts: ProtocolFacts) -> Grade:
+    # Sharing port 443 with web HTTPS hides DNS entirely; a dedicated
+    # port is distinguishable but padding still blunts size analysis.
+    if facts.port_shared_with_https:
+        return Grade.SATISFYING
+    if facts.supports_padding:
+        return Grade.PARTIAL
+    return Grade.NOT_SATISFYING
+
+
+def _grade_client_changes(facts: ProtocolFacts) -> Grade:
+    return {"low": Grade.SATISFYING, "medium": Grade.PARTIAL,
+            "high": Grade.NOT_SATISFYING}[facts.client_change_level]
+
+
+def _grade_latency(facts: ProtocolFacts) -> Grade:
+    return {"low": Grade.SATISFYING, "amortizable": Grade.PARTIAL,
+            "high": Grade.NOT_SATISFYING}[facts.latency_class]
+
+
+def _grade_standard_protocols(facts: ProtocolFacts) -> Grade:
+    if facts.crypto == "custom":
+        return Grade.NOT_SATISFYING
+    if facts.ietf_status == "draft" or facts.crypto == "quic-tls":
+        # QUIC itself was not standardised at the survey date.
+        return Grade.PARTIAL
+    return Grade.SATISFYING
+
+
+def _grade_software_support(facts: ProtocolFacts) -> Grade:
+    return {"wide": Grade.SATISFYING, "partial": Grade.PARTIAL,
+            "none": Grade.NOT_SATISFYING}[facts.software_support]
+
+
+def _grade_ietf(facts: ProtocolFacts) -> Grade:
+    return {"standard": Grade.SATISFYING, "experimental": Grade.PARTIAL,
+            "draft": Grade.NOT_SATISFYING,
+            "none": Grade.NOT_SATISFYING}[facts.ietf_status]
+
+
+def _grade_resolver_support(facts: ProtocolFacts) -> Grade:
+    return {"wide": Grade.SATISFYING, "partial": Grade.PARTIAL,
+            "none": Grade.NOT_SATISFYING}[facts.resolver_support]
+
+
+CRITERIA: Tuple[Criterion, ...] = (
+    Criterion("Protocol Design", "Stays on the DNS application layer",
+              _grade_native_protocol),
+    Criterion("Protocol Design", "Provides fallback mechanism",
+              _grade_fallback),
+    Criterion("Security", "Uses standard TLS", _grade_standard_tls),
+    Criterion("Security", "Resists DNS traffic analysis",
+              _grade_traffic_analysis),
+    Criterion("Usability", "Minor changes for client users",
+              _grade_client_changes),
+    Criterion("Usability", "Minor latency above DNS-over-UDP",
+              _grade_latency),
+    Criterion("Deployability", "Runs over standard protocols",
+              _grade_standard_protocols),
+    Criterion("Deployability", "Supported by mainstream DNS software",
+              _grade_software_support),
+    Criterion("Maturity", "Standardized by IETF", _grade_ietf),
+    Criterion("Maturity", "Extensively supported by resolvers",
+              _grade_resolver_support),
+)
+
+PROTOCOL_ORDER = ("dot", "doh", "dodtls", "doq", "dnscrypt")
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    category: str
+    criterion: str
+    grades: Dict[str, Grade]
+
+
+def build_comparison_table(
+        protocol_keys: Tuple[str, ...] = PROTOCOL_ORDER
+) -> List[ComparisonRow]:
+    """Produce Table 1 as structured rows."""
+    rows = []
+    for criterion in CRITERIA:
+        grades = {key: criterion.grade(PROTOCOLS[key])
+                  for key in protocol_keys}
+        rows.append(ComparisonRow(criterion.category, criterion.label,
+                                  grades))
+    return rows
+
+
+def maturity_score(protocol_key: str) -> float:
+    """A 0..1 aggregate used by ablation benches and ranking tests."""
+    points = {Grade.SATISFYING: 1.0, Grade.PARTIAL: 0.5,
+              Grade.NOT_SATISFYING: 0.0}
+    rows = build_comparison_table((protocol_key,))
+    return sum(points[row.grades[protocol_key]] for row in rows) / len(rows)

@@ -1,0 +1,26 @@
+"""Server-side discovery: Internet-wide DoT/DoH scanning (Section 3)."""
+
+from repro.core.scan.zmap import ZmapScanner, SweepResult
+from repro.core.scan.dot_scan import DotDiscovery, DotScanRecord
+from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord, ZoneFileDohDiscovery
+from repro.core.scan.providers import ProviderGroup, group_into_providers
+from repro.core.scan.campaign import CampaignResult, RoundResult, ScanCampaign
+from repro.core.scan.churn import cohort_survival, provider_deltas, round_churn
+
+__all__ = [
+    "ZmapScanner",
+    "SweepResult",
+    "DotDiscovery",
+    "DotScanRecord",
+    "DohDiscovery",
+    "DohScanRecord",
+    "ZoneFileDohDiscovery",
+    "ProviderGroup",
+    "group_into_providers",
+    "ScanCampaign",
+    "RoundResult",
+    "CampaignResult",
+    "round_churn",
+    "cohort_survival",
+    "provider_deltas",
+]

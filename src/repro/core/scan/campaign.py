@@ -1,0 +1,134 @@
+"""The full scan campaign: repeated sweeps from Feb 1 to May 1, 2019.
+
+Orchestrates one :class:`DotDiscovery` per round (every 10 days) plus a
+DoH discovery pass, and aggregates the per-round results into the data
+behind Table 2 and Figures 3-4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord
+from repro.core.scan.dot_scan import DotDiscovery, DotScanRecord, SweepStats
+from repro.core.scan.providers import (
+    ProviderGroup,
+    ProviderStats,
+    group_into_providers,
+    provider_stats,
+)
+from repro.core.scan.zmap import ZmapScanner
+from repro.netsim.clock import format_date
+from repro.netsim.rand import SeededRng
+from repro.world.scenario import Scenario
+
+
+@dataclass
+class RoundResult:
+    """Everything one scan round produced."""
+
+    round_index: int
+    date: float
+    stats: SweepStats
+    records: List[DotScanRecord]
+    groups: List[ProviderGroup] = field(default_factory=list)
+
+    @property
+    def resolvers(self) -> List[DotScanRecord]:
+        return [record for record in self.records if record.is_dot]
+
+    @property
+    def date_text(self) -> str:
+        return format_date(self.date)
+
+    def country_counts(self) -> Counter:
+        return Counter(record.country for record in self.resolvers)
+
+    def provider_statistics(self) -> ProviderStats:
+        return provider_stats(self.groups)
+
+
+@dataclass
+class CampaignResult:
+    """All rounds plus the DoH discovery."""
+
+    rounds: List[RoundResult]
+    doh_records: List[DohScanRecord] = field(default_factory=list)
+
+    @property
+    def first(self) -> RoundResult:
+        return self.rounds[0]
+
+    @property
+    def last(self) -> RoundResult:
+        return self.rounds[-1]
+
+    def country_growth(self, top_n: int = 10) -> List[Tuple[str, int, int, float]]:
+        """Table 2: (country, first count, last count, growth %)."""
+        first_counts = self.first.country_counts()
+        last_counts = self.last.country_counts()
+        ranked = first_counts.most_common(top_n)
+        rows = []
+        for code, first_count in ranked:
+            last_count = last_counts.get(code, 0)
+            growth = ((last_count - first_count) / first_count * 100.0
+                      if first_count else 0.0)
+            rows.append((code, first_count, last_count, growth))
+        return rows
+
+    def resolvers_per_round(self) -> List[Tuple[str, int]]:
+        """Figure 3's x-axis series: (date, open DoT resolver count)."""
+        return [(round_result.date_text, len(round_result.resolvers))
+                for round_result in self.rounds]
+
+    def working_doh(self) -> List[DohScanRecord]:
+        return [record for record in self.doh_records if record.is_doh]
+
+
+class ScanCampaign:
+    """Runs the repeated discovery over a scenario's timeline."""
+
+    def __init__(self, scenario: Scenario, rng: Optional[SeededRng] = None):
+        self.scenario = scenario
+        self.rng = rng or scenario.rng.fork("campaign")
+
+    def run_round(self, round_index: int) -> RoundResult:
+        scenario = self.scenario
+        network = scenario.network_for_round(round_index)
+        scanner = ZmapScanner(
+            network, self.rng.fork(f"zmap-{round_index}"),
+            background_total=scenario.background_open853(round_index))
+        discovery = DotDiscovery(
+            network, scanner, self.rng.fork(f"dot-{round_index}"),
+            scenario.trust_store, scenario.probe_origin,
+            scenario.expected_probe_answer())
+        records, stats = discovery.discover(round_index)
+        result = RoundResult(
+            round_index=round_index,
+            date=scenario.scan_dates()[round_index],
+            stats=stats,
+            records=records,
+        )
+        result.groups = group_into_providers(result.resolvers)
+        return result
+
+    def run_doh_discovery(self) -> List[DohScanRecord]:
+        scenario = self.scenario
+        network = scenario.client_network()
+        discovery = DohDiscovery(
+            network, self.rng.fork("doh"), scenario.trust_store,
+            scenario.bootstrap, scenario.probe_origin,
+            scenario.expected_probe_answer(),
+            public_list=scenario.public_doh_list())
+        return discovery.discover(scenario.url_dataset())
+
+    def run(self, rounds: Optional[int] = None,
+            include_doh: bool = True) -> CampaignResult:
+        """Run the whole campaign (all rounds by default)."""
+        total = (self.scenario.config.scan_rounds if rounds is None
+                 else rounds)
+        round_results = [self.run_round(index) for index in range(total)]
+        doh_records = self.run_doh_discovery() if include_doh else []
+        return CampaignResult(round_results, doh_records)

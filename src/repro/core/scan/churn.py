@@ -1,0 +1,79 @@
+"""Round-over-round churn analysis of the scan campaign.
+
+Section 3.2 discusses how the resolver population moves between scans
+(Irish/US growth, the Chinese cloud platform shutting down). This module
+quantifies that churn: per-round arrivals and departures of resolver
+addresses, survival of the first-round cohort, and per-provider address
+deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.scan.campaign import CampaignResult
+
+
+@dataclass(frozen=True)
+class RoundChurn:
+    """Address movement between two consecutive rounds."""
+
+    round_index: int
+    date_text: str
+    total: int
+    arrived: int
+    departed: int
+
+    @property
+    def churn_rate(self) -> float:
+        """(arrivals + departures) over the current population."""
+        if not self.total:
+            return 0.0
+        return (self.arrived + self.departed) / self.total
+
+
+def address_sets(campaign: CampaignResult) -> List[Set[str]]:
+    return [{record.address for record in round_result.resolvers}
+            for round_result in campaign.rounds]
+
+
+def round_churn(campaign: CampaignResult) -> List[RoundChurn]:
+    """Per-round arrivals/departures (first round reports arrivals only)."""
+    sets = address_sets(campaign)
+    churns = []
+    for index, current in enumerate(sets):
+        previous = sets[index - 1] if index else set()
+        churns.append(RoundChurn(
+            round_index=index,
+            date_text=campaign.rounds[index].date_text,
+            total=len(current),
+            arrived=len(current - previous),
+            departed=len(previous - current),
+        ))
+    return churns
+
+
+def cohort_survival(campaign: CampaignResult) -> List[float]:
+    """Fraction of the first-round cohort still answering at each round."""
+    sets = address_sets(campaign)
+    if not sets or not sets[0]:
+        return []
+    cohort = sets[0]
+    return [len(cohort & current) / len(cohort) for current in sets]
+
+
+def provider_deltas(campaign: CampaignResult,
+                    top_n: int = 10) -> List[Tuple[str, int, int, int]]:
+    """(provider, first count, last count, delta) for the biggest movers."""
+    first = {group.key: group.address_count
+             for group in campaign.first.groups}
+    last = {group.key: group.address_count
+            for group in campaign.last.groups}
+    deltas = []
+    for key in set(first) | set(last):
+        before = first.get(key, 0)
+        after = last.get(key, 0)
+        deltas.append((key, before, after, after - before))
+    deltas.sort(key=lambda row: -abs(row[3]))
+    return deltas[:top_n]

@@ -1,0 +1,143 @@
+"""DoT service discovery and certificate analysis.
+
+For every address a sweep found with port 853 open, the discovery step
+issues a real DoT query for a uniquely-prefixed name under the platform's
+own domain (the getdns probe of Section 3.1), fetches and validates the
+SSL certificate (the openssl step of Finding 1.2), and validates the DNS
+answer against authoritative ground truth (Section 3.2's dnsfilter.com
+detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dnswire.builder import make_query
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import RRType
+from repro.doe.dot import DotClient, PrivacyProfile
+from repro.doe.result import QueryOutcome
+from repro.netsim.network import Network
+from repro.netsim.rand import SeededRng
+from repro.tlssim.certs import CaStore, ValidationReport
+from repro.core.scan.zmap import ZmapScanner
+
+
+@dataclass
+class DotScanRecord:
+    """Everything learned about one port-853-open address."""
+
+    address: str
+    round_index: int
+    #: Whether the address answered the DoT probe with a DNS response.
+    is_dot: bool
+    #: Whether the DNS answer matched our authoritative data.
+    answer_correct: bool = False
+    answers: Tuple[str, ...] = ()
+    latency_ms: float = 0.0
+    error: str = ""
+    chain: tuple = ()
+    cert_report: Optional[ValidationReport] = None
+    country: str = ""
+
+    @property
+    def has_invalid_cert(self) -> bool:
+        return self.cert_report is not None and not self.cert_report.valid
+
+    @property
+    def common_name(self) -> str:
+        if self.chain:
+            return self.chain[0].subject_cn
+        return ""
+
+    def grouping_key(self) -> str:
+        """The provider-grouping key: cert CN, folded to SLD for names.
+
+        "we group the DoT resolvers by Common Names in their SSL
+        certificates ... If the Common Name is a domain name, we group
+        them by Second-Level Domains."
+        """
+        cn = self.common_name
+        if not cn:
+            return f"unknown:{self.address}"
+        if "." in cn and " " not in cn:
+            try:
+                return DnsName.from_text(cn).second_level_domain().to_display()
+            except Exception:
+                return cn
+        return cn
+
+
+class DotDiscovery:
+    """Probes swept addresses and builds per-address scan records."""
+
+    def __init__(self, network: Network, scanner: ZmapScanner,
+                 rng: SeededRng, ca_store: CaStore,
+                 probe_origin: DnsName,
+                 expected_answers: Tuple[str, ...]):
+        self.network = network
+        self.scanner = scanner
+        self.rng = rng
+        self.ca_store = ca_store
+        self.probe_origin = probe_origin
+        self.expected_answers = expected_answers
+
+    def probe_all(self, addresses: List[str],
+                  round_index: int = 0) -> List[DotScanRecord]:
+        records = []
+        for index, address in enumerate(addresses):
+            records.append(self.probe_one(address, index, round_index))
+        return records
+
+    def probe_one(self, address: str, index: int = 0,
+                  round_index: int = 0) -> DotScanRecord:
+        """One getdns-style DoT probe plus certificate fetch."""
+        source = self.scanner.source_for_probe(index)
+        probe_rng = self.rng.fork(f"probe-{round_index}-{address}")
+        client = DotClient(self.network, probe_rng, self.ca_store,
+                           profile=PrivacyProfile.OPPORTUNISTIC)
+        token = probe_rng.token(10)
+        query = make_query(self.probe_origin.child(token), RRType.A,
+                           msg_id=probe_rng.randint(1, 0xFFFF))
+        result = client.query(source, address, query, reuse=False,
+                              timeout_s=10.0)
+        host = self.network.host_at(address)
+        country = host.country_code if host is not None else ""
+        if not result.ok:
+            return DotScanRecord(
+                address=address, round_index=round_index, is_dot=False,
+                error=result.error, latency_ms=result.latency_ms,
+                chain=result.presented_chain,
+                cert_report=result.cert_report, country=country)
+        outcome = result.classify(self.expected_answers)
+        return DotScanRecord(
+            address=address, round_index=round_index, is_dot=True,
+            answer_correct=(outcome is QueryOutcome.CORRECT),
+            answers=result.addresses(),
+            latency_ms=result.latency_ms,
+            chain=result.presented_chain,
+            cert_report=result.cert_report,
+            country=country)
+
+    def discover(self, round_index: int = 0,
+                 port: int = 853) -> Tuple[List[DotScanRecord], "SweepStats"]:
+        """Full sweep + probe pipeline for one round."""
+        sweep = self.scanner.sweep(port, round_index)
+        records = self.probe_all(sweep.open_addresses, round_index)
+        resolvers = [record for record in records if record.is_dot]
+        stats = SweepStats(
+            total_open_estimate=sweep.total_open_estimate,
+            probed=len(records),
+            dot_resolvers=len(resolvers),
+        )
+        return records, stats
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Headline numbers of one discovery round."""
+
+    total_open_estimate: int
+    probed: int
+    dot_resolvers: int

@@ -1,0 +1,128 @@
+"""Grouping discovered resolvers into providers (Figures 3-4)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.scan.dot_scan import DotScanRecord
+from repro.tlssim.certs import ValidationFailure
+
+
+@dataclass
+class ProviderGroup:
+    """Resolvers grouped under one certificate Common Name / SLD."""
+
+    key: str
+    records: List[DotScanRecord] = field(default_factory=list)
+
+    @property
+    def address_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def invalid_cert_records(self) -> List[DotScanRecord]:
+        return [record for record in self.records
+                if record.has_invalid_cert]
+
+    @property
+    def has_invalid_cert(self) -> bool:
+        return bool(self.invalid_cert_records)
+
+    def failure_breakdown(self) -> Dict[ValidationFailure, int]:
+        breakdown: Dict[ValidationFailure, int] = defaultdict(int)
+        for record in self.records:
+            if record.cert_report is None or record.cert_report.valid:
+                continue
+            primary = record.cert_report.primary_failure()
+            if primary is not None:
+                breakdown[primary] += 1
+        return dict(breakdown)
+
+
+def group_into_providers(
+        records: List[DotScanRecord]) -> List[ProviderGroup]:
+    """Group DoT scan records by their certificate grouping key."""
+    groups: Dict[str, ProviderGroup] = {}
+    for record in records:
+        if not record.is_dot:
+            continue
+        key = record.grouping_key()
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = ProviderGroup(key)
+        group.records.append(record)
+    return sorted(groups.values(), key=lambda g: -g.address_count)
+
+
+@dataclass(frozen=True)
+class ProviderStats:
+    """The Figure 4 quantities."""
+
+    provider_count: int
+    resolver_count: int
+    invalid_cert_providers: int
+    invalid_cert_resolvers: int
+    single_address_providers: int
+    #: Share of resolver addresses run by the N largest providers.
+    top_coverage: Dict[int, float]
+    failure_totals: Dict[ValidationFailure, int]
+
+    @property
+    def invalid_provider_fraction(self) -> float:
+        if not self.provider_count:
+            return 0.0
+        return self.invalid_cert_providers / self.provider_count
+
+    @property
+    def single_address_fraction(self) -> float:
+        if not self.provider_count:
+            return 0.0
+        return self.single_address_providers / self.provider_count
+
+
+def provider_stats(groups: List[ProviderGroup],
+                   top_ns: Tuple[int, ...] = (5, 7, 10)) -> ProviderStats:
+    resolver_count = sum(group.address_count for group in groups)
+    invalid_providers = sum(1 for group in groups if group.has_invalid_cert)
+    invalid_resolvers = sum(len(group.invalid_cert_records)
+                            for group in groups)
+    singles = sum(1 for group in groups if group.address_count == 1)
+    ordered = sorted(groups, key=lambda g: -g.address_count)
+    coverage = {}
+    for top_n in top_ns:
+        covered = sum(group.address_count for group in ordered[:top_n])
+        coverage[top_n] = covered / resolver_count if resolver_count else 0.0
+    failure_totals: Dict[ValidationFailure, int] = defaultdict(int)
+    for group in groups:
+        for failure, count in group.failure_breakdown().items():
+            failure_totals[failure] += count
+    return ProviderStats(
+        provider_count=len(groups),
+        resolver_count=resolver_count,
+        invalid_cert_providers=invalid_providers,
+        invalid_cert_resolvers=invalid_resolvers,
+        single_address_providers=singles,
+        top_coverage=coverage,
+        failure_totals=dict(failure_totals),
+    )
+
+
+def resolvers_per_provider_cdf(
+        groups: List[ProviderGroup]) -> List[Tuple[int, float]]:
+    """The yellow CDF line of Figure 4: providers by address count."""
+    if not groups:
+        return []
+    sizes = sorted(group.address_count for group in groups)
+    total = len(sizes)
+    cdf = []
+    seen = 0
+    current = sizes[0]
+    for size in sizes:
+        if size != current:
+            cdf.append((current, seen / total))
+            current = size
+        seen += 1
+    cdf.append((current, seen / total))
+    return cdf

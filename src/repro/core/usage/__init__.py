@@ -1,0 +1,14 @@
+"""Real-world usage analysis from passive datasets (Section 5)."""
+
+from repro.core.usage.netflow_study import DotTrafficStudy, DotTrafficReport
+from repro.core.usage.passive_dns_study import DohUsageStudy, DohUsageReport
+from repro.core.usage.scan_detect import NetworkScanMonitor, ScanAlert
+
+__all__ = [
+    "DotTrafficStudy",
+    "DotTrafficReport",
+    "DohUsageStudy",
+    "DohUsageReport",
+    "NetworkScanMonitor",
+    "ScanAlert",
+]

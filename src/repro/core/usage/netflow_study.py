@@ -1,0 +1,170 @@
+"""DoT traffic analysis over sampled NetFlow (Section 5.2).
+
+Pipeline, exactly as the paper describes: select TCP port-853 records,
+exclude flows whose flag union is a single SYN (incomplete handshakes),
+match destinations against the DoT resolver list produced by the scan
+campaign, truncate client addresses to /24, then analyse monthly trends
+(Figure 11) and per-netblock concentration/activity (Figure 12).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.datasets.netflow import (
+    CLOUDFLARE_DOT_ADDRESSES,
+    NetFlowDataset,
+    QUAD9_DOT_ADDRESSES,
+)
+from repro.netsim.clock import DAY_SECONDS, month_key
+
+RESOLVER_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "cloudflare": CLOUDFLARE_DOT_ADDRESSES,
+    "quad9": QUAD9_DOT_ADDRESSES,
+}
+
+
+@dataclass
+class NetblockActivity:
+    """Per-/24 aggregation behind Figure 12."""
+
+    netblock: str
+    flow_count: int
+    active_days: int
+    first_seen: float
+    last_seen: float
+
+    @property
+    def active_under_week(self) -> bool:
+        return self.active_days < 7
+
+
+@dataclass
+class DotTrafficReport:
+    """Everything the Section 5.2 findings read off."""
+
+    #: family -> {month: sampled DoT flow count}.
+    monthly_flows: Dict[str, Dict[str, int]]
+    #: family -> {month: sampled Do53 flow count} (aggregates).
+    do53_monthly: Dict[str, Dict[str, int]]
+    netblocks: List[NetblockActivity]
+    matched_records: int
+    excluded_single_syn: int
+    unmatched_port853: int
+
+    def growth(self, family: str, from_month: str,
+               to_month: str) -> float:
+        """Relative growth of monthly flows, e.g. +0.56 for +56%."""
+        series = self.monthly_flows.get(family, {})
+        base = series.get(from_month, 0)
+        if not base:
+            return 0.0
+        return (series.get(to_month, 0) - base) / base
+
+    def dot_to_do53_ratio(self, family: str) -> float:
+        """How much smaller DoT is than clear-text DNS (orders of magnitude)."""
+        dot_total = sum(self.monthly_flows.get(family, {}).values())
+        do53_total = sum(self.do53_monthly.get(family, {}).values())
+        if not dot_total:
+            return 0.0
+        return do53_total / dot_total
+
+    def top_share(self, top_n: int) -> float:
+        """Traffic share of the N busiest /24 netblocks."""
+        total = sum(block.flow_count for block in self.netblocks)
+        if not total:
+            return 0.0
+        ranked = sorted(self.netblocks, key=lambda block: -block.flow_count)
+        return sum(block.flow_count for block in ranked[:top_n]) / total
+
+    def short_lived_stats(self) -> Tuple[float, float]:
+        """(fraction of netblocks active <1 week, their traffic share)."""
+        total_blocks = len(self.netblocks)
+        total_flows = sum(block.flow_count for block in self.netblocks)
+        if not total_blocks or not total_flows:
+            return 0.0, 0.0
+        short = [block for block in self.netblocks
+                 if block.active_under_week]
+        return (len(short) / total_blocks,
+                sum(block.flow_count for block in short) / total_flows)
+
+    def scatter_points(self) -> List[Tuple[float, int, int]]:
+        """Figure 12 data: (traffic share, active days) per netblock."""
+        total = sum(block.flow_count for block in self.netblocks) or 1
+        return [(block.flow_count / total, block.active_days,
+                 block.flow_count) for block in self.netblocks]
+
+
+class DotTrafficStudy:
+    """Runs the Section 5.2 pipeline over a NetFlow dataset."""
+
+    def __init__(self, resolver_list: Optional[Iterable[str]] = None,
+                 families: Optional[Dict[str, Tuple[str, ...]]] = None):
+        self.families = dict(families or RESOLVER_FAMILIES)
+        known: Set[str] = set()
+        for addresses in self.families.values():
+            known.update(addresses)
+        if resolver_list is not None:
+            known.update(resolver_list)
+        self.resolver_addresses = known
+
+    def family_of(self, address: str) -> Optional[str]:
+        for family, addresses in self.families.items():
+            if address in addresses:
+                return family
+        return None
+
+    def analyze(self, dataset: NetFlowDataset,
+                netblock_family: str = "cloudflare") -> DotTrafficReport:
+        monthly: Dict[str, Dict[str, int]] = {
+            family: defaultdict(int) for family in self.families}
+        per_netblock_flows: Counter = Counter()
+        per_netblock_days: Dict[str, Set[int]] = defaultdict(set)
+        per_netblock_span: Dict[str, Tuple[float, float]] = {}
+        excluded = 0
+        unmatched = 0
+        matched = 0
+        for record in dataset.records:
+            if record.protocol != "tcp" or record.dst_port != 853:
+                continue
+            if record.is_single_syn():
+                excluded += 1
+                continue
+            family = self.family_of(record.dst_ip)
+            if family is None and record.dst_ip not in self.resolver_addresses:
+                unmatched += 1
+                continue
+            matched += 1
+            month = month_key(record.start_ts)
+            if family is not None:
+                monthly[family][month] += 1
+            if family == netblock_family:
+                netblock = record.src_slash24()
+                per_netblock_flows[netblock] += 1
+                per_netblock_days[netblock].add(
+                    int(record.start_ts // DAY_SECONDS))
+                first, last = per_netblock_span.get(
+                    netblock, (record.start_ts, record.start_ts))
+                per_netblock_span[netblock] = (min(first, record.start_ts),
+                                               max(last, record.start_ts))
+        netblocks = [
+            NetblockActivity(
+                netblock=netblock,
+                flow_count=count,
+                active_days=len(per_netblock_days[netblock]),
+                first_seen=per_netblock_span[netblock][0],
+                last_seen=per_netblock_span[netblock][1],
+            )
+            for netblock, count in per_netblock_flows.items()
+        ]
+        return DotTrafficReport(
+            monthly_flows={family: dict(series)
+                           for family, series in monthly.items()},
+            do53_monthly=dataset.do53_monthly,
+            netblocks=netblocks,
+            matched_records=matched,
+            excluded_single_syn=excluded,
+            unmatched_port853=unmatched,
+        )

@@ -1,0 +1,79 @@
+"""DoH usage from passive DNS (Section 5.3, Figure 13).
+
+DoH queries hide inside HTTPS, but every DoH client must first resolve
+the resolver's bootstrap hostname — so passive DNS lookup volumes of
+those hostnames proxy for DoH adoption. DNSDB-style aggregates select
+which domains see real use; 360-style monthly volumes give the trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets.passive_dns import PassiveDnsStores
+
+POPULARITY_THRESHOLD = 10_000
+
+
+@dataclass
+class DohUsageReport:
+    """The Figure 13 data plus headline statistics."""
+
+    #: Domains examined (the DoH bootstrap hostnames from discovery).
+    candidates: List[str]
+    #: Domains above the DNSDB popularity threshold.
+    popular: List[str]
+    #: Monthly query series for the popular domains.
+    monthly_series: Dict[str, Dict[str, int]]
+    #: Lifetime totals per candidate.
+    totals: Dict[str, int]
+
+    def growth(self, domain: str, from_month: str, to_month: str) -> float:
+        """Multiplicative growth of a domain's monthly volume."""
+        series = self.monthly_series.get(domain.lower().rstrip("."), {})
+        base = series.get(from_month, 0)
+        if not base:
+            return 0.0
+        return series.get(to_month, 0) / base
+
+    def dominant_domain(self) -> Optional[str]:
+        """The domain with the largest lifetime volume (Google DoH)."""
+        if not self.totals:
+            return None
+        return max(self.totals, key=lambda domain: self.totals[domain])
+
+    def orders_of_magnitude_above_rest(self, domain: str) -> float:
+        """How far a domain's volume sits above the next-busiest one."""
+        import math
+        others = [total for name, total in self.totals.items()
+                  if name != domain and total > 0]
+        own = self.totals.get(domain, 0)
+        if not others or own <= 0:
+            return 0.0
+        return math.log10(own / max(others))
+
+
+class DohUsageStudy:
+    """Evaluates DoH bootstrap-domain volumes over passive DNS stores."""
+
+    def __init__(self, stores: PassiveDnsStores,
+                 threshold: int = POPULARITY_THRESHOLD):
+        self.stores = stores
+        self.threshold = threshold
+
+    def analyze(self, doh_domains: List[str]) -> DohUsageReport:
+        normalized = [domain.lower().rstrip(".") for domain in doh_domains]
+        totals: Dict[str, int] = {}
+        for domain in normalized:
+            aggregate = self.stores.aggregate_for(domain)
+            totals[domain] = aggregate.total_count if aggregate else 0
+        popular = self.stores.domains_over(self.threshold, normalized)
+        monthly = {domain: self.stores.monthly_series(domain)
+                   for domain in popular}
+        return DohUsageReport(
+            candidates=normalized,
+            popular=sorted(popular, key=lambda d: -totals.get(d, 0)),
+            monthly_series=monthly,
+            totals=totals,
+        )

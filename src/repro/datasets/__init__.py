@@ -1,0 +1,28 @@
+"""Large-scale datasets the usage and discovery studies consume.
+
+* :mod:`repro.datasets.urldataset` — the industrial-partner URL corpus
+  scanned for DoH URI templates (Section 3.1);
+* :mod:`repro.datasets.netflow` — 18 months of sampled NetFlow from a
+  large ISP's backbone (Section 5.1);
+* :mod:`repro.datasets.passive_dns` — DNSDB-style aggregates and
+  360-PassiveDNS-style daily volumes for DoH bootstrap domains
+  (Section 5.3).
+"""
+
+from repro.datasets.urldataset import UrlDataset, build_url_dataset
+from repro.datasets.netflow import NetFlowDataset, generate_netflow_dataset
+from repro.datasets.passive_dns import (
+    PassiveDnsAggregate,
+    PassiveDnsStores,
+    build_passive_dns_stores,
+)
+
+__all__ = [
+    "UrlDataset",
+    "build_url_dataset",
+    "NetFlowDataset",
+    "generate_netflow_dataset",
+    "PassiveDnsAggregate",
+    "PassiveDnsStores",
+    "build_passive_dns_stores",
+]

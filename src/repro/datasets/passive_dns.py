@@ -1,0 +1,158 @@
+"""Passive DNS stores for the DoH usage study (Section 5.3).
+
+Two stores mirror the paper's sources:
+
+* a DNSDB-style aggregate store (first seen / last seen / total lookup
+  count per domain) with wide resolver coverage, used to find which DoH
+  bootstrap domains see real traffic at all;
+* a 360-PassiveDNS-style store with monthly query volumes, used to plot
+  the trend of the popular domains (Figure 13).
+
+Calibration: only 4 of the 17 DoH bootstrap domains exceed 10K lifetime
+lookups (Google, Cloudflare's Mozilla endpoint, CleanBrowsing and
+crypto.sx); Google is orders of magnitude above the rest (DoH since
+2016); CleanBrowsing grows ~10x from Sep 2018 (≈200 monthly queries) to
+Mar 2019 (≈1,915).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.clock import iter_months, month_key, parse_date
+from repro.netsim.rand import SeededRng
+
+WINDOW_START = "2018-01-01"
+WINDOW_END = "2019-04-30"
+
+#: (domain, first_seen, lifetime total) for the popular four.
+POPULAR_PROFILES: Tuple[Tuple[str, str, int], ...] = (
+    ("dns.google.com", "2016-04-01", 8_400_000),
+    ("mozilla.cloudflare-dns.com", "2018-06-01", 145_000),
+    ("doh.cleanbrowsing.org", "2018-07-15", 13_200),
+    ("doh.crypto.sx", "2018-03-01", 18_500),
+)
+
+#: Anchors for the CleanBrowsing monthly trend (Finding 4.2).
+CLEANBROWSING_ANCHORS = {"2018-09": 200, "2019-03": 1915}
+
+
+@dataclass(frozen=True)
+class PassiveDnsAggregate:
+    """One DNSDB-style aggregate row."""
+
+    domain: str
+    first_seen: float
+    last_seen: float
+    total_count: int
+
+
+@dataclass
+class PassiveDnsStores:
+    """Both stores, queried by the usage study."""
+
+    dnsdb: Dict[str, PassiveDnsAggregate] = field(default_factory=dict)
+    #: 360-style monthly volumes: domain -> {"YYYY-MM": count}.
+    monthly: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def aggregate_for(self, domain: str) -> Optional[PassiveDnsAggregate]:
+        return self.dnsdb.get(domain.lower().rstrip("."))
+
+    def monthly_series(self, domain: str) -> Dict[str, int]:
+        return dict(self.monthly.get(domain.lower().rstrip("."), {}))
+
+    def domains_over(self, threshold: int,
+                     candidates: Optional[List[str]] = None) -> List[str]:
+        pool = (candidates if candidates is not None
+                else list(self.dnsdb))
+        result = []
+        for domain in pool:
+            aggregate = self.aggregate_for(domain)
+            if aggregate is not None and aggregate.total_count > threshold:
+                result.append(domain.lower().rstrip("."))
+        return result
+
+
+def _growth_series(rng: SeededRng, months: List[str], first_seen: str,
+                   total: int, growth: float = 0.18) -> Dict[str, int]:
+    """A jittered exponential-growth monthly series summing to ~total."""
+    first_month = first_seen[:7]
+    active = [month for month in months if month >= first_month]
+    if not active:
+        active = months[-1:]
+    raw = [math.exp(growth * index) * rng.uniform(0.8, 1.25)
+           for index in range(len(active))]
+    scale = total / sum(raw)
+    return {month: max(1, round(value * scale))
+            for month, value in zip(active, raw)}
+
+
+def _cleanbrowsing_series(rng: SeededRng, months: List[str]) -> Dict[str, int]:
+    """Hit the paper's two anchors, interpolating geometrically between."""
+    first, last = "2018-09", "2019-03"
+    first_value = CLEANBROWSING_ANCHORS[first]
+    last_value = CLEANBROWSING_ANCHORS[last]
+    active = [month for month in months if first <= month]
+    series = {}
+    span = sum(1 for month in active if month <= last) - 1
+    ratio = (last_value / first_value) ** (1.0 / max(1, span))
+    value = float(first_value)
+    for month in active:
+        if month <= last:
+            series[month] = round(value)
+            value *= ratio
+        else:
+            series[month] = round(value * rng.uniform(0.95, 1.15))
+    # The anchors themselves must be exact.
+    series[first] = first_value
+    series[last] = last_value
+    return series
+
+
+def build_passive_dns_stores(doh_domains: List[str],
+                             rng: SeededRng) -> PassiveDnsStores:
+    """Build both stores for a set of discovered DoH bootstrap domains."""
+    months = [month_key(ts) for ts in iter_months(parse_date(WINDOW_START),
+                                                  parse_date(WINDOW_END))]
+    stores = PassiveDnsStores()
+    popular = {domain for domain, _, _ in POPULAR_PROFILES}
+    for domain, first_seen, total in POPULAR_PROFILES:
+        series_rng = rng.fork(f"series-{domain}")
+        if domain == "doh.cleanbrowsing.org":
+            series = _cleanbrowsing_series(series_rng, months)
+        else:
+            series = _growth_series(series_rng, months, first_seen, total)
+        stores.monthly[domain] = series
+        stores.dnsdb[domain] = PassiveDnsAggregate(
+            domain=domain,
+            first_seen=parse_date(first_seen),
+            last_seen=parse_date(WINDOW_END),
+            total_count=total,
+        )
+    # The remaining DoH domains stay under the 10K threshold.
+    for domain in doh_domains:
+        normalized = domain.lower().rstrip(".")
+        if normalized in popular or normalized in stores.dnsdb:
+            continue
+        quiet_rng = rng.fork(f"quiet-{normalized}")
+        total = quiet_rng.randint(30, 8_500)
+        stores.dnsdb[normalized] = PassiveDnsAggregate(
+            domain=normalized,
+            first_seen=parse_date("2018-06-01"),
+            last_seen=parse_date(WINDOW_END),
+            total_count=total,
+        )
+        stores.monthly[normalized] = _growth_series(
+            quiet_rng, months, "2018-06-01", total, growth=0.05)
+    # Ordinary popular web domains, so the stores are not DoH-only.
+    for domain, total in (("www.example.com", 120_000_000),
+                          ("www.wikipedia.org", 450_000_000)):
+        noise_rng = rng.fork(f"noise-{domain}")
+        stores.dnsdb[domain] = PassiveDnsAggregate(
+            domain=domain, first_seen=parse_date("2016-01-01"),
+            last_seen=parse_date(WINDOW_END), total_count=total)
+        stores.monthly[domain] = _growth_series(
+            noise_rng, months, "2018-01-01", total, growth=0.01)
+    return stores

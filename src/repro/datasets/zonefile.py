@@ -1,0 +1,42 @@
+"""Public DNS zone files, as used in the paper's first DoH-discovery try.
+
+Zone files enumerate registered second-level domains (SLDs) only — the
+reason the paper's zone-file approach "turns out to be unsatisfying, as
+many resolvers are hosted on the subdomains of second-level domains of
+the providers". The builder derives the SLD universe visible to that
+method from a scenario: the SLDs of every DoH bootstrap hostname, plus
+registration noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dnswire.names import DnsName
+
+
+@dataclass
+class ZoneFileDataset:
+    """A flat list of registered SLDs (no subdomains, as in real zone files)."""
+
+    slds: List[str]
+
+    def __iter__(self):
+        return iter(self.slds)
+
+    def __len__(self) -> int:
+        return len(self.slds)
+
+
+def build_zone_file(scenario) -> ZoneFileDataset:
+    """The zone-file view of a scenario's world."""
+    slds = set()
+    for template in scenario.all_doh_templates():
+        hostname = template.split("//")[1].split("/")[0]
+        sld = DnsName.from_text(hostname).second_level_domain()
+        slds.add(sld.to_display())
+    rng = scenario.rng.fork("zone-file")
+    for index in range(max(200, scenario.config.url_dataset_noise // 20)):
+        slds.add(f"registered-{rng.token(8)}.example")
+    return ZoneFileDataset(sorted(slds))

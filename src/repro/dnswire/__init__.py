@@ -1,0 +1,60 @@
+"""DNS wire protocol implementation.
+
+This package implements the subset of the DNS protocol the measurement
+platform needs, from scratch: domain names, resource records, EDNS(0)
+(including the padding option used to resist traffic analysis, RFC 7830),
+and the full message codec with name compression.
+
+The bytes produced here are real RFC 1035 wire format; the simulated
+transports in :mod:`repro.netsim` move them around unchanged, so every
+protocol implementation in :mod:`repro.doe` round-trips genuine DNS
+messages.
+"""
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import EdnsOption, Opcode, Rcode, RRClass, RRType
+from repro.dnswire.records import (
+    AData,
+    AaaaData,
+    CnameData,
+    MxData,
+    NsData,
+    OpaqueData,
+    PtrData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from repro.dnswire.message import Flags, Header, Message, Question
+from repro.dnswire.edns import EdnsOptionValue, KeepaliveOption, OptRecord, PaddingOption
+from repro.dnswire.builder import make_query, make_response, unique_probe_name
+
+__all__ = [
+    "DnsName",
+    "RRType",
+    "RRClass",
+    "Rcode",
+    "Opcode",
+    "EdnsOption",
+    "ResourceRecord",
+    "AData",
+    "AaaaData",
+    "CnameData",
+    "NsData",
+    "PtrData",
+    "SoaData",
+    "TxtData",
+    "MxData",
+    "OpaqueData",
+    "Header",
+    "Flags",
+    "Question",
+    "Message",
+    "OptRecord",
+    "EdnsOptionValue",
+    "PaddingOption",
+    "KeepaliveOption",
+    "make_query",
+    "make_response",
+    "unique_probe_name",
+]

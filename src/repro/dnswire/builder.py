@@ -1,0 +1,89 @@
+"""Convenience constructors for queries, responses and probe names."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional, Sequence
+
+from repro.dnswire.edns import OptRecord
+from repro.dnswire.message import Flags, Header, Message, Question
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import Rcode, RRClass, RRType
+from repro.dnswire.records import ResourceRecord
+
+
+def make_query(name: DnsName, rrtype: int = RRType.A, msg_id: int = 0,
+               recursion_desired: bool = True,
+               with_edns: bool = True,
+               pad_block: Optional[int] = None) -> Message:
+    """Build a standard query message.
+
+    ``pad_block`` adds an EDNS(0) padding option rounding the query up to a
+    multiple of that many octets (only meaningful on encrypted transports).
+    """
+    message = Message(
+        header=Header(msg_id=msg_id, flags=Flags(rd=recursion_desired)),
+        questions=(Question(name, rrtype, RRClass.IN),),
+        opt=OptRecord() if with_edns else None,
+    )
+    if pad_block:
+        message = message.with_padding_to_block(pad_block)
+    return message
+
+
+def make_response(query: Message,
+                  answers: Sequence[ResourceRecord] = (),
+                  rcode: int = Rcode.NOERROR,
+                  authorities: Sequence[ResourceRecord] = (),
+                  additionals: Sequence[ResourceRecord] = (),
+                  authoritative: bool = False,
+                  recursion_available: bool = True) -> Message:
+    """Build a response mirroring a query's id and question."""
+    header = Header(
+        msg_id=query.header.msg_id,
+        opcode=query.header.opcode,
+        flags=Flags(qr=True, aa=authoritative, rd=query.header.flags.rd,
+                    ra=recursion_available),
+        rcode=rcode & 0xF,
+    )
+    opt = OptRecord() if query.opt is not None else None
+    return Message(header, query.questions, tuple(answers),
+                   tuple(authorities), tuple(additionals), opt)
+
+
+def servfail(query: Message) -> Message:
+    """A SERVFAIL response to ``query`` with no records."""
+    return make_response(query, rcode=Rcode.SERVFAIL)
+
+
+def nxdomain(query: Message,
+             authorities: Iterable[ResourceRecord] = ()) -> Message:
+    """An NXDOMAIN response, optionally carrying the zone SOA."""
+    return make_response(query, rcode=Rcode.NXDOMAIN,
+                         authorities=tuple(authorities))
+
+
+def unique_probe_name(base: DnsName, token: str) -> DnsName:
+    """Prefix a measurement domain with a unique token to defeat caching.
+
+    The paper's reachability test issues "A-type request[s] of our own
+    domain name, uniquely prefixed in order to avoid caching"; this builds
+    those names.
+    """
+    return base.child(token.lower())
+
+
+def rewrite_answers(response: Message,
+                    address: str) -> Message:
+    """Rewrite every A answer to a fixed address.
+
+    Models resolvers like the dnsfilter.com ones the paper found, which
+    "constantly resolve arbitrary domain queries to a fixed IP address"
+    for non-subscribers.
+    """
+    rewritten = tuple(
+        ResourceRecord.a(record.name, address, record.ttl)
+        if record.rrtype == RRType.A else record
+        for record in response.answers
+    )
+    return replace(response, answers=rewritten)

@@ -1,0 +1,151 @@
+"""EDNS(0) support: the OPT pseudo-record and the padding option.
+
+The padding option (RFC 7830) matters for DNS-over-Encryption: padding
+queries to a block size reduces what an on-path observer can infer from
+ciphertext lengths, one of the criteria in the paper's comparative study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import EdnsOption, RRType
+from repro.dnswire.wire import WireReader, WireWriter
+from repro.errors import WireFormatError
+
+DEFAULT_UDP_PAYLOAD = 1232
+RECOMMENDED_PAD_BLOCK = 128
+
+
+@dataclass(frozen=True)
+class EdnsOptionValue:
+    """One EDNS option as (code, opaque payload)."""
+
+    code: int
+    data: bytes
+
+    def wire_length(self) -> int:
+        return 4 + len(self.data)
+
+
+class KeepaliveOption:
+    """The edns-tcp-keepalive option (RFC 7828).
+
+    Servers advertise how long a client may hold the TCP/TLS connection
+    idle; clients use it to drive connection-reuse lifetimes — the
+    mechanism behind the "tens of seconds" keepalive windows the paper
+    observes in deployed DoT/DoH stacks.
+    """
+
+    @staticmethod
+    def make(timeout_s: float) -> EdnsOptionValue:
+        """Build a server-side option advertising an idle timeout."""
+        deciseconds = max(0, min(0xFFFF, round(timeout_s * 10)))
+        return EdnsOptionValue(EdnsOption.KEEPALIVE,
+                               deciseconds.to_bytes(2, "big"))
+
+    @staticmethod
+    def empty() -> EdnsOptionValue:
+        """The client-side form: requests a timeout without stating one."""
+        return EdnsOptionValue(EdnsOption.KEEPALIVE, b"")
+
+    @staticmethod
+    def timeout_from(opt: "OptRecord") -> Optional[float]:
+        """Extract the advertised idle timeout (seconds), if present."""
+        for option in opt.options:
+            if option.code != EdnsOption.KEEPALIVE:
+                continue
+            if len(option.data) != 2:
+                return None
+            return int.from_bytes(option.data, "big") / 10.0
+        return None
+
+
+class PaddingOption:
+    """Helpers for the EDNS(0) padding option."""
+
+    @staticmethod
+    def make(pad_octets: int) -> EdnsOptionValue:
+        return EdnsOptionValue(EdnsOption.PADDING, b"\x00" * pad_octets)
+
+    @staticmethod
+    def pad_to_block(current_length: int,
+                     block: int = RECOMMENDED_PAD_BLOCK) -> EdnsOptionValue:
+        """Build a padding option so the message reaches a block multiple.
+
+        ``current_length`` is the message length *before* adding the
+        option; the 4-octet option header is accounted for.
+        """
+        if block <= 0:
+            raise WireFormatError("padding block size must be positive")
+        with_header = current_length + 4
+        pad = (-with_header) % block
+        return PaddingOption.make(pad)
+
+
+@dataclass(frozen=True)
+class OptRecord:
+    """The OPT pseudo-RR carrying EDNS(0) fields.
+
+    The record owner is always the root name; class carries the maximum
+    UDP payload size and TTL carries extended rcode/version/flags.
+    """
+
+    udp_payload: int = DEFAULT_UDP_PAYLOAD
+    extended_rcode: int = 0
+    version: int = 0
+    dnssec_ok: bool = False
+    options: Tuple[EdnsOptionValue, ...] = field(default_factory=tuple)
+
+    def with_option(self, option: EdnsOptionValue) -> "OptRecord":
+        return OptRecord(self.udp_payload, self.extended_rcode,
+                         self.version, self.dnssec_ok,
+                         self.options + (option,))
+
+    def padding_octets(self) -> int:
+        """Total octets of padding carried, 0 when unpadded."""
+        return sum(len(option.data) for option in self.options
+                   if option.code == EdnsOption.PADDING)
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_name(DnsName.root())
+        writer.write_u16(RRType.OPT)
+        writer.write_u16(self.udp_payload)
+        ttl = (self.extended_rcode << 24) | (self.version << 16)
+        if self.dnssec_ok:
+            ttl |= 0x8000
+        writer.write_u32(ttl)
+        inner = WireWriter(enable_compression=False)
+        for option in self.options:
+            inner.write_u16(option.code)
+            inner.write_u16(len(option.data))
+            inner.write_bytes(option.data)
+        payload = inner.getvalue()
+        writer.write_u16(len(payload))
+        writer.write_bytes(payload)
+
+    @classmethod
+    def decode_body(cls, reader: WireReader) -> "OptRecord":
+        """Decode an OPT record whose owner name was already consumed.
+
+        The caller has also consumed the 16-bit type field; decoding
+        starts at the class field.
+        """
+        udp_payload = reader.read_u16()
+        ttl = reader.read_u32()
+        extended_rcode = (ttl >> 24) & 0xFF
+        version = (ttl >> 16) & 0xFF
+        dnssec_ok = bool(ttl & 0x8000)
+        rdlength = reader.read_u16()
+        end = reader.offset + rdlength
+        options = []
+        while reader.offset < end:
+            code = reader.read_u16()
+            length = reader.read_u16()
+            options.append(EdnsOptionValue(code, reader.read_bytes(length)))
+        if reader.offset != end:
+            raise WireFormatError("OPT rdata length mismatch")
+        return cls(udp_payload, extended_rcode, version,
+                   dnssec_ok, tuple(options))

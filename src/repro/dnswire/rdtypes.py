@@ -1,0 +1,76 @@
+"""Enumerations of DNS wire constants: types, classes, opcodes, rcodes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record types used by the platform."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+
+    @classmethod
+    def to_text(cls, value: int) -> str:
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"TYPE{value}"
+
+
+class RRClass(enum.IntEnum):
+    """Resource record classes (only IN is used in practice)."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    """DNS message opcodes."""
+
+    QUERY = 0
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """DNS response codes.
+
+    ``SERVFAIL`` responses (and responses with zero answers) are what the
+    paper classifies as *Incorrect* in the reachability test, e.g. the
+    Quad9 DoH forwarding-timeout misconfiguration (Finding 2.4).
+    """
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    @classmethod
+    def to_text(cls, value: int) -> str:
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"RCODE{value}"
+
+
+class EdnsOption(enum.IntEnum):
+    """EDNS(0) option codes relevant to DNS privacy."""
+
+    NSID = 3
+    CLIENT_SUBNET = 8
+    COOKIE = 10
+    KEEPALIVE = 11
+    PADDING = 12

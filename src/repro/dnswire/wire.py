@@ -1,0 +1,154 @@
+"""Low-level wire readers and writers.
+
+:class:`WireWriter` implements RFC 1035 name compression: every name (and
+every name suffix) emitted is remembered, and later occurrences are
+replaced by a two-octet pointer. :class:`WireReader` follows pointers with
+loop protection, which matters because hand-crafted malicious messages can
+contain pointer cycles.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.errors import WireFormatError
+
+_POINTER_MASK = 0xC0
+_MAX_POINTER_TARGET = 0x3FFF
+
+
+class WireWriter:
+    """Accumulates wire-format octets with DNS name compression."""
+
+    def __init__(self, enable_compression: bool = True):
+        self._chunks: list = []
+        self._length = 0
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+        self._compress = enable_compression
+
+    def write_u8(self, value: int) -> None:
+        self._append(struct.pack("!B", value))
+
+    def write_u16(self, value: int) -> None:
+        self._append(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        self._append(struct.pack("!I", value))
+
+    def write_bytes(self, data: bytes) -> None:
+        self._append(data)
+
+    def write_name(self, name: DnsName) -> None:
+        """Emit a domain name, compressing suffixes seen earlier."""
+        labels = name.labels
+        folded = tuple(label.lower() for label in labels)
+        for index in range(len(labels)):
+            suffix = folded[index:]
+            known = self._offsets.get(suffix) if self._compress else None
+            if known is not None:
+                self.write_u16(0xC000 | known)
+                return
+            if self._length <= _MAX_POINTER_TARGET:
+                self._offsets[suffix] = self._length
+            label = labels[index]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+    def current_offset(self) -> int:
+        return self._length
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def _append(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._length += len(data)
+
+
+class WireReader:
+    """Sequential reader over a full DNS message buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def at_end(self) -> bool:
+        return self._offset >= len(self._data)
+
+    def read_u8(self) -> int:
+        return self._read_struct("!B", 1)[0]
+
+    def read_u16(self) -> int:
+        return self._read_struct("!H", 2)[0]
+
+    def read_u32(self) -> int:
+        return self._read_struct("!I", 4)[0]
+
+    def read_bytes(self, count: int) -> bytes:
+        if self.remaining() < count:
+            raise WireFormatError(
+                f"truncated message: wanted {count} octets, "
+                f"{self.remaining()} remain"
+            )
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_name(self) -> DnsName:
+        """Decode a (possibly compressed) domain name.
+
+        Pointer loops and forward pointers are rejected; RFC 1035 only
+        permits pointers to earlier positions in the message.
+        """
+        labels = []
+        offset = self._offset
+        jumped = False
+        seen_offsets = set()
+        while True:
+            if offset >= len(self._data):
+                raise WireFormatError("name runs past end of message")
+            length = self._data[offset]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if offset + 1 >= len(self._data):
+                    raise WireFormatError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self._data[offset + 1]
+                if target >= offset:
+                    raise WireFormatError("compression pointer is not backward")
+                if target in seen_offsets:
+                    raise WireFormatError("compression pointer loop")
+                seen_offsets.add(target)
+                if not jumped:
+                    self._offset = offset + 2
+                    jumped = True
+                offset = target
+                continue
+            if length & _POINTER_MASK:
+                raise WireFormatError(f"reserved label type 0x{length:02x}")
+            if length == 0:
+                if not jumped:
+                    self._offset = offset + 1
+                return DnsName(tuple(labels))
+            if offset + 1 + length > len(self._data):
+                raise WireFormatError("label runs past end of message")
+            labels.append(self._data[offset + 1:offset + 1 + length])
+            offset += 1 + length
+
+    def _read_struct(self, fmt: str, size: int):
+        if self.remaining() < size:
+            raise WireFormatError(
+                f"truncated message: wanted {size} octets, "
+                f"{self.remaining()} remain"
+            )
+        values = struct.unpack_from(fmt, self._data, self._offset)
+        self._offset += size
+        return values

@@ -1,0 +1,114 @@
+"""Authoritative zone data: a name-indexed record store with lookups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import Rcode, RRType
+from repro.dnswire.records import ResourceRecord
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a zone lookup.
+
+    ``rcode`` is NOERROR or NXDOMAIN; ``records`` holds the answer chain
+    (CNAMEs included, in resolution order).
+    """
+
+    rcode: int
+    records: Tuple[ResourceRecord, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+
+class Zone:
+    """One authoritative zone rooted at ``origin``.
+
+    Supports exact-name lookups, CNAME chains within the zone, and
+    wildcard owner names (a leftmost ``*`` label), which the measurement
+    platform uses for its uniquely-prefixed probe domains.
+    """
+
+    def __init__(self, origin: DnsName, soa: Optional[ResourceRecord] = None):
+        self.origin = origin
+        self._records: Dict[Tuple[DnsName, int], List[ResourceRecord]] = {}
+        self.soa = soa
+        if soa is not None:
+            self.add(soa)
+
+    def add(self, record: ResourceRecord) -> None:
+        if not record.name.is_subdomain_of(self.origin) and not self._is_wildcard(record.name):
+            raise ScenarioError(
+                f"record {record.name.to_text()} outside zone "
+                f"{self.origin.to_text()}")
+        key = (record.name, record.rrtype)
+        self._records.setdefault(key, []).append(record)
+
+    def add_all(self, records: Iterable[ResourceRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def contains_name(self, name: DnsName) -> bool:
+        return any(stored_name == name for stored_name, _ in self._records)
+
+    def record_count(self) -> int:
+        return sum(len(rrset) for rrset in self._records.values())
+
+    def lookup(self, name: DnsName, rrtype: int,
+               max_cname_depth: int = 8) -> LookupResult:
+        """Resolve ``name``/``rrtype`` inside this zone."""
+        if not name.is_subdomain_of(self.origin):
+            return LookupResult(Rcode.NXDOMAIN, ())
+        chain: List[ResourceRecord] = []
+        current = name
+        for _ in range(max_cname_depth):
+            exact = self._records.get((current, rrtype))
+            if exact:
+                return LookupResult(Rcode.NOERROR, tuple(chain) + tuple(exact))
+            cname = self._records.get((current, RRType.CNAME))
+            if cname:
+                chain.append(cname[0])
+                current = cname[0].rdata.target  # type: ignore[attr-defined]
+                if not current.is_subdomain_of(self.origin):
+                    # Out-of-zone target: return the partial chain.
+                    return LookupResult(Rcode.NOERROR, tuple(chain))
+                continue
+            wildcard = self._wildcard_match(current, rrtype)
+            if wildcard is not None:
+                synthesized = tuple(
+                    ResourceRecord(current, record.rrtype, record.rrclass,
+                                   record.ttl, record.rdata)
+                    for record in wildcard
+                )
+                return LookupResult(Rcode.NOERROR,
+                                    tuple(chain) + synthesized)
+            if self.contains_name(current) or self._has_descendants(current):
+                # Name exists (or is an empty non-terminal) without that type.
+                return LookupResult(Rcode.NOERROR, tuple(chain))
+            return LookupResult(Rcode.NXDOMAIN, tuple(chain))
+        return LookupResult(Rcode.SERVFAIL, tuple(chain))
+
+    def _wildcard_match(self, name: DnsName,
+                        rrtype: int) -> Optional[List[ResourceRecord]]:
+        candidate = name
+        while not candidate.is_root() and candidate != self.origin:
+            wildcard_name = candidate.parent().child("*")
+            match = self._records.get((wildcard_name, rrtype))
+            if match:
+                return match
+            candidate = candidate.parent()
+        return None
+
+    def _has_descendants(self, name: DnsName) -> bool:
+        return any(stored_name != name and stored_name.is_subdomain_of(name)
+                   for stored_name, _ in self._records)
+
+    @staticmethod
+    def _is_wildcard(name: DnsName) -> bool:
+        return bool(name.labels) and name.labels[0] == b"*"

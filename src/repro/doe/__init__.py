@@ -1,0 +1,38 @@
+"""DNS-over-Encryption protocol implementations and clients.
+
+Client-side implementations of the protocols the paper measures:
+
+* clear-text DNS over UDP and TCP (:mod:`repro.doe.do53`),
+* DNS-over-TLS, RFC 7858, with Strict and Opportunistic privacy profiles
+  (:mod:`repro.doe.dot`),
+* DNS-over-HTTPS, RFC 8484, GET and POST (:mod:`repro.doe.doh`),
+* lightweight DNSCrypt and DNS-over-QUIC models used by the comparative
+  study (:mod:`repro.doe.dnscrypt`, :mod:`repro.doe.doq`).
+
+All clients return a uniform :class:`repro.doe.result.QueryResult` that
+the measurement pipeline classifies into the paper's Correct / Incorrect
+/ Failed buckets.
+"""
+
+from repro.doe.result import FailureKind, QueryOutcome, QueryResult
+from repro.doe.framing import frame_tcp_message, unframe_tcp_message
+from repro.doe.do53 import Do53Client
+from repro.doe.dot import DotClient, PrivacyProfile
+from repro.doe.doh import DohClient, DohMethod
+from repro.doe.dnscrypt import DnsCryptClient
+from repro.doe.doq import DoqClient
+
+__all__ = [
+    "QueryResult",
+    "QueryOutcome",
+    "FailureKind",
+    "frame_tcp_message",
+    "unframe_tcp_message",
+    "Do53Client",
+    "DotClient",
+    "PrivacyProfile",
+    "DohClient",
+    "DohMethod",
+    "DnsCryptClient",
+    "DoqClient",
+]

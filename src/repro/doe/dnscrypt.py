@@ -1,0 +1,110 @@
+"""DNSCrypt model (client and service).
+
+DNSCrypt predates DoT/DoH, does not use standard TLS, and runs over UDP
+or TCP on port 443 with an X25519-XSalsa20Poly1305 construction. The
+comparative study needs its operational properties — certificate fetch
+via a TXT bootstrap query, no fallback, per-query sealing overhead —
+rather than its cryptography, so the sealing is modelled structurally
+(a keyed envelope checked for the right provider key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnswire.message import Message
+from repro.doe.do53 import classify_transport_error, error_latency_ms
+from repro.doe.result import FailureKind, QueryResult
+from repro.errors import TransportError, WireFormatError
+from repro.netsim.host import Service, ServiceContext
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.netsim.transport import UdpExchange
+from repro.resolvers.backends import ResolutionContext, ResolverBackend
+
+DNSCRYPT_PORT = 443
+_MAGIC = b"DNSC"
+
+
+@dataclass(frozen=True)
+class ProviderKey:
+    """A DNSCrypt provider's published public key."""
+
+    provider_name: str
+    public_key: str
+
+
+def seal(key: ProviderKey, wire: bytes) -> bytes:
+    """Structurally 'encrypt' a query under a provider key."""
+    header = key.public_key.encode()
+    return _MAGIC + len(header).to_bytes(1, "big") + header + wire
+
+
+def unseal(key: ProviderKey, payload: bytes) -> bytes:
+    """Reverse :func:`seal`; rejects envelopes under a different key."""
+    if payload[:4] != _MAGIC:
+        raise WireFormatError("not a DNSCrypt envelope")
+    key_length = payload[4]
+    sealed_key = payload[5:5 + key_length].decode()
+    if sealed_key != key.public_key:
+        raise WireFormatError("DNSCrypt key mismatch")
+    return payload[5 + key_length:]
+
+
+class DnsCryptService(Service):
+    """Server side: unseal, resolve, re-seal."""
+
+    def __init__(self, backend: ResolverBackend, key: ProviderKey,
+                 base_overhead_ms: float = 3.5):
+        self.backend = backend
+        self.key = key
+        self.base_overhead_ms = base_overhead_ms
+        self._pending_extra_ms = 0.0
+
+    def handle(self, payload: bytes, ctx: ServiceContext) -> bytes:
+        wire = unseal(self.key, payload)
+        query = Message.decode(wire)
+        resolution = self.backend.resolve(query, ResolutionContext(
+            client_address=ctx.client_address,
+            resolver_address=ctx.server_address,
+            timestamp=ctx.timestamp,
+            transport=ctx.protocol,
+            encrypted=True,
+        ))
+        self._pending_extra_ms = resolution.extra_ms
+        return seal(self.key, resolution.response.encode())
+
+    def extra_latency_ms(self, rng: SeededRng) -> float:
+        extra = self._pending_extra_ms + rng.clipped_gauss(
+            self.base_overhead_ms, 1.5, low=0.5)
+        self._pending_extra_ms = 0.0
+        return extra
+
+
+class DnsCryptClient:
+    """Client side: pinned provider key, queries over UDP port 443."""
+
+    def __init__(self, network: Network, rng: SeededRng):
+        self.network = network
+        self.rng = rng
+
+    def query(self, env: ClientEnvironment, resolver_ip: str,
+              key: ProviderKey, message: Message,
+              timeout_s: float = 5.0,
+              port: int = DNSCRYPT_PORT) -> QueryResult:
+        payload = seal(key, message.encode())
+        try:
+            response_payload, elapsed = UdpExchange.exchange(
+                self.network, env, resolver_ip, port, payload, self.rng,
+                timeout_s=timeout_s)
+        except TransportError as error:
+            return QueryResult.failed(
+                "dnscrypt", resolver_ip, error_latency_ms(error),
+                classify_transport_error(error), str(error))
+        try:
+            response = Message.decode(unseal(key, response_payload))
+        except WireFormatError as error:
+            return QueryResult.failed("dnscrypt", resolver_ip, elapsed,
+                                      FailureKind.PROTOCOL, str(error))
+        return QueryResult.answered("dnscrypt", resolver_ip, elapsed,
+                                    response)

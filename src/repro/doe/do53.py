@@ -1,0 +1,114 @@
+"""Clear-text DNS client over UDP and TCP."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dnswire.message import Message
+from repro.doe.framing import frame_tcp_message, unframe_tcp_message
+from repro.doe.result import FailureKind, QueryResult
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+    TimeoutError_,
+    TransportError,
+    WireFormatError,
+)
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.netsim.transport import TcpConnection
+
+_FAILURE_BY_ERROR = (
+    (TimeoutError_, FailureKind.TIMEOUT),
+    (ConnectionRefused, FailureKind.REFUSED),
+    (ConnectionReset, FailureKind.RESET),
+    (HostUnreachable, FailureKind.UNREACHABLE),
+)
+
+
+def classify_transport_error(error: TransportError) -> FailureKind:
+    for error_type, kind in _FAILURE_BY_ERROR:
+        if isinstance(error, error_type):
+            return kind
+    return FailureKind.PROTOCOL
+
+
+def error_latency_ms(error: TransportError) -> float:
+    return getattr(error, "elapsed_ms", 0.0)
+
+
+class Do53Client:
+    """Clear-text DNS lookups, with TCP connection pooling for reuse."""
+
+    def __init__(self, network: Network, rng: SeededRng):
+        self.network = network
+        self.rng = rng
+        self._pool: Dict[Tuple[str, str], TcpConnection] = {}
+
+    # -- UDP -----------------------------------------------------------------
+
+    def query_udp(self, env: ClientEnvironment, resolver_ip: str,
+                  message: Message, timeout_s: float = 5.0) -> QueryResult:
+        from repro.netsim.transport import UdpExchange
+        wire = message.encode()
+        try:
+            response_wire, elapsed = UdpExchange.exchange(
+                self.network, env, resolver_ip, 53, wire, self.rng,
+                timeout_s=timeout_s)
+        except TransportError as error:
+            return QueryResult.failed(
+                "do53-udp", resolver_ip, error_latency_ms(error),
+                classify_transport_error(error), str(error))
+        try:
+            response = Message.decode(response_wire)
+        except WireFormatError as error:
+            return QueryResult.failed("do53-udp", resolver_ip, elapsed,
+                                      FailureKind.PROTOCOL, str(error))
+        return QueryResult.answered("do53-udp", resolver_ip, elapsed,
+                                    response)
+
+    # -- TCP -----------------------------------------------------------------
+
+    def query_tcp(self, env: ClientEnvironment, resolver_ip: str,
+                  message: Message, reuse: bool = True,
+                  timeout_s: float = 5.0) -> QueryResult:
+        key = (env.label, resolver_ip)
+        connection = self._pool.get(key) if reuse else None
+        reused = connection is not None and not connection.closed
+        latency = 0.0
+        try:
+            if not reused:
+                connection = TcpConnection.open(
+                    self.network, env, resolver_ip, 53, self.rng,
+                    timeout_s=timeout_s)
+                latency += connection.elapsed_ms
+                if reuse:
+                    self._pool[key] = connection
+            assert connection is not None
+            before = connection.elapsed_ms
+            response_wire = connection.request(
+                frame_tcp_message(message.encode()))
+            latency += connection.elapsed_ms - before
+        except TransportError as error:
+            self._pool.pop(key, None)
+            return QueryResult.failed(
+                "do53-tcp", resolver_ip, latency + error_latency_ms(error),
+                classify_transport_error(error), str(error),
+                reused_connection=reused)
+        try:
+            response = Message.decode(unframe_tcp_message(response_wire))
+        except WireFormatError as error:
+            return QueryResult.failed("do53-tcp", resolver_ip, latency,
+                                      FailureKind.PROTOCOL, str(error),
+                                      reused_connection=reused)
+        finally:
+            if not reuse:
+                connection.close()
+        return QueryResult.answered("do53-tcp", resolver_ip, latency,
+                                    response, reused_connection=reused)
+
+    def close_all(self) -> None:
+        for connection in self._pool.values():
+            connection.close()
+        self._pool.clear()

@@ -1,0 +1,181 @@
+"""DNS-over-TLS client (RFC 7858) with usage profiles (RFC 8310).
+
+Implements both privacy profiles the paper exercises:
+
+* **Strict** — the server must authenticate (certificate chain valid and,
+  when a name is configured, matching); otherwise the lookup fails.
+* **Opportunistic** — best effort: the client proceeds even when the
+  certificate cannot be validated, which is why TLS interception lets
+  opportunistic DoT lookups silently succeed (Finding 2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dnswire.message import Message
+from repro.doe.do53 import classify_transport_error, error_latency_ms
+from repro.doe.framing import frame_tcp_message, unframe_tcp_message
+from repro.doe.result import FailureKind, QueryResult
+from repro.errors import TlsError, TransportError, WireFormatError
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.netsim.transport import TcpConnection, TlsChannel
+from repro.tlssim.certs import CaStore, ValidationReport, validate_chain
+
+DOT_PORT = 853
+
+
+class PrivacyProfile(enum.Enum):
+    """RFC 8310 usage profiles."""
+
+    STRICT = "strict"
+    OPPORTUNISTIC = "opportunistic"
+
+
+@dataclass
+class _Session:
+    connection: TcpConnection
+    channel: TlsChannel
+    #: Whether this resolver has been contacted before (enables
+    #: TLS session resumption on reconnect).
+    had_session: bool = True
+    #: RFC 7828 idle deadline (simulated time); None = no advertisement.
+    idle_deadline: Optional[float] = None
+
+
+class DotClient:
+    """A DoT stub with connection reuse and session resumption."""
+
+    def __init__(self, network: Network, rng: SeededRng, ca_store: CaStore,
+                 profile: PrivacyProfile = PrivacyProfile.OPPORTUNISTIC,
+                 auth_name: Optional[str] = None,
+                 pad_block: Optional[int] = 128):
+        self.network = network
+        self.rng = rng
+        self.ca_store = ca_store
+        self.profile = profile
+        #: Authentication domain name, when known out of band (RFC 8310).
+        self.auth_name = auth_name
+        self.pad_block = pad_block
+        self._sessions: Dict[Tuple[str, str], _Session] = {}
+        self._known_resolvers: set = set()
+
+    def query(self, env: ClientEnvironment, resolver_ip: str,
+              message: Message, reuse: bool = True,
+              timeout_s: float = 5.0,
+              port: int = DOT_PORT) -> QueryResult:
+        """One DoT lookup; returns a uniform :class:`QueryResult`."""
+        if self.pad_block:
+            message = message.with_padding_to_block(self.pad_block)
+        key = (env.label, resolver_ip)
+        session = self._sessions.get(key) if reuse else None
+        if session is not None and (
+                session.connection.closed
+                or (session.idle_deadline is not None
+                    and self.network.clock.now() > session.idle_deadline)):
+            # Idle past the server's RFC 7828 keepalive window: the
+            # server has closed the connection; reconnect (resumed).
+            session.connection.close()
+            session = None
+            self._sessions.pop(key, None)
+        reused = session is not None
+        latency = 0.0
+        report: Optional[ValidationReport] = None
+        chain: tuple = ()
+        intercepted: Optional[str] = None
+        try:
+            if session is None:
+                resume = (env.label, resolver_ip) in self._known_resolvers
+                connection = TcpConnection.open(
+                    self.network, env, resolver_ip, port, self.rng,
+                    timeout_s=timeout_s)
+                channel = TlsChannel(connection, server_name=self.auth_name)
+                channel.handshake(resume=resume)
+                latency += connection.elapsed_ms
+                chain = channel.presented_chain
+                intercepted = channel.intercepted_by
+                report = validate_chain(
+                    chain, self.ca_store, self.network.clock.now(),
+                    expected_name=self.auth_name)
+                if self.profile is PrivacyProfile.STRICT and not report.valid:
+                    connection.close()
+                    return QueryResult.failed(
+                        "dot", resolver_ip, latency,
+                        FailureKind.CERTIFICATE,
+                        f"certificate invalid: "
+                        f"{[f.value for f in report.failures]}",
+                        presented_chain=chain, cert_report=report,
+                        intercepted_by=intercepted)
+                session = _Session(connection, channel)
+                self._known_resolvers.add((env.label, resolver_ip))
+                if reuse:
+                    self._sessions[key] = session
+            else:
+                chain = session.channel.presented_chain
+                intercepted = session.channel.intercepted_by
+            before = session.connection.elapsed_ms
+            response_wire = session.channel.request(
+                frame_tcp_message(message.encode()))
+            latency += session.connection.elapsed_ms - before
+        except TlsError as error:
+            self._sessions.pop(key, None)
+            return QueryResult.failed(
+                "dot", resolver_ip, latency + error_latency_ms(error),
+                FailureKind.TLS, str(error), presented_chain=chain,
+                cert_report=report, intercepted_by=intercepted)
+        except TransportError as error:
+            self._sessions.pop(key, None)
+            return QueryResult.failed(
+                "dot", resolver_ip, latency + error_latency_ms(error),
+                classify_transport_error(error), str(error),
+                presented_chain=chain, cert_report=report,
+                intercepted_by=intercepted, reused_connection=reused)
+        try:
+            response = Message.decode(unframe_tcp_message(response_wire))
+        except WireFormatError as error:
+            return QueryResult.failed(
+                "dot", resolver_ip, latency, FailureKind.PROTOCOL,
+                str(error), presented_chain=chain, cert_report=report,
+                intercepted_by=intercepted, reused_connection=reused)
+        finally:
+            if not reuse and session is not None:
+                session.connection.close()
+        if reuse and response.opt is not None:
+            from repro.dnswire.edns import KeepaliveOption
+            timeout = KeepaliveOption.timeout_from(response.opt)
+            if timeout is not None:
+                session.idle_deadline = (self.network.clock.now()
+                                         + timeout)
+        return QueryResult.answered(
+            "dot", resolver_ip, latency, response,
+            presented_chain=chain, cert_report=report,
+            intercepted_by=intercepted, reused_connection=reused)
+
+    def fetch_certificate(self, env: ClientEnvironment, resolver_ip: str,
+                          port: int = DOT_PORT,
+                          timeout_s: float = 10.0):
+        """Handshake only, returning ``(chain, report, error)``.
+
+        This is the scanner's certificate-collection step (the paper's
+        ``openssl`` fetch): no DNS query is sent.
+        """
+        try:
+            connection = TcpConnection.open(
+                self.network, env, resolver_ip, port, self.rng,
+                timeout_s=timeout_s)
+            channel = TlsChannel(connection, server_name=self.auth_name)
+            channel.handshake()
+            connection.close()
+        except TransportError as error:
+            return (), None, error
+        report = validate_chain(channel.presented_chain, self.ca_store,
+                                self.network.clock.now(), expected_name=None)
+        return channel.presented_chain, report, None
+
+    def close_all(self) -> None:
+        for session in self._sessions.values():
+            session.connection.close()
+        self._sessions.clear()

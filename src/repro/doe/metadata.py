@@ -1,0 +1,184 @@
+"""Protocol facts for the comparative study and implementation survey.
+
+The paper's Table 1 grades five DNS-over-Encryption protocols against 10
+criteria in 5 categories; Table 8 (Appendix A) surveys implementation
+support as of May 1, 2019. This module encodes the underlying *facts*;
+the grading logic lives in :mod:`repro.core.comparative`, so Table 1 is
+derived rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProtocolFacts:
+    """Operational facts about one DNS-over-Encryption protocol."""
+
+    key: str
+    display_name: str
+    proposed_year: int
+    #: IETF status at the paper's survey date (May 2019).
+    ietf_status: str  # "standard" | "experimental" | "draft" | "none"
+    rfc: Optional[str]
+    transport: str  # "tcp" | "udp" | "udp+tcp"
+    crypto: str  # "tls" | "dtls" | "quic-tls" | "custom"
+    port: int
+    #: Whether the port is shared with unrelated HTTPS traffic, which
+    #: defeats port-based traffic analysis.
+    port_shared_with_https: bool
+    #: Whether the protocol layers another application protocol (HTTP)
+    #: between DNS and the crypto layer.
+    uses_other_app_layer: bool
+    #: Whether the spec provides a fallback path (opportunistic profile,
+    #: or an explicit downgrade to another protocol).
+    has_fallback: bool
+    #: Whether padding options are available against size analysis.
+    supports_padding: bool
+    #: What a client must do before using it.
+    client_change_level: str  # "low" | "medium" | "high"
+    #: Steady-state latency cost class relative to DNS-over-UDP.
+    latency_class: str  # "low" | "amortizable" | "high"
+    #: Server-side support in mainstream DNS software.
+    software_support: str  # "wide" | "partial" | "none"
+    #: Support among large public resolvers.
+    resolver_support: str  # "wide" | "partial" | "none"
+
+
+PROTOCOLS: Dict[str, ProtocolFacts] = {
+    facts.key: facts for facts in (
+        ProtocolFacts(
+            key="dot", display_name="DNS-over-TLS",
+            proposed_year=2014, ietf_status="standard", rfc="RFC 7858",
+            transport="tcp", crypto="tls", port=853,
+            port_shared_with_https=False, uses_other_app_layer=False,
+            has_fallback=True, supports_padding=True,
+            client_change_level="medium", latency_class="amortizable",
+            software_support="wide", resolver_support="wide",
+        ),
+        ProtocolFacts(
+            key="doh", display_name="DNS-over-HTTPS",
+            proposed_year=2017, ietf_status="standard", rfc="RFC 8484",
+            transport="tcp", crypto="tls", port=443,
+            port_shared_with_https=True, uses_other_app_layer=True,
+            has_fallback=False, supports_padding=True,
+            client_change_level="low", latency_class="amortizable",
+            software_support="partial", resolver_support="wide",
+        ),
+        ProtocolFacts(
+            key="dodtls", display_name="DNS-over-DTLS",
+            proposed_year=2017, ietf_status="experimental", rfc="RFC 8094",
+            transport="udp", crypto="dtls", port=853,
+            port_shared_with_https=False, uses_other_app_layer=False,
+            has_fallback=True, supports_padding=True,
+            client_change_level="high", latency_class="low",
+            software_support="none", resolver_support="none",
+        ),
+        ProtocolFacts(
+            key="doq", display_name="DNS-over-QUIC",
+            proposed_year=2017, ietf_status="draft",
+            rfc="draft-huitema-quic-dnsoquic",
+            transport="udp", crypto="quic-tls", port=784,
+            port_shared_with_https=False, uses_other_app_layer=False,
+            has_fallback=True, supports_padding=True,
+            client_change_level="high", latency_class="low",
+            software_support="none", resolver_support="none",
+        ),
+        ProtocolFacts(
+            key="dnscrypt", display_name="DNSCrypt",
+            proposed_year=2011, ietf_status="none", rfc=None,
+            transport="udp+tcp", crypto="custom", port=443,
+            port_shared_with_https=True, uses_other_app_layer=False,
+            has_fallback=False, supports_padding=True,
+            client_change_level="medium", latency_class="low",
+            software_support="partial", resolver_support="partial",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One row of the Appendix A implementation survey (Table 8)."""
+
+    category: str  # "public-dns" | "server" | "stub" | "browser" | "os"
+    name: str
+    dot: bool = False
+    doh: bool = False
+    dnscrypt: bool = False
+    dnssec: bool = False
+    qname_minimization: bool = False
+    since: str = ""
+
+
+#: Survey snapshot, last updated May 1, 2019 (paper Appendix A).
+IMPLEMENTATIONS: Tuple[Implementation, ...] = (
+    # Public DNS services
+    Implementation("public-dns", "Google", dot=True, doh=True, dnssec=True),
+    Implementation("public-dns", "Cloudflare", dot=True, doh=True,
+                   dnssec=True, qname_minimization=True),
+    Implementation("public-dns", "Quad9", dot=True, doh=True,
+                   dnscrypt=True, dnssec=True),
+    Implementation("public-dns", "OpenDNS", dnscrypt=True, since="2011"),
+    Implementation("public-dns", "CleanBrowsing", dot=True, doh=True,
+                   dnscrypt=True),
+    Implementation("public-dns", "Tenta", dot=True, doh=True, dnssec=True),
+    Implementation("public-dns", "Verisign", dnssec=True),
+    Implementation("public-dns", "SecureDNS", dot=True, doh=True,
+                   dnscrypt=True, dnssec=True),
+    Implementation("public-dns", "DNS.WATCH", dnssec=True),
+    Implementation("public-dns", "PowerDNS", doh=True, dnssec=True),
+    Implementation("public-dns", "Level3", dnssec=True),
+    Implementation("public-dns", "SafeDNS"),
+    Implementation("public-dns", "Dyn", dnssec=True),
+    Implementation("public-dns", "BlahDNS", dot=True, doh=True,
+                   dnscrypt=True, dnssec=True),
+    Implementation("public-dns", "OpenNIC", dnscrypt=True, dnssec=True),
+    Implementation("public-dns", "Alternate DNS"),
+    Implementation("public-dns", "Yandex.DNS", dnscrypt=True, dnssec=True,
+                   since="2016"),
+    # Server software
+    Implementation("server", "Unbound", dot=True, dnssec=True,
+                   qname_minimization=True, doh=True),
+    Implementation("server", "BIND", dnssec=True, qname_minimization=True),
+    Implementation("server", "Knot Resolver", dot=True, doh=True,
+                   dnssec=True, qname_minimization=True),
+    Implementation("server", "dnsdist", dot=True, doh=True, dnscrypt=True,
+                   dnssec=True),
+    Implementation("server", "CoreDNS", dot=True, doh=True),
+    Implementation("server", "AnswerX", dnssec=True),
+    Implementation("server", "Cisco Registrar"),
+    Implementation("server", "MS DNS", dnssec=True),
+    # Stub software
+    Implementation("stub", "Ldns (drill)", dot=True),
+    Implementation("stub", "Stubby", dot=True, qname_minimization=True),
+    Implementation("stub", "BIND (dig)", dot=True),
+    Implementation("stub", "Go DNS", dot=True),
+    Implementation("stub", "Knot (kdig)", dot=True, doh=True),
+    # Browsers
+    Implementation("browser", "Firefox", doh=True, since="Firefox 62.0"),
+    Implementation("browser", "Chrome", doh=True, since="Chromium 66"),
+    Implementation("browser", "IE"),
+    Implementation("browser", "Yandex Browser", dnscrypt=True),
+    Implementation("browser", "Tenta Browser", dot=True, doh=True,
+                   since="Tenta v2"),
+    # Operating systems (built-in support only)
+    Implementation("os", "Android", dot=True, since="Android 9"),
+    Implementation("os", "Linux (systemd)", dot=True, since="systemd 239"),
+    Implementation("os", "Windows"),
+    Implementation("os", "macOS"),
+)
+
+
+def implementations_by_category(category: str) -> Tuple[Implementation, ...]:
+    return tuple(impl for impl in IMPLEMENTATIONS
+                 if impl.category == category)
+
+
+def support_count(protocol: str) -> int:
+    """How many surveyed implementations support a protocol."""
+    attribute = {"dot": "dot", "doh": "doh", "dnscrypt": "dnscrypt",
+                 "dnssec": "dnssec", "qm": "qname_minimization"}[protocol]
+    return sum(1 for impl in IMPLEMENTATIONS if getattr(impl, attribute))

@@ -1,0 +1,98 @@
+"""Uniform query results across all DNS transports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dnswire.message import Message
+from repro.dnswire.rdtypes import Rcode
+
+
+class FailureKind(enum.Enum):
+    """Transport-level reason a lookup produced no DNS response."""
+
+    TIMEOUT = "timeout"
+    REFUSED = "refused"
+    RESET = "reset"
+    UNREACHABLE = "unreachable"
+    TLS = "tls"
+    CERTIFICATE = "certificate"
+    HTTP = "http"
+    PROTOCOL = "protocol"
+
+
+class QueryOutcome(enum.Enum):
+    """The paper's three-way reachability classification (Table 4).
+
+    *Failed*: the client received no DNS response packets. *Incorrect*:
+    only SERVFAIL responses or responses with 0 answers (or answers that
+    contradict authoritative ground truth). *Correct*: the expected
+    answer arrived.
+    """
+
+    CORRECT = "correct"
+    INCORRECT = "incorrect"
+    FAILED = "failed"
+
+
+@dataclass
+class QueryResult:
+    """Everything observed during one lookup attempt."""
+
+    ok: bool
+    transport: str
+    resolver: str
+    latency_ms: float
+    response: Optional[Message] = None
+    failure: Optional[FailureKind] = None
+    error: str = ""
+    #: Certificate chain the client saw during the TLS handshake, if any.
+    presented_chain: tuple = ()
+    #: Validation report for that chain, when the client verified it.
+    cert_report: Optional[object] = None
+    #: Name of the middlebox that proxied the TLS session, when the
+    #: simulation exposes it (ground truth, not client-visible).
+    intercepted_by: Optional[str] = None
+    #: Whether the TLS session reused a cached session (resumption).
+    reused_connection: bool = False
+    attempts: int = 1
+
+    @property
+    def rcode(self) -> Optional[int]:
+        if self.response is None:
+            return None
+        return self.response.rcode()
+
+    def addresses(self) -> Tuple[str, ...]:
+        if self.response is None:
+            return ()
+        return self.response.answer_addresses()
+
+    def classify(self, expected_addresses: Tuple[str, ...] = ()) -> QueryOutcome:
+        """Map to the paper's Correct / Incorrect / Failed buckets."""
+        if self.response is None:
+            return QueryOutcome.FAILED
+        if self.response.rcode() != Rcode.NOERROR:
+            return QueryOutcome.INCORRECT
+        answers = self.addresses()
+        if not answers:
+            return QueryOutcome.INCORRECT
+        if expected_addresses and not set(answers) & set(expected_addresses):
+            return QueryOutcome.INCORRECT
+        return QueryOutcome.CORRECT
+
+    @classmethod
+    def failed(cls, transport: str, resolver: str, latency_ms: float,
+               failure: FailureKind, error: str = "",
+               **kwargs) -> "QueryResult":
+        return cls(ok=False, transport=transport, resolver=resolver,
+                   latency_ms=latency_ms, failure=failure, error=error,
+                   **kwargs)
+
+    @classmethod
+    def answered(cls, transport: str, resolver: str, latency_ms: float,
+                 response: Message, **kwargs) -> "QueryResult":
+        return cls(ok=True, transport=transport, resolver=resolver,
+                   latency_ms=latency_ms, response=response, **kwargs)

@@ -1,0 +1,93 @@
+"""Exception hierarchy shared across the measurement platform.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+The protocol-level exceptions mirror the failure modes the paper observes
+in the wild: unreachable services, TLS authentication failures, malformed
+wire data and lookup timeouts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class WireFormatError(ReproError):
+    """A DNS message (or a part of one) could not be encoded or decoded."""
+
+
+class NameError_(WireFormatError):
+    """A domain name is malformed (label too long, name too long, ...).
+
+    The trailing underscore avoids shadowing the Python built-in
+    :class:`NameError` while keeping the DNS-centric meaning obvious.
+    """
+
+
+class TransportError(ReproError):
+    """A simulated transport operation failed (connect, send, receive)."""
+
+
+class ConnectionRefused(TransportError):
+    """The destination host does not listen on the requested port."""
+
+
+class ConnectionReset(TransportError):
+    """An in-path device or the peer reset the connection."""
+
+
+class HostUnreachable(TransportError):
+    """No host exists at the destination address, or routing blackholed it."""
+
+
+class TimeoutError_(TransportError):
+    """An operation exceeded its deadline.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`TimeoutError`.
+    """
+
+
+class TlsError(ReproError):
+    """TLS handshake or record-layer failure."""
+
+
+class CertificateError(TlsError):
+    """Server certificate failed validation under the strict profile."""
+
+    def __init__(self, message: str, reasons: tuple = ()):
+        super().__init__(message)
+        #: Machine-readable validation failures (``repro.tlssim`` reasons).
+        self.reasons = tuple(reasons)
+
+
+class HttpError(ReproError):
+    """An HTTP exchange failed or returned an unusable response."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        #: HTTP status code when one was received, otherwise 0.
+        self.status = status
+
+
+class DnsLookupError(ReproError):
+    """A DNS lookup completed but did not produce a usable answer."""
+
+    def __init__(self, message: str, rcode: int | None = None):
+        super().__init__(message)
+        #: DNS RCODE of the response when one was received.
+        self.rcode = rcode
+
+
+class ScanError(ReproError):
+    """Internet-wide scanning failed for a reason other than per-host churn."""
+
+
+class ProxyError(ReproError):
+    """A proxy network endpoint failed (expired, dropped, rate limited)."""
+
+
+class ScenarioError(ReproError):
+    """The world scenario is internally inconsistent or misconfigured."""

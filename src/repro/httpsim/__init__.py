@@ -1,0 +1,6 @@
+"""Minimal HTTP model used by the DoH implementation and web diagnostics."""
+
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.httpsim.uri import UriTemplate, parse_url
+
+__all__ = ["HttpRequest", "HttpResponse", "UriTemplate", "parse_url"]

@@ -1,0 +1,116 @@
+"""HTTP request/response objects.
+
+A deliberately small model: method, path with query parameters, headers
+and body — the pieces RFC 8484 DoH actually exercises. Header names are
+case-insensitive as per RFC 7230.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlencode
+
+_REASONS = {
+    200: "OK",
+    301: "Moved Permanently",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+}
+
+
+def _fold_headers(headers: Optional[Mapping[str, str]]) -> Dict[str, str]:
+    if not headers:
+        return {}
+    return {name.lower(): value for name, value in headers.items()}
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    path: str
+    query: Tuple[Tuple[str, str], ...] = ()
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        self.headers = _fold_headers(self.headers)
+
+    @classmethod
+    def get(cls, path_and_query: str,
+            headers: Optional[Mapping[str, str]] = None) -> "HttpRequest":
+        path, _, query_text = path_and_query.partition("?")
+        query = tuple(parse_qsl(query_text, keep_blank_values=True))
+        return cls("GET", path, query, dict(headers or {}))
+
+    @classmethod
+    def post(cls, path: str, body: bytes, content_type: str,
+             headers: Optional[Mapping[str, str]] = None) -> "HttpRequest":
+        merged = dict(headers or {})
+        merged["Content-Type"] = content_type
+        return cls("POST", path, (), merged, body)
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def query_param(self, name: str) -> Optional[str]:
+        for key, value in self.query:
+            if key == name:
+                return value
+        return None
+
+    def target(self) -> str:
+        """The request target: path plus encoded query string."""
+        if not self.query:
+            return self.path
+        return f"{self.path}?{urlencode(self.query)}"
+
+    def approximate_size(self) -> int:
+        return (len(self.method) + len(self.target()) + len(self.body)
+                + sum(len(k) + len(v) + 4 for k, v in self.headers.items())
+                + 32)
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.headers = _fold_headers(self.headers)
+
+    @classmethod
+    def ok(cls, body: bytes, content_type: str = "text/plain",
+           headers: Optional[Mapping[str, str]] = None) -> "HttpResponse":
+        merged = dict(headers or {})
+        merged["Content-Type"] = content_type
+        return cls(200, merged, body)
+
+    @classmethod
+    def error(cls, status: int, message: str = "") -> "HttpResponse":
+        body = (message or _REASONS.get(status, "Error")).encode()
+        return cls(status, {"Content-Type": "text/plain"}, body)
+
+    @property
+    def reason(self) -> str:
+        return _REASONS.get(self.status, "Unknown")
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.status < 300

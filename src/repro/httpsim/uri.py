@@ -1,0 +1,108 @@
+"""URI templates and URL parsing for DoH service discovery.
+
+RFC 8484 locates DoH services with URI templates such as
+``https://dns.example.com/dns-query{?dns}``; this module implements the
+subset of RFC 6570 those templates use, plus a small URL parser for the
+URL-dataset scanning of Section 3.1.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ScenarioError
+
+_TEMPLATE_RE = re.compile(r"\{\?([a-zA-Z0-9_,]+)\}\s*$")
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """Relevant components of an absolute URL."""
+
+    scheme: str
+    hostname: str
+    port: int
+    path: str
+    query: str
+
+    @property
+    def origin(self) -> str:
+        return f"{self.scheme}://{self.hostname}:{self.port}"
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Split an absolute http(s) URL into components."""
+    pieces = urlsplit(url)
+    if pieces.scheme not in ("http", "https"):
+        raise ScenarioError(f"unsupported URL scheme in {url!r}")
+    if not pieces.hostname:
+        raise ScenarioError(f"URL without a host: {url!r}")
+    default_port = 443 if pieces.scheme == "https" else 80
+    return ParsedUrl(
+        scheme=pieces.scheme,
+        hostname=pieces.hostname,
+        port=pieces.port or default_port,
+        path=pieces.path or "/",
+        query=pieces.query,
+    )
+
+
+@dataclass(frozen=True)
+class UriTemplate:
+    """A DoH URI template, e.g. ``https://dns.example.com/dns-query{?dns}``."""
+
+    text: str
+
+    def parse(self) -> Tuple[ParsedUrl, Tuple[str, ...]]:
+        """Split into the base URL and the templated query variables."""
+        match = _TEMPLATE_RE.search(self.text)
+        if match:
+            variables = tuple(match.group(1).split(","))
+            base = self.text[:match.start()]
+        else:
+            variables = ()
+            base = self.text
+        return parse_url(base), variables
+
+    @property
+    def hostname(self) -> str:
+        parsed, _ = self.parse()
+        return parsed.hostname
+
+    @property
+    def path(self) -> str:
+        parsed, _ = self.parse()
+        return parsed.path
+
+    def supports_get_param(self, name: str = "dns") -> bool:
+        _, variables = self.parse()
+        return name in variables
+
+    def __str__(self) -> str:
+        return self.text
+
+
+#: Common DoH path templates the paper scans for (RFC 8484 examples and
+#: the paths adopted by Cloudflare, Google, Quad9 and most public lists).
+WELL_KNOWN_DOH_PATHS: Tuple[str, ...] = (
+    "/dns-query",
+    "/resolve",
+    "/query",
+    "/doh",
+)
+
+
+def looks_like_doh_path(path: str) -> bool:
+    """Heuristic path match used on the URL dataset.
+
+    Exact well-known paths match, and so do sub-paths of ``/doh/``
+    (providers like CleanBrowsing expose per-filter endpoints such as
+    ``/doh/family-filter``).
+    """
+    normalized = path.rstrip("/") or "/"
+    if normalized in WELL_KNOWN_DOH_PATHS:
+        return True
+    return normalized.startswith("/doh/")

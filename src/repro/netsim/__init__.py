@@ -1,0 +1,79 @@
+"""Deterministic network simulation substrate.
+
+This package stands in for the real Internet: it models hosts with
+listening services, a geography-driven latency model, client network
+environments with in-path middleboxes (censors, TLS interceptors, port
+filters, IP-conflict devices), and NetFlow collection with packet
+sampling.
+
+Everything is driven by explicit simulated time (:class:`SimClock`) and
+seeded randomness (:class:`SeededRng`), so measurement campaigns are
+exactly reproducible.
+"""
+
+from repro.netsim.clock import SimClock, parse_date, format_date, MONTH_SECONDS, DAY_SECONDS
+from repro.netsim.rand import SeededRng
+from repro.netsim.geo import (
+    COUNTRIES,
+    Country,
+    GeoPoint,
+    country,
+    great_circle_km,
+)
+from repro.netsim.ipv4 import (
+    Netblock,
+    int_to_ip,
+    ip_to_int,
+    is_public_unicast,
+    slash24,
+)
+from repro.netsim.latency import LatencyModel
+from repro.netsim.host import Host, Service, TlsConfig
+from repro.netsim.middlebox import (
+    Censor,
+    IpConflictDevice,
+    Middlebox,
+    PortFilter,
+    TlsInterceptor,
+    Verdict,
+)
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.transport import TcpConnection, TlsChannel, UdpExchange
+from repro.netsim.netflow import FlowRecord, NetFlowCollector, TcpFlags
+
+__all__ = [
+    "SimClock",
+    "parse_date",
+    "format_date",
+    "MONTH_SECONDS",
+    "DAY_SECONDS",
+    "SeededRng",
+    "Country",
+    "GeoPoint",
+    "COUNTRIES",
+    "country",
+    "great_circle_km",
+    "Netblock",
+    "ip_to_int",
+    "int_to_ip",
+    "slash24",
+    "is_public_unicast",
+    "LatencyModel",
+    "Host",
+    "Service",
+    "TlsConfig",
+    "Middlebox",
+    "Verdict",
+    "Censor",
+    "TlsInterceptor",
+    "PortFilter",
+    "IpConflictDevice",
+    "Network",
+    "ClientEnvironment",
+    "TcpConnection",
+    "TlsChannel",
+    "UdpExchange",
+    "FlowRecord",
+    "NetFlowCollector",
+    "TcpFlags",
+]

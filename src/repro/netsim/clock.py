@@ -1,0 +1,78 @@
+"""Explicit simulated time.
+
+All timestamps in the simulation are Unix-epoch seconds handled through
+:class:`SimClock`; the library never reads the wall clock inside a
+simulation, which keeps campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime as _dt
+
+DAY_SECONDS = 86_400.0
+#: Average month length; used only for coarse bucketing helpers.
+MONTH_SECONDS = 30.44 * DAY_SECONDS
+
+
+def parse_date(text: str) -> float:
+    """Parse ``YYYY-MM-DD`` into Unix seconds at midnight UTC."""
+    parsed = _dt.datetime.strptime(text, "%Y-%m-%d")
+    return float(calendar.timegm(parsed.timetuple()))
+
+
+def format_date(timestamp: float) -> str:
+    """Render Unix seconds as ``YYYY-MM-DD`` (UTC)."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%Y-%m-%d")
+
+
+def month_key(timestamp: float) -> str:
+    """Render Unix seconds as a calendar month key ``YYYY-MM`` (UTC)."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%Y-%m")
+
+
+def iter_months(start: float, end: float):
+    """Yield the first instant of every calendar month in ``[start, end)``."""
+    moment = _dt.datetime.fromtimestamp(start, tz=_dt.timezone.utc)
+    moment = moment.replace(day=1, hour=0, minute=0, second=0, microsecond=0)
+    while moment.timestamp() < end:
+        yield moment.timestamp()
+        if moment.month == 12:
+            moment = moment.replace(year=moment.year + 1, month=1)
+        else:
+            moment = moment.replace(month=moment.month + 1)
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @classmethod
+    def at_date(cls, text: str) -> "SimClock":
+        return cls(parse_date(text))
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative steps are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}s")
+        self._now += seconds
+        return self._now
+
+    def advance_ms(self, milliseconds: float) -> float:
+        return self.advance(milliseconds / 1000.0)
+
+    def set_to(self, timestamp: float) -> None:
+        """Jump forward to an absolute instant (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot set the clock backwards")
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock({format_date(self._now)}, {self._now:.3f})"

@@ -1,0 +1,162 @@
+"""Geography: countries, coordinates and great-circle distances.
+
+The table below drives three things: the latency model (propagation
+delay between client and resolver points of presence), the vantage-point
+population (``proxy_weight`` approximates the ProxyRack endpoint
+distribution of Figure 6), and per-country access quality (``last_mile_ms``
+models the residential last hop, which dominates latency variance in
+countries the paper highlights, e.g. Indonesia).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the globe."""
+
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country participating in the simulation."""
+
+    code: str
+    name: str
+    point: GeoPoint
+    #: Median residential last-mile RTT contribution in milliseconds.
+    last_mile_ms: float
+    #: Relative share of residential proxy endpoints located here.
+    proxy_weight: float
+    #: Wider region label used for PoP selection.
+    region: str
+
+
+def _country(code: str, name: str, lat: float, lon: float,
+             last_mile_ms: float, proxy_weight: float,
+             region: str) -> Country:
+    return Country(code, name, GeoPoint(lat, lon), last_mile_ms,
+                   proxy_weight, region)
+
+
+#: All countries known to the simulation, keyed by ISO-3166 alpha-2 code.
+COUNTRIES: Dict[str, Country] = {
+    entry.code: entry for entry in [
+        # Americas
+        _country("US", "United States", 39.8, -98.6, 12.0, 9.0, "NA"),
+        _country("CA", "Canada", 56.1, -106.3, 13.0, 1.6, "NA"),
+        _country("MX", "Mexico", 23.6, -102.5, 22.0, 1.2, "NA"),
+        _country("BR", "Brazil", -14.2, -51.9, 24.0, 6.5, "SA"),
+        _country("AR", "Argentina", -38.4, -63.6, 26.0, 1.4, "SA"),
+        _country("CL", "Chile", -35.7, -71.5, 22.0, 0.7, "SA"),
+        _country("CO", "Colombia", 4.6, -74.1, 25.0, 1.1, "SA"),
+        _country("PE", "Peru", -9.2, -75.0, 27.0, 0.6, "SA"),
+        _country("VE", "Venezuela", 6.4, -66.6, 30.0, 0.6, "SA"),
+        _country("EC", "Ecuador", -1.8, -78.2, 26.0, 0.4, "SA"),
+        # Europe
+        _country("GB", "United Kingdom", 55.4, -3.4, 10.0, 3.2, "EU"),
+        _country("DE", "Germany", 51.2, 10.5, 10.0, 3.6, "EU"),
+        _country("FR", "France", 46.2, 2.2, 10.0, 2.8, "EU"),
+        _country("NL", "Netherlands", 52.1, 5.3, 8.0, 1.5, "EU"),
+        _country("IE", "Ireland", 53.4, -8.2, 10.0, 0.6, "EU"),
+        _country("ES", "Spain", 40.5, -3.7, 12.0, 1.8, "EU"),
+        _country("IT", "Italy", 41.9, 12.6, 13.0, 2.2, "EU"),
+        _country("PT", "Portugal", 39.4, -8.2, 12.0, 0.6, "EU"),
+        _country("PL", "Poland", 51.9, 19.1, 12.0, 1.8, "EU"),
+        _country("CZ", "Czechia", 49.8, 15.5, 11.0, 0.8, "EU"),
+        _country("AT", "Austria", 47.5, 14.6, 10.0, 0.6, "EU"),
+        _country("CH", "Switzerland", 46.8, 8.2, 9.0, 0.5, "EU"),
+        _country("SE", "Sweden", 60.1, 18.6, 9.0, 0.8, "EU"),
+        _country("NO", "Norway", 60.5, 8.5, 9.0, 0.4, "EU"),
+        _country("DK", "Denmark", 56.3, 9.5, 9.0, 0.4, "EU"),
+        _country("FI", "Finland", 61.9, 25.7, 10.0, 0.4, "EU"),
+        _country("BE", "Belgium", 50.5, 4.5, 9.0, 0.6, "EU"),
+        _country("GR", "Greece", 39.1, 21.8, 14.0, 0.6, "EU"),
+        _country("RO", "Romania", 45.9, 25.0, 12.0, 1.0, "EU"),
+        _country("HU", "Hungary", 47.2, 19.5, 11.0, 0.6, "EU"),
+        _country("BG", "Bulgaria", 42.7, 25.5, 12.0, 0.6, "EU"),
+        _country("RS", "Serbia", 44.0, 21.0, 13.0, 0.5, "EU"),
+        _country("UA", "Ukraine", 48.4, 31.2, 14.0, 1.6, "EU"),
+        _country("RU", "Russia", 61.5, 105.3, 16.0, 4.5, "EU"),
+        _country("TR", "Turkey", 39.0, 35.2, 16.0, 1.6, "EU"),
+        # Asia-Pacific
+        _country("CN", "China", 35.9, 104.2, 18.0, 0.25, "AP"),
+        _country("HK", "Hong Kong", 22.3, 114.2, 10.0, 0.7, "AP"),
+        _country("TW", "Taiwan", 23.7, 121.0, 11.0, 0.8, "AP"),
+        _country("JP", "Japan", 36.2, 138.3, 9.0, 1.6, "AP"),
+        _country("KR", "South Korea", 35.9, 127.8, 8.0, 0.9, "AP"),
+        _country("SG", "Singapore", 1.35, 103.8, 8.0, 0.5, "AP"),
+        _country("MY", "Malaysia", 4.2, 102.0, 18.0, 1.0, "AP"),
+        _country("TH", "Thailand", 15.9, 100.99, 17.0, 1.4, "AP"),
+        _country("VN", "Vietnam", 14.1, 108.3, 24.0, 2.6, "AP"),
+        _country("ID", "Indonesia", -0.8, 113.9, 30.0, 4.2, "AP"),
+        _country("PH", "Philippines", 12.9, 121.8, 26.0, 1.8, "AP"),
+        _country("IN", "India", 20.6, 79.0, 28.0, 5.5, "AP"),
+        _country("PK", "Pakistan", 30.4, 69.3, 30.0, 1.2, "AP"),
+        _country("BD", "Bangladesh", 23.7, 90.4, 30.0, 1.0, "AP"),
+        _country("LK", "Sri Lanka", 7.9, 80.8, 26.0, 0.4, "AP"),
+        _country("AU", "Australia", -25.3, 133.8, 12.0, 1.4, "AP"),
+        _country("NZ", "New Zealand", -40.9, 174.9, 12.0, 0.4, "AP"),
+        _country("LA", "Laos", 19.9, 102.5, 32.0, 0.2, "AP"),
+        _country("KH", "Cambodia", 12.6, 105.0, 30.0, 0.3, "AP"),
+        _country("MM", "Myanmar", 21.9, 95.96, 34.0, 0.3, "AP"),
+        _country("NP", "Nepal", 28.4, 84.1, 32.0, 0.3, "AP"),
+        _country("KZ", "Kazakhstan", 48.0, 66.9, 22.0, 0.5, "AP"),
+        # Middle East & Africa
+        _country("IL", "Israel", 31.0, 34.9, 12.0, 0.6, "ME"),
+        _country("SA", "Saudi Arabia", 23.9, 45.1, 18.0, 0.7, "ME"),
+        _country("AE", "United Arab Emirates", 23.4, 53.8, 14.0, 0.6, "ME"),
+        _country("IR", "Iran", 32.4, 53.7, 24.0, 0.8, "ME"),
+        _country("IQ", "Iraq", 33.2, 43.7, 28.0, 0.5, "ME"),
+        _country("EG", "Egypt", 26.8, 30.8, 24.0, 1.2, "AF"),
+        _country("ZA", "South Africa", -30.6, 22.9, 20.0, 1.0, "AF"),
+        _country("NG", "Nigeria", 9.1, 8.7, 34.0, 0.9, "AF"),
+        _country("KE", "Kenya", -0.02, 37.9, 28.0, 0.5, "AF"),
+        _country("MA", "Morocco", 31.8, -7.1, 22.0, 0.6, "AF"),
+        _country("TN", "Tunisia", 33.9, 9.5, 22.0, 0.4, "AF"),
+        _country("DZ", "Algeria", 28.0, 1.7, 26.0, 0.5, "AF"),
+        _country("GH", "Ghana", 7.9, -1.0, 32.0, 0.3, "AF"),
+    ]
+}
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def country(code: str) -> Country:
+    """Look up a country by ISO code, raising a clear error when unknown."""
+    try:
+        return COUNTRIES[code]
+    except KeyError:
+        raise ScenarioError(f"unknown country code {code!r}") from None
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    sin_dlat = math.sin((lat2 - lat1) / 2.0)
+    sin_dlon = math.sin((lon2 - lon1) / 2.0)
+    h = (sin_dlat * sin_dlat
+         + math.cos(lat1) * math.cos(lat2) * sin_dlon * sin_dlon)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def nearest(point: GeoPoint,
+            candidates: Tuple[GeoPoint, ...]) -> Tuple[int, float]:
+    """Index and distance of the candidate closest to ``point``."""
+    if not candidates:
+        raise ScenarioError("nearest() needs at least one candidate")
+    best_index, best_km = 0, float("inf")
+    for index, candidate in enumerate(candidates):
+        km = great_circle_km(point, candidate)
+        if km < best_km:
+            best_index, best_km = index, km
+    return best_index, best_km

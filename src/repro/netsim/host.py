@@ -1,0 +1,135 @@
+"""Hosts and the services they expose.
+
+A :class:`Host` owns an IPv4 address, a location, and a table of
+:class:`Service` objects keyed by ``(protocol, port)``. Services exchange
+application payloads; the transport layer in :mod:`repro.netsim.transport`
+handles latency, middleboxes and TLS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.netsim.geo import GeoPoint
+from repro.errors import ScenarioError
+
+
+@dataclass
+class TlsConfig:
+    """TLS parameters of a service endpoint.
+
+    ``cert_chain`` is a tuple of :class:`repro.tlssim.certs.Certificate`
+    (kept untyped here to avoid a layering cycle). ``supports_resumption``
+    lets clients shortcut later handshakes to one round trip.
+    """
+
+    cert_chain: tuple
+    alpn: Tuple[str, ...] = ("dot",)
+    supports_resumption: bool = True
+
+    @property
+    def leaf(self):
+        if not self.cert_chain:
+            raise ScenarioError("TLS config with an empty certificate chain")
+        return self.cert_chain[0]
+
+
+@dataclass
+class ServiceContext:
+    """Per-exchange context handed to service handlers."""
+
+    client_address: str
+    server_address: str
+    port: int
+    protocol: str
+    timestamp: float
+    client_country: Optional[str] = None
+    encrypted: bool = False
+    server_name: Optional[str] = None
+    #: Set when a middlebox proxied the TLS session; the handler still
+    #: runs, but the payload was visible to the interceptor.
+    intercepted_by: Optional[str] = None
+
+
+class Service:
+    """Base class for application services.
+
+    ``handle`` receives an application payload (bytes for DNS transports,
+    :class:`repro.httpsim.messages.HttpRequest` for HTTP services) and
+    returns the response payload, or raises a transport/application error.
+    ``extra_latency_ms`` lets a service add per-request server-side cost
+    (e.g. encryption overhead for DoE frontends).
+    """
+
+    #: Set by subclasses that require TLS on their port.
+    tls: Optional[TlsConfig] = None
+
+    def handle(self, payload: Any, ctx: ServiceContext) -> Any:
+        raise NotImplementedError
+
+    def extra_latency_ms(self, rng) -> float:
+        return 0.0
+
+
+class CallableService(Service):
+    """Adapts a plain function into a service."""
+
+    def __init__(self, handler: Callable[[Any, ServiceContext], Any],
+                 tls: Optional[TlsConfig] = None,
+                 latency_fn: Optional[Callable[[Any], float]] = None):
+        self._handler = handler
+        self.tls = tls
+        self._latency_fn = latency_fn
+
+    def handle(self, payload: Any, ctx: ServiceContext) -> Any:
+        return self._handler(payload, ctx)
+
+    def extra_latency_ms(self, rng) -> float:
+        if self._latency_fn is None:
+            return 0.0
+        return self._latency_fn(rng)
+
+
+@dataclass
+class Host:
+    """A network host with an address, location and services."""
+
+    address: str
+    country_code: str
+    point: GeoPoint
+    #: Base per-request processing time of this machine.
+    processing_ms: float = 1.5
+    #: Anycast points of presence; defaults to the host's own location.
+    pops: Tuple[GeoPoint, ...] = ()
+    services: Dict[Tuple[str, int], Service] = field(default_factory=dict)
+    tags: Set[str] = field(default_factory=set)
+    #: Reverse-DNS name, if any (used by the scanner-vetting step).
+    ptr_name: Optional[str] = None
+    #: HTML body served on port 80/443 webpage fetches, for diagnosis.
+    webpage: Optional[str] = None
+    #: Free-form operator label (provider name etc.).
+    operator: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.pops:
+            self.pops = (self.point,)
+
+    def bind(self, protocol: str, port: int, service: Service) -> "Host":
+        """Attach a service; rebinding a taken port is a scenario error."""
+        key = (protocol, port)
+        if key in self.services:
+            raise ScenarioError(
+                f"{self.address} already has a service on {protocol}/{port}")
+        self.services[key] = service
+        return self
+
+    def service_on(self, protocol: str, port: int) -> Optional[Service]:
+        return self.services.get((protocol, port))
+
+    def open_tcp_ports(self) -> Tuple[int, ...]:
+        return tuple(sorted(port for proto, port in self.services
+                            if proto == "tcp"))
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags

@@ -1,0 +1,120 @@
+"""IPv4 address arithmetic and netblocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ScenarioError
+
+
+def ip_to_int(address: str) -> int:
+    """Parse dotted-quad text into a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ScenarioError(f"bad IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise ScenarioError(f"bad IPv4 address {address!r}") from None
+        if not 0 <= octet <= 255:
+            raise ScenarioError(f"bad IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad text."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ScenarioError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF)
+                    for shift in (24, 16, 8, 0))
+
+
+def slash24(address: str) -> str:
+    """The /24 prefix of an address, in ``a.b.c.0/24`` notation.
+
+    The paper truncates client addresses to /24 before analysis for
+    ethics; the same truncation is applied throughout this library.
+    """
+    value = ip_to_int(address) & 0xFFFFFF00
+    return int_to_ip(value) + "/24"
+
+
+_RESERVED_PREFIXES = (
+    (ip_to_int("0.0.0.0"), 8),
+    (ip_to_int("10.0.0.0"), 8),
+    (ip_to_int("100.64.0.0"), 10),
+    (ip_to_int("127.0.0.0"), 8),
+    (ip_to_int("169.254.0.0"), 16),
+    (ip_to_int("172.16.0.0"), 12),
+    (ip_to_int("192.0.2.0"), 24),
+    (ip_to_int("192.168.0.0"), 16),
+    (ip_to_int("198.18.0.0"), 15),
+    (ip_to_int("203.0.113.0"), 24),
+    (ip_to_int("224.0.0.0"), 3),
+)
+
+
+def is_public_unicast(address: str) -> bool:
+    """True for addresses outside reserved/special-use ranges."""
+    value = ip_to_int(address)
+    for base, prefix_length in _RESERVED_PREFIXES:
+        mask = ~((1 << (32 - prefix_length)) - 1) & 0xFFFFFFFF
+        if value & mask == base:
+            return False
+    return True
+
+
+def random_public_ip(rng) -> str:
+    """Draw a uniformly random public unicast address."""
+    while True:
+        candidate = int_to_ip(rng.randint(0x01000000, 0xDFFFFFFF))
+        if is_public_unicast(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class Netblock:
+    """A CIDR prefix."""
+
+    base: int
+    prefix_length: int
+
+    @classmethod
+    def from_text(cls, text: str) -> "Netblock":
+        address, _, length_text = text.partition("/")
+        if not length_text:
+            raise ScenarioError(f"netblock needs a prefix length: {text!r}")
+        prefix_length = int(length_text)
+        if not 0 <= prefix_length <= 32:
+            raise ScenarioError(f"bad prefix length in {text!r}")
+        mask = ~((1 << (32 - prefix_length)) - 1) & 0xFFFFFFFF
+        return cls(ip_to_int(address) & mask, prefix_length)
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.prefix_length)
+
+    def contains(self, address: str) -> bool:
+        mask = ~((1 << (32 - self.prefix_length)) - 1) & 0xFFFFFFFF
+        return ip_to_int(address) & mask == self.base
+
+    def addresses(self) -> Iterator[str]:
+        """Iterate every address in the block (use only on small blocks)."""
+        for offset in range(self.size):
+            yield int_to_ip(self.base + offset)
+
+    def nth(self, offset: int) -> str:
+        if not 0 <= offset < self.size:
+            raise ScenarioError(
+                f"offset {offset} outside /{self.prefix_length} block")
+        return int_to_ip(self.base + offset)
+
+    def to_text(self) -> str:
+        return f"{int_to_ip(self.base)}/{self.prefix_length}"
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,82 @@
+"""Round-trip-time model.
+
+RTT between a client and a service is composed of:
+
+* propagation over the great-circle distance (with a path-stretch factor
+  for real routing detours),
+* the client's residential last-mile contribution,
+* the serving host's processing time,
+* multiplicative jitter drawn per sample.
+
+Anycast services expose several points of presence; the client is served
+by the nearest one, which is how large resolvers (Cloudflare, Google,
+Quad9) achieve low latency everywhere and why DoH can even beat a
+badly-routed clear-text path (paper Finding 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.netsim.rand import SeededRng
+
+#: Effective RTT per kilometre of great-circle distance. Fibre propagation
+#: is ~0.01 ms/km round trip; real paths are longer and traverse routers,
+#: so 0.02 ms/km reproduces observed inter-continental RTTs.
+MS_PER_KM = 0.02
+
+#: Floor for any exchange, even in the same city.
+MIN_PATH_MS = 0.6
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Resolved fixed components of a client-to-service path."""
+
+    propagation_ms: float
+    last_mile_ms: float
+    processing_ms: float
+    #: Extra fixed detour (e.g. clear-text DNS rerouted through an
+    #: interception box, or a congested transit path).
+    penalty_ms: float = 0.0
+
+    @property
+    def base_rtt_ms(self) -> float:
+        return max(MIN_PATH_MS, self.propagation_ms + self.last_mile_ms
+                   + self.processing_ms + self.penalty_ms)
+
+
+class LatencyModel:
+    """Computes per-sample RTTs with deterministic jitter streams."""
+
+    def __init__(self, jitter_sigma: float = 0.08):
+        self.jitter_sigma = jitter_sigma
+
+    def path(self, client_point: GeoPoint, last_mile_ms: float,
+             pops: Tuple[GeoPoint, ...], processing_ms: float,
+             penalty_ms: float = 0.0) -> PathProfile:
+        """Resolve the fixed path profile to the nearest point of presence."""
+        distance_km = min(
+            (great_circle_km(client_point, pop) for pop in pops),
+            default=great_circle_km(client_point, client_point),
+        )
+        return PathProfile(
+            propagation_ms=distance_km * MS_PER_KM,
+            last_mile_ms=last_mile_ms,
+            processing_ms=processing_ms,
+            penalty_ms=penalty_ms,
+        )
+
+    def sample_rtt_ms(self, profile: PathProfile, rng: SeededRng) -> float:
+        """One RTT sample with multiplicative log-normal jitter."""
+        jitter = rng.lognormal(0.0, self.jitter_sigma)
+        return profile.base_rtt_ms * jitter
+
+    def lan_rtt_ms(self, rng: Optional[SeededRng] = None) -> float:
+        """RTT to a device on the client's own LAN (IP-conflict case)."""
+        base = 1.5
+        if rng is None:
+            return base
+        return base * rng.lognormal(0.0, 0.15)

@@ -1,0 +1,166 @@
+"""In-path devices: censors, TLS interceptors, port filters, IP conflicts.
+
+These model the disruption sources the paper measures:
+
+* **Censor** — country-level blocking by destination IP/port (Finding 2.2:
+  Google DoH blocked in China) and clear-text DNS manipulation.
+* **TlsInterceptor** — middleboxes that re-sign server certificates with
+  their own CA and proxy the session (Finding 2.3: SonicWall/Fortinet
+  DPI boxes acting as DoT proxies).
+* **PortFilter** — devices that drop a specific port, e.g. port-53-only
+  filtering that leaves 853/443 alone (Finding 2.1).
+* **IpConflictDevice** — LAN equipment squatting on a resolver address
+  such as 1.1.1.1 (Table 5: routers, modems, captive portals).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.netsim.host import Host, TlsConfig
+
+
+class Verdict(enum.Enum):
+    """What an in-path device does to a connection attempt."""
+
+    ALLOW = "allow"
+    #: Silently discard packets; the client times out.
+    DROP = "drop"
+    #: Send TCP RST; the client sees a reset immediately.
+    RESET = "reset"
+
+
+class Middlebox:
+    """Base class; default behaviour is fully transparent."""
+
+    name: str = "middlebox"
+
+    def tcp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        return Verdict.ALLOW
+
+    def udp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        return Verdict.ALLOW
+
+    def intercept_tls(self, dst_ip: str, port: int,
+                      server_name: Optional[str]) -> Optional[TlsConfig]:
+        """Return a substitute TLS config to man-in-the-middle the session."""
+        return None
+
+    def spoof_dns(self, dst_ip: str, port: int) -> bool:
+        """True when the device answers clear-text DNS itself."""
+        return False
+
+
+@dataclass
+class RuleSet:
+    """IP/port match rules shared by filter-style devices."""
+
+    blocked_ips: Set[str] = field(default_factory=set)
+    blocked_ports: Set[int] = field(default_factory=set)
+    #: (ip, port) pairs blocked together.
+    blocked_endpoints: Set[Tuple[str, int]] = field(default_factory=set)
+
+    def matches(self, dst_ip: str, port: int) -> bool:
+        return (dst_ip in self.blocked_ips
+                or port in self.blocked_ports
+                or (dst_ip, port) in self.blocked_endpoints)
+
+
+class Censor(Middlebox):
+    """Country-level censorship device.
+
+    Blocks listed destination IPs (all ports — the paper notes the blocked
+    Google DoH addresses "also carry other Google services"), optionally
+    spoofs clear-text DNS, and can reset instead of dropping.
+    """
+
+    def __init__(self, name: str, rules: RuleSet,
+                 action: Verdict = Verdict.DROP,
+                 spoof_port53: bool = False):
+        self.name = name
+        self.rules = rules
+        self.action = action
+        self._spoof_port53 = spoof_port53
+
+    def tcp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        if self.rules.matches(dst_ip, port):
+            return self.action
+        return Verdict.ALLOW
+
+    def udp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        if self.rules.matches(dst_ip, port):
+            return self.action
+        return Verdict.ALLOW
+
+    def spoof_dns(self, dst_ip: str, port: int) -> bool:
+        return self._spoof_port53 and port == 53
+
+
+class PortFilter(Middlebox):
+    """Drops or resets traffic to specific ports or endpoints."""
+
+    def __init__(self, name: str, rules: RuleSet,
+                 action: Verdict = Verdict.DROP):
+        self.name = name
+        self.rules = rules
+        self.action = action
+
+    def tcp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        if self.rules.matches(dst_ip, port):
+            return self.action
+        return Verdict.ALLOW
+
+    def udp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        if self.rules.matches(dst_ip, port):
+            return self.action
+        return Verdict.ALLOW
+
+
+class TlsInterceptor(Middlebox):
+    """A TLS-inspecting proxy that re-signs server certificates.
+
+    ``resign(original_chain)`` must be wired by the scenario to a
+    certificate authority owned by the device (see
+    :func:`repro.tlssim.certs.resign_chain`). ``ports`` limits which
+    destination ports are inspected; the paper found 3 devices that only
+    intercept 443 while most intercept both 443 and 853.
+    """
+
+    def __init__(self, name: str, ca, ports: Tuple[int, ...] = (443, 853),
+                 vendor: str = "generic-dpi"):
+        self.name = name
+        self.ca = ca
+        self.ports = ports
+        self.vendor = vendor
+        self._config_cache: Dict[Tuple[str, int, Optional[str]], TlsConfig] = {}
+
+    def intercept_tls(self, dst_ip: str, port: int,
+                      server_name: Optional[str]) -> Optional[TlsConfig]:
+        if port not in self.ports:
+            return None
+        key = (dst_ip, port, server_name)
+        config = self._config_cache.get(key)
+        if config is None:
+            from repro.tlssim.certs import resign_for
+            chain = resign_for(self.ca, server_name or dst_ip)
+            config = TlsConfig(cert_chain=chain, supports_resumption=True)
+            self._config_cache[key] = config
+        return config
+
+
+class IpConflictDevice:
+    """A LAN device that answers on a public resolver's address.
+
+    Not a :class:`Middlebox`: it does not sit on the path, it *replaces*
+    the destination inside the client's network. Holds the local
+    :class:`Host` standing in for the squatted address.
+    """
+
+    def __init__(self, claimed_ip: str, device: Host, kind: str):
+        self.claimed_ip = claimed_ip
+        self.device = device
+        #: Device category for Table 5 analysis, e.g. ``"router"``,
+        #: ``"modem"``, ``"blackhole"``, ``"hijacked-router"``.
+        self.kind = kind

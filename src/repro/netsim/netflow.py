@@ -1,0 +1,163 @@
+"""NetFlow-style flow records with packet sampling.
+
+Models the collection setup of the paper's usage study: backbone routers
+aggregate packets into flows keyed by the classic five-tuple, sample
+packets at 1/3,000, union the TCP flags of sampled packets, and expire a
+flow after 15 seconds idle. Only the behaviours the analysis depends on
+are modelled; in particular single-``SYN`` records (handshakes that never
+carried data) must be distinguishable so the study can exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Tuple
+
+from repro.netsim.ipv4 import slash24
+from repro.netsim.rand import SeededRng
+
+
+class TcpFlags:
+    """TCP flag bit masks (subset relevant to flow analysis)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+    @staticmethod
+    def to_text(flags: int) -> str:
+        names = [("FIN", TcpFlags.FIN), ("SYN", TcpFlags.SYN),
+                 ("RST", TcpFlags.RST), ("PSH", TcpFlags.PSH),
+                 ("ACK", TcpFlags.ACK)]
+        parts = [name for name, mask in names if flags & mask]
+        return "+".join(parts) if parts else "none"
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One exported flow record."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str
+    packets: int
+    octets: int
+    #: Union of TCP flags over the *sampled* packets of the flow.
+    tcp_flags: int
+    start_ts: float
+    end_ts: float
+
+    def is_single_syn(self) -> bool:
+        """True for records that only ever saw SYN packets.
+
+        The paper excludes these: "a single SYN flag indicates an
+        incomplete TCP handshake and cannot contain DoT queries".
+        """
+        return self.tcp_flags == TcpFlags.SYN
+
+    def src_slash24(self) -> str:
+        return slash24(self.src_ip)
+
+    def anonymized(self) -> "FlowRecord":
+        """Truncate the client address to /24 (the ethics step)."""
+        prefix = self.src_slash24().split("/")[0]
+        return replace(self, src_ip=prefix)
+
+
+@dataclass
+class PacketizedFlow:
+    """A ground-truth flow before sampling.
+
+    ``data_packets`` excludes the TCP handshake; handshake packets are
+    synthesized by the collector so flag unions behave realistically.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str
+    data_packets: int
+    avg_packet_octets: int
+    start_ts: float
+    duration_s: float
+    completed_handshake: bool = True
+
+
+class NetFlowCollector:
+    """Samples packets at a fixed rate and exports flow records."""
+
+    def __init__(self, sampling_rate: float = 1.0 / 3000.0,
+                 idle_timeout_s: float = 15.0,
+                 rng: Optional[SeededRng] = None):
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError(f"bad sampling rate {sampling_rate}")
+        self.sampling_rate = sampling_rate
+        self.idle_timeout_s = idle_timeout_s
+        self.rng = rng or SeededRng(0, "netflow")
+        self._records: List[FlowRecord] = []
+
+    def observe(self, flow: PacketizedFlow) -> Optional[FlowRecord]:
+        """Sample one ground-truth flow; emit a record when any packet hits.
+
+        Control packets (SYN / SYN-ACK / ACK / FIN) and data packets
+        (PSH+ACK) are sampled independently, so a record can end up
+        showing only a SYN — the artefact the analysis must filter.
+        """
+        syn_packets = 1 if flow.completed_handshake else 2  # retries
+        control_packets = 3 if flow.completed_handshake else 0
+        sampled_syn = self.rng.binomial(syn_packets, self.sampling_rate)
+        sampled_control = self.rng.binomial(control_packets,
+                                            self.sampling_rate)
+        sampled_data = self.rng.binomial(flow.data_packets,
+                                         self.sampling_rate)
+        total = sampled_syn + sampled_control + sampled_data
+        if total == 0:
+            return None
+        flags = 0
+        if flow.protocol == "tcp":
+            if sampled_syn:
+                flags |= TcpFlags.SYN
+            if sampled_control:
+                flags |= TcpFlags.ACK | TcpFlags.FIN
+            if sampled_data:
+                flags |= TcpFlags.PSH | TcpFlags.ACK
+        record = FlowRecord(
+            src_ip=flow.src_ip,
+            dst_ip=flow.dst_ip,
+            src_port=flow.src_port,
+            dst_port=flow.dst_port,
+            protocol=flow.protocol,
+            packets=total,
+            octets=total * flow.avg_packet_octets,
+            tcp_flags=flags,
+            start_ts=flow.start_ts,
+            end_ts=flow.start_ts + min(flow.duration_s,
+                                       self.idle_timeout_s * 4),
+        )
+        self._records.append(record)
+        return record
+
+    def observe_all(self, flows: Iterable[PacketizedFlow]) -> int:
+        """Observe many flows; returns how many records were exported."""
+        emitted = 0
+        for flow in flows:
+            if self.observe(flow) is not None:
+                emitted += 1
+        return emitted
+
+    def export(self, anonymize: bool = True) -> Tuple[FlowRecord, ...]:
+        """All exported records, client /24-truncated by default."""
+        if anonymize:
+            return tuple(record.anonymized() for record in self._records)
+        return tuple(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,128 @@
+"""The simulated Internet: hosts, client environments and routing."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.netsim.clock import SimClock, parse_date
+from repro.netsim.geo import GeoPoint, country
+from repro.netsim.host import Host
+from repro.netsim.latency import LatencyModel
+from repro.netsim.middlebox import IpConflictDevice, Middlebox
+
+
+@dataclass
+class ClientEnvironment:
+    """The network a vantage point lives in.
+
+    Everything that differs between two clients in the paper's data is
+    captured here: location, last-mile quality, in-path devices, local
+    IP conflicts and per-destination routing penalties.
+    """
+
+    label: str
+    address: str
+    country_code: str
+    point: GeoPoint
+    last_mile_ms: float
+    asn: int = 0
+    as_name: str = ""
+    middleboxes: List[Middlebox] = field(default_factory=list)
+    #: Local devices squatting on public addresses, keyed by that address.
+    conflicts: Dict[str, IpConflictDevice] = field(default_factory=dict)
+    #: Extra fixed RTT for specific destinations: ``(ip, port)`` exact
+    #: match first, then ``(ip, None)`` as an all-ports fallback.
+    route_penalties: Dict[Tuple[str, Optional[int]], float] = (
+        field(default_factory=dict))
+
+    @classmethod
+    def in_country(cls, label: str, address: str, country_code: str,
+                   rng, **kwargs) -> "ClientEnvironment":
+        """Create an environment at a jittered location in a country."""
+        entry = country(country_code)
+        point = GeoPoint(
+            entry.point.lat + rng.uniform(-3.0, 3.0),
+            entry.point.lon + rng.uniform(-3.0, 3.0),
+        )
+        last_mile = max(2.0, rng.gauss(entry.last_mile_ms,
+                                       entry.last_mile_ms * 0.25))
+        return cls(label=label, address=address, country_code=country_code,
+                   point=point, last_mile_ms=last_mile, **kwargs)
+
+    def route_penalty_ms(self, dst_ip: str, port: int) -> float:
+        exact = self.route_penalties.get((dst_ip, port))
+        if exact is not None:
+            return exact
+        return self.route_penalties.get((dst_ip, None), 0.0)
+
+
+class Network:
+    """Registry of hosts plus country-level path policies."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None,
+                 clock: Optional[SimClock] = None):
+        self.latency = latency or LatencyModel()
+        self.clock = clock or SimClock(parse_date("2019-02-01"))
+        self._hosts: Dict[str, Host] = {}
+        self._country_policies: Dict[str, List[Middlebox]] = defaultdict(list)
+        #: Hooks run on every successful application exchange; used by
+        #: traffic observation (NetFlow-style collection at "backbone"
+        #: level). Signature: (env, host, port, protocol, n_bytes, ts).
+        self.taps: List[Callable] = []
+
+    # -- topology ----------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.address in self._hosts:
+            raise ScenarioError(f"duplicate host address {host.address}")
+        self._hosts[host.address] = host
+        return host
+
+    def remove_host(self, address: str) -> None:
+        self._hosts.pop(address, None)
+
+    def host_at(self, address: str) -> Optional[Host]:
+        return self._hosts.get(address)
+
+    def hosts(self) -> Tuple[Host, ...]:
+        return tuple(self._hosts.values())
+
+    def hosts_with_tcp_port(self, port: int) -> Tuple[Host, ...]:
+        return tuple(host for host in self._hosts.values()
+                     if ("tcp", port) in host.services)
+
+    def add_country_policy(self, country_code: str,
+                           device: Middlebox) -> None:
+        self._country_policies[country_code].append(device)
+
+    def path_devices(self, env: ClientEnvironment) -> List[Middlebox]:
+        """In-path devices in traversal order: CPE first, then country."""
+        return list(env.middleboxes) + list(
+            self._country_policies.get(env.country_code, ()))
+
+    # -- destination resolution ---------------------------------------------
+
+    def resolve_destination(
+            self, env: ClientEnvironment,
+            dst_ip: str) -> Tuple[str, Optional[Host]]:
+        """Where packets to ``dst_ip`` actually land for this client.
+
+        Returns ``("local", device_host)`` when a LAN device squats on the
+        address, ``("remote", host)`` for a registered host, and
+        ``("absent", None)`` when nothing answers.
+        """
+        conflict = env.conflicts.get(dst_ip)
+        if conflict is not None:
+            return "local", conflict.device
+        host = self._hosts.get(dst_ip)
+        if host is not None:
+            return "remote", host
+        return "absent", None
+
+    def notify_taps(self, env: ClientEnvironment, host: Host, port: int,
+                    protocol: str, n_bytes: int) -> None:
+        for tap in self.taps:
+            tap(env, host, port, protocol, n_bytes, self.clock.now())

@@ -1,0 +1,314 @@
+"""Simulated transports: TCP connections, TLS channels, UDP exchanges.
+
+Latency accounting follows the cost model the paper discusses in
+Section 4.3:
+
+* TCP connect: 1 RTT,
+* full TLS handshake: 2 RTTs plus cryptographic CPU time,
+* resumed TLS handshake: 1 RTT,
+* each request/response on an established connection: 1 RTT,
+
+so connection reuse amortises the TLS setup exactly as RFC 7858 intends.
+Every operation accumulates into :attr:`TcpConnection.elapsed_ms` and the
+last operation's cost is kept in :attr:`last_op_ms`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+    TimeoutError_,
+    TlsError,
+    TransportError,
+)
+from repro.netsim.host import Host, Service, ServiceContext, TlsConfig
+from repro.netsim.latency import PathProfile
+from repro.netsim.middlebox import Verdict
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+def _attach_elapsed(error: TransportError, elapsed_ms: float) -> TransportError:
+    error.elapsed_ms = elapsed_ms  # type: ignore[attr-defined]
+    return error
+
+
+def _apply_verdicts(devices, check, elapsed_on_drop_ms: float):
+    """Run middlebox verdicts; raise on DROP/RESET."""
+    for device in devices:
+        verdict = check(device)
+        if verdict is Verdict.ALLOW:
+            continue
+        if verdict is Verdict.DROP:
+            raise _attach_elapsed(
+                TimeoutError_(f"dropped by {device.name}"),
+                elapsed_on_drop_ms)
+        raise _attach_elapsed(
+            ConnectionReset(f"reset by {device.name}"), 2.0)
+
+
+class TcpConnection:
+    """An established TCP connection to one service."""
+
+    def __init__(self, network: Network, env: ClientEnvironment,
+                 host: Host, service: Service, port: int,
+                 profile: PathProfile, rng: SeededRng, is_local: bool):
+        self.network = network
+        self.env = env
+        self.host = host
+        self.service = service
+        self.port = port
+        self.profile = profile
+        self.rng = rng
+        self.is_local = is_local
+        self.elapsed_ms = 0.0
+        self.last_op_ms = 0.0
+        self.closed = False
+        self.requests_sent = 0
+
+    # -- establishment ------------------------------------------------------
+
+    @classmethod
+    def open(cls, network: Network, env: ClientEnvironment, dst_ip: str,
+             port: int, rng: SeededRng,
+             timeout_s: float = DEFAULT_TIMEOUT_S) -> "TcpConnection":
+        """TCP three-way handshake, 1 RTT on success."""
+        devices = network.path_devices(env)
+        where, host = network.resolve_destination(env, dst_ip)
+        if where != "local":
+            # Local conflicts short-circuit the path before any middlebox.
+            _apply_verdicts(devices,
+                            lambda d: d.tcp_verdict(dst_ip, port),
+                            timeout_s * 1000.0)
+        if host is None:
+            raise _attach_elapsed(
+                HostUnreachable(f"no host at {dst_ip}"),
+                timeout_s * 1000.0)
+        service = host.service_on("tcp", port)
+        if service is None:
+            refusal_rtt = (network.latency.lan_rtt_ms(rng) if where == "local"
+                           else cls._profile_for(network, env, host,
+                                                 dst_ip, port).base_rtt_ms)
+            raise _attach_elapsed(
+                ConnectionRefused(f"{dst_ip}:{port} (tcp) refused"),
+                refusal_rtt)
+        if where == "local":
+            profile = PathProfile(propagation_ms=0.0,
+                                  last_mile_ms=network.latency.lan_rtt_ms(rng),
+                                  processing_ms=host.processing_ms)
+        else:
+            profile = cls._profile_for(network, env, host, dst_ip, port)
+        connection = cls(network, env, host, service, port, profile, rng,
+                         is_local=(where == "local"))
+        connection._spend(network.latency.sample_rtt_ms(profile, rng))
+        return connection
+
+    @staticmethod
+    def _profile_for(network: Network, env: ClientEnvironment, host: Host,
+                     dst_ip: str, port: int) -> PathProfile:
+        return network.latency.path(
+            env.point, env.last_mile_ms, host.pops, host.processing_ms,
+            penalty_ms=env.route_penalty_ms(dst_ip, port))
+
+    # -- data transfer --------------------------------------------------------
+
+    def request(self, payload: Any, encrypted: bool = False,
+                server_name: Optional[str] = None,
+                intercepted_by: Optional[str] = None,
+                extra_server_ms: float = 0.0) -> Any:
+        """One request/response exchange: 1 RTT plus server-side cost."""
+        if self.closed:
+            raise TransportError("connection already closed")
+        ctx = ServiceContext(
+            client_address=self.env.address,
+            server_address=self.host.address,
+            port=self.port,
+            protocol="tcp",
+            timestamp=self.network.clock.now(),
+            client_country=self.env.country_code,
+            encrypted=encrypted,
+            server_name=server_name,
+            intercepted_by=intercepted_by,
+        )
+        response = self.service.handle(payload, ctx)
+        cost = (self.network.latency.sample_rtt_ms(self.profile, self.rng)
+                + self.service.extra_latency_ms(self.rng) + extra_server_ms)
+        self._spend(cost)
+        self.requests_sent += 1
+        size = len(payload) if isinstance(payload, (bytes, bytearray)) else 256
+        self.network.notify_taps(self.env, self.host, self.port, "tcp", size)
+        return response
+
+    def spend_rtts(self, count: float, crypto_ms: float = 0.0) -> None:
+        """Account for protocol phases that consume round trips."""
+        total = 0.0
+        whole = int(count)
+        for _ in range(whole):
+            total += self.network.latency.sample_rtt_ms(self.profile, self.rng)
+        fraction = count - whole
+        if fraction:
+            total += fraction * self.network.latency.sample_rtt_ms(
+                self.profile, self.rng)
+        self._spend(total + crypto_ms)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "TcpConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _spend(self, milliseconds: float) -> None:
+        self.last_op_ms = milliseconds
+        self.elapsed_ms += milliseconds
+
+
+class TlsChannel:
+    """TLS on top of an established :class:`TcpConnection`.
+
+    The channel resolves which certificate chain the client actually sees:
+    the service's own, or a re-signed chain presented by an intercepting
+    middlebox (which then proxies the session to the origin, so
+    application data still flows — exactly the DoT-proxy behaviour of
+    Finding 2.3).
+    """
+
+    #: CPU cost of a full handshake (both sides), milliseconds.
+    HANDSHAKE_CRYPTO_MS = 2.2
+    #: Per-record encryption cost, milliseconds.
+    RECORD_CRYPTO_MS = 0.25
+
+    def __init__(self, connection: TcpConnection,
+                 server_name: Optional[str] = None):
+        self.connection = connection
+        self.server_name = server_name
+        self.established = False
+        self.resumed = False
+        self.intercepted_by: Optional[str] = None
+        self.presented_config: Optional[TlsConfig] = None
+
+    @property
+    def presented_chain(self) -> tuple:
+        if self.presented_config is None:
+            raise TlsError("handshake has not completed")
+        return self.presented_config.cert_chain
+
+    def handshake(self, resume: bool = False) -> "TlsChannel":
+        """Perform the TLS handshake; 2 RTTs full, 1 RTT resumed."""
+        connection = self.connection
+        interceptor = self._find_interceptor()
+        if interceptor is not None:
+            device, config = interceptor
+            self.intercepted_by = device.name
+            self.presented_config = config
+        else:
+            config = connection.service.tls
+            if config is None:
+                raise _attach_elapsed(
+                    TlsError(f"{connection.host.address}:{connection.port} "
+                             "does not speak TLS"),
+                    connection.network.latency.sample_rtt_ms(
+                        connection.profile, connection.rng))
+            self.presented_config = config
+        can_resume = resume and self.presented_config.supports_resumption
+        rtts = 1 if can_resume else 2
+        crypto = (self.HANDSHAKE_CRYPTO_MS / 2.0 if can_resume
+                  else self.HANDSHAKE_CRYPTO_MS)
+        connection.spend_rtts(rtts, crypto_ms=crypto)
+        self.established = True
+        self.resumed = can_resume
+        return self
+
+    def request(self, payload: Any, extra_server_ms: float = 0.0) -> Any:
+        """One encrypted request/response exchange."""
+        if not self.established:
+            raise TlsError("request on a channel before handshake")
+        return self.connection.request(
+            payload,
+            encrypted=True,
+            server_name=self.server_name,
+            intercepted_by=self.intercepted_by,
+            extra_server_ms=extra_server_ms + self.RECORD_CRYPTO_MS,
+        )
+
+    def _find_interceptor(self):
+        connection = self.connection
+        if connection.is_local:
+            # A LAN device already terminates the connection; nothing on
+            # the wider path sees it.
+            return None
+        devices = connection.network.path_devices(connection.env)
+        for device in devices:
+            config = device.intercept_tls(connection.host.address,
+                                          connection.port, self.server_name)
+            if config is not None:
+                return device, config
+        return None
+
+
+class UdpExchange:
+    """Single-datagram request/response semantics (clear-text DNS)."""
+
+    @staticmethod
+    def exchange(network: Network, env: ClientEnvironment, dst_ip: str,
+                 port: int, payload: Any, rng: SeededRng,
+                 timeout_s: float = 5.0):
+        """Send one datagram and wait for one response.
+
+        Returns ``(response, elapsed_ms)``. Raises transport errors with
+        ``elapsed_ms`` attached.
+        """
+        devices = network.path_devices(env)
+        where, host = network.resolve_destination(env, dst_ip)
+        if where != "local":
+            for device in devices:
+                if device.spoof_dns(dst_ip, port):
+                    spoofer = getattr(device, "spoof_handler", None)
+                    if spoofer is not None:
+                        response = spoofer(payload)
+                        # The spoofing device is closer than the real
+                        # destination; answer arrives fast.
+                        elapsed = max(2.0, env.last_mile_ms
+                                      * rng.lognormal(0.0, 0.1))
+                        return response, elapsed
+            _apply_verdicts(devices,
+                            lambda d: d.udp_verdict(dst_ip, port),
+                            timeout_s * 1000.0)
+        if host is None:
+            raise _attach_elapsed(
+                TimeoutError_(f"no response from {dst_ip}"),
+                timeout_s * 1000.0)
+        service = host.service_on("udp", port)
+        if service is None:
+            # ICMP port unreachable comes back after one RTT.
+            raise _attach_elapsed(
+                ConnectionRefused(f"{dst_ip}:{port} (udp) unreachable"),
+                2.0)
+        if where == "local":
+            elapsed = network.latency.lan_rtt_ms(rng) + host.processing_ms
+        else:
+            profile = network.latency.path(
+                env.point, env.last_mile_ms, host.pops, host.processing_ms,
+                penalty_ms=env.route_penalty_ms(dst_ip, port))
+            elapsed = network.latency.sample_rtt_ms(profile, rng)
+        ctx = ServiceContext(
+            client_address=env.address,
+            server_address=host.address,
+            port=port,
+            protocol="udp",
+            timestamp=network.clock.now(),
+            client_country=env.country_code,
+        )
+        response = service.handle(payload, ctx)
+        elapsed += service.extra_latency_ms(rng)
+        size = len(payload) if isinstance(payload, (bytes, bytearray)) else 128
+        network.notify_taps(env, host, port, "udp", size)
+        return response, elapsed

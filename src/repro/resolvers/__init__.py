@@ -1,0 +1,53 @@
+"""Resolver stack: caches, resolution backends and service frontends.
+
+A resolver host in the simulation is assembled from three layers:
+
+* a :class:`~repro.resolvers.universe.DnsUniverse` holding the world's
+  authoritative zones (the paper's own probe domain lives here too),
+* a :class:`~repro.resolvers.backends.ResolverBackend` implementing the
+  resolution policy (recursive with cache, fixed-answer rewriting,
+  flaky forwarding, ...),
+* protocol frontends (:mod:`repro.resolvers.frontends`) exposing the
+  backend over Do53/UDP, Do53/TCP, DoT and DoH as netsim services.
+"""
+
+from repro.resolvers.cache import CacheStats, DnsCache
+from repro.resolvers.universe import DnsUniverse
+from repro.resolvers.backends import (
+    FixedAnswerBackend,
+    FlakyForwardingBackend,
+    RecursiveBackend,
+    ResolutionContext,
+    ResolverBackend,
+    SpoofingBackend,
+)
+from repro.resolvers.stub import StubAnswer, StubResolver, UpstreamConfig
+from repro.resolvers.frontends import (
+    Do53TcpService,
+    Do53UdpService,
+    DohService,
+    DotService,
+    WebpageService,
+    install_resolver_frontends,
+)
+
+__all__ = [
+    "DnsCache",
+    "CacheStats",
+    "DnsUniverse",
+    "ResolverBackend",
+    "ResolutionContext",
+    "RecursiveBackend",
+    "FixedAnswerBackend",
+    "FlakyForwardingBackend",
+    "SpoofingBackend",
+    "Do53UdpService",
+    "Do53TcpService",
+    "DotService",
+    "DohService",
+    "WebpageService",
+    "install_resolver_frontends",
+    "StubResolver",
+    "StubAnswer",
+    "UpstreamConfig",
+]

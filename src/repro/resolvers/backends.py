@@ -1,0 +1,165 @@
+"""Resolution backends: the policy layer behind every resolver frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dnswire.builder import make_response, rewrite_answers, servfail
+from repro.dnswire.message import Message
+from repro.dnswire.rdtypes import Rcode
+from repro.errors import ScenarioError
+from repro.netsim.rand import SeededRng
+from repro.resolvers.cache import DnsCache
+from repro.resolvers.universe import DnsUniverse
+
+
+@dataclass
+class ResolutionContext:
+    """What a backend knows about the incoming query."""
+
+    client_address: str
+    resolver_address: str
+    timestamp: float
+    transport: str = "udp"
+    client_country: Optional[str] = None
+    encrypted: bool = False
+    intercepted_by: Optional[str] = None
+
+
+@dataclass
+class Resolution:
+    """Backend output: the response plus server-side latency incurred."""
+
+    response: Message
+    extra_ms: float = 0.0
+
+
+class ResolverBackend:
+    """Interface: turn a query message into a resolution."""
+
+    def resolve(self, query: Message, ctx: ResolutionContext) -> Resolution:
+        raise NotImplementedError
+
+
+class RecursiveBackend(ResolverBackend):
+    """A caching recursive resolver over the :class:`DnsUniverse`."""
+
+    def __init__(self, universe: DnsUniverse, rng: SeededRng,
+                 cache: Optional[DnsCache] = None,
+                 resolver_label: str = "resolver"):
+        self.universe = universe
+        self.rng = rng
+        self.cache = cache if cache is not None else DnsCache()
+        self.resolver_label = resolver_label
+        self.queries_served = 0
+
+    def resolve(self, query: Message, ctx: ResolutionContext) -> Resolution:
+        self.queries_served += 1
+        question = query.question
+        if question is None:
+            return Resolution(servfail(query))
+        cached = self.cache.get(question.name, question.rrtype, ctx.timestamp)
+        if cached is not None:
+            records, rcode = cached
+            response = make_response(query, answers=records, rcode=rcode)
+            return Resolution(response, extra_ms=0.05)
+        rcode, records = self.universe.authoritative_lookup(
+            question.name, question.rrtype, ctx.timestamp,
+            via_resolver=ctx.resolver_address)
+        self.cache.put(question.name, question.rrtype, records, rcode,
+                       ctx.timestamp)
+        response = make_response(query, answers=records, rcode=rcode)
+        return Resolution(response,
+                          extra_ms=self.universe.upstream_latency_ms(self.rng))
+
+
+class FixedAnswerBackend(ResolverBackend):
+    """Rewrites every A answer to a fixed address for non-subscribers.
+
+    Models the dnsfilter.com resolvers of Section 3.2, which "constantly
+    resolve arbitrary domain queries to a fixed IP address, because we do
+    not subscribe to their service".
+    """
+
+    def __init__(self, inner: ResolverBackend, fixed_address: str,
+                 subscribers: Tuple[str, ...] = ()):
+        self.inner = inner
+        self.fixed_address = fixed_address
+        self.subscribers = set(subscribers)
+
+    def resolve(self, query: Message, ctx: ResolutionContext) -> Resolution:
+        resolution = self.inner.resolve(query, ctx)
+        if ctx.client_address in self.subscribers:
+            return resolution
+        question = query.question
+        if question is None:
+            return resolution
+        if resolution.response.rcode() != Rcode.NOERROR or not resolution.response.answers:
+            # Even NXDOMAIN gets the fixed answer: arbitrary names resolve.
+            from repro.dnswire.records import ResourceRecord
+            forced = make_response(query, answers=(
+                ResourceRecord.a(question.name, self.fixed_address),))
+            return Resolution(forced, resolution.extra_ms)
+        return Resolution(
+            rewrite_answers(resolution.response, self.fixed_address),
+            resolution.extra_ms)
+
+
+class FlakyForwardingBackend(ResolverBackend):
+    """A frontend that forwards to an internal Do53 hop with a short timeout.
+
+    Models the Quad9 DoH misconfiguration (Finding 2.4): "Quad9 forwards
+    all DoH queries to its own DNS/UDP on port 53, and sets a 2-second
+    timeout waiting for responses", which SERVFAILs ~13% of lookups when
+    nameservers are slow.
+    """
+
+    def __init__(self, inner: ResolverBackend, rng: SeededRng,
+                 forward_timeout_ms: float = 2000.0,
+                 slow_upstream_probability: float = 0.13,
+                 regional_probabilities: Optional[dict] = None):
+        if not 0.0 <= slow_upstream_probability <= 1.0:
+            raise ScenarioError("probability must be within [0, 1]")
+        self.inner = inner
+        self.rng = rng
+        self.forward_timeout_ms = forward_timeout_ms
+        self.slow_upstream_probability = slow_upstream_probability
+        #: Per-region overrides keyed by geo region code ("AP", "EU", ...);
+        #: the Quad9 forwarding issue hit some serving regions far harder
+        #: than others (13% globally vs ~0.15% from China).
+        self.regional_probabilities = dict(regional_probabilities or {})
+        self.timeouts_hit = 0
+
+    def _probability_for(self, ctx: ResolutionContext) -> float:
+        if ctx.client_country and self.regional_probabilities:
+            from repro.netsim.geo import COUNTRIES
+            entry = COUNTRIES.get(ctx.client_country)
+            if entry is not None and entry.region in self.regional_probabilities:
+                return self.regional_probabilities[entry.region]
+        return self.slow_upstream_probability
+
+    def resolve(self, query: Message, ctx: ResolutionContext) -> Resolution:
+        if self.rng.chance(self._probability_for(ctx)):
+            # The internal forward missed the deadline; the frontend gives
+            # up and reports SERVFAIL after waiting out its timeout.
+            self.timeouts_hit += 1
+            return Resolution(servfail(query),
+                              extra_ms=self.forward_timeout_ms)
+        return self.inner.resolve(query, ctx)
+
+
+class SpoofingBackend(ResolverBackend):
+    """Answers every query with a configured address (rogue resolver)."""
+
+    def __init__(self, spoof_address: str):
+        self.spoof_address = spoof_address
+
+    def resolve(self, query: Message, ctx: ResolutionContext) -> Resolution:
+        question = query.question
+        if question is None:
+            return Resolution(servfail(query))
+        from repro.dnswire.records import ResourceRecord
+        response = make_response(query, answers=(
+            ResourceRecord.a(question.name, self.spoof_address, ttl=60),))
+        return Resolution(response, extra_ms=0.1)

@@ -1,0 +1,87 @@
+"""A TTL-honouring, size-bounded DNS cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.records import ResourceRecord
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for cache-behaviour tests and ablations."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class _Entry:
+    records: Tuple[ResourceRecord, ...]
+    rcode: int
+    expires_at: float
+
+
+class DnsCache:
+    """LRU cache keyed by ``(qname, qtype)`` with TTL expiry.
+
+    Negative answers (NXDOMAIN) are cached too, with a configurable
+    negative TTL, matching resolver behaviour the usage study depends on
+    ("due to DNS cache, we may underestimate the query volume").
+    """
+
+    def __init__(self, max_entries: int = 100_000,
+                 negative_ttl: float = 300.0):
+        self.max_entries = max_entries
+        self.negative_ttl = negative_ttl
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[DnsName, int], _Entry]" = (
+            OrderedDict())
+
+    def get(self, qname: DnsName, qtype: int,
+            now: float) -> Optional[Tuple[Tuple[ResourceRecord, ...], int]]:
+        """Return ``(records, rcode)`` on a live hit, else None."""
+        key = (qname, qtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if now >= entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.records, entry.rcode
+
+    def put(self, qname: DnsName, qtype: int, records: Tuple[ResourceRecord, ...],
+            rcode: int, now: float) -> None:
+        if records:
+            ttl = min(record.ttl for record in records)
+        else:
+            ttl = self.negative_ttl
+        if ttl <= 0:
+            return
+        key = (qname, qtype)
+        self._entries[key] = _Entry(tuple(records), rcode, now + ttl)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

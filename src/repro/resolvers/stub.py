@@ -1,0 +1,141 @@
+"""A client-side stub resolver with configurable DoE transport fallback.
+
+Implements the usage-profile semantics of RFC 8310 at the stub level:
+a transport preference list is tried in order, and under the
+Opportunistic profile the stub may fall back all the way to clear-text
+DNS — the behaviour the comparative study grades under "provides
+fallback mechanism". Under the Strict profile no clear-text fallback is
+allowed and authentication failures are fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dnswire.builder import make_query
+from repro.dnswire.message import Message
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import RRType
+from repro.doe.do53 import Do53Client
+from repro.doe.doh import DohClient, DohMethod
+from repro.doe.dot import DotClient, PrivacyProfile
+from repro.doe.result import QueryResult
+from repro.errors import ScenarioError
+from repro.httpsim.uri import UriTemplate
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.tlssim.certs import CaStore
+
+
+@dataclass
+class UpstreamConfig:
+    """One configured upstream resolver."""
+
+    do53_ip: Optional[str] = None
+    dot_ip: Optional[str] = None
+    doh_template: Optional[str] = None
+    auth_name: Optional[str] = None
+
+
+@dataclass
+class StubAnswer:
+    """The stub's final answer plus the transport trail it walked."""
+
+    result: QueryResult
+    transport_trail: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def fell_back_to_cleartext(self) -> bool:
+        return self.result.transport.startswith("do53") and any(
+            transport in ("dot", "doh") for transport in
+            self.transport_trail[:-1])
+
+
+class StubResolver:
+    """A DoE-capable stub with ordered transport fallback."""
+
+    def __init__(self, network: Network, env: ClientEnvironment,
+                 rng: SeededRng, ca_store: CaStore,
+                 upstream: UpstreamConfig,
+                 profile: PrivacyProfile = PrivacyProfile.OPPORTUNISTIC,
+                 transports: Sequence[str] = ("dot", "doh", "do53"),
+                 bootstrap=None):
+        self.network = network
+        self.env = env
+        self.rng = rng
+        self.profile = profile
+        self.upstream = upstream
+        self.transports = tuple(transports)
+        self._dot = DotClient(network, rng.fork("dot"), ca_store,
+                              profile=profile,
+                              auth_name=upstream.auth_name)
+        self._do53 = Do53Client(network, rng.fork("do53"))
+        self._doh = (DohClient(network, rng.fork("doh"), ca_store,
+                               bootstrap=bootstrap, method=DohMethod.POST)
+                     if bootstrap is not None else None)
+        self._validate_config()
+
+    def _validate_config(self) -> None:
+        for transport in self.transports:
+            if transport not in ("dot", "doh", "do53"):
+                raise ScenarioError(f"unknown transport {transport!r}")
+        if "doh" in self.transports and (self.upstream.doh_template is None
+                                         or self._doh is None):
+            raise ScenarioError("doh transport requires a template and "
+                                "a bootstrap function")
+
+    def effective_transports(self) -> Tuple[str, ...]:
+        """Strict profile never falls back to clear text (RFC 8310)."""
+        if self.profile is PrivacyProfile.STRICT:
+            return tuple(transport for transport in self.transports
+                         if transport != "do53")
+        return self.transports
+
+    def resolve(self, name: DnsName, rrtype: int = RRType.A,
+                reuse: bool = True) -> StubAnswer:
+        """Resolve a name, walking the transport preference order."""
+        trail: List[str] = []
+        last_result: Optional[QueryResult] = None
+        for transport in self.effective_transports():
+            trail.append(transport)
+            query = make_query(name, rrtype,
+                               msg_id=self.rng.randint(1, 0xFFFF))
+            result = self._query_via(transport, query, reuse)
+            last_result = result
+            if result.ok:
+                return StubAnswer(result, tuple(trail))
+        if last_result is None:
+            raise ScenarioError("stub resolver has no usable transports")
+        return StubAnswer(last_result, tuple(trail))
+
+    def _query_via(self, transport: str, query: Message,
+                   reuse: bool) -> QueryResult:
+        if transport == "dot":
+            if self.upstream.dot_ip is None:
+                return QueryResult.failed("dot", "unconfigured", 0.0,
+                                          failure=None,
+                                          error="no DoT upstream")
+            return self._dot.query(self.env, self.upstream.dot_ip, query,
+                                   reuse=reuse)
+        if transport == "doh":
+            assert self._doh is not None
+            return self._doh.query(
+                self.env, UriTemplate(self.upstream.doh_template), query,
+                reuse=reuse)
+        if self.upstream.do53_ip is None:
+            return QueryResult.failed("do53-tcp", "unconfigured", 0.0,
+                                      failure=None,
+                                      error="no clear-text upstream")
+        return self._do53.query_tcp(self.env, self.upstream.do53_ip,
+                                    query, reuse=reuse)
+
+    def close(self) -> None:
+        self._dot.close_all()
+        self._do53.close_all()
+        if self._doh is not None:
+            self._doh.close_all()

@@ -1,0 +1,32 @@
+"""TLS simulation: certificates, chains, CA stores and validation.
+
+Implements the authentication half of TLS that the paper's findings hinge
+on — expired certificates, self-signed certificates, broken chains,
+untrusted interception CAs — without real cryptography. Signatures are
+modelled as issuer references checked structurally, which preserves every
+validation outcome the measurement pipeline classifies.
+"""
+
+from repro.tlssim.certs import (
+    CaStore,
+    Certificate,
+    CertificateAuthority,
+    ValidationFailure,
+    ValidationReport,
+    make_chain,
+    resign_for,
+    self_signed,
+    validate_chain,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CaStore",
+    "ValidationFailure",
+    "ValidationReport",
+    "make_chain",
+    "self_signed",
+    "resign_for",
+    "validate_chain",
+]

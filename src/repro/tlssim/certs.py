@@ -1,0 +1,278 @@
+"""Certificates, authorities and chain validation."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.netsim.clock import parse_date
+
+_serial_counter = itertools.count(1000)
+
+
+class ValidationFailure(enum.Enum):
+    """Why a certificate chain failed validation.
+
+    Categories match the paper's Finding 1.2 taxonomy: expired,
+    self-signed, invalid chain, plus untrusted-CA for interception
+    devices (Finding 2.3) and name mismatch for strict clients.
+    """
+
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not_yet_valid"
+    SELF_SIGNED = "self_signed"
+    BROKEN_CHAIN = "broken_chain"
+    UNTRUSTED_CA = "untrusted_ca"
+    NAME_MISMATCH = "name_mismatch"
+    EMPTY_CHAIN = "empty_chain"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One X.509-like certificate."""
+
+    subject_cn: str
+    issuer_cn: str
+    serial: int
+    not_before: float
+    not_after: float
+    #: Identity of the issuing key; a cert is self-signed when its own
+    #: ``key_id`` equals its ``issuer_key_id``.
+    key_id: str = ""
+    issuer_key_id: str = ""
+    is_ca: bool = False
+    san: Tuple[str, ...] = ()
+
+    @property
+    def self_signed(self) -> bool:
+        return self.key_id == self.issuer_key_id
+
+    def valid_at(self, timestamp: float) -> bool:
+        return self.not_before <= timestamp <= self.not_after
+
+    def matches_name(self, name: str) -> bool:
+        """RFC 6125-style host matching over CN and SANs."""
+        candidates = (self.subject_cn,) + self.san
+        return any(_host_matches(pattern, name) for pattern in candidates)
+
+    def __repr__(self) -> str:
+        return (f"Certificate(cn={self.subject_cn!r}, "
+                f"issuer={self.issuer_cn!r}, serial={self.serial})")
+
+
+def _host_matches(pattern: str, name: str) -> bool:
+    pattern = pattern.lower().rstrip(".")
+    name = name.lower().rstrip(".")
+    if pattern == name:
+        return True
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        head, _, tail = name.partition(".")
+        return bool(head) and tail == suffix
+    return False
+
+
+@dataclass
+class CertificateAuthority:
+    """An issuing authority with a stable key identity."""
+
+    name: str
+    key_id: str
+    trusted: bool = True
+    #: The CA's own certificate (root or intermediate).
+    certificate: Optional[Certificate] = None
+    parent: Optional["CertificateAuthority"] = None
+
+    @classmethod
+    def root(cls, name: str, trusted: bool = True,
+             not_before: str = "2015-01-01",
+             not_after: str = "2035-01-01") -> "CertificateAuthority":
+        key_id = f"key:{name}"
+        certificate = Certificate(
+            subject_cn=name, issuer_cn=name,
+            serial=next(_serial_counter),
+            not_before=parse_date(not_before),
+            not_after=parse_date(not_after),
+            key_id=key_id, issuer_key_id=key_id, is_ca=True,
+        )
+        return cls(name=name, key_id=key_id, trusted=trusted,
+                   certificate=certificate)
+
+    def intermediate(self, name: str,
+                     not_before: str = "2016-01-01",
+                     not_after: str = "2030-01-01") -> "CertificateAuthority":
+        key_id = f"key:{name}"
+        certificate = Certificate(
+            subject_cn=name, issuer_cn=self.name,
+            serial=next(_serial_counter),
+            not_before=parse_date(not_before),
+            not_after=parse_date(not_after),
+            key_id=key_id, issuer_key_id=self.key_id, is_ca=True,
+        )
+        return CertificateAuthority(name=name, key_id=key_id,
+                                    trusted=self.trusted,
+                                    certificate=certificate, parent=self)
+
+    def issue(self, subject_cn: str, not_before: str, not_after: str,
+              san: Iterable[str] = ()) -> Certificate:
+        return Certificate(
+            subject_cn=subject_cn, issuer_cn=self.name,
+            serial=next(_serial_counter),
+            not_before=parse_date(not_before),
+            not_after=parse_date(not_after),
+            key_id=f"key:leaf:{subject_cn}:{next(_serial_counter)}",
+            issuer_key_id=self.key_id,
+            san=tuple(san),
+        )
+
+    def chain_to_root(self) -> Tuple[Certificate, ...]:
+        chain = []
+        authority: Optional[CertificateAuthority] = self
+        while authority is not None:
+            if authority.certificate is not None:
+                chain.append(authority.certificate)
+            authority = authority.parent
+        return tuple(chain)
+
+
+@dataclass
+class CaStore:
+    """A trust store (the paper uses the Mozilla CA list on CentOS 7.6)."""
+
+    name: str = "mozilla"
+    _roots: dict = field(default_factory=dict)
+
+    def trust(self, authority: CertificateAuthority) -> None:
+        root = authority
+        while root.parent is not None:
+            root = root.parent
+        self._roots[root.key_id] = root
+
+    def is_trusted_root_key(self, key_id: str) -> bool:
+        return key_id in self._roots
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The result of validating a presented chain."""
+
+    failures: Tuple[ValidationFailure, ...]
+    subject_cn: str = ""
+
+    @property
+    def valid(self) -> bool:
+        return not self.failures
+
+    def has(self, failure: ValidationFailure) -> bool:
+        return failure in self.failures
+
+    def primary_failure(self) -> Optional[ValidationFailure]:
+        """The most significant failure, for single-label reporting.
+
+        Mirrors the paper's categorisation priority: an expired cert is
+        reported as expired even if the chain also has other issues.
+        """
+        priority = (
+            ValidationFailure.EMPTY_CHAIN,
+            ValidationFailure.EXPIRED,
+            ValidationFailure.NOT_YET_VALID,
+            ValidationFailure.SELF_SIGNED,
+            ValidationFailure.UNTRUSTED_CA,
+            ValidationFailure.BROKEN_CHAIN,
+            ValidationFailure.NAME_MISMATCH,
+        )
+        for failure in priority:
+            if failure in self.failures:
+                return failure
+        return None
+
+
+def validate_chain(chain: Tuple[Certificate, ...], store: CaStore,
+                   now: float,
+                   expected_name: Optional[str] = None) -> ValidationReport:
+    """Validate a presented certificate chain.
+
+    Checks: non-empty, leaf validity window, self-signature, issuer
+    linkage across the chain, anchoring in a trusted root, and
+    (optionally) host-name match. ``expected_name=None`` skips the name
+    check — the paper does the same for DoT resolvers discovered by
+    address, whose names are unknown.
+    """
+    if not chain:
+        return ValidationReport((ValidationFailure.EMPTY_CHAIN,))
+    failures = []
+    leaf = chain[0]
+    if now > leaf.not_after:
+        failures.append(ValidationFailure.EXPIRED)
+    elif now < leaf.not_before:
+        failures.append(ValidationFailure.NOT_YET_VALID)
+    if leaf.self_signed and not store.is_trusted_root_key(leaf.key_id):
+        failures.append(ValidationFailure.SELF_SIGNED)
+    else:
+        link_failures = _check_linkage(chain, store, now)
+        failures.extend(link_failures)
+    if expected_name is not None and not leaf.matches_name(expected_name):
+        failures.append(ValidationFailure.NAME_MISMATCH)
+    return ValidationReport(tuple(failures), subject_cn=leaf.subject_cn)
+
+
+def _check_linkage(chain: Tuple[Certificate, ...], store: CaStore,
+                   now: float) -> Tuple[ValidationFailure, ...]:
+    failures = []
+    for child, parent in zip(chain, chain[1:]):
+        if child.issuer_key_id != parent.key_id or not parent.is_ca:
+            failures.append(ValidationFailure.BROKEN_CHAIN)
+            return tuple(failures)
+        if not parent.valid_at(now):
+            failures.append(ValidationFailure.BROKEN_CHAIN)
+            return tuple(failures)
+    top = chain[-1]
+    if top.self_signed:
+        if not store.is_trusted_root_key(top.key_id):
+            failures.append(ValidationFailure.UNTRUSTED_CA)
+    elif store.is_trusted_root_key(top.issuer_key_id):
+        pass  # chain ends at an intermediate directly under a trusted root
+    else:
+        failures.append(ValidationFailure.UNTRUSTED_CA)
+    return tuple(failures)
+
+
+def make_chain(authority: CertificateAuthority, subject_cn: str,
+               not_before: str, not_after: str,
+               san: Iterable[str] = ()) -> Tuple[Certificate, ...]:
+    """Issue a leaf and return the full presented chain."""
+    leaf = authority.issue(subject_cn, not_before, not_after, san)
+    return (leaf,) + authority.chain_to_root()
+
+
+def self_signed(subject_cn: str, not_before: str,
+                not_after: str) -> Tuple[Certificate, ...]:
+    """A one-element self-signed chain (e.g. FortiGate factory default)."""
+    key_id = f"key:self:{subject_cn}:{next(_serial_counter)}"
+    certificate = Certificate(
+        subject_cn=subject_cn, issuer_cn=subject_cn,
+        serial=next(_serial_counter),
+        not_before=parse_date(not_before), not_after=parse_date(not_after),
+        key_id=key_id, issuer_key_id=key_id,
+    )
+    return (certificate,)
+
+
+def resign_for(authority: CertificateAuthority,
+               subject: str) -> Tuple[Certificate, ...]:
+    """Re-sign a subject under an interception CA.
+
+    Models TLS-inspection middleboxes: "all resolver certificates are
+    re-signed by an untrusted CA, while other fields remain unchanged"
+    (Finding 2.3, Table 6).
+    """
+    if authority.trusted:
+        raise ScenarioError("interception CAs must be untrusted")
+    return make_chain(authority, subject, "2018-06-01", "2028-06-01",
+                      san=(subject,))

@@ -1,0 +1,28 @@
+"""World scenario: the calibrated ground truth the platform measures.
+
+This package builds the simulated Internet the measurement pipeline runs
+against — DoT/DoH providers (large anycast operators plus the long tail
+of small and misconfigured ones), censored and intercepted client
+populations, and the churn between scan rounds — with every knob
+calibrated to the numbers the paper reports (see DESIGN.md §5).
+"""
+
+from repro.world.providers import (
+    ProviderSpec,
+    ResolverAddressSpec,
+    build_provider_population,
+)
+from repro.world.population import VantagePoint, build_proxyrack, build_zhima
+from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "ProviderSpec",
+    "ResolverAddressSpec",
+    "build_provider_population",
+    "VantagePoint",
+    "build_proxyrack",
+    "build_zhima",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

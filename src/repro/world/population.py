@@ -1,0 +1,368 @@
+"""Vantage-point populations: ProxyRack (global), Zhima (censored), Atlas.
+
+Each vantage point is a :class:`repro.netsim.network.ClientEnvironment`
+plus platform metadata. Client-side disruption sources are attached here
+with per-country probabilities calibrated to Table 4:
+
+* port-53 filtering of prominent resolver addresses (1.1.1.1, 8.8.8.8),
+  concentrated in Indonesia, Vietnam and India;
+* LAN devices squatting on 1.1.1.1 (routers, modems, blackholes —
+  Table 5), including crypto-hijacked MikroTik routers;
+* transparent DNS proxies answering with wrong records (the small
+  *Incorrect* rates);
+* TLS-interception middleboxes re-signing certificates (Table 6);
+* residual proxy-network flakiness producing the sub-1% noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.geo import COUNTRIES, country
+from repro.netsim.host import Host
+from repro.netsim.middlebox import (
+    IpConflictDevice,
+    Middlebox,
+    PortFilter,
+    RuleSet,
+    TlsInterceptor,
+    Verdict,
+)
+from repro.netsim.network import ClientEnvironment
+from repro.netsim.rand import SeededRng
+from repro.resolvers.backends import SpoofingBackend
+from repro.resolvers.frontends import Do53TcpService, Do53UdpService, WebpageService
+from repro.tlssim.certs import CertificateAuthority
+
+PROMINENT_DO53_TARGETS = ("1.1.1.1", "8.8.8.8")
+
+#: Countries where port-53 filtering devices concentrate ("Over 60%
+#: affected clients are located in Indonesia, Vietnam and India").
+HIGH_FILTER_COUNTRIES = {"ID": 0.78, "VN": 0.72, "IN": 0.70}
+BASE_FILTER_PROBABILITY = 0.062
+
+#: Probability a global client has a LAN device on 1.1.1.1 (drives the
+#: ~1.1% Cloudflare DoT failure rate).
+CONFLICT_PROBABILITY = 0.011
+
+#: Probability of a transparent DNS proxy spoofing one prominent
+#: resolver (drives the ~0.1% Incorrect rates for clear text).
+DNS_PROXY_PROBABILITY = 0.0009
+
+#: Residual flakiness of residential proxy endpoints.
+GLOBAL_FLAKE_PROBABILITY = 0.0008
+CENSORED_FLAKE_PROBABILITY = 0.0035
+
+#: Conflict-device templates: (kind, open tcp ports, webpage, weight).
+#: Calibrated against Table 5's port census among DoT-failed clients.
+CONFLICT_DEVICE_TEMPLATES: Tuple[Tuple[str, Tuple[int, ...], Optional[str], float], ...] = (
+    ("blackhole", (), None, 0.46),
+    ("router", (80, 443, 22, 23, 179), "<title>MikroTik RouterOS</title>", 0.17),
+    ("modem", (80, 443, 67), "<title>Powerbox Gvt Modem</title>", 0.13),
+    ("auth-portal", (80, 443), "<title>Auth System Login</title>", 0.09),
+    ("dns-box", (53, 80), "<title>Internal DNS</title>", 0.07),
+    ("snmp-box", (161, 123, 139), None, 0.04),
+    ("ssh-box", (22,), None, 0.04),
+)
+
+#: Interception-device profiles drawn from Table 6: CA common names the
+#: re-signed certificates carry and whether only port 443 is inspected.
+INTERCEPTOR_PROFILES: Tuple[Tuple[str, str, Tuple[int, ...]], ...] = (
+    ("SonicWall Firewall DPI-SSL", "sonicwall", (443, 853)),
+    ("None", "unknown", (443, 853)),
+    ("Sample CA 2", "generic-dpi", (443, 853)),
+    ("NThmYzgyYT", "unknown", (443, 853)),
+    ("c41618c762bf890f", "unknown", (443, 853)),
+    ("FortiGate CA", "fortinet", (443, 853)),
+)
+
+#: Example ASes for intercepted clients (Table 6).
+INTERCEPTED_AS_EXAMPLES: Tuple[Tuple[int, str, str], ...] = (
+    (44725, "Sinam LLC", "LA"),
+    (17488, "Hathway IP Over Cable Internet", "IN"),
+    (24835, "Vodafone Data", "EG"),
+    (4713, "NTT Communications Corporation", "JP"),
+    (52532, "Speednet Telecomunicacoes Ldta", "BR"),
+    (27699, "Telefonica Brazil S.A", "BR"),
+)
+
+
+class RandomDrop(Middlebox):
+    """Residual endpoint flakiness: some destinations just don't work.
+
+    The verdict is drawn once per ``(ip, port)`` and then memoised, so a
+    broken path stays broken across the retries the reachability test
+    performs — matching how residential-proxy path problems behave.
+    """
+
+    def __init__(self, name: str, rng: SeededRng, probability: float):
+        self.name = name
+        self.rng = rng
+        self.probability = probability
+        self._verdicts: Dict[Tuple[str, int], Verdict] = {}
+
+    def tcp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        key = (dst_ip, port)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = (Verdict.DROP if self.rng.chance(self.probability)
+                       else Verdict.ALLOW)
+            self._verdicts[key] = verdict
+        return verdict
+
+    def udp_verdict(self, dst_ip: str, port: int) -> Verdict:
+        return self.tcp_verdict(dst_ip, port)
+
+
+@dataclass
+class VantagePoint:
+    """One measurement endpoint recruited through a proxy network."""
+
+    env: ClientEnvironment
+    platform: str
+    #: Remaining endpoint lifetime; the performance test discards
+    #: endpoints about to expire (Section 4.1).
+    remaining_uptime_s: float = 600.0
+    conflict_kind: Optional[str] = None
+    interceptor_cn: Optional[str] = None
+    interceptor_ports: Tuple[int, ...] = ()
+
+
+def _sample_country(rng: SeededRng) -> str:
+    codes = sorted(COUNTRIES)
+    weights = [COUNTRIES[code].proxy_weight for code in codes]
+    return rng.weighted_choice(codes, weights)
+
+
+def _client_address(rng: SeededRng, index: int) -> str:
+    # Residential space carved from 100.128.0.0 upward, one /24 per
+    # ~160 clients so netblock analyses have realistic density.
+    base = (100 << 24) | (128 << 16)
+    value = base + (index // 160) * 256 + (index % 160) + 40
+    from repro.netsim.ipv4 import int_to_ip
+    return int_to_ip(value)
+
+
+def _make_conflict_device(rng: SeededRng, claimed_ip: str,
+                          kind_override: Optional[str],
+                          env: ClientEnvironment) -> IpConflictDevice:
+    if kind_override is not None:
+        template = next(t for t in CONFLICT_DEVICE_TEMPLATES
+                        if t[0] == kind_override)
+    else:
+        kinds = [t for t in CONFLICT_DEVICE_TEMPLATES]
+        template = rng.weighted_choice(kinds, [t[3] for t in kinds])
+    kind, ports, webpage, _ = template
+    device = Host(address=f"lan-{env.label}", country_code=env.country_code,
+                  point=env.point, processing_ms=0.8, webpage=webpage)
+    for port in ports:
+        if port == 53:
+            device.bind("tcp", 53, Do53TcpService(
+                SpoofingBackend("192.0.2.66")))
+            device.bind("udp", 53, Do53UdpService(
+                SpoofingBackend("192.0.2.66")))
+        elif port in (80, 443) and webpage is not None:
+            device.bind("tcp", port, WebpageService(webpage))
+        else:
+            device.bind("tcp", port, WebpageService(""))
+    return IpConflictDevice(claimed_ip, device, kind)
+
+
+def _make_hijacked_router(env: ClientEnvironment,
+                          claimed_ip: str) -> IpConflictDevice:
+    """A crypto-hijacked MikroTik router with coin-mining injection."""
+    webpage = ("<title>MikroTik RouterOS</title>"
+               "<script src='https://coinhive.example/miner.js'></script>")
+    device = Host(address=f"lan-{env.label}", country_code=env.country_code,
+                  point=env.point, processing_ms=0.8, webpage=webpage)
+    for port in (80, 443, 22, 23, 179):
+        device.bind("tcp", port, WebpageService(webpage))
+    return IpConflictDevice(claimed_ip, device, "hijacked-router")
+
+
+def _make_dns_proxy(env: ClientEnvironment, claimed_ip: str) -> IpConflictDevice:
+    """A transparent proxy spoofing one resolver's clear-text DNS."""
+    device = Host(address=f"lan-{env.label}", country_code=env.country_code,
+                  point=env.point, processing_ms=0.8)
+    device.bind("tcp", 53, Do53TcpService(SpoofingBackend("192.0.2.66")))
+    device.bind("udp", 53, Do53UdpService(SpoofingBackend("192.0.2.66")))
+    return IpConflictDevice(claimed_ip, device, "dns-proxy")
+
+
+def build_proxyrack(count: int, rng: SeededRng,
+                    interception_count: int = 17,
+                    hijacked_router_count: int = 12) -> List[VantagePoint]:
+    """Build the global residential proxy population."""
+    points: List[VantagePoint] = []
+    intercept_slots = _spread_indices(count, interception_count, rng,
+                                      "intercept")
+    hijack_slots = _spread_indices(count, hijacked_router_count, rng,
+                                   "hijack")
+    for index in range(count):
+        client_rng = rng.fork(f"pr-{index}")
+        code = _sample_country(client_rng)
+        env = ClientEnvironment.in_country(
+            f"proxyrack-{index}", _client_address(client_rng, index), code,
+            client_rng)
+        env.middleboxes.append(RandomDrop(
+            "residual-loss", client_rng.fork("loss"),
+            GLOBAL_FLAKE_PROBABILITY))
+        point = VantagePoint(
+            env=env, platform="proxyrack",
+            remaining_uptime_s=client_rng.uniform(30.0, 3600.0))
+
+        filter_probability = HIGH_FILTER_COUNTRIES.get(
+            code, BASE_FILTER_PROBABILITY)
+        if client_rng.chance(filter_probability):
+            env.middleboxes.append(PortFilter(
+                "port53-filter",
+                RuleSet(blocked_endpoints={
+                    (target, 53) for target in PROMINENT_DO53_TARGETS}),
+                action=Verdict.DROP))
+
+        if index in hijack_slots:
+            conflict = _make_hijacked_router(env, "1.1.1.1")
+            env.conflicts["1.1.1.1"] = conflict
+            point.conflict_kind = conflict.kind
+        elif client_rng.chance(CONFLICT_PROBABILITY):
+            conflict = _make_conflict_device(client_rng, "1.1.1.1", None, env)
+            env.conflicts["1.1.1.1"] = conflict
+            point.conflict_kind = conflict.kind
+
+        for target in PROMINENT_DO53_TARGETS + ("9.9.9.9",):
+            if target not in env.conflicts and client_rng.chance(
+                    DNS_PROXY_PROBABILITY):
+                env.conflicts[target] = _make_dns_proxy(env, target)
+
+        if index in intercept_slots:
+            _attach_interceptor(point, client_rng)
+
+        _apply_route_penalties(env, client_rng)
+        points.append(point)
+    return points
+
+
+def _attach_interceptor(point: VantagePoint, rng: SeededRng) -> None:
+    profile_index = rng.randint(0, len(INTERCEPTOR_PROFILES) - 1)
+    cn, vendor, ports = INTERCEPTOR_PROFILES[profile_index]
+    # Three of the 17 intercepted clients in the paper only intercept 443.
+    if rng.chance(3.0 / 17.0):
+        ports = (443,)
+    ca = CertificateAuthority.root(cn, trusted=False)
+    device = TlsInterceptor(f"tls-intercept-{point.env.label}", ca,
+                            ports=ports, vendor=vendor)
+    point.env.middleboxes.append(device)
+    point.interceptor_cn = cn
+    point.interceptor_ports = ports
+    asn, as_name, _ = INTERCEPTED_AS_EXAMPLES[
+        rng.randint(0, len(INTERCEPTED_AS_EXAMPLES) - 1)]
+    point.env.asn = asn
+    point.env.as_name = as_name
+
+
+def _apply_route_penalties(env: ClientEnvironment, rng: SeededRng) -> None:
+    """Country-specific routing quirks driving Finding 3.2.
+
+    India: clear-text queries to 1.1.1.1 take a long detour, so DoH (on
+    different addresses) beats clear text by ~100 ms. Indonesia: the DoT
+    path to 1.1.1.1:853 is congested, raising DoT overhead.
+    """
+    if env.country_code == "IN":
+        penalty = max(20.0, rng.gauss(97.0, 18.0))
+        env.route_penalties[("1.1.1.1", 53)] = penalty
+        env.route_penalties[("1.0.0.1", 53)] = penalty
+    elif env.country_code == "ID":
+        penalty = max(5.0, rng.gauss(36.0, 14.0))
+        env.route_penalties[("1.1.1.1", 853)] = penalty
+
+
+def _spread_indices(count: int, wanted: int, rng: SeededRng,
+                    name: str) -> set:
+    if wanted <= 0 or count <= 0:
+        return set()
+    wanted = min(wanted, count)
+    return set(rng.fork(name).sample(range(count), wanted))
+
+
+ZHIMA_ASES: Tuple[Tuple[int, str], ...] = (
+    (4134, "Chinanet"),
+    (4812, "China Telecom (Group)"),
+    (4837, "China Unicom Backbone"),
+    (17621, "China Unicom Shanghai"),
+    (17622, "China Unicom Guangzhou"),
+)
+
+
+def build_zhima(count: int, rng: SeededRng,
+                cloudflare_blackhole_rate: float = 0.151,
+                google_do53_filter_rate: float = 0.011) -> List[VantagePoint]:
+    """Build the censored-network population (all endpoints in China)."""
+    points: List[VantagePoint] = []
+    for index in range(count):
+        client_rng = rng.fork(f"zh-{index}")
+        env = ClientEnvironment.in_country(
+            f"zhima-{index}", _client_address(client_rng, 600_000 + index),
+            "CN", client_rng)
+        asn, as_name = ZHIMA_ASES[index % len(ZHIMA_ASES)]
+        env.asn, env.as_name = asn, as_name
+        env.middleboxes.append(RandomDrop(
+            "residual-loss", client_rng.fork("loss"),
+            CENSORED_FLAKE_PROBABILITY))
+        if client_rng.chance(cloudflare_blackhole_rate):
+            # 1.1.1.1 is blackholed/squatted inside many Chinese networks;
+            # every port is dead, so Do53 and DoT fail together while DoH
+            # (other addresses) still works — the Table 4 Zhima column.
+            env.middleboxes.append(PortFilter(
+                "cn-1111-blackhole", RuleSet(blocked_ips={"1.1.1.1"}),
+                action=Verdict.DROP))
+        if client_rng.chance(google_do53_filter_rate):
+            env.middleboxes.append(PortFilter(
+                "cn-8888-filter",
+                RuleSet(blocked_endpoints={("8.8.8.8", 53)}),
+                action=Verdict.DROP))
+        points.append(VantagePoint(
+            env=env, platform="zhima",
+            remaining_uptime_s=client_rng.uniform(30.0, 1800.0)))
+    return points
+
+
+@dataclass
+class AtlasProbe:
+    """A RIPE-Atlas-style probe with its ISP's local resolver."""
+
+    env: ClientEnvironment
+    local_resolver_ip: str
+    #: True when the local resolver is a well-known public service
+    #: (excluded from the local-resolver analysis, as in footnote 1).
+    uses_public_resolver: bool = False
+
+
+def build_atlas_probes(count: int, rng: SeededRng,
+                       dot_capable_rate: float = 24.0 / 6655.0,
+                       public_resolver_rate: float = 0.12
+                       ) -> Tuple[List[AtlasProbe], List[str]]:
+    """Atlas probes plus the list of local resolver IPs that need hosts.
+
+    Returns ``(probes, dot_capable_ips)``; the scenario builds local
+    resolver hosts for every probe and enables DoT only on the capable
+    ones.
+    """
+    probes: List[AtlasProbe] = []
+    dot_capable: List[str] = []
+    for index in range(count):
+        client_rng = rng.fork(f"atlas-{index}")
+        code = _sample_country(client_rng)
+        env = ClientEnvironment.in_country(
+            f"atlas-{index}", _client_address(client_rng, 900_000 + index),
+            code, client_rng)
+        if client_rng.chance(public_resolver_rate):
+            probes.append(AtlasProbe(env, "8.8.8.8",
+                                     uses_public_resolver=True))
+            continue
+        resolver_ip = _client_address(client_rng, 950_000 + index)
+        capable = client_rng.chance(dot_capable_rate)
+        if capable:
+            dot_capable.append(resolver_ip)
+        probes.append(AtlasProbe(env, resolver_ip))
+    return probes, dot_capable

@@ -1,0 +1,516 @@
+"""Provider ground truth: who runs DoT/DoH resolvers in the simulation.
+
+The population is generated to match the paper's server-side findings:
+
+* >1.5K open DoT resolver addresses per scan, with the Table 2 country
+  distribution and its Feb 1 → May 1 growth/shrinkage;
+* a handful of large providers covering most addresses (CleanBrowsing,
+  Cloudflare, Quad9, a Chinese cloud platform, Perfect Privacy,
+  dnsfilter.com), plus a long tail where ~70% of providers run a single
+  address;
+* at the May 1 scan, 122 resolvers of 62 providers with invalid
+  certificates: 27 expired, 67 self-signed (47 of them FortiGate
+  factory defaults on TLS-inspection devices), 28 broken chains;
+* 17 public DoH resolvers, 15 of them on the public list and 2 beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.geo import COUNTRIES
+from repro.netsim.ipv4 import int_to_ip, ip_to_int
+from repro.netsim.rand import SeededRng
+
+#: Cert-status labels; "fortigate" is self-signed with the vendor's
+#: default CN pattern, which the cert study singles out.
+CERT_VALID = "valid"
+CERT_EXPIRED = "expired"
+CERT_EXPIRED_2018 = "expired_2018"
+CERT_SELF_SIGNED = "self_signed"
+CERT_BAD_CHAIN = "bad_chain"
+CERT_FORTIGATE = "fortigate"
+
+#: Table 2 of the paper: open DoT resolvers in the top-10 countries at
+#: the first (Feb 1) and last (May 1) scans.
+TABLE2_COUNTS: Dict[str, Tuple[int, int]] = {
+    "IE": (456, 951),
+    "CN": (257, 40),
+    "US": (100, 531),
+    "DE": (71, 86),
+    "FR": (59, 56),
+    "JP": (34, 27),
+    "NL": (30, 36),
+    "GB": (25, 21),
+    "BR": (22, 49),
+    "RU": (17, 40),
+}
+
+#: Long-tail countries hosting the remaining resolvers (roughly constant
+#: across the campaign).
+OTHER_COUNTRY_COUNTS: Dict[str, Tuple[int, int]] = {
+    "CA": (16, 17), "PL": (15, 16), "SE": (14, 14), "AU": (13, 14),
+    "IT": (13, 13), "ES": (12, 13), "CZ": (12, 12), "UA": (12, 12),
+    "SG": (12, 12), "ZA": (11, 12), "CH": (11, 12), "RO": (11, 11),
+    "FI": (11, 11), "AT": (11, 11), "DK": (10, 11), "TR": (10, 11),
+    "IN": (10, 11), "KR": (10, 10), "HK": (10, 10), "TW": (10, 10),
+    "NO": (10, 10), "BE": (10, 10), "GR": (9, 10), "HU": (9, 10),
+    "BG": (9, 9), "RS": (9, 9), "AR": (9, 9), "MX": (9, 9),
+    "TH": (9, 9), "MY": (9, 9), "ID": (9, 9), "VN": (9, 9),
+    "PH": (9, 9), "CL": (9, 9), "CO": (8, 9), "IL": (8, 8),
+    "NZ": (8, 8), "PT": (8, 8), "SA": (8, 8), "AE": (8, 8),
+    "EG": (8, 8), "KZ": (8, 8), "PE": (8, 8), "MA": (8, 8),
+    "KE": (8, 8), "NG": (8, 8),
+}
+
+
+@dataclass
+class ResolverAddressSpec:
+    """One resolver address in the ground truth."""
+
+    address: str
+    country: str
+    cert_status: str = CERT_VALID
+    #: Whether the provider advertises this address publicly.
+    advertised: bool = True
+    #: Scan rounds (0-based, inclusive) during which the address answers.
+    first_round: int = 0
+    last_round: int = 10_000
+
+    def active_in_round(self, round_index: int) -> bool:
+        return self.first_round <= round_index <= self.last_round
+
+
+@dataclass
+class ProviderSpec:
+    """One DoT/DoH provider (grouping unit of Figures 3-4)."""
+
+    name: str
+    #: Certificate Common Name; the paper groups resolvers into providers
+    #: by the CN (SLD when the CN is a domain name).
+    cert_cn: str
+    kind: str  # "large" | "small" | "inspection"
+    addresses: List[ResolverAddressSpec] = field(default_factory=list)
+    #: DoH URI template, when the provider also runs DoH.
+    doh_template: Optional[str] = None
+    #: DoH bootstrap hostname -> address mapping entries.
+    doh_hosts: Dict[str, str] = field(default_factory=dict)
+    #: Listed on the public resolver lists (dnsprivacy.org / curl wiki)?
+    in_public_list: bool = False
+    #: Special backend behaviours understood by the scenario builder.
+    fixed_answer: Optional[str] = None
+    flaky_doh_probability: float = 0.0
+    anycast: bool = False
+
+    def addresses_in_round(self, round_index: int) -> List[ResolverAddressSpec]:
+        return [spec for spec in self.addresses
+                if spec.active_in_round(round_index)]
+
+    def has_invalid_cert_in_round(self, round_index: int) -> bool:
+        return any(spec.cert_status != CERT_VALID
+                   for spec in self.addresses_in_round(round_index))
+
+
+class _AddressAllocator:
+    """Hands out stable unique public addresses per country."""
+
+    _COUNTRY_BLOCKS = {code: index for index, code in
+                       enumerate(sorted(COUNTRIES))}
+
+    def __init__(self):
+        self._next_offset: Dict[str, int] = {}
+
+    def allocate(self, country_code: str) -> str:
+        # Carve per-country space out of 5.0.0.0/8 .. 95.x by country
+        # index; offsets walk through successive /24s for realism.
+        block_index = self._COUNTRY_BLOCKS.get(country_code, 0)
+        offset = self._next_offset.get(country_code, 0)
+        self._next_offset[country_code] = offset + 1
+        base = ip_to_int("5.0.0.0") + (block_index << 17)
+        value = base + (offset // 200) * 256 + (offset % 200) + 1
+        return int_to_ip(value)
+
+
+def _interpolate(first: int, last: int, round_index: int,
+                 total_rounds: int) -> int:
+    if total_rounds <= 1:
+        return last
+    fraction = round_index / (total_rounds - 1)
+    return round(first + (last - first) * fraction)
+
+
+def _round_span(rng: SeededRng, first_count: int, last_count: int,
+                total_rounds: int, index_within: int) -> Tuple[int, int]:
+    """Assign one address's active rounds given its country's growth.
+
+    Addresses present from the start keep running; growth adds addresses
+    with later ``first_round``; shrinkage retires addresses at sampled
+    rounds. ``index_within`` orders addresses within the country pool.
+    """
+    if index_within < min(first_count, last_count):
+        return 0, total_rounds
+    if last_count >= first_count:
+        # Growth: the extra addresses come online over the campaign.
+        extra_rank = index_within - first_count
+        extra_total = max(1, last_count - first_count)
+        first_round = 1 + round(extra_rank / extra_total
+                                * (total_rounds - 2))
+        return min(first_round, total_rounds - 1), total_rounds
+    # Shrinkage: the surplus addresses go away over the campaign.
+    dying_rank = index_within - last_count
+    dying_total = max(1, first_count - last_count)
+    last_round = (total_rounds - 2) - round(
+        dying_rank / dying_total * (total_rounds - 2))
+    return 0, max(0, last_round)
+
+
+def build_provider_population(rng: SeededRng,
+                              total_rounds: int = 10) -> List[ProviderSpec]:
+    """Generate the full provider ground truth."""
+    allocator = _AddressAllocator()
+    providers: List[ProviderSpec] = []
+    providers.extend(_large_providers(allocator, total_rounds))
+    providers.extend(_misconfigured_providers(rng, allocator, total_rounds))
+    providers.extend(_fortigate_devices(rng, allocator, total_rounds))
+    _fill_long_tail(providers, rng, allocator, total_rounds)
+    providers.extend(_doh_only_providers())
+    return providers
+
+
+# -- large providers ----------------------------------------------------------
+
+
+def _large_providers(allocator: _AddressAllocator,
+                     total_rounds: int) -> List[ProviderSpec]:
+    providers = []
+
+    cloudflare = ProviderSpec(
+        name="Cloudflare", cert_cn="cloudflare-dns.com", kind="large",
+        in_public_list=True, anycast=True,
+        doh_template="https://mozilla.cloudflare-dns.com/dns-query{?dns}",
+        doh_hosts={"mozilla.cloudflare-dns.com": "104.16.249.249",
+                   "cloudflare-dns.com": "104.16.248.249"},
+    )
+    cloudflare.addresses.append(ResolverAddressSpec("1.1.1.1", "US"))
+    cloudflare.addresses.append(ResolverAddressSpec("1.0.0.1", "US"))
+    for index in range(45):
+        cloudflare.addresses.append(ResolverAddressSpec(
+            allocator.allocate("US"), "US", advertised=False))
+    providers.append(cloudflare)
+
+    quad9 = ProviderSpec(
+        name="Quad9", cert_cn="quad9.net", kind="large",
+        in_public_list=True, anycast=True,
+        doh_template="https://dns.quad9.net/dns-query{?dns}",
+        doh_hosts={"dns.quad9.net": "9.9.9.10"},
+        flaky_doh_probability=0.19,
+    )
+    quad9.addresses.append(ResolverAddressSpec("9.9.9.9", "US"))
+    quad9.addresses.append(ResolverAddressSpec("149.112.112.112", "US"))
+    for index in range(8):
+        quad9.addresses.append(ResolverAddressSpec(
+            allocator.allocate("US"), "US", advertised=False))
+    providers.append(quad9)
+
+    cleanbrowsing = ProviderSpec(
+        name="CleanBrowsing", cert_cn="cleanbrowsing.org", kind="large",
+        in_public_list=True,
+        doh_template="https://doh.cleanbrowsing.org/doh/family-filter"
+                     "{?dns}",
+        doh_hosts={"doh.cleanbrowsing.org": "185.228.168.10"},
+    )
+    for index in range(931):
+        first, last = _span_for_growth(index, 436, 931, total_rounds)
+        cleanbrowsing.addresses.append(ResolverAddressSpec(
+            allocator.allocate("IE"), "IE", advertised=(index < 2),
+            first_round=first, last_round=last))
+    for index in range(430):
+        first, last = _span_for_growth(index, 8, 430, total_rounds)
+        cleanbrowsing.addresses.append(ResolverAddressSpec(
+            allocator.allocate("US"), "US", advertised=False,
+            first_round=first, last_round=last))
+    providers.append(cleanbrowsing)
+
+    cn_cloud = ProviderSpec(
+        name="YunDNS Cloud", cert_cn="yundns.example.cn", kind="large")
+    for index in range(237):
+        first, last = _span_for_shrink(index, 237, 20, total_rounds)
+        cn_cloud.addresses.append(ResolverAddressSpec(
+            allocator.allocate("CN"), "CN", advertised=False,
+            first_round=first, last_round=last))
+    providers.append(cn_cloud)
+
+    perfect_privacy = ProviderSpec(
+        name="Perfect Privacy", cert_cn="perfect-privacy.com",
+        kind="large", in_public_list=True)
+    for index in range(12):
+        perfect_privacy.addresses.append(ResolverAddressSpec(
+            allocator.allocate("DE"), "DE"))
+    for index in range(6):
+        perfect_privacy.addresses.append(ResolverAddressSpec(
+            allocator.allocate("NL"), "NL"))
+    # The two self-signed resolvers of Finding 1.2.
+    for index in range(2):
+        perfect_privacy.addresses.append(ResolverAddressSpec(
+            allocator.allocate("DE"), "DE",
+            cert_status=CERT_SELF_SIGNED))
+    providers.append(perfect_privacy)
+
+    dnsfilter = ProviderSpec(
+        name="DNSFilter", cert_cn="dnsfilter.com", kind="large",
+        fixed_answer="198.51.100.7")
+    dnsfilter.addresses.append(ResolverAddressSpec("103.247.37.37", "US"))
+    for index in range(14):
+        dnsfilter.addresses.append(ResolverAddressSpec(
+            allocator.allocate("US"), "US", advertised=False))
+    providers.append(dnsfilter)
+
+    providers.extend(_mid_providers(allocator, total_rounds))
+    providers.append(_edge_cdn_provider(allocator, total_rounds))
+    return providers
+
+
+def _edge_cdn_provider(allocator: _AddressAllocator,
+                       total_rounds: int) -> ProviderSpec:
+    """A CDN-style operator with edge resolvers in dozens of countries.
+
+    Keeps every scan above the paper's ~1.5K-resolver floor while the
+    Table 2 top-10 counts stay pinned to their reported values.
+    """
+    spec = ProviderSpec(name="EdgeCast DNS", cert_cn="edgedns.example",
+                        kind="large", in_public_list=True)
+    per_country = 7
+    for country_code in sorted(OTHER_COUNTRY_COUNTS):
+        for index in range(per_country):
+            spec.addresses.append(ResolverAddressSpec(
+                allocator.allocate(country_code), country_code,
+                advertised=(country_code == "CA" and index == 0)))
+    return spec
+
+
+#: Mid-size national operators: (name, country, first-scan count,
+#: last-scan count). These absorb most of the Table 2 counts that the
+#: global operators do not explain.
+_MID_PROVIDER_SPECS: Tuple[Tuple[str, str, int, int], ...] = (
+    ("opennic-de.example", "DE", 30, 45),
+    ("fdn-fr.example", "FR", 30, 30),
+    ("giganet-br.example", "BR", 10, 35),
+    ("rudns-ru.example", "RU", 5, 25),
+    ("nlnet-dns.example", "NL", 15, 15),
+    ("iij-jp.example", "JP", 15, 10),
+)
+
+
+def _mid_providers(allocator: _AddressAllocator,
+                   total_rounds: int) -> List[ProviderSpec]:
+    providers = []
+    for name, country_code, first_count, last_count in _MID_PROVIDER_SPECS:
+        spec = ProviderSpec(name=name.split(".")[0].title(),
+                            cert_cn=name, kind="medium")
+        pool = max(first_count, last_count)
+        for index in range(pool):
+            if last_count >= first_count:
+                first, last = _span_for_growth(index, first_count,
+                                               last_count, total_rounds)
+            else:
+                first, last = _span_for_shrink(index, first_count,
+                                               last_count, total_rounds)
+            spec.addresses.append(ResolverAddressSpec(
+                allocator.allocate(country_code), country_code,
+                advertised=(index == 0),
+                first_round=first, last_round=last))
+        providers.append(spec)
+    return providers
+
+
+def _span_for_growth(index: int, first_count: int, last_count: int,
+                     total_rounds: int) -> Tuple[int, int]:
+    if index < first_count:
+        return 0, total_rounds
+    extra_rank = index - first_count
+    extra_total = max(1, last_count - first_count)
+    first_round = 1 + round(extra_rank / extra_total * (total_rounds - 2))
+    return min(first_round, total_rounds - 1), total_rounds
+
+
+def _span_for_shrink(index: int, first_count: int, last_count: int,
+                     total_rounds: int) -> Tuple[int, int]:
+    if index < last_count:
+        return 0, total_rounds
+    dying_rank = index - last_count
+    dying_total = max(1, first_count - last_count)
+    last_round = (total_rounds - 2) - round(
+        dying_rank / dying_total * (total_rounds - 2))
+    return 0, max(0, last_round)
+
+
+# -- misconfigured providers ---------------------------------------------------
+
+
+def _misconfigured_providers(rng: SeededRng, allocator: _AddressAllocator,
+                             total_rounds: int) -> List[ProviderSpec]:
+    """Providers whose resolvers carry invalid certificates at May 1.
+
+    Sizes are chosen so the final scan sees 27 expired (9 of them expired
+    back in 2018), 28 broken chains and 18 non-FortiGate self-signed
+    certificates beyond Perfect Privacy's 2.
+    """
+    providers = []
+    expired_sizes = [10, 5, 4, 3, 2, 2, 1]  # 27 resolvers, 7 providers
+    expired_2018_budget = 9
+    countries = ["DE", "FR", "US", "GB", "RU", "BR", "NL"]
+    for index, size in enumerate(expired_sizes):
+        country_code = countries[index % len(countries)]
+        spec = ProviderSpec(
+            name=f"expired-{index}.example",
+            cert_cn=f"dns.expired-{index}.example", kind="small")
+        for address_index in range(size):
+            status = (CERT_EXPIRED_2018 if expired_2018_budget > 0
+                      else CERT_EXPIRED)
+            if expired_2018_budget > 0:
+                expired_2018_budget -= 1
+            spec.addresses.append(ResolverAddressSpec(
+                allocator.allocate(country_code), country_code,
+                cert_status=status))
+        providers.append(spec)
+
+    badchain_sizes = [12, 8, 5, 3]  # 28 resolvers, 4 providers
+    for index, size in enumerate(badchain_sizes):
+        country_code = ["US", "FR", "JP", "CA"][index]
+        spec = ProviderSpec(
+            name=f"badchain-{index}.example",
+            cert_cn=f"resolver.badchain-{index}.example", kind="small")
+        for address_index in range(size):
+            spec.addresses.append(ResolverAddressSpec(
+                allocator.allocate(country_code), country_code,
+                cert_status=CERT_BAD_CHAIN))
+        providers.append(spec)
+
+    selfsigned_sizes = [10, 5, 3]  # 18 resolvers, 3 providers
+    for index, size in enumerate(selfsigned_sizes):
+        country_code = ["RU", "UA", "BR"][index]
+        spec = ProviderSpec(
+            name=f"selfsigned-{index}.example",
+            cert_cn=f"dns.selfsigned-{index}.example", kind="small")
+        for address_index in range(size):
+            spec.addresses.append(ResolverAddressSpec(
+                allocator.allocate(country_code), country_code,
+                cert_status=CERT_SELF_SIGNED))
+        providers.append(spec)
+    return providers
+
+
+def _fortigate_devices(rng: SeededRng, allocator: _AddressAllocator,
+                       total_rounds: int) -> List[ProviderSpec]:
+    """47 FortiGate TLS-inspection devices acting as DoT proxies."""
+    providers = []
+    codes = list(TABLE2_COUNTS) + list(OTHER_COUNTRY_COUNTS)
+    for index in range(47):
+        country_code = codes[index % len(codes)]
+        serial = f"FGT60E{4000 + index:04d}"
+        spec = ProviderSpec(
+            name=f"FortiGate {serial}", cert_cn=serial, kind="inspection")
+        spec.addresses.append(ResolverAddressSpec(
+            allocator.allocate(country_code), country_code,
+            cert_status=CERT_FORTIGATE, advertised=False))
+        providers.append(spec)
+    return providers
+
+
+# -- long tail -----------------------------------------------------------------
+
+
+def _fill_long_tail(providers: List[ProviderSpec], rng: SeededRng,
+                    allocator: _AddressAllocator,
+                    total_rounds: int) -> None:
+    """Top up each country to its Table 2 / long-tail target counts."""
+    final_round = total_rounds - 1
+    allocated: Dict[str, Tuple[int, int]] = {}
+    for spec in providers:
+        for address in spec.addresses:
+            first_total, last_total = allocated.get(address.country, (0, 0))
+            first_total += 1 if address.active_in_round(0) else 0
+            last_total += 1 if address.active_in_round(final_round) else 0
+            allocated[address.country] = (first_total, last_total)
+
+    targets = dict(TABLE2_COUNTS)
+    targets.update(OTHER_COUNTRY_COUNTS)
+    small_index = 0
+    tail_rng = rng.fork("long-tail")
+    for country_code, (first_target, last_target) in sorted(targets.items()):
+        have_first, have_last = allocated.get(country_code, (0, 0))
+        need_first = max(0, first_target - have_first)
+        need_last = max(0, last_target - have_last)
+        pool_size = max(need_first, need_last)
+        index_within = 0
+        while index_within < pool_size:
+            # ~70% of long-tail providers run one address.
+            if tail_rng.chance(0.7):
+                size = 1
+            else:
+                size = tail_rng.randint(2, 5)
+            size = min(size, pool_size - index_within)
+            spec = ProviderSpec(
+                name=f"smalldns-{small_index}.example",
+                cert_cn=f"dns.smalldns-{small_index}.example",
+                kind="small",
+                in_public_list=False)
+            for _ in range(size):
+                first, last = _round_span(tail_rng, need_first, need_last,
+                                          total_rounds, index_within)
+                spec.addresses.append(ResolverAddressSpec(
+                    allocator.allocate(country_code), country_code,
+                    first_round=first, last_round=last))
+                index_within += 1
+            providers.append(spec)
+            small_index += 1
+
+
+# -- DoH-only providers ---------------------------------------------------------
+
+
+def _doh_only_providers() -> List[ProviderSpec]:
+    """Providers that run DoH without an open DoT resolver.
+
+    Together with Cloudflare, Quad9, CleanBrowsing and the two
+    beyond-the-list finds this yields the paper's 17 public DoH services.
+    """
+    specs = []
+
+    google = ProviderSpec(
+        name="Google", cert_cn="dns.google.com", kind="large",
+        in_public_list=True, anycast=True,
+        doh_template="https://dns.google.com/resolve{?dns}",
+        doh_hosts={"dns.google.com": "216.58.192.10"})
+    specs.append(google)
+
+    in_list = [
+        ("crypto.sx", "doh.crypto.sx", "185.2.24.10"),
+        ("commons.host", "commons.host", "51.15.124.10"),
+        ("SecureDNS", "doh.securedns.eu", "146.185.167.43"),
+        ("dnsoverhttps.net", "dns.dnsoverhttps.net", "176.56.236.21"),
+        ("doh.li", "doh.li", "46.101.66.244"),
+        ("dns-over-https.com", "dns.dns-over-https.com", "104.236.178.10"),
+        ("AppliedPrivacy", "doh.appliedprivacy.net", "37.252.185.229"),
+        ("captnemo", "doh.captnemo.in", "139.59.48.222"),
+        ("tiar.app", "doh.tiar.app", "174.138.29.175"),
+        ("jp.tiar.app", "jp.tiar.app", "172.104.93.80"),
+        ("dnswarden", "doh.dnswarden.com", "116.203.70.156"),
+    ]
+    for name, hostname, address in in_list:
+        specs.append(ProviderSpec(
+            name=name, cert_cn=hostname, kind="small", in_public_list=True,
+            doh_template=f"https://{hostname}/dns-query{{?dns}}",
+            doh_hosts={hostname: address}))
+
+    beyond_list = [
+        ("rubyfish", "dns.rubyfish.cn", "118.89.110.78"),
+        ("233py", "dns.233py.com", "47.101.136.37"),
+    ]
+    for name, hostname, address in beyond_list:
+        specs.append(ProviderSpec(
+            name=name, cert_cn=hostname, kind="small", in_public_list=False,
+            doh_template=f"https://{hostname}/dns-query{{?dns}}",
+            doh_hosts={hostname: address}))
+    return specs

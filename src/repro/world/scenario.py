@@ -1,0 +1,525 @@
+"""Scenario assembly: the whole simulated world, calibrated to the paper.
+
+:func:`build_scenario` produces a :class:`Scenario` bundling
+
+* the provider ground truth and per-scan-round networks (Section 3),
+* the trusted/untrusted certificate infrastructure,
+* the DNS universe with the measurement platform's own probe zone,
+* the vantage-point populations (Section 4),
+* the URL dataset used for DoH discovery,
+* handles the usage-study dataset generators attach to (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.records import ResourceRecord
+from repro.dnswire.zone import Zone
+from repro.errors import ScenarioError
+from repro.netsim.clock import DAY_SECONDS, SimClock, parse_date
+from repro.netsim.geo import GeoPoint, country
+from repro.netsim.host import Host, TlsConfig
+from repro.netsim.middlebox import Censor, RuleSet, Verdict
+from repro.netsim.network import Network
+from repro.netsim.rand import SeededRng
+from repro.resolvers.backends import (
+    FixedAnswerBackend,
+    FlakyForwardingBackend,
+    RecursiveBackend,
+    ResolverBackend,
+)
+from repro.resolvers.frontends import (
+    Do53TcpService,
+    Do53UdpService,
+    DohService,
+    DotService,
+    WebpageService,
+)
+from repro.resolvers.universe import DnsUniverse
+from repro.tlssim.certs import (
+    CaStore,
+    Certificate,
+    CertificateAuthority,
+    make_chain,
+    self_signed,
+)
+from repro.world.population import (
+    AtlasProbe,
+    VantagePoint,
+    build_atlas_probes,
+    build_proxyrack,
+    build_zhima,
+)
+from repro.world.providers import (
+    CERT_BAD_CHAIN,
+    CERT_EXPIRED,
+    CERT_EXPIRED_2018,
+    CERT_FORTIGATE,
+    CERT_SELF_SIGNED,
+    CERT_VALID,
+    ProviderSpec,
+    ResolverAddressSpec,
+    build_provider_population,
+)
+
+#: Anycast points of presence used by the large operators.
+GLOBAL_POPS = tuple(country(code).point for code in
+                    ("US", "DE", "SG", "BR", "AU", "JP", "ZA", "IN",
+                     "GB", "HK", "FR", "SE"))
+
+PROBE_ZONE = "probe.dnsmeasure.example."
+PROBE_ANSWER = "198.51.100.53"
+SELF_BUILT_IP = "188.166.200.77"
+SELF_BUILT_HOSTNAME = "dns.selfbuilt.example"
+
+#: Blocked-in-China Google service addresses (dns.google.com resolves
+#: here; "the addresses also carry other Google services, therefore are
+#: blocked from Chinese users").
+GOOGLE_DOH_IP = "216.58.192.10"
+GOOGLE_DO53_IPS = ("8.8.8.8", "8.8.4.4")
+
+
+@dataclass
+class ScenarioConfig:
+    """Scenario knobs; defaults reproduce the paper's scale."""
+
+    seed: int = 2019
+    #: Scan campaign: Feb 1 to May 1 2019, every 10 days (Section 3.1).
+    first_scan_date: str = "2019-02-01"
+    scan_interval_days: int = 10
+    scan_rounds: int = 10
+    #: Vantage populations (Table 3). The paper had 29,622 / 85,112 /
+    #: 6,655; ``vantage_scale`` shrinks all three together.
+    proxyrack_endpoints: int = 29_622
+    zhima_endpoints: int = 85_112
+    atlas_probes: int = 6_655
+    vantage_scale: float = 1.0
+    #: Hosts with port 853 open that are not DoT (Finding 1.1 reports
+    #: millions); only a sample is materialised for probing.
+    background_open853_first: int = 3_560_000
+    background_open853_last: int = 2_300_000
+    background_sample_size: int = 1_500
+    #: URL dataset size ("billions" in the paper; scaled down, the DoH
+    #: discovery logic only depends on the candidates within).
+    url_dataset_noise: int = 120_000
+    intercepted_clients: int = 17
+    hijacked_routers: int = 12
+
+    def scaled(self, value: int) -> int:
+        return max(1, round(value * self.vantage_scale))
+
+    @classmethod
+    def small(cls, seed: int = 2019) -> "ScenarioConfig":
+        """A test-sized configuration (~1% of the vantage population)."""
+        return cls(seed=seed, vantage_scale=0.02,
+                   background_sample_size=120, url_dataset_noise=3_000,
+                   intercepted_clients=5, hijacked_routers=3)
+
+
+@dataclass
+class ResolverRecord:
+    """Ground truth of one resolver address (for result validation)."""
+
+    provider: ProviderSpec
+    spec: ResolverAddressSpec
+    tls_config: Optional[TlsConfig]
+
+
+class Scenario:
+    """The fully-built world, plus lazy vantage populations."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.rng = SeededRng(config.seed, "scenario")
+        self.universe = DnsUniverse()
+        self.trust_store = CaStore()
+        self.trusted_ca = CertificateAuthority.root("ISRG Root X1")
+        self.secondary_ca = CertificateAuthority.root("DigiCert Global Root")
+        self.trust_store.trust(self.trusted_ca)
+        self.trust_store.trust(self.secondary_ca)
+        #: An untrusted CA whose certificates produce BROKEN_CHAIN when a
+        #: wrong intermediate is stapled below the leaf.
+        self._orphan_ca = CertificateAuthority.root(
+            "Orphaned Issuing CA", trusted=False)
+        self.providers: List[ProviderSpec] = []
+        self.resolver_records: Dict[str, ResolverRecord] = {}
+        self._tls_configs: Dict[str, TlsConfig] = {}
+        self._networks: Dict[int, Network] = {}
+        self._proxyrack: Optional[List[VantagePoint]] = None
+        self._zhima: Optional[List[VantagePoint]] = None
+        self._atlas: Optional[Tuple[List[AtlasProbe], List[str]]] = None
+        self._url_dataset = None
+        self.probe_origin = DnsName.from_text(PROBE_ZONE)
+
+    # -- campaign timeline ---------------------------------------------------
+
+    def scan_dates(self) -> List[float]:
+        start = parse_date(self.config.first_scan_date)
+        step = self.config.scan_interval_days * DAY_SECONDS
+        return [start + index * step
+                for index in range(self.config.scan_rounds)]
+
+    def final_round(self) -> int:
+        return self.config.scan_rounds - 1
+
+    # -- world building ---------------------------------------------------------
+
+    def network_for_round(self, round_index: int) -> Network:
+        """The resolver world as it exists at one scan round (cached)."""
+        if round_index not in self._networks:
+            self._networks[round_index] = self._build_network(round_index)
+        return self._networks[round_index]
+
+    def client_network(self) -> Network:
+        """The world the client-side studies run against (final round)."""
+        return self.network_for_round(self.final_round())
+
+    def background_open853(self, round_index: int) -> int:
+        """How many non-DoT hosts have port 853 open at a round."""
+        config = self.config
+        if config.scan_rounds <= 1:
+            return config.background_open853_last
+        fraction = round_index / (config.scan_rounds - 1)
+        return round(config.background_open853_first
+                     + (config.background_open853_last
+                        - config.background_open853_first) * fraction)
+
+    def _build_network(self, round_index: int) -> Network:
+        dates = self.scan_dates()
+        network = Network(clock=SimClock(dates[round_index]))
+        for provider in self.providers:
+            self._add_provider_hosts(network, provider, round_index)
+        self._add_google_hosts(network)
+        self._add_self_built(network)
+        self._add_background_sample(network, round_index)
+        self._add_atlas_local_resolvers(network)
+        self._add_censorship(network)
+        return network
+
+    def _add_censorship(self, network: Network) -> None:
+        """Country-level blocking (Finding 2.2).
+
+        The GFW blocks the address block carrying Google DoH (it also
+        carries other Google services), on every port, for clients in
+        China. 8.8.8.8 itself is left reachable, matching Table 4.
+        """
+        network.add_country_policy("CN", Censor(
+            "gfw", RuleSet(blocked_ips={GOOGLE_DOH_IP}),
+            action=Verdict.DROP))
+
+    # -- provider hosts ---------------------------------------------------------
+
+    def _add_provider_hosts(self, network: Network, provider: ProviderSpec,
+                            round_index: int) -> None:
+        for spec in provider.addresses_in_round(round_index):
+            host = self._make_resolver_host(network, provider, spec)
+            network.add_host(host)
+        if provider.doh_template and provider.doh_hosts:
+            self._add_doh_hosts(network, provider)
+
+    def _make_resolver_host(self, network: Network, provider: ProviderSpec,
+                            spec: ResolverAddressSpec) -> Host:
+        host_rng = self.rng.fork(f"host-{spec.address}")
+        entry = country(spec.country)
+        point = GeoPoint(entry.point.lat + host_rng.uniform(-2, 2),
+                         entry.point.lon + host_rng.uniform(-2, 2))
+        pops = GLOBAL_POPS if provider.anycast else (point,)
+        host = Host(address=spec.address, country_code=spec.country,
+                    point=point, pops=pops,
+                    processing_ms=host_rng.uniform(0.8, 2.5),
+                    operator=provider.name)
+        host.tags.add("dot-resolver")
+        if provider.kind == "inspection":
+            host.tags.add("tls-inspection")
+        if not spec.advertised:
+            host.tags.add("unadvertised")
+        tls = self._tls_config_for(provider, spec)
+        backend = self._backend_for(provider, host_rng)
+        host.bind("tcp", 853, DotService(backend, tls))
+        host.bind("udp", 53, Do53UdpService(backend))
+        host.bind("tcp", 53, Do53TcpService(backend))
+        webpage = f"<title>{provider.name} DNS</title>"
+        host.bind("tcp", 80, WebpageService(webpage))
+        host.webpage = webpage
+        host.ptr_name = (f"resolver-{spec.address.replace('.', '-')}."
+                         f"{provider.cert_cn}")
+        self.resolver_records[spec.address] = ResolverRecord(
+            provider, spec, tls)
+        return host
+
+    def _add_doh_hosts(self, network: Network,
+                       provider: ProviderSpec) -> None:
+        from repro.httpsim.uri import UriTemplate
+        template = UriTemplate(provider.doh_template)
+        path = template.path
+        for hostname, address in provider.doh_hosts.items():
+            if network.host_at(address) is not None:
+                continue
+            host_rng = self.rng.fork(f"doh-{address}")
+            home = "US" if provider.anycast else "DE"
+            entry = country(home)
+            host = Host(address=address, country_code=home,
+                        point=entry.point,
+                        pops=GLOBAL_POPS if provider.anycast
+                        else (entry.point,),
+                        processing_ms=host_rng.uniform(0.8, 2.0),
+                        operator=provider.name)
+            host.tags.add("doh-resolver")
+            chain = make_chain(self.trusted_ca, hostname,
+                               "2018-09-01", "2019-09-01", san=(hostname,))
+            tls = TlsConfig(cert_chain=chain, alpn=("h2",))
+            backend = self._backend_for(provider, host_rng)
+            if provider.flaky_doh_probability > 0.0:
+                backend = FlakyForwardingBackend(
+                    backend, host_rng.fork("flaky"),
+                    slow_upstream_probability=provider.flaky_doh_probability,
+                    regional_probabilities={"AP": 0.004})
+            webpage = f"<title>{provider.name} DoH</title>"
+            host.bind("tcp", 443, DohService(
+                backend, tls, path=path, webpage_html=webpage,
+                supports_json=(provider.name == "Google")))
+            host.bind("tcp", 80, WebpageService(webpage))
+            host.webpage = webpage
+            network.add_host(host)
+            self.universe.host_a(hostname, address)
+
+    def _backend_for(self, provider: ProviderSpec,
+                     host_rng: SeededRng) -> ResolverBackend:
+        backend: ResolverBackend = RecursiveBackend(
+            self.universe, host_rng.fork("recursive"),
+            resolver_label=provider.name)
+        if provider.fixed_answer:
+            backend = FixedAnswerBackend(backend, provider.fixed_answer)
+        return backend
+
+    def _tls_config_for(self, provider: ProviderSpec,
+                        spec: ResolverAddressSpec) -> TlsConfig:
+        cached = self._tls_configs.get(spec.address)
+        if cached is not None:
+            return cached
+        status = spec.cert_status
+        if status == CERT_VALID:
+            chain = make_chain(self.trusted_ca, provider.cert_cn,
+                               "2018-08-01", "2019-08-01",
+                               san=(provider.cert_cn,
+                                    f"*.{provider.cert_cn}"))
+        elif status == CERT_EXPIRED_2018:
+            chain = make_chain(self.trusted_ca, provider.cert_cn,
+                               "2017-07-01", "2018-07-20")
+        elif status == CERT_EXPIRED:
+            # Mostly lapsed before the campaign; a few expire mid-way so
+            # the per-scan invalid counts drift slightly upward.
+            lapse = ("2019-03-15"
+                     if self.rng.fork(f"lapse-{spec.address}").chance(0.15)
+                     else "2019-01-15")
+            chain = make_chain(self.trusted_ca, provider.cert_cn,
+                               "2018-01-01", lapse)
+        elif status == CERT_SELF_SIGNED:
+            chain = self_signed(provider.cert_cn,
+                                "2018-01-01", "2028-01-01")
+        elif status == CERT_FORTIGATE:
+            chain = self_signed(provider.cert_cn,
+                                "2017-01-01", "2027-01-01")
+        elif status == CERT_BAD_CHAIN:
+            leaf = self._orphan_ca.issue(provider.cert_cn,
+                                         "2018-08-01", "2019-08-01")
+            wrong_parent = self.secondary_ca.certificate
+            assert wrong_parent is not None
+            chain = (leaf, wrong_parent)
+        else:
+            raise ScenarioError(f"unknown cert status {status!r}")
+        config = TlsConfig(cert_chain=chain)
+        self._tls_configs[spec.address] = config
+        return config
+
+    # -- special hosts -----------------------------------------------------------
+
+    def _add_google_hosts(self, network: Network) -> None:
+        """Google public DNS: Do53 on 8.8.8.8/8.8.4.4, DoH on dns.google.com.
+
+        At the time of the experiment Google DoT was not announced, so
+        the 8.8.8.8 host deliberately has no port-853 service (the
+        Table 4 "n/a" cells).
+        """
+        for address in GOOGLE_DO53_IPS:
+            if network.host_at(address) is not None:
+                continue
+            host_rng = self.rng.fork(f"google-{address}")
+            host = Host(address=address, country_code="US",
+                        point=country("US").point, pops=GLOBAL_POPS,
+                        processing_ms=1.0, operator="Google")
+            backend = RecursiveBackend(self.universe,
+                                       host_rng.fork("recursive"),
+                                       resolver_label="Google")
+            host.bind("udp", 53, Do53UdpService(backend))
+            host.bind("tcp", 53, Do53TcpService(backend))
+            webpage = "<title>Google Public DNS</title>"
+            host.bind("tcp", 80, WebpageService(webpage))
+            host.webpage = webpage
+            network.add_host(host)
+
+    def _add_self_built(self, network: Network) -> None:
+        """The paper's own resolver supporting Do53, DoT and DoH."""
+        host_rng = self.rng.fork("self-built")
+        entry = country("DE")
+        host = Host(address=SELF_BUILT_IP, country_code="DE",
+                    point=entry.point, processing_ms=1.2,
+                    operator="self-built")
+        backend = RecursiveBackend(self.universe, host_rng.fork("recursive"),
+                                   resolver_label="self-built")
+        chain = make_chain(self.trusted_ca, SELF_BUILT_HOSTNAME,
+                           "2018-11-01", "2019-11-01",
+                           san=(SELF_BUILT_HOSTNAME,))
+        tls = TlsConfig(cert_chain=chain)
+        host.bind("udp", 53, Do53UdpService(backend))
+        host.bind("tcp", 53, Do53TcpService(backend))
+        host.bind("tcp", 853, DotService(backend, tls))
+        host.bind("tcp", 443, DohService(backend, tls, path="/dns-query"))
+        network.add_host(host)
+        self.universe.host_a(SELF_BUILT_HOSTNAME, SELF_BUILT_IP)
+
+    def _add_background_sample(self, network: Network,
+                               round_index: int) -> None:
+        """Materialise a sample of port-853-open non-DoT hosts."""
+        from repro.netsim.host import CallableService
+        sample_rng = self.rng.fork(f"background-{round_index}")
+        codes = ("US", "CN", "BR", "RU", "IN", "DE", "KR", "VN", "TR",
+                 "ID", "MX", "TH")
+        for index in range(self.config.background_sample_size):
+            code = sample_rng.choice(codes)
+            address = f"203.{(index // 250) % 200}.{(index // 250) // 200}.{index % 250 + 1}"
+            if network.host_at(address) is not None:
+                continue
+            entry = country(code)
+            host = Host(address=address, country_code=code,
+                        point=entry.point, processing_ms=2.0)
+            host.tags.add("background-853")
+            # Port 853 accepts TCP but speaks no TLS/DoT: getdns errors.
+            host.bind("tcp", 853, CallableService(
+                lambda payload, ctx: b""))
+            network.add_host(host)
+
+    def _add_atlas_local_resolvers(self, network: Network) -> None:
+        probes, dot_capable = self.atlas()
+        capable = set(dot_capable)
+        for probe in probes:
+            if probe.uses_public_resolver:
+                continue
+            if network.host_at(probe.local_resolver_ip) is not None:
+                continue
+            host_rng = self.rng.fork(f"local-{probe.local_resolver_ip}")
+            host = Host(address=probe.local_resolver_ip,
+                        country_code=probe.env.country_code,
+                        point=probe.env.point,
+                        processing_ms=host_rng.uniform(1.0, 3.0),
+                        operator="isp-local")
+            backend = RecursiveBackend(self.universe,
+                                       host_rng.fork("recursive"),
+                                       resolver_label="isp-local")
+            host.bind("udp", 53, Do53UdpService(backend))
+            host.bind("tcp", 53, Do53TcpService(backend))
+            if probe.local_resolver_ip in capable:
+                chain = make_chain(self.trusted_ca,
+                                   f"dns.isp-{probe.env.country_code.lower()}"
+                                   ".example",
+                                   "2018-10-01", "2019-10-01")
+                host.bind("tcp", 853, DotService(
+                    backend, TlsConfig(cert_chain=chain)))
+                host.tags.add("dot-local-resolver")
+            network.add_host(host)
+
+    # -- vantage populations -----------------------------------------------------
+
+    def proxyrack(self) -> List[VantagePoint]:
+        if self._proxyrack is None:
+            self._proxyrack = build_proxyrack(
+                self.config.scaled(self.config.proxyrack_endpoints),
+                self.rng.fork("proxyrack"),
+                interception_count=self.config.intercepted_clients,
+                hijacked_router_count=self.config.hijacked_routers)
+        return self._proxyrack
+
+    def zhima(self) -> List[VantagePoint]:
+        if self._zhima is None:
+            self._zhima = build_zhima(
+                self.config.scaled(self.config.zhima_endpoints),
+                self.rng.fork("zhima"))
+        return self._zhima
+
+    def atlas(self) -> Tuple[List[AtlasProbe], List[str]]:
+        if self._atlas is None:
+            self._atlas = build_atlas_probes(
+                self.config.scaled(self.config.atlas_probes),
+                self.rng.fork("atlas"))
+        return self._atlas
+
+    # -- public lists & datasets ---------------------------------------------------
+
+    def public_dot_list(self) -> List[str]:
+        """Advertised addresses of providers on the public DoT lists."""
+        addresses = []
+        for provider in self.providers:
+            if not provider.in_public_list:
+                continue
+            addresses.extend(spec.address for spec in provider.addresses
+                             if spec.advertised)
+        return addresses
+
+    def public_doh_list(self) -> List[str]:
+        """URI templates on the public DoH list (15 of the 17)."""
+        return [provider.doh_template for provider in self.providers
+                if provider.doh_template and provider.in_public_list]
+
+    def all_doh_templates(self) -> List[str]:
+        return [provider.doh_template for provider in self.providers
+                if provider.doh_template]
+
+    def url_dataset(self):
+        if self._url_dataset is None:
+            from repro.datasets.urldataset import build_url_dataset
+            self._url_dataset = build_url_dataset(self)
+        return self._url_dataset
+
+    def bootstrap(self, hostname: str) -> Tuple[str, ...]:
+        """Clear-text bootstrap resolution for DoH templates."""
+        return self.universe.resolve_public(hostname)
+
+    # -- probe-domain helpers --------------------------------------------------------
+
+    def probe_name(self, token: str) -> DnsName:
+        return self.probe_origin.child(token.lower())
+
+    def expected_probe_answer(self) -> Tuple[str, ...]:
+        return (PROBE_ANSWER,)
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
+    """Build the full calibrated world."""
+    scenario = Scenario(config or ScenarioConfig())
+    _populate_universe(scenario)
+    scenario.providers = build_provider_population(
+        scenario.rng.fork("providers"),
+        total_rounds=scenario.config.scan_rounds)
+    return scenario
+
+
+def _populate_universe(scenario: Scenario) -> None:
+    universe = scenario.universe
+    origin = scenario.probe_origin
+    probe_zone = Zone(origin, ResourceRecord.soa(
+        origin, origin.child("ns1"), origin.child("hostmaster"), serial=1))
+    probe_zone.add(ResourceRecord.a(origin.child("*"), PROBE_ANSWER,
+                                    ttl=1))
+    universe.add_zone(probe_zone, logged=True)
+    # A handful of popular public domains for realistic traffic.
+    for hostname, address in (
+            ("www.example.com", "93.184.216.34"),
+            ("www.wikipedia.org", "208.80.154.224"),
+            ("news.ycombinator.com", "209.216.230.240"),
+            ("www.openstreetmap.org", "130.117.76.9"),
+            ("mirror.centos.org", "147.75.69.225"),
+    ):
+        universe.host_a(hostname, address)

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (scenario, campaign, reachability) are
+session-scoped and must be treated as read-only by tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.clock import SimClock, parse_date
+from repro.netsim.geo import country
+from repro.netsim.host import Host, TlsConfig
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.resolvers import (
+    DnsUniverse,
+    Do53TcpService,
+    Do53UdpService,
+    DohService,
+    DotService,
+    RecursiveBackend,
+    install_resolver_frontends,
+)
+from repro.tlssim import CaStore, CertificateAuthority, make_chain
+from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
+
+
+def tiny_config(seed: int = 2019) -> ScenarioConfig:
+    """An even smaller configuration than ``ScenarioConfig.small``."""
+    return ScenarioConfig(
+        seed=seed,
+        vantage_scale=0.006,
+        background_sample_size=40,
+        url_dataset_noise=500,
+        intercepted_clients=4,
+        hijacked_routers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A small, fully built world. Session-scoped: do not mutate."""
+    return build_scenario(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def client_network(scenario):
+    return scenario.client_network()
+
+
+@pytest.fixture()
+def rng() -> SeededRng:
+    return SeededRng(4242)
+
+
+@pytest.fixture()
+def trust() -> dict:
+    """A standalone CA infrastructure: trusted root + store + rogue CA."""
+    ca = CertificateAuthority.root("Test Root CA")
+    store = CaStore()
+    store.trust(ca)
+    rogue = CertificateAuthority.root("Rogue DPI CA", trusted=False)
+    return {"ca": ca, "store": store, "rogue": rogue}
+
+
+@pytest.fixture()
+def mini_world(rng, trust):
+    """A self-contained network: one full resolver + universe + client.
+
+    Independent from the session scenario, safe to mutate.
+    """
+    network = Network(clock=SimClock(parse_date("2019-03-01")))
+    universe = DnsUniverse()
+    universe.host_a("www.example.com", "93.184.216.34")
+    universe.host_a("dns.resolver.test", "7.7.7.7")
+    chain = make_chain(trust["ca"], "dns.resolver.test",
+                       "2018-06-01", "2019-12-01",
+                       san=("dns.resolver.test",))
+    host = Host(address="7.7.7.7", country_code="US",
+                point=country("US").point,
+                pops=(country("US").point, country("DE").point,
+                      country("SG").point))
+    backend = RecursiveBackend(universe, rng.fork("backend"))
+    install_resolver_frontends(host, backend, TlsConfig(cert_chain=chain),
+                               webpage_html="<title>resolver</title>")
+    network.add_host(host)
+    env = ClientEnvironment.in_country("mini-client", "82.5.6.7", "DE",
+                                       rng.fork("env"))
+    return {
+        "network": network,
+        "universe": universe,
+        "host": host,
+        "backend": backend,
+        "env": env,
+        "chain": chain,
+        "resolver_ip": "7.7.7.7",
+        "hostname": "dns.resolver.test",
+    }

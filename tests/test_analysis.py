@@ -1,0 +1,114 @@
+"""Tests for the table/figure builders and text rendering."""
+
+import pytest
+
+from repro.analysis import figures, tables
+from repro.analysis.textfmt import format_percent, render_table
+from repro.core.scan import ScanCampaign
+
+
+@pytest.fixture(scope="module")
+def world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=31))
+
+
+@pytest.fixture(scope="module")
+def campaign(world):
+    return ScanCampaign(world).run(rounds=3)
+
+
+class TestTextFmt:
+    def test_render_alignment(self):
+        text = render_table(["A", "Long header"],
+                            [["x", 1], ["longer", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Long header" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.50" in lines[4]
+
+    def test_format_percent(self):
+        assert format_percent(0.1646) == "16.46%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_extra_columns_tolerated(self):
+        text = render_table(["A"], [["x", "extra"]])
+        assert "extra" in text
+
+
+class TestTableBuilders:
+    def test_table1_rows(self):
+        rows = tables.table1_rows()
+        assert len(rows) == 10
+        categories = {category for category, _, _ in rows}
+        assert "Maturity" in categories
+
+    def test_table1_text_contains_symbols(self):
+        text = tables.table1_text()
+        assert "●" in text and "○" in text
+
+    def test_table2(self, campaign):
+        rows = tables.table2_rows(campaign)
+        assert len(rows) == 10
+        codes = [code for code, _, _, _ in rows]
+        assert "IE" in codes and "CN" in codes
+        text = tables.table2_text(campaign)
+        assert "Growth" in text
+
+    def test_table8_covers_all_categories(self):
+        rows = tables.table8_rows()
+        categories = {row[0] for row in rows}
+        assert len(categories) == 5
+        text = tables.table8_text()
+        assert "Cloudflare" in text
+
+    def test_table7_formats_overheads(self):
+        from repro.core.client.performance import NoReuseResult
+        results = [NoReuseResult("controlled-US", 272.0, 349.0, 361.0)]
+        rows = tables.table7_rows(results)
+        assert rows[0][0] == "US"
+        assert "(77ms)" in rows[0][2]
+
+
+class TestFigureBuilders:
+    def test_figure1_sorted(self):
+        events = figures.figure1_timeline()
+        years = [year for year, _, _ in events]
+        assert years == sorted(years)
+        assert any("RFC 7858" in text for _, _, text in events)
+
+    def test_figure2_requests(self):
+        rendered = figures.figure2_requests()
+        assert rendered["GET"].startswith("GET /dns-query?dns=")
+        assert "POST /dns-query" in rendered["POST"]
+
+    def test_figure3_series(self, campaign):
+        dates, series = figures.figure3_series(campaign, top_providers=4)
+        assert len(dates) == 3
+        assert "others" in series
+        for values in series.values():
+            assert len(values) == len(dates)
+        totals = [sum(series[key][index] for key in series)
+                  for index in range(len(dates))]
+        assert totals == [len(r.resolvers) for r in campaign.rounds]
+
+    def test_figure4_series(self, campaign):
+        dates, providers, invalid, cdf = figures.figure4_series(campaign)
+        assert len(dates) == len(providers) == len(invalid) == 3
+        assert all(inv <= prov for inv, prov in zip(invalid, providers))
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_figure6(self, world):
+        from repro.core.client import ProxyNetwork
+        network = ProxyNetwork("ProxyRack", world.proxyrack())
+        distribution = figures.figure6_distribution(network, top_n=5)
+        assert len(distribution) == 5
+        counts = [count for _, count in distribution]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_series_text(self):
+        text = figures.series_text("T", {"a": [("2018-07", 1),
+                                               ("2018-08", 2)]})
+        assert "2018-07" in text and "2018-08" in text

@@ -1,0 +1,125 @@
+"""Tests for the Table 1 grading engine and protocol metadata."""
+
+import pytest
+
+from repro.core.comparative import (
+    CRITERIA,
+    Grade,
+    PROTOCOL_ORDER,
+    build_comparison_table,
+    maturity_score,
+)
+from repro.doe.metadata import (
+    IMPLEMENTATIONS,
+    PROTOCOLS,
+    implementations_by_category,
+    support_count,
+)
+
+
+class TestGrading:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return {(row.category, row.criterion): row.grades
+                for row in build_comparison_table()}
+
+    def test_ten_criteria_five_categories(self):
+        rows = build_comparison_table()
+        assert len(rows) == 10
+        assert len({row.category for row in rows}) == 5
+
+    def test_every_protocol_graded_everywhere(self, table):
+        for grades in table.values():
+            assert set(grades) == set(PROTOCOL_ORDER)
+
+    def test_dot_doh_standardized(self, table):
+        grades = table[("Maturity", "Standardized by IETF")]
+        assert grades["dot"] is Grade.SATISFYING
+        assert grades["doh"] is Grade.SATISFYING
+        assert grades["dnscrypt"] is Grade.NOT_SATISFYING
+        assert grades["doq"] is Grade.NOT_SATISFYING
+
+    def test_doh_hides_in_https_traffic(self, table):
+        grades = table[("Security", "Resists DNS traffic analysis")]
+        assert grades["doh"] is Grade.SATISFYING
+        assert grades["dot"] is Grade.PARTIAL  # dedicated port, padded
+
+    def test_doh_has_no_fallback(self, table):
+        grades = table[("Protocol Design", "Provides fallback mechanism")]
+        assert grades["doh"] is Grade.NOT_SATISFYING
+        assert grades["dot"] is Grade.SATISFYING
+
+    def test_doh_uses_second_app_layer(self, table):
+        grades = table[("Protocol Design",
+                        "Stays on the DNS application layer")]
+        assert grades["doh"] is Grade.NOT_SATISFYING
+        assert grades["dot"] is Grade.SATISFYING
+
+    def test_dnscrypt_not_standard_tls(self, table):
+        grades = table[("Security", "Uses standard TLS")]
+        assert grades["dnscrypt"] is Grade.NOT_SATISFYING
+        assert grades["dot"] is Grade.SATISFYING
+
+    def test_unimplemented_protocols_lack_support(self, table):
+        grades = table[("Maturity", "Extensively supported by resolvers")]
+        assert grades["dodtls"] is Grade.NOT_SATISFYING
+        assert grades["doq"] is Grade.NOT_SATISFYING
+        assert grades["dnscrypt"] is Grade.PARTIAL
+
+    def test_amortizable_latency_is_partial(self, table):
+        grades = table[("Usability", "Minor latency above DNS-over-UDP")]
+        assert grades["dot"] is Grade.PARTIAL
+        assert grades["doq"] is Grade.SATISFYING
+
+    def test_dot_and_doh_most_mature(self):
+        scores = {key: maturity_score(key) for key in PROTOCOL_ORDER}
+        ranked = sorted(scores, key=lambda key: -scores[key])
+        assert set(ranked[:2]) == {"dot", "doh"}
+
+    def test_grade_symbols(self):
+        assert Grade.SATISFYING.symbol == "●"
+        assert Grade.PARTIAL.symbol == "◐"
+        assert Grade.NOT_SATISFYING.symbol == "○"
+
+
+class TestMetadata:
+    def test_five_protocols(self):
+        assert set(PROTOCOLS) == {"dot", "doh", "dodtls", "doq", "dnscrypt"}
+
+    def test_ports_match_standards(self):
+        assert PROTOCOLS["dot"].port == 853
+        assert PROTOCOLS["doh"].port == 443
+        assert PROTOCOLS["doq"].port == 784
+        assert PROTOCOLS["dnscrypt"].port == 443
+
+    def test_rfc_numbers(self):
+        assert PROTOCOLS["dot"].rfc == "RFC 7858"
+        assert PROTOCOLS["doh"].rfc == "RFC 8484"
+        assert PROTOCOLS["dnscrypt"].rfc is None
+
+    def test_survey_categories(self):
+        assert len(implementations_by_category("public-dns")) >= 15
+        assert len(implementations_by_category("browser")) >= 4
+        assert len(implementations_by_category("os")) == 4
+
+    def test_dot_support_wider_than_doh_in_survey(self):
+        # DoT is the server-software favourite; DoH needs extra stacks.
+        assert support_count("dot") >= support_count("doh")
+
+    def test_big_three_support_both(self):
+        for name in ("Google", "Cloudflare", "Quad9"):
+            impl = next(impl for impl in IMPLEMENTATIONS
+                        if impl.name == name)
+            assert impl.dot and impl.doh
+
+    def test_firefox_supports_doh_since_62(self):
+        firefox = next(impl for impl in IMPLEMENTATIONS
+                       if impl.name == "Firefox")
+        assert firefox.doh and not firefox.dot
+        assert "62" in firefox.since
+
+    def test_android_dot_since_9(self):
+        android = next(impl for impl in IMPLEMENTATIONS
+                       if impl.name == "Android")
+        assert android.dot
+        assert "9" in android.since

@@ -1,0 +1,202 @@
+"""Tests for the client-side leg: proxy, reachability, diagnosis, perf."""
+
+import pytest
+
+from repro.core.client import (
+    AtlasStudy,
+    FailureDiagnosis,
+    PerformanceStudy,
+    ProxyNetwork,
+    ReachabilityReport,
+    ReachabilityStudy,
+    default_targets,
+)
+from repro.netsim.rand import SeededRng
+
+
+@pytest.fixture(scope="module")
+def study_world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    scenario = build_scenario(tiny_config(seed=55))
+    return scenario
+
+
+@pytest.fixture(scope="module")
+def reachability(study_world):
+    study = ReachabilityStudy(study_world)
+    report = study.run("proxyrack", study_world.proxyrack())
+    return study.run("zhima", study_world.zhima()[:250], report)
+
+
+class TestProxyNetwork:
+    def test_basic_accounting(self, study_world):
+        network = ProxyNetwork("ProxyRack", study_world.proxyrack())
+        assert len(network) == len(study_world.proxyrack())
+        assert len(network.country_distribution()) > 10
+
+    def test_usable_for_filters_by_uptime(self, study_world):
+        network = ProxyNetwork("ProxyRack", study_world.proxyrack())
+        long_lived = network.usable_for(2_590.0)
+        assert 0 < len(long_lived) < len(network)
+        assert all(point.remaining_uptime_s >= 2_590.0
+                   for point in long_lived)
+
+    def test_remove(self, study_world):
+        points = study_world.proxyrack()
+        network = ProxyNetwork("ProxyRack", points)
+        network.remove(points[0])
+        assert len(network) == len(points) - 1
+        assert points[0] not in network.endpoints()
+
+    def test_tcp_only(self):
+        assert not ProxyNetwork.supports_udp
+
+
+class TestTargets:
+    def test_four_targets(self, study_world):
+        targets = default_targets(study_world)
+        assert [target.name for target in targets] == [
+            "Cloudflare", "Google", "Quad9", "Self-built"]
+
+    def test_google_has_no_dot(self, study_world):
+        google = default_targets(study_world)[1]
+        assert google.dot_ip is None
+        assert google.doh_template is not None
+
+
+class TestReachability:
+    def test_table4_shape(self, reachability):
+        assert reachability.platforms() == ("proxyrack", "zhima")
+        rates = reachability.rates("proxyrack", "Cloudflare", "do53")
+        assert rates["correct"] + rates["incorrect"] + rates["failed"] == (
+            pytest.approx(1.0))
+
+    def test_cloudflare_do53_fails_much_more_than_dot(self, reachability):
+        do53 = reachability.rates("proxyrack", "Cloudflare", "do53")
+        dot = reachability.rates("proxyrack", "Cloudflare", "dot")
+        assert do53["failed"] > 0.10
+        assert dot["failed"] < 0.06
+        assert do53["failed"] > 4 * dot["failed"]
+
+    def test_quad9_doh_servfail_spike(self, reachability):
+        rates = reachability.rates("proxyrack", "Quad9", "doh")
+        assert rates["incorrect"] > 0.07
+
+    def test_google_doh_blocked_in_china(self, reachability):
+        rates = reachability.rates("zhima", "Google", "doh")
+        assert rates["failed"] > 0.98
+
+    def test_cloudflare_doh_survives_china(self, reachability):
+        rates = reachability.rates("zhima", "Cloudflare", "doh")
+        assert rates["correct"] > 0.95
+
+    def test_cn_blackhole_hits_do53_and_dot_together(self, reachability):
+        do53 = reachability.rates("zhima", "Cloudflare", "do53")
+        dot = reachability.rates("zhima", "Cloudflare", "dot")
+        assert do53["failed"] == pytest.approx(dot["failed"], abs=0.03)
+        assert do53["failed"] > 0.08
+
+    def test_self_built_nearly_perfect(self, reachability):
+        for protocol in ("do53", "dot", "doh"):
+            rates = reachability.rates("proxyrack", "Self-built", protocol)
+            assert rates["correct"] > 0.97, protocol
+
+    def test_interceptions_detected(self, reachability):
+        assert len(reachability.interceptions) >= 2
+        for case in reachability.interceptions:
+            assert case.ca_common_name
+            # Opportunistic DoT proceeds whenever 853 is intercepted.
+            if case.intercepts_853:
+                assert case.dot_lookup_succeeded
+
+    def test_failed_endpoint_listing(self, reachability):
+        failed = reachability.failed_endpoints("proxyrack", "Cloudflare",
+                                               "dot")
+        rates = reachability.rates("proxyrack", "Cloudflare", "dot")
+        assert len(failed) == round(rates["failed"] * rates["total"])
+
+
+class TestDiagnosis:
+    @pytest.fixture(scope="class")
+    def diagnosis(self, study_world, reachability):
+        failed = set(reachability.failed_endpoints(
+            "proxyrack", "Cloudflare", "dot"))
+        points = [point for point in study_world.proxyrack()
+                  if point.env.label in failed]
+        runner = FailureDiagnosis(study_world.client_network(),
+                                  SeededRng(1, "diag"))
+        return runner.diagnose_all(points), points
+
+    def test_conflicting_devices_found(self, diagnosis):
+        report, points = diagnosis
+        assert len(report.clients) == len(points)
+        # Every diagnosed client either sees nothing (blackhole/filters)
+        # or a device profile unlike the genuine resolver.
+        assert all(client.is_conflict for client in report.clients)
+
+    def test_port_census_subset_of_probe_ports(self, diagnosis):
+        from repro.core.client.diagnosis import PROBE_PORTS
+        report, _ = diagnosis
+        assert set(report.port_census()) <= set(PROBE_PORTS)
+
+    def test_hijacked_routers_detected(self, diagnosis, study_world):
+        report, _ = diagnosis
+        ground_truth = sum(
+            1 for point in study_world.proxyrack()
+            if point.conflict_kind == "hijacked-router")
+        assert report.hijacked_count() == ground_truth
+
+    def test_genuine_resolver_profile_not_conflict(self, study_world):
+        from repro.core.client.diagnosis import ClientDiagnosis
+        clean = ClientDiagnosis(endpoint="x", country="US", asn=1,
+                                as_name="", open_ports=(53, 80, 443, 853))
+        assert not clean.is_conflict
+
+
+class TestPerformance:
+    @pytest.fixture(scope="class")
+    def perf(self, study_world):
+        study = PerformanceStudy(study_world)
+        points = ProxyNetwork("pr", study_world.proxyrack()).usable_for(
+            2_590.0)
+        return study.run(points, queries=12)
+
+    def test_overheads_are_small_with_reuse(self, perf):
+        summary = perf.global_summary()
+        assert -5.0 < summary["dot_median"] < 20.0
+        assert -5.0 < summary["doh_median"] < 25.0
+
+    def test_scatter_points_match_client_count(self, perf):
+        assert len(perf.scatter_points()) == len(perf.timings)
+
+    def test_by_country_respects_minimum(self, perf):
+        for summary in perf.by_country(min_clients=3):
+            assert summary.client_count >= 3
+
+    def test_no_reuse_costs_more_than_reuse(self, study_world, perf):
+        study = PerformanceStudy(study_world)
+        results = study.run_no_reuse(countries=("US",), queries=30)
+        assert len(results) == 1
+        no_reuse = results[0]
+        assert no_reuse.dot_overhead_ms > 10.0
+        assert no_reuse.median_dot_ms > no_reuse.median_do53_ms
+
+    def test_overhead_grows_with_distance(self, study_world):
+        study = PerformanceStudy(study_world)
+        results = {result.vantage.replace("controlled-", ""): result
+                   for result in study.run_no_reuse(
+                       countries=("NL", "AU"), queries=30)}
+        # The self-built resolver lives in DE: AU pays far more RTTs.
+        assert (results["AU"].dot_overhead_ms
+                > 3 * results["NL"].dot_overhead_ms)
+
+
+class TestAtlas:
+    def test_local_resolver_dot_rate_is_tiny(self, study_world):
+        result = AtlasStudy(study_world).run()
+        assert result.attempted > 0
+        assert result.excluded_public + result.attempted == (
+            result.total_probes)
+        assert result.success_rate < 0.12
+        assert result.succeeded == len(result.dot_capable_resolvers)

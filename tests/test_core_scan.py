@@ -1,0 +1,176 @@
+"""Tests for the scanning leg: ZMap sweeps, DoT/DoH discovery, grouping."""
+
+import pytest
+
+from repro.core.scan import (
+    DohDiscovery,
+    DotDiscovery,
+    ScanCampaign,
+    ZmapScanner,
+    group_into_providers,
+)
+from repro.core.scan.providers import provider_stats, resolvers_per_provider_cdf
+from repro.netsim.rand import SeededRng
+from repro.tlssim.certs import ValidationFailure
+
+
+@pytest.fixture(scope="module")
+def campaign_result(scenario_module):
+    campaign = ScanCampaign(scenario_module)
+    result = campaign.run(rounds=2, include_doh=True)
+    return result
+
+
+@pytest.fixture(scope="module")
+def scenario_module():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=77))
+
+
+class TestZmap:
+    def test_sweep_finds_all_open_hosts(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(1, "z"),
+                              background_total=2_000_000)
+        sweep = scanner.sweep(853, round_index=0)
+        expected = len(network.hosts_with_tcp_port(853))
+        assert sweep.materialized_count == expected
+        assert sweep.total_open_estimate >= 2_000_000
+
+    def test_sweep_order_is_randomised(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(2, "z"))
+        first = scanner.sweep(853, round_index=0).open_addresses
+        second = scanner.sweep(853, round_index=1).open_addresses
+        assert sorted(first) == sorted(second)
+        assert first != second
+
+    def test_opt_out_honoured(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        victim = network.hosts_with_tcp_port(853)[0].address
+        scanner = ZmapScanner(network, SeededRng(3, "z"),
+                              opt_out={victim})
+        sweep = scanner.sweep(853)
+        assert victim not in sweep.open_addresses
+        assert sweep.opted_out == 1
+
+    def test_sources_rotate(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(4, "z"))
+        sources = {scanner.source_for_probe(index).address
+                   for index in range(6)}
+        assert len(sources) == 3
+
+
+class TestDotDiscovery:
+    def test_probe_real_resolver(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(5, "z"))
+        discovery = DotDiscovery(network, scanner, SeededRng(6, "d"),
+                                 scenario_module.trust_store,
+                                 scenario_module.probe_origin,
+                                 scenario_module.expected_probe_answer())
+        record = discovery.probe_one("1.1.1.1")
+        assert record.is_dot
+        assert record.answer_correct
+        assert record.cert_report.valid
+        assert record.common_name == "cloudflare-dns.com"
+
+    def test_probe_background_host_fails(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        background = [host for host in network.hosts()
+                      if host.has_tag("background-853")]
+        assert background
+        scanner = ZmapScanner(network, SeededRng(7, "z"))
+        discovery = DotDiscovery(network, scanner, SeededRng(8, "d"),
+                                 scenario_module.trust_store,
+                                 scenario_module.probe_origin,
+                                 scenario_module.expected_probe_answer())
+        record = discovery.probe_one(background[0].address)
+        assert not record.is_dot
+
+    def test_fixed_answer_resolver_flagged_incorrect(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(9, "z"))
+        discovery = DotDiscovery(network, scanner, SeededRng(10, "d"),
+                                 scenario_module.trust_store,
+                                 scenario_module.probe_origin,
+                                 scenario_module.expected_probe_answer())
+        record = discovery.probe_one("103.247.37.37")  # dnsfilter
+        assert record.is_dot
+        assert not record.answer_correct
+        assert record.answers == ("198.51.100.7",)
+
+    def test_grouping_key_uses_sld(self, scenario_module):
+        network = scenario_module.network_for_round(0)
+        scanner = ZmapScanner(network, SeededRng(11, "z"))
+        discovery = DotDiscovery(network, scanner, SeededRng(12, "d"),
+                                 scenario_module.trust_store,
+                                 scenario_module.probe_origin,
+                                 scenario_module.expected_probe_answer())
+        record = discovery.probe_one("1.1.1.1")
+        assert record.grouping_key() == "cloudflare-dns.com"
+
+
+class TestCampaign:
+    def test_round_results(self, campaign_result):
+        assert len(campaign_result.rounds) == 2
+        first = campaign_result.first
+        assert first.stats.dot_resolvers > 1_500
+        assert first.stats.total_open_estimate > 1_000_000
+        assert len(first.groups) > 100
+
+    def test_authoritative_log_validates_probes(self, scenario_module,
+                                                campaign_result):
+        log = scenario_module.universe.log_for(scenario_module.probe_origin)
+        assert len(log) >= campaign_result.first.stats.dot_resolvers
+
+    def test_country_counts(self, campaign_result):
+        counts = campaign_result.first.country_counts()
+        assert counts["IE"] > counts["DE"]
+
+    def test_provider_statistics(self, campaign_result):
+        stats = campaign_result.first.provider_statistics()
+        assert stats.invalid_cert_providers > 30
+        assert 0.15 < stats.invalid_provider_fraction < 0.40
+        assert stats.failure_totals[ValidationFailure.SELF_SIGNED] > 30
+
+    def test_doh_discovery_finds_17(self, campaign_result):
+        working = campaign_result.working_doh()
+        assert len(working) == 17
+        beyond = [record for record in working
+                  if not record.in_public_list]
+        assert len(beyond) == 2
+        assert {record.hostname for record in beyond} == {
+            "dns.rubyfish.cn", "dns.233py.com"}
+
+    def test_doh_certificates_all_valid(self, campaign_result):
+        assert all(record.cert_valid
+                   for record in campaign_result.working_doh())
+
+    def test_doh_lookalikes_fail_probe(self, campaign_result):
+        failures = [record for record in campaign_result.doh_records
+                    if not record.is_doh]
+        assert len(failures) >= 40
+
+
+class TestGrouping:
+    def test_group_and_stats(self, campaign_result):
+        groups = campaign_result.first.groups
+        stats = provider_stats(groups)
+        assert stats.resolver_count == len(campaign_result.first.resolvers)
+        assert stats.top_coverage[5] < stats.top_coverage[10] <= 1.0
+        assert 0.5 < stats.single_address_fraction < 0.9
+
+    def test_cdf_is_monotone(self, campaign_result):
+        cdf = resolvers_per_provider_cdf(campaign_result.first.groups)
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empty_groups(self):
+        assert group_into_providers([]) == []
+        stats = provider_stats([])
+        assert stats.provider_count == 0
+        assert stats.invalid_provider_fraction == 0.0

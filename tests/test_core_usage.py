@@ -1,0 +1,203 @@
+"""Tests for the usage leg: NetFlow analysis, passive DNS, scan detection."""
+
+import pytest
+
+from repro.core.usage import (
+    DohUsageStudy,
+    DotTrafficStudy,
+    NetworkScanMonitor,
+)
+from repro.core.usage.scan_detect import DetectorConfig
+from repro.datasets.netflow import generate_netflow_dataset
+from repro.datasets.passive_dns import build_passive_dns_stores
+from repro.netsim.netflow import FlowRecord, TcpFlags
+from repro.netsim.rand import SeededRng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_netflow_dataset(SeededRng(11), scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    return DotTrafficStudy().analyze(dataset)
+
+
+class TestNetflowDataset:
+    def test_single_syn_records_present(self, dataset):
+        syn_only = [record for record in dataset.records
+                    if record.is_single_syn()]
+        assert syn_only
+
+    def test_records_sorted_by_time(self, dataset):
+        times = [record.start_ts for record in dataset.records]
+        assert times == sorted(times)
+
+    def test_do53_aggregates_dwarf_dot(self, dataset):
+        do53_total = sum(dataset.do53_monthly["cloudflare"].values())
+        dot_records = sum(1 for record in dataset.records
+                          if record.dst_ip in ("1.1.1.1", "1.0.0.1"))
+        assert do53_total > 100 * dot_records
+
+    def test_scanner_ground_truth_listed(self, dataset):
+        assert len(dataset.scanner_netblocks) == 3
+
+    def test_scale_reduces_volume(self):
+        small = generate_netflow_dataset(SeededRng(12), scale=0.05,
+                                         include_scanners=False,
+                                         include_noise=False)
+        big = generate_netflow_dataset(SeededRng(12), scale=0.25,
+                                       include_scanners=False,
+                                       include_noise=False)
+        assert len(small) < len(big)
+
+
+class TestDotTrafficStudy:
+    def test_single_syn_excluded(self, dataset, report):
+        syn_only = sum(1 for record in dataset.records
+                       if record.dst_port == 853
+                       and record.is_single_syn())
+        assert report.excluded_single_syn == syn_only
+
+    def test_unmatched_noise_ignored(self, report):
+        assert report.unmatched_port853 > 0
+
+    def test_cloudflare_growth_over_h2_2018(self, report):
+        growth = report.growth("cloudflare", "2018-07", "2018-12")
+        assert 0.35 < growth < 0.80
+
+    def test_no_cloudflare_traffic_before_launch(self, report):
+        series = report.monthly_flows["cloudflare"]
+        assert all(month >= "2018-04" for month in series)
+
+    def test_quad9_fluctuates(self, report):
+        series = [count for _, count in
+                  sorted(report.monthly_flows["quad9"].items())]
+        diffs = [b - a for a, b in zip(series, series[1:])]
+        assert any(diff > 0 for diff in diffs)
+        assert any(diff < 0 for diff in diffs)
+
+    def test_dot_is_orders_of_magnitude_below_do53(self, report):
+        ratio = report.dot_to_do53_ratio("cloudflare")
+        assert 100 < ratio < 1000
+
+    def test_concentration(self, report):
+        # Class counts round down at scale=0.25, concentrating the top.
+        assert 0.30 < report.top_share(5) < 0.72
+        assert report.top_share(20) > report.top_share(5)
+
+    def test_short_lived_majority(self, report):
+        block_fraction, traffic_fraction = report.short_lived_stats()
+        assert block_fraction > 0.85
+        assert 0.10 < traffic_fraction < 0.40
+
+    def test_scatter_shares_sum_to_one(self, report):
+        total = sum(share for share, _, _ in report.scatter_points())
+        assert total == pytest.approx(1.0)
+
+    def test_growth_of_unknown_family_is_zero(self, report):
+        assert report.growth("nonexistent", "2018-07", "2018-12") == 0.0
+
+    def test_empty_dataset(self):
+        from repro.datasets.netflow import NetFlowDataset
+        empty = NetFlowDataset(records=[], do53_monthly={})
+        result = DotTrafficStudy().analyze(empty)
+        assert result.matched_records == 0
+        assert result.top_share(5) == 0.0
+        assert result.short_lived_stats() == (0.0, 0.0)
+
+
+class TestScanDetection:
+    def test_scanners_flagged(self, dataset):
+        monitor = NetworkScanMonitor()
+        alerts = monitor.detect(dataset.records)
+        flagged = {alert.src_netblock for alert in alerts}
+        assert flagged == set(dataset.scanner_netblocks)
+
+    def test_clients_not_flagged(self, dataset, report):
+        monitor = NetworkScanMonitor()
+        blocks = [block.netblock for block in report.netblocks][:60]
+        vetting = monitor.vet_netblocks(dataset.records, blocks)
+        assert not any(vetting.values())
+
+    def test_fanout_threshold_respected(self):
+        monitor = NetworkScanMonitor(DetectorConfig(fanout_threshold=5))
+        records = [
+            FlowRecord("10.0.0.1", f"8.8.4.{index}", 1000 + index, 853,
+                       "tcp", 1, 60, TcpFlags.SYN, float(index), float(index))
+            for index in range(6)
+        ]
+        alerts = monitor.detect(records)
+        assert len(alerts) == 1
+        assert alerts[0].distinct_destinations >= 5
+
+    def test_talkative_but_focused_client_not_flagged(self):
+        monitor = NetworkScanMonitor(DetectorConfig(fanout_threshold=5))
+        records = [
+            FlowRecord("10.0.0.1", "1.1.1.1", 1000 + index, 853, "tcp",
+                       3, 300, TcpFlags.PSH | TcpFlags.ACK,
+                       float(index), float(index))
+            for index in range(200)
+        ]
+        assert monitor.detect(records) == []
+
+    def test_ack_heavy_fanout_not_flagged(self):
+        # High fan-out with completed connections (e.g. a forwarder's
+        # egress) must not look like a SYN scan.
+        monitor = NetworkScanMonitor(DetectorConfig(fanout_threshold=5))
+        records = [
+            FlowRecord("10.0.0.1", f"8.8.4.{index}", 1000 + index, 853,
+                       "tcp", 5, 500, TcpFlags.PSH | TcpFlags.ACK,
+                       float(index), float(index))
+            for index in range(50)
+        ]
+        assert monitor.detect(records) == []
+
+
+class TestPassiveDns:
+    @pytest.fixture(scope="class")
+    def stores(self):
+        domains = ["dns.google.com", "mozilla.cloudflare-dns.com",
+                   "doh.cleanbrowsing.org", "doh.crypto.sx",
+                   "doh.li", "commons.host", "doh.captnemo.in"]
+        return build_passive_dns_stores(domains, SeededRng(3, "pd")), domains
+
+    def test_only_four_popular(self, stores):
+        store, domains = stores
+        usage = DohUsageStudy(store).analyze(domains)
+        assert len(usage.popular) == 4
+        assert usage.popular[0] == "dns.google.com"
+
+    def test_google_dominates_by_orders_of_magnitude(self, stores):
+        store, domains = stores
+        usage = DohUsageStudy(store).analyze(domains)
+        assert usage.dominant_domain() == "dns.google.com"
+        assert usage.orders_of_magnitude_above_rest("dns.google.com") > 1.0
+
+    def test_cleanbrowsing_anchor_growth(self, stores):
+        store, domains = stores
+        usage = DohUsageStudy(store).analyze(domains)
+        growth = usage.growth("doh.cleanbrowsing.org", "2018-09", "2019-03")
+        assert growth == pytest.approx(1915 / 200, rel=0.01)
+
+    def test_quiet_domains_under_threshold(self, stores):
+        store, domains = stores
+        usage = DohUsageStudy(store).analyze(domains)
+        for domain in ("doh.li", "commons.host", "doh.captnemo.in"):
+            assert usage.totals[domain] < 10_000
+
+    def test_unknown_domain_total_zero(self, stores):
+        store, _ = stores
+        usage = DohUsageStudy(store).analyze(["never.seen.example"])
+        assert usage.totals["never.seen.example"] == 0
+        assert usage.popular == []
+
+    def test_monthly_series_only_for_popular(self, stores):
+        store, domains = stores
+        usage = DohUsageStudy(store).analyze(domains)
+        assert set(usage.monthly_series) == set(usage.popular)
+
+    def test_aggregate_lookup_normalises_case(self, stores):
+        store, _ = stores
+        assert store.aggregate_for("DNS.GOOGLE.COM.") is not None

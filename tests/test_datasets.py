@@ -1,0 +1,57 @@
+"""Tests for the URL corpus and dataset plumbing."""
+
+import pytest
+
+from repro.datasets.urldataset import UrlDataset, build_url_dataset
+from repro.httpsim.uri import parse_url
+
+
+@pytest.fixture(scope="module")
+def world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=91))
+
+
+@pytest.fixture(scope="module")
+def dataset(world):
+    return world.url_dataset()
+
+
+class TestUrlDataset:
+    def test_size_includes_noise(self, world, dataset):
+        assert len(dataset) >= world.config.url_dataset_noise
+
+    def test_61_doh_path_candidates(self, dataset):
+        # 17 genuine endpoints + lookalikes = 61 candidate URLs.
+        assert len(dataset.doh_candidates()) == 61
+
+    def test_candidates_are_https(self, dataset):
+        for url in dataset.doh_candidates():
+            assert url.startswith("https://")
+
+    def test_contains_real_doh_endpoints(self, world, dataset):
+        candidates = {parse_url(url).hostname
+                      for url in dataset.doh_candidates()}
+        for template in world.all_doh_templates():
+            hostname = template.split("//")[1].split("/")[0]
+            assert hostname in candidates
+
+    def test_no_url_parameters_in_corpus(self, dataset):
+        # Ethics: "the dataset does not contain user information or URL
+        # parameters".
+        assert not any("?" in url for url in dataset)
+
+    def test_deterministic_per_scenario(self, world):
+        again = build_url_dataset(world)
+        assert again.urls == world.url_dataset().urls
+
+    def test_custom_dataset_filtering(self):
+        dataset = UrlDataset(urls=[
+            "https://dns.example/dns-query",
+            "https://shop.example/cart",
+            "http://insecure.example/dns-query",
+            "not a url at all",
+        ])
+        assert dataset.doh_candidates() == [
+            "https://dns.example/dns-query"]

@@ -1,0 +1,125 @@
+"""Tests for repro.dnswire.names."""
+
+import pytest
+
+from repro.dnswire import DnsName
+from repro.errors import NameError_
+
+
+class TestParsing:
+    def test_simple_name(self):
+        name = DnsName.from_text("dns.example.com")
+        assert name.labels == (b"dns", b"example", b"com")
+
+    def test_trailing_dot_is_equivalent(self):
+        assert (DnsName.from_text("a.example.com")
+                == DnsName.from_text("a.example.com."))
+
+    def test_root_from_dot(self):
+        assert DnsName.from_text(".").is_root()
+
+    def test_root_from_empty(self):
+        assert DnsName.from_text("").is_root()
+
+    def test_empty_inner_label_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName.from_text("a..example.com")
+
+    def test_label_longer_than_63_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName.from_text("x" * 64 + ".example.com")
+
+    def test_label_of_63_accepted(self):
+        name = DnsName.from_text("x" * 63 + ".example.com")
+        assert len(name.labels[0]) == 63
+
+    def test_name_longer_than_255_octets_rejected(self):
+        label = "a" * 63
+        with pytest.raises(NameError_):
+            DnsName.from_text(".".join([label] * 5))
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(UnicodeEncodeError):
+            DnsName.from_text("ünïcode.example.com")
+
+
+class TestComparison:
+    def test_case_insensitive_equality(self):
+        assert (DnsName.from_text("DNS.Example.COM")
+                == DnsName.from_text("dns.example.com"))
+
+    def test_case_insensitive_hash(self):
+        names = {DnsName.from_text("A.B.C"), DnsName.from_text("a.b.c")}
+        assert len(names) == 1
+
+    def test_inequality_with_other_types(self):
+        assert DnsName.from_text("a.example.") != "a.example."
+
+    def test_ordering_is_by_reversed_labels(self):
+        # DNSSEC canonical ordering groups siblings under a parent.
+        a = DnsName.from_text("a.example.com")
+        z = DnsName.from_text("z.example.com")
+        other = DnsName.from_text("a.example.net")
+        assert a < z
+        assert z < other  # com < net at the rightmost label
+
+
+class TestManipulation:
+    def test_parent(self):
+        name = DnsName.from_text("a.b.example.com")
+        assert name.parent().to_text() == "b.example.com."
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            DnsName.root().parent()
+
+    def test_child(self):
+        base = DnsName.from_text("example.com")
+        assert base.child("probe").to_text() == "probe.example.com."
+
+    def test_is_subdomain_of_self(self):
+        name = DnsName.from_text("example.com")
+        assert name.is_subdomain_of(name)
+
+    def test_is_subdomain_of_parent(self):
+        child = DnsName.from_text("a.b.example.com")
+        assert child.is_subdomain_of(DnsName.from_text("example.com"))
+
+    def test_not_subdomain_of_sibling(self):
+        assert not DnsName.from_text("a.example.com").is_subdomain_of(
+            DnsName.from_text("b.example.com"))
+
+    def test_everything_is_subdomain_of_root(self):
+        assert DnsName.from_text("x.y").is_subdomain_of(DnsName.root())
+
+    def test_partial_label_match_is_not_subdomain(self):
+        # "aexample.com" must not count as a subdomain of "example.com".
+        assert not DnsName.from_text("aexample.com").is_subdomain_of(
+            DnsName.from_text("example.com"))
+
+    def test_second_level_domain(self):
+        name = DnsName.from_text("mozilla.cloudflare-dns.com")
+        assert name.second_level_domain().to_text() == "cloudflare-dns.com."
+
+    def test_second_level_domain_of_short_name(self):
+        name = DnsName.from_text("example.com")
+        assert name.second_level_domain() == name
+
+
+class TestRendering:
+    def test_to_text_is_absolute(self):
+        assert DnsName.from_text("a.b").to_text() == "a.b."
+
+    def test_root_to_text(self):
+        assert DnsName.root().to_text() == "."
+
+    def test_to_display_strips_dot(self):
+        assert DnsName.from_text("a.b.").to_display() == "a.b"
+
+    def test_wire_length(self):
+        # 1+3 + 1+7 + 1+3 + 1 = 17 for dns.example.com.
+        assert DnsName.from_text("dns.example.com").wire_length() == 17
+
+    def test_repr_roundtrip_text(self):
+        name = DnsName.from_text("x.example.org")
+        assert "x.example.org." in repr(name)

@@ -1,0 +1,94 @@
+"""Property-based tests for the DNS wire codec (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnswire import (
+    DnsName,
+    Message,
+    ResourceRecord,
+    RRType,
+    make_query,
+    make_response,
+)
+from repro.dnswire.edns import PaddingOption
+from repro.errors import WireFormatError
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=20)
+names = st.lists(label, min_size=1, max_size=5).map(
+    lambda labels: DnsName.from_text(".".join(labels)))
+ipv4 = st.tuples(*([st.integers(0, 255)] * 4)).map(
+    lambda octets: ".".join(str(o) for o in octets))
+msg_ids = st.integers(0, 0xFFFF)
+
+
+@given(name=names, msg_id=msg_ids,
+       rrtype=st.sampled_from([RRType.A, RRType.AAAA, RRType.TXT,
+                               RRType.NS, RRType.MX]))
+def test_query_roundtrip(name, msg_id, rrtype):
+    message = make_query(name, rrtype, msg_id=msg_id)
+    decoded = Message.decode(message.encode())
+    assert decoded.question.name == name
+    assert decoded.question.rrtype == rrtype
+    assert decoded.header.msg_id == msg_id
+
+
+@given(name=names, addresses=st.lists(ipv4, min_size=0, max_size=8),
+       msg_id=msg_ids)
+def test_response_roundtrip(name, addresses, msg_id):
+    query = make_query(name, msg_id=msg_id)
+    response = make_response(query, answers=[
+        ResourceRecord.a(name, address) for address in addresses])
+    decoded = Message.decode(response.encode())
+    assert decoded.answer_addresses() == tuple(addresses)
+
+
+@given(name=names, addresses=st.lists(ipv4, min_size=1, max_size=6))
+def test_compression_is_lossless(name, addresses):
+    query = make_query(name)
+    response = make_response(query, answers=[
+        ResourceRecord.a(name, address) for address in addresses])
+    compressed = Message.decode(response.encode(compress=True))
+    plain = Message.decode(response.encode(compress=False))
+    assert compressed.answers == plain.answers
+    assert compressed.questions == plain.questions
+
+
+@given(name=names, block=st.sampled_from([32, 64, 128, 256, 468]))
+def test_padding_always_reaches_block_multiple(name, block):
+    message = make_query(name, pad_block=block)
+    assert len(message.encode()) % block == 0
+
+
+@given(length=st.integers(0, 1024), block=st.integers(1, 512))
+def test_padding_option_maths(length, block):
+    option = PaddingOption.pad_to_block(length, block)
+    assert (length + option.wire_length()) % block == 0
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+@settings(max_examples=200)
+def test_decoder_never_crashes_on_garbage(data):
+    # Arbitrary bytes must either decode or raise WireFormatError —
+    # never any other exception type.
+    try:
+        Message.decode(data)
+    except WireFormatError:
+        pass
+
+
+@given(name=names)
+def test_names_survive_wire(name):
+    from repro.dnswire.wire import WireReader, WireWriter
+    writer = WireWriter()
+    writer.write_name(name)
+    assert WireReader(writer.getvalue()).read_name() == name
+
+
+@given(parts=st.lists(label, min_size=2, max_size=5))
+def test_subdomain_relation_is_consistent(parts):
+    full = DnsName.from_text(".".join(parts))
+    parent = full.parent()
+    assert full.is_subdomain_of(parent)
+    assert not parent.is_subdomain_of(full) or len(parts) == 0

@@ -1,0 +1,123 @@
+"""Tests for authoritative zones and the builder helpers."""
+
+import pytest
+
+from repro.dnswire import DnsName, Rcode, ResourceRecord, RRType, make_query
+from repro.dnswire.builder import (
+    nxdomain,
+    rewrite_answers,
+    servfail,
+    unique_probe_name,
+)
+from repro.dnswire.builder import make_response
+from repro.dnswire.zone import Zone
+from repro.errors import ScenarioError
+
+ORIGIN = DnsName.from_text("probe.example.")
+
+
+@pytest.fixture()
+def zone() -> Zone:
+    zone = Zone(ORIGIN, ResourceRecord.soa(
+        ORIGIN, ORIGIN.child("ns1"), ORIGIN.child("hostmaster"), serial=1))
+    zone.add(ResourceRecord.a(ORIGIN.child("www"), "192.0.2.10"))
+    zone.add(ResourceRecord.a(ORIGIN.child("*"), "192.0.2.53"))
+    zone.add(ResourceRecord.cname(ORIGIN.child("alias"),
+                                  ORIGIN.child("www")))
+    return zone
+
+
+class TestZoneLookups:
+    def test_exact_match(self, zone):
+        result = zone.lookup(ORIGIN.child("www"), RRType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert result.records[0].rdata.address == "192.0.2.10"
+
+    def test_wildcard_synthesis(self, zone):
+        result = zone.lookup(ORIGIN.child("xyz123"), RRType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert result.records[0].name == ORIGIN.child("xyz123")
+        assert result.records[0].rdata.address == "192.0.2.53"
+
+    def test_exact_match_beats_wildcard(self, zone):
+        result = zone.lookup(ORIGIN.child("www"), RRType.A)
+        assert result.records[0].rdata.address == "192.0.2.10"
+
+    def test_cname_chain_followed(self, zone):
+        result = zone.lookup(ORIGIN.child("alias"), RRType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert result.records[0].rrtype == RRType.CNAME
+        assert result.records[-1].rdata.address == "192.0.2.10"
+
+    def test_out_of_zone_name_is_nxdomain(self, zone):
+        result = zone.lookup(DnsName.from_text("other.example."), RRType.A)
+        assert result.rcode == Rcode.NXDOMAIN
+
+    def test_existing_name_with_missing_type_is_noerror_empty(self, zone):
+        result = zone.lookup(ORIGIN.child("www"), RRType.AAAA)
+        # Wildcard doesn't cover AAAA; name exists so NOERROR/NODATA...
+        # except the wildcard matches any label. Query the apex instead.
+        result = zone.lookup(ORIGIN, RRType.TXT)
+        assert result.rcode == Rcode.NOERROR
+        assert result.is_empty
+
+    def test_cname_loop_servfails(self):
+        zone = Zone(ORIGIN)
+        zone.add(ResourceRecord.cname(ORIGIN.child("a"), ORIGIN.child("b")))
+        zone.add(ResourceRecord.cname(ORIGIN.child("b"), ORIGIN.child("a")))
+        result = zone.lookup(ORIGIN.child("a"), RRType.A)
+        assert result.rcode == Rcode.SERVFAIL
+
+    def test_cname_to_external_target_returns_partial_chain(self):
+        zone = Zone(ORIGIN)
+        external = DnsName.from_text("elsewhere.example.com.")
+        zone.add(ResourceRecord.cname(ORIGIN.child("ext"), external))
+        result = zone.lookup(ORIGIN.child("ext"), RRType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert result.records[-1].rdata.target == external
+
+    def test_out_of_zone_record_rejected(self, zone):
+        with pytest.raises(ScenarioError):
+            zone.add(ResourceRecord.a(DnsName.from_text("evil.example."),
+                                      "192.0.2.1"))
+
+    def test_record_count(self, zone):
+        assert zone.record_count() == 4  # SOA + www + wildcard + alias
+
+
+class TestBuilderHelpers:
+    def test_unique_probe_name_lowercases(self):
+        name = unique_probe_name(ORIGIN, "ABC123")
+        assert name.labels[0] == b"abc123"
+
+    def test_servfail_mirrors_query(self):
+        query = make_query(ORIGIN.child("x"), msg_id=9)
+        response = servfail(query)
+        assert response.rcode() == Rcode.SERVFAIL
+        assert response.header.msg_id == 9
+        assert not response.answers
+
+    def test_nxdomain_carries_authorities(self):
+        query = make_query(ORIGIN.child("x"))
+        soa = ResourceRecord.soa(ORIGIN, ORIGIN.child("ns1"),
+                                 ORIGIN.child("h"), serial=1)
+        response = nxdomain(query, authorities=[soa])
+        assert response.rcode() == Rcode.NXDOMAIN
+        assert response.authorities == (soa,)
+
+    def test_rewrite_answers_replaces_every_a(self):
+        query = make_query(ORIGIN.child("x"))
+        response = make_response(query, answers=[
+            ResourceRecord.a(ORIGIN.child("x"), "192.0.2.1"),
+            ResourceRecord.a(ORIGIN.child("x"), "192.0.2.2"),
+        ])
+        rewritten = rewrite_answers(response, "198.51.100.7")
+        assert rewritten.answer_addresses() == ("198.51.100.7",
+                                                "198.51.100.7")
+
+    def test_rewrite_preserves_non_a_records(self):
+        query = make_query(ORIGIN.child("x"), RRType.TXT)
+        response = make_response(query, answers=[
+            ResourceRecord.txt(ORIGIN.child("x"), "keep me")])
+        rewritten = rewrite_answers(response, "198.51.100.7")
+        assert rewritten.answers[0].rdata.strings == (b"keep me",)

@@ -1,0 +1,281 @@
+"""Tests for the Do53/DoT/DoH client implementations."""
+
+import pytest
+
+from repro.dnswire import DnsName, RRType, make_query
+from repro.doe import (
+    Do53Client,
+    DohClient,
+    DohMethod,
+    DotClient,
+    FailureKind,
+    PrivacyProfile,
+    QueryOutcome,
+    frame_tcp_message,
+    unframe_tcp_message,
+)
+from repro.errors import WireFormatError
+from repro.httpsim.uri import UriTemplate
+from repro.netsim.middlebox import PortFilter, RuleSet, TlsInterceptor
+from repro.tlssim.certs import ValidationFailure
+
+WWW = DnsName.from_text("www.example.com")
+EXPECTED = ("93.184.216.34",)
+
+
+def query(msg_id=1):
+    return make_query(WWW, RRType.A, msg_id=msg_id)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        assert unframe_tcp_message(frame_tcp_message(b"abc")) == b"abc"
+
+    def test_length_mismatch_rejected(self):
+        framed = bytearray(frame_tcp_message(b"abcd"))
+        framed[1] = 99
+        with pytest.raises(WireFormatError):
+            unframe_tcp_message(bytes(framed))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(WireFormatError):
+            unframe_tcp_message(b"\x00")
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(WireFormatError):
+            frame_tcp_message(b"x" * 70_000)
+
+
+class TestDo53(object):
+    def test_udp_query(self, mini_world, rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_udp(mini_world["env"],
+                                  mini_world["resolver_ip"], query())
+        assert result.ok
+        assert result.addresses() == EXPECTED
+        assert result.classify(EXPECTED) is QueryOutcome.CORRECT
+
+    def test_tcp_query(self, mini_world, rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_tcp(mini_world["env"],
+                                  mini_world["resolver_ip"], query())
+        assert result.ok
+        assert result.transport == "do53-tcp"
+
+    def test_tcp_reuse_lowers_latency(self, mini_world, rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        first = client.query_tcp(mini_world["env"],
+                                 mini_world["resolver_ip"], query(1))
+        second = client.query_tcp(mini_world["env"],
+                                  mini_world["resolver_ip"], query(2))
+        assert not first.reused_connection
+        assert second.reused_connection
+        assert second.latency_ms < first.latency_ms
+
+    def test_udp_timeout_classified(self, mini_world, rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_udp(mini_world["env"], "100.66.55.44",
+                                  query(), timeout_s=2.0)
+        assert not result.ok
+        assert result.failure is FailureKind.TIMEOUT
+        assert result.latency_ms == pytest.approx(2000.0)
+
+    def test_close_all(self, mini_world, rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        client.query_tcp(mini_world["env"], mini_world["resolver_ip"],
+                         query())
+        client.close_all()
+        result = client.query_tcp(mini_world["env"],
+                                  mini_world["resolver_ip"], query())
+        assert not result.reused_connection
+
+
+class TestDot:
+    def test_strict_query_against_valid_cert(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"], profile=PrivacyProfile.STRICT)
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"], query())
+        assert result.ok
+        assert result.cert_report.valid
+        assert result.addresses() == EXPECTED
+
+    def test_reuse_skips_handshake(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"])
+        first = client.query(mini_world["env"], mini_world["resolver_ip"],
+                             query(1))
+        second = client.query(mini_world["env"], mini_world["resolver_ip"],
+                              query(2))
+        assert second.reused_connection
+        assert second.latency_ms < first.latency_ms / 2
+
+    def test_strict_fails_on_interception(self, mini_world, rng, trust):
+        mini_world["env"].middleboxes.append(
+            TlsInterceptor("dpi", trust["rogue"]))
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"], profile=PrivacyProfile.STRICT)
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"], query())
+        assert not result.ok
+        assert result.failure is FailureKind.CERTIFICATE
+        assert result.intercepted_by == "dpi"
+
+    def test_opportunistic_proceeds_on_interception(self, mini_world, rng,
+                                                    trust):
+        mini_world["env"].middleboxes.append(
+            TlsInterceptor("dpi", trust["rogue"]))
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"],
+                           profile=PrivacyProfile.OPPORTUNISTIC)
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"], query())
+        assert result.ok
+        assert result.intercepted_by == "dpi"
+        assert not result.cert_report.valid
+        assert result.cert_report.has(ValidationFailure.UNTRUSTED_CA)
+
+    def test_blocked_port_fails(self, mini_world, rng, trust):
+        mini_world["env"].middleboxes.append(PortFilter(
+            "f", RuleSet(blocked_ports={853})))
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"])
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"], query(),
+                              timeout_s=3.0)
+        assert result.failure is FailureKind.TIMEOUT
+
+    def test_queries_are_padded(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"], pad_block=128)
+        # The service decodes the padded query; the answer must be intact.
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"], query())
+        assert result.ok
+
+    def test_fetch_certificate(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"])
+        chain, report, error = client.fetch_certificate(
+            mini_world["env"], mini_world["resolver_ip"])
+        assert error is None
+        assert chain == mini_world["chain"]
+        assert report.valid
+
+    def test_fetch_certificate_from_dead_host(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"])
+        chain, report, error = client.fetch_certificate(
+            mini_world["env"], "100.66.55.44", timeout_s=1.0)
+        assert error is not None
+        assert chain == ()
+        assert report is None
+
+
+class TestDoh:
+    @pytest.fixture()
+    def doh(self, mini_world, rng, trust):
+        return DohClient(mini_world["network"], rng.fork("c"),
+                         trust["store"],
+                         bootstrap=mini_world["universe"].resolve_public)
+
+    @pytest.fixture()
+    def template(self, mini_world):
+        return UriTemplate(
+            f"https://{mini_world['hostname']}/dns-query{{?dns}}")
+
+    def test_post_query(self, doh, mini_world, template):
+        result = doh.query(mini_world["env"], template, query())
+        assert result.ok
+        assert result.addresses() == EXPECTED
+
+    def test_get_query(self, mini_world, rng, trust, template):
+        client = DohClient(mini_world["network"], rng.fork("g"),
+                           trust["store"],
+                           bootstrap=mini_world["universe"].resolve_public,
+                           method=DohMethod.GET)
+        result = client.query(mini_world["env"], template, query())
+        assert result.ok
+
+    def test_reuse(self, doh, mini_world, template):
+        first = doh.query(mini_world["env"], template, query(1))
+        second = doh.query(mini_world["env"], template, query(2))
+        assert second.reused_connection
+        assert second.latency_ms < first.latency_ms
+
+    def test_wrong_path_is_http_error(self, doh, mini_world):
+        bad = UriTemplate(
+            f"https://{mini_world['hostname']}/other-path{{?dns}}")
+        result = doh.query(mini_world["env"], bad, query())
+        assert not result.ok
+        assert result.failure is FailureKind.HTTP
+
+    def test_bootstrap_failure(self, doh, mini_world):
+        missing = UriTemplate("https://nonexistent.example/dns-query{?dns}")
+        result = doh.query(mini_world["env"], missing, query())
+        assert not result.ok
+        assert result.failure is FailureKind.UNREACHABLE
+
+    def test_interception_always_fatal(self, mini_world, rng, trust,
+                                       template):
+        mini_world["env"].middleboxes.append(
+            TlsInterceptor("dpi", trust["rogue"]))
+        client = DohClient(mini_world["network"], rng.fork("i"),
+                           trust["store"],
+                           bootstrap=mini_world["universe"].resolve_public)
+        result = client.query(mini_world["env"], template, query())
+        assert not result.ok
+        assert result.failure is FailureKind.CERTIFICATE
+        assert result.intercepted_by == "dpi"
+
+    def test_name_mismatch_fails_strict(self, mini_world, rng, trust):
+        # Register a hostname that resolves to the resolver but does not
+        # appear in its certificate.
+        mini_world["universe"].host_a("wrong.name.test", "7.7.7.7")
+        client = DohClient(mini_world["network"], rng.fork("m"),
+                           trust["store"],
+                           bootstrap=mini_world["universe"].resolve_public)
+        template = UriTemplate("https://wrong.name.test/dns-query{?dns}")
+        result = client.query(mini_world["env"], template, query())
+        assert not result.ok
+        assert result.failure is FailureKind.CERTIFICATE
+
+
+class TestQueryResultClassification:
+    def test_failed_when_no_response(self):
+        from repro.doe.result import QueryResult
+        result = QueryResult.failed("dot", "1.1.1.1", 100.0,
+                                    FailureKind.TIMEOUT)
+        assert result.classify(EXPECTED) is QueryOutcome.FAILED
+
+    def test_incorrect_on_servfail(self, mini_world, rng):
+        from repro.doe.result import QueryResult
+        from repro.dnswire.builder import servfail
+        response = servfail(query())
+        result = QueryResult.answered("dot", "1.1.1.1", 10.0, response)
+        assert result.classify(EXPECTED) is QueryOutcome.INCORRECT
+
+    def test_incorrect_on_empty_answer(self):
+        from repro.doe.result import QueryResult
+        from repro.dnswire.builder import make_response
+        result = QueryResult.answered("dot", "1.1.1.1", 10.0,
+                                      make_response(query()))
+        assert result.classify(EXPECTED) is QueryOutcome.INCORRECT
+
+    def test_incorrect_on_spoofed_answer(self):
+        from repro.doe.result import QueryResult
+        from repro.dnswire.builder import make_response
+        from repro.dnswire import ResourceRecord
+        response = make_response(query(), answers=[
+            ResourceRecord.a(WWW, "192.0.2.66")])
+        result = QueryResult.answered("do53-tcp", "1.1.1.1", 10.0, response)
+        assert result.classify(EXPECTED) is QueryOutcome.INCORRECT
+
+    def test_correct_without_expectation(self):
+        from repro.doe.result import QueryResult
+        from repro.dnswire.builder import make_response
+        from repro.dnswire import ResourceRecord
+        response = make_response(query(), answers=[
+            ResourceRecord.a(WWW, "192.0.2.66")])
+        result = QueryResult.answered("dot", "1.1.1.1", 10.0, response)
+        assert result.classify(()) is QueryOutcome.CORRECT

@@ -1,0 +1,76 @@
+"""Tests for the error hierarchy and small shared utilities."""
+
+import pytest
+
+from repro import ExperimentSuite, ScenarioConfig, build_scenario
+from repro.errors import (
+    CertificateError,
+    ConnectionRefused,
+    DnsLookupError,
+    HttpError,
+    NameError_,
+    ReproError,
+    TimeoutError_,
+    TlsError,
+    TransportError,
+    WireFormatError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error_type in (WireFormatError, NameError_, TransportError,
+                           ConnectionRefused, TimeoutError_, TlsError,
+                           CertificateError, HttpError, DnsLookupError):
+            assert issubclass(error_type, ReproError), error_type
+
+    def test_name_error_is_wire_format_error(self):
+        assert issubclass(NameError_, WireFormatError)
+
+    def test_transport_subtypes(self):
+        assert issubclass(ConnectionRefused, TransportError)
+        assert issubclass(TimeoutError_, TransportError)
+
+    def test_certificate_error_carries_reasons(self):
+        error = CertificateError("bad", reasons=("expired",))
+        assert error.reasons == ("expired",)
+
+    def test_http_error_carries_status(self):
+        assert HttpError("nope", status=404).status == 404
+
+    def test_dns_lookup_error_carries_rcode(self):
+        assert DnsLookupError("servfail", rcode=2).rcode == 2
+
+    def test_builtin_names_not_shadowed(self):
+        # The trailing-underscore convention must keep Python's built-ins
+        # reachable.
+        assert TimeoutError_ is not TimeoutError
+        assert NameError_ is not NameError
+
+
+class TestTopLevelApi:
+    def test_package_exports(self):
+        import repro
+        assert set(repro.__all__) >= {"ExperimentSuite", "Scenario",
+                                      "ScenarioConfig", "build_scenario"}
+
+    def test_version_is_semver(self):
+        import repro
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_suite_client_sample(self):
+        from tests.conftest import tiny_config
+        suite = ExperimentSuite(scenario=build_scenario(tiny_config()),
+                                client_sample=0.5)
+        full = len(suite.scenario.proxyrack())
+        assert len(suite.proxyrack_network()) == round(full * 0.5)
+
+    def test_scenario_config_scaled(self):
+        config = ScenarioConfig(vantage_scale=0.1)
+        assert config.scaled(100) == 10
+        assert config.scaled(3) == 1  # never drops to zero
+
+    def test_small_config_is_small(self):
+        small = ScenarioConfig.small()
+        assert small.scaled(29_622) < 1_000

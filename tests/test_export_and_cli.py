@@ -1,0 +1,113 @@
+"""Tests for the dataset-release exports and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis import export
+from repro.core.scan import ScanCampaign
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=47))
+
+
+@pytest.fixture(scope="module")
+def campaign(world):
+    return ScanCampaign(world).run(rounds=2)
+
+
+class TestExport:
+    def test_dot_resolver_rows(self, campaign):
+        rows = export.export_dot_resolvers(campaign)
+        assert len(rows) == len(campaign.last.resolvers)
+        sample = rows[0]
+        assert set(sample) == {"address", "country", "provider",
+                               "answer_correct", "cert_valid",
+                               "cert_failure"}
+        invalid = [row for row in rows if not row["cert_valid"]]
+        assert all(row["cert_failure"] for row in invalid)
+
+    def test_doh_resolver_rows(self, campaign):
+        rows = export.export_doh_resolvers(campaign)
+        assert len(rows) == 17
+        assert all(row["cert_valid"] for row in rows)
+
+    def test_scan_timeseries(self, campaign):
+        rows = export.export_scan_timeseries(campaign)
+        assert len(rows) == 2
+        assert rows[0]["dot_resolvers"] > 1_500
+
+    def test_reachability_rows_are_anonymised(self, world):
+        from repro.core.client import ReachabilityStudy
+        study = ReachabilityStudy(world)
+        report = study.run("proxyrack", world.proxyrack()[:5])
+        rows = export.export_reachability(report)
+        assert rows
+        # No raw endpoint labels or addresses leak into the release.
+        for row in rows:
+            assert row["endpoint"].startswith("client-")
+            assert "proxyrack-" not in row["endpoint"]
+
+    def test_anonymize_truncates_addresses(self):
+        assert export._anonymize("100.128.7.99") == "100.128.7.0/24"
+        assert export._anonymize("not-an-ip") == "not-an-ip"
+
+    def test_json_roundtrip(self, campaign):
+        text = export.to_json(export.export_doh_resolvers(campaign))
+        assert len(json.loads(text)) == 17
+
+    def test_csv_has_header(self, campaign):
+        text = export.to_csv(export.export_scan_timeseries(campaign))
+        header = text.splitlines()[0]
+        assert "dot_resolvers" in header
+
+    def test_csv_of_nothing(self):
+        assert export.to_csv([]) == ""
+
+    def test_write_release(self, campaign, tmp_path):
+        paths = export.write_release(campaign, None, None, str(tmp_path))
+        assert len(paths) == 3
+        for path in paths:
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+    def test_netflow_monthly_rows(self):
+        from repro.core.usage import DotTrafficStudy
+        from repro.datasets.netflow import generate_netflow_dataset
+        from repro.netsim.rand import SeededRng
+        dataset = generate_netflow_dataset(SeededRng(5), scale=0.05,
+                                           include_scanners=False,
+                                           include_noise=False)
+        report = DotTrafficStudy().analyze(dataset)
+        rows = export.export_netflow_monthly(report)
+        assert rows
+        assert all(row["do53_flows"] >= row["dot_flows"] for row in rows)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_runs_without_a_world(self, capsys):
+        assert main(["compare"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Table 8" in output
+
+    def test_scan_command(self, capsys):
+        assert main(["--scale", "0.004", "--seed", "3", "scan"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "DoH: 17 working services" in output
+
+    def test_release_command(self, tmp_path, capsys):
+        assert main(["--scale", "0.004", "--seed", "3", "release",
+                     str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("wrote ") == 5
+        assert (tmp_path / "dot_resolvers.json").exists()

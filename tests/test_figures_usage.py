@@ -1,0 +1,79 @@
+"""Unit tests for the usage-figure builders (11-13) on crafted inputs."""
+
+import pytest
+
+from repro.analysis import figures
+from repro.core.usage.netflow_study import DotTrafficReport, NetblockActivity
+from repro.core.usage.passive_dns_study import DohUsageReport
+
+
+@pytest.fixture()
+def traffic_report():
+    return DotTrafficReport(
+        monthly_flows={
+            "cloudflare": {"2018-07": 4674, "2018-12": 7318},
+            "quad9": {"2018-07": 1500, "2018-12": 1200},
+        },
+        do53_monthly={"cloudflare": {"2018-07": 2_000_000,
+                                     "2018-12": 3_000_000}},
+        netblocks=[
+            NetblockActivity("115.48.1.0/24", 5000, 120, 0.0, 1e7),
+            NetblockActivity("115.48.2.0/24", 3000, 90, 0.0, 1e7),
+            NetblockActivity("115.48.3.0/24", 500, 3, 0.0, 1e5),
+            NetblockActivity("115.48.4.0/24", 10, 1, 0.0, 1e4),
+        ],
+        matched_records=8510,
+        excluded_single_syn=600,
+        unmatched_port853=40,
+    )
+
+
+class TestFigure11:
+    def test_series_sorted_by_month(self, traffic_report):
+        series = figures.figure11_series(traffic_report)
+        assert series["cloudflare"] == [("2018-07", 4674),
+                                        ("2018-12", 7318)]
+
+    def test_growth_matches_paper_number(self, traffic_report):
+        growth = traffic_report.growth("cloudflare", "2018-07", "2018-12")
+        assert growth == pytest.approx(0.5657, abs=0.001)
+
+    def test_ratio(self, traffic_report):
+        ratio = traffic_report.dot_to_do53_ratio("cloudflare")
+        assert ratio == pytest.approx(5_000_000 / 11_992, rel=0.01)
+
+
+class TestFigure12:
+    def test_points_share_and_days(self, traffic_report):
+        points = figures.figure12_points(traffic_report)
+        assert len(points) == 4
+        shares = [share for share, _, _ in points]
+        assert sum(shares) == pytest.approx(1.0)
+        biggest = max(points, key=lambda point: point[0])
+        assert biggest[1] == 120  # the most active block is long-lived
+
+    def test_top_share(self, traffic_report):
+        assert traffic_report.top_share(1) == pytest.approx(5000 / 8510)
+        assert traffic_report.top_share(10) == pytest.approx(1.0)
+
+    def test_short_lived_stats(self, traffic_report):
+        blocks, traffic = traffic_report.short_lived_stats()
+        assert blocks == pytest.approx(0.5)
+        assert traffic == pytest.approx(510 / 8510)
+
+
+class TestFigure13:
+    def test_series_passthrough(self):
+        report = DohUsageReport(
+            candidates=["a.example", "b.example"],
+            popular=["a.example"],
+            monthly_series={"a.example": {"2018-09": 200,
+                                          "2019-03": 1915}},
+            totals={"a.example": 12_000, "b.example": 50},
+        )
+        series = figures.figure13_series(report)
+        assert series["a.example"][0] == ("2018-09", 200)
+        assert report.growth("a.example", "2018-09", "2019-03") == (
+            pytest.approx(9.575))
+        assert report.growth("b.example", "2018-09", "2019-03") == 0.0
+        assert report.dominant_domain() == "a.example"

@@ -1,0 +1,129 @@
+"""Tests for the HTTP model and DoH URI templates."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.httpsim import HttpRequest, HttpResponse, UriTemplate, parse_url
+from repro.httpsim.uri import looks_like_doh_path
+
+
+class TestHttpRequest:
+    def test_get_parses_query(self):
+        request = HttpRequest.get("/dns-query?dns=abc&x=1")
+        assert request.method == "GET"
+        assert request.path == "/dns-query"
+        assert request.query_param("dns") == "abc"
+        assert request.query_param("x") == "1"
+
+    def test_missing_query_param_is_none(self):
+        assert HttpRequest.get("/dns-query").query_param("dns") is None
+
+    def test_post_sets_content_type(self):
+        request = HttpRequest.post("/dns-query", b"\x00\x01",
+                                   "application/dns-message")
+        assert request.header("Content-Type") == "application/dns-message"
+        assert request.body == b"\x00\x01"
+
+    def test_headers_case_insensitive(self):
+        request = HttpRequest.get("/", headers={"X-Custom": "v"})
+        assert request.header("x-custom") == "v"
+        assert request.header("X-CUSTOM") == "v"
+
+    def test_method_uppercased(self):
+        assert HttpRequest("get", "/").method == "GET"
+
+    def test_target_rebuilds_query(self):
+        request = HttpRequest.get("/p?a=1&b=2")
+        assert request.target() == "/p?a=1&b=2"
+
+    def test_target_without_query(self):
+        assert HttpRequest.get("/p").target() == "/p"
+
+    def test_approximate_size_counts_body(self):
+        small = HttpRequest.post("/p", b"", "t/x").approximate_size()
+        big = HttpRequest.post("/p", b"x" * 500, "t/x").approximate_size()
+        assert big - small == 500
+
+
+class TestHttpResponse:
+    def test_ok(self):
+        response = HttpResponse.ok(b"hi", content_type="text/plain")
+        assert response.is_success
+        assert response.reason == "OK"
+
+    def test_error(self):
+        response = HttpResponse.error(404)
+        assert not response.is_success
+        assert response.status == 404
+        assert b"Not Found" in response.body
+
+    def test_error_custom_message(self):
+        response = HttpResponse.error(400, "missing dns parameter")
+        assert b"missing dns parameter" in response.body
+
+    def test_unknown_status_reason(self):
+        assert HttpResponse(599).reason == "Unknown"
+
+
+class TestParseUrl:
+    def test_https_defaults_443(self):
+        parsed = parse_url("https://dns.example.com/dns-query")
+        assert parsed.hostname == "dns.example.com"
+        assert parsed.port == 443
+        assert parsed.path == "/dns-query"
+
+    def test_http_defaults_80(self):
+        assert parse_url("http://a.example/").port == 80
+
+    def test_explicit_port(self):
+        assert parse_url("https://a.example:8443/x").port == 8443
+
+    def test_empty_path_becomes_slash(self):
+        assert parse_url("https://a.example").path == "/"
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ScenarioError):
+            parse_url("ftp://a.example/x")
+
+    def test_missing_host_rejected(self):
+        with pytest.raises(ScenarioError):
+            parse_url("https:///nohost")
+
+
+class TestUriTemplate:
+    def test_rfc8484_template(self):
+        template = UriTemplate("https://dns.example.com/dns-query{?dns}")
+        parsed, variables = template.parse()
+        assert parsed.hostname == "dns.example.com"
+        assert variables == ("dns",)
+        assert template.supports_get_param("dns")
+
+    def test_template_without_variables(self):
+        template = UriTemplate("https://dns.example.com/dns-query")
+        _, variables = template.parse()
+        assert variables == ()
+        assert not template.supports_get_param()
+
+    def test_hostname_and_path_shortcuts(self):
+        template = UriTemplate("https://doh.crypto.sx/dns-query{?dns}")
+        assert template.hostname == "doh.crypto.sx"
+        assert template.path == "/dns-query"
+
+    def test_multi_variable_template(self):
+        template = UriTemplate("https://x.example/resolve{?dns,type}")
+        _, variables = template.parse()
+        assert variables == ("dns", "type")
+
+
+class TestDohPathHeuristic:
+    @pytest.mark.parametrize("path", ["/dns-query", "/resolve", "/query",
+                                      "/doh", "/dns-query/",
+                                      "/doh/family-filter"])
+    def test_matches(self, path):
+        assert looks_like_doh_path(path)
+
+    @pytest.mark.parametrize("path", ["/", "/index.html", "/api/v1/query2",
+                                      "/dns", "/search?q=dns-query",
+                                      "/dns-query-faq"])
+    def test_rejects(self, path):
+        assert not looks_like_doh_path(path)

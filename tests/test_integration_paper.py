@@ -1,0 +1,163 @@
+"""Integration tests: the paper's headline findings at test scale.
+
+These run the whole pipeline on the shared tiny scenario and assert the
+*shape* of every key finding — the same checks EXPERIMENTS.md records at
+paper scale.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentSuite
+from repro.core.scan import ScanCampaign
+
+
+@pytest.fixture(scope="module")
+def suite():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return ExperimentSuite(scenario=build_scenario(tiny_config(seed=13)),
+                           netflow_scale=0.2)
+
+
+class TestFinding1:
+    """Servers: discovery and certificate hygiene."""
+
+    def test_over_1500_dot_resolvers_per_scan(self, suite):
+        for round_result in suite.campaign().rounds:
+            assert len(round_result.resolvers) > 1_500
+
+    def test_millions_of_port853_hosts(self, suite):
+        assert suite.campaign().first.stats.total_open_estimate > 2_000_000
+
+    def test_quarter_of_providers_have_invalid_certs(self, suite):
+        stats = suite.campaign().last.provider_statistics()
+        assert 0.18 < stats.invalid_provider_fraction < 0.35
+
+    def test_final_scan_cert_breakdown_matches_paper(self, suite):
+        from repro.tlssim.certs import ValidationFailure
+        stats = suite.campaign().last.provider_statistics()
+        assert stats.invalid_cert_resolvers == 122
+        assert stats.invalid_cert_providers == 62
+        assert stats.failure_totals[ValidationFailure.EXPIRED] == 27
+        assert stats.failure_totals[ValidationFailure.SELF_SIGNED] == 67
+        assert stats.failure_totals[ValidationFailure.BROKEN_CHAIN] == 28
+
+    def test_17_doh_resolvers_2_beyond_list(self, suite):
+        working = suite.campaign().working_doh()
+        assert len(working) == 17
+        assert sum(1 for record in working
+                   if not record.in_public_list) == 2
+
+    def test_doh_has_no_invalid_certificates(self, suite):
+        assert all(record.cert_valid
+                   for record in suite.campaign().working_doh())
+
+    def test_table2_growth_directions(self, suite):
+        growth = dict((code, pct) for code, _, _, pct
+                      in suite.campaign().country_growth())
+        assert growth["IE"] > 80
+        assert growth["US"] > 300
+        assert growth["CN"] < -70
+
+
+class TestFinding2:
+    """Clients: reachability."""
+
+    def test_doe_more_reachable_than_cleartext(self, suite):
+        report = suite.reachability()
+        do53 = report.rates("proxyrack", "Cloudflare", "do53")
+        dot = report.rates("proxyrack", "Cloudflare", "dot")
+        doh = report.rates("proxyrack", "Cloudflare", "doh")
+        assert do53["failed"] > 0.10
+        assert dot["failed"] < 0.06
+        assert doh["failed"] < 0.06
+
+    def test_google_doh_censored_in_china(self, suite):
+        rates = suite.reachability().rates("zhima", "Google", "doh")
+        assert rates["failed"] > 0.98
+
+    def test_quad9_doh_misconfiguration(self, suite):
+        rates = suite.reachability().rates("proxyrack", "Quad9", "doh")
+        assert 0.06 < rates["incorrect"] < 0.22
+
+    def test_interception_breaks_doh_not_opportunistic_dot(self, suite):
+        report = suite.reachability()
+        cases = [case for case in report.interceptions
+                 if case.intercepts_853]
+        assert cases
+        assert all(case.dot_lookup_succeeded for case in cases)
+
+    def test_diagnosis_explains_dot_failures(self, suite):
+        diagnosis = suite.diagnosis()
+        assert diagnosis.clients
+        # Every diagnosed client's port/webpage profile contradicts the
+        # genuine resolver: something else answers on 1.1.1.1 for them.
+        assert all(client.is_conflict for client in diagnosis.clients)
+        assert diagnosis.conflict_count() == len(diagnosis.clients)
+
+
+class TestFinding3:
+    """Clients: performance."""
+
+    def test_reused_overhead_is_milliseconds(self, suite):
+        summary = suite.performance().global_summary()
+        assert abs(summary["dot_median"]) < 20
+        assert abs(summary["doh_median"]) < 25
+
+    def test_no_reuse_overhead_is_hundreds_of_ms(self, suite):
+        results = {result.vantage: result for result in suite.no_reuse()}
+        assert results["controlled-AU"].dot_overhead_ms > 100
+        assert results["controlled-HK"].doh_overhead_ms > 100
+
+    def test_india_gains_from_doe(self, suite):
+        rows = {row.country: row
+                for row in suite.performance().by_country(min_clients=2)}
+        if "IN" in rows:  # tiny scale may lack Indian clients
+            assert rows["IN"].doh_overhead_median_ms < -40
+
+
+class TestFinding4:
+    """Usage: traffic volume and growth."""
+
+    def test_cloudflare_dot_growth(self, suite):
+        _, report = suite.netflow_report()
+        assert 0.3 < report.growth("cloudflare", "2018-07",
+                                   "2018-12") < 0.9
+
+    def test_dot_far_below_do53(self, suite):
+        _, report = suite.netflow_report()
+        assert report.dot_to_do53_ratio("cloudflare") > 100
+
+    def test_traffic_not_from_scanners(self, suite):
+        assert not any(suite.scanner_vetting().values())
+
+    def test_doh_usage_dominated_by_google(self, suite):
+        usage = suite.doh_usage()
+        assert usage.dominant_domain() == "dns.google.com"
+        assert len(usage.popular) == 4
+        assert 8 < usage.growth("doh.cleanbrowsing.org", "2018-09",
+                                "2019-03") < 11
+
+
+class TestSuitePlumbing:
+    def test_results_are_cached(self, suite):
+        assert suite.campaign() is suite.campaign()
+        assert suite.reachability() is suite.reachability()
+
+    def test_render_all_produces_every_section(self, suite):
+        text = suite.render_all()
+        for marker in ("Table 1", "Table 2", "Table 4", "Table 5",
+                       "Table 6", "Table 7", "Table 8", "Figure 3",
+                       "Figure 11", "Figure 13"):
+            assert marker in text, marker
+
+    def test_determinism_across_builds(self):
+        from tests.conftest import tiny_config
+        first = ExperimentSuite.build(tiny_config(seed=99))
+        second = ExperimentSuite.build(tiny_config(seed=99))
+        campaign_a = ScanCampaign(first.scenario).run(rounds=1,
+                                                      include_doh=False)
+        campaign_b = ScanCampaign(second.scenario).run(rounds=1,
+                                                       include_doh=False)
+        assert ([record.address for record in campaign_a.first.resolvers]
+                == [record.address for record in campaign_b.first.resolvers])

@@ -1,0 +1,101 @@
+"""Tests for EDNS(0) TCP keepalive (RFC 7828) and reuse lifetimes."""
+
+import pytest
+
+from repro.dnswire import (
+    DnsName,
+    KeepaliveOption,
+    Message,
+    OptRecord,
+    RRType,
+    make_query,
+)
+from repro.doe import DotClient
+
+WWW = DnsName.from_text("www.example.com")
+
+
+class TestOptionCodec:
+    def test_roundtrip_through_wire(self):
+        opt = OptRecord().with_option(KeepaliveOption.make(30.0))
+        message = Message(opt=opt)
+        decoded = Message.decode(message.encode())
+        assert KeepaliveOption.timeout_from(decoded.opt) == 30.0
+
+    def test_decisecond_resolution(self):
+        opt = OptRecord().with_option(KeepaliveOption.make(12.34))
+        assert KeepaliveOption.timeout_from(opt) == pytest.approx(12.3)
+
+    def test_clamped_to_u16(self):
+        opt = OptRecord().with_option(KeepaliveOption.make(1e9))
+        assert KeepaliveOption.timeout_from(opt) == 6553.5
+
+    def test_absent_option_is_none(self):
+        assert KeepaliveOption.timeout_from(OptRecord()) is None
+
+    def test_empty_client_form_reports_none(self):
+        opt = OptRecord().with_option(KeepaliveOption.empty())
+        assert KeepaliveOption.timeout_from(opt) is None
+
+
+class TestServerAdvertisement:
+    def test_dot_responses_carry_keepalive(self, mini_world, rng, trust):
+        client = DotClient(mini_world["network"], rng.fork("c"),
+                           trust["store"])
+        result = client.query(mini_world["env"],
+                              mini_world["resolver_ip"],
+                              make_query(WWW, msg_id=1))
+        assert result.ok
+        assert KeepaliveOption.timeout_from(result.response.opt) == 30.0
+
+    def test_udp_responses_do_not(self, mini_world, rng):
+        from repro.doe import Do53Client
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_udp(mini_world["env"],
+                                  mini_world["resolver_ip"],
+                                  make_query(WWW, msg_id=1))
+        assert result.ok
+        assert KeepaliveOption.timeout_from(result.response.opt) is None
+
+
+class TestClientLifetimes:
+    def test_session_reused_within_window(self, mini_world, rng, trust):
+        network = mini_world["network"]
+        client = DotClient(network, rng.fork("c"), trust["store"])
+        client.query(mini_world["env"], mini_world["resolver_ip"],
+                     make_query(WWW, msg_id=1))
+        network.clock.advance(10.0)  # within the 30 s window
+        second = client.query(mini_world["env"],
+                              mini_world["resolver_ip"],
+                              make_query(WWW, msg_id=2))
+        assert second.reused_connection
+
+    def test_session_expires_after_idle_window(self, mini_world, rng,
+                                               trust):
+        network = mini_world["network"]
+        client = DotClient(network, rng.fork("c"), trust["store"])
+        first = client.query(mini_world["env"], mini_world["resolver_ip"],
+                             make_query(WWW, msg_id=1))
+        assert first.ok
+        network.clock.advance(60.0)  # beyond the 30 s window
+        second = client.query(mini_world["env"],
+                              mini_world["resolver_ip"],
+                              make_query(WWW, msg_id=2))
+        assert second.ok
+        assert not second.reused_connection
+        # The reconnect resumes the TLS session: cheaper than the
+        # original full handshake.
+        assert second.latency_ms < first.latency_ms
+
+    def test_each_query_refreshes_the_deadline(self, mini_world, rng,
+                                               trust):
+        network = mini_world["network"]
+        client = DotClient(network, rng.fork("c"), trust["store"])
+        client.query(mini_world["env"], mini_world["resolver_ip"],
+                     make_query(WWW, msg_id=1))
+        for step in range(4):
+            network.clock.advance(20.0)  # never idle past 30 s at once
+            result = client.query(mini_world["env"],
+                                  mini_world["resolver_ip"],
+                                  make_query(WWW, msg_id=2 + step))
+            assert result.reused_connection, step

@@ -1,0 +1,85 @@
+"""Tests for the methodology limitations the paper documents (§3.1).
+
+Two negative results are part of the paper's method story: zone files
+cannot find subdomain-hosted DoH services, and a port-853 sweep misses
+DoT servers on non-standard ports. Both must hold in the reproduction.
+"""
+
+import pytest
+
+from repro.core.scan import ScanCampaign, ZmapScanner, ZoneFileDohDiscovery
+from repro.core.scan.doh_scan import DohDiscovery
+from repro.datasets.zonefile import build_zone_file
+
+
+@pytest.fixture(scope="module")
+def world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=3))
+
+
+@pytest.fixture(scope="module")
+def doh_discovery(world):
+    network = world.client_network()
+    return DohDiscovery(network, world.rng.fork("lim"), world.trust_store,
+                        world.bootstrap, world.probe_origin,
+                        world.expected_probe_answer(),
+                        public_list=world.public_doh_list())
+
+
+class TestZoneFileLimitation:
+    def test_zone_files_only_list_slds(self, world):
+        zone_file = build_zone_file(world)
+        assert all(sld.count(".") == 1 for sld in zone_file)
+
+    def test_zone_file_discovery_misses_subdomain_services(self, world,
+                                                           doh_discovery):
+        zone_records = ZoneFileDohDiscovery(doh_discovery).discover(
+            build_zone_file(world))
+        zone_found = [record for record in zone_records if record.is_doh]
+        url_found = [record for record in
+                     doh_discovery.discover(world.url_dataset())
+                     if record.is_doh]
+        # The URL corpus finds all 17 services; zone files only the few
+        # hosted directly on a registrable domain.
+        assert len(url_found) == 17
+        assert 0 < len(zone_found) < len(url_found) / 2
+
+    def test_zone_file_finds_only_sld_hosted_services(self, world,
+                                                      doh_discovery):
+        zone_records = ZoneFileDohDiscovery(doh_discovery).discover(
+            build_zone_file(world))
+        for record in zone_records:
+            if record.is_doh:
+                assert record.hostname.count(".") == 1
+
+
+class TestNonStandardPortLimitation:
+    def test_sweep_misses_dot_on_other_ports(self, world, rng, trust):
+        from repro.netsim import Host, country
+        from repro.netsim.host import TlsConfig
+        from repro.resolvers import DnsUniverse, DotService, RecursiveBackend
+        from repro.tlssim import make_chain
+
+        network = world.network_for_round(0)
+        universe = DnsUniverse()
+        chain = make_chain(trust["ca"], "hidden.dot.example",
+                           "2018-06-01", "2019-12-01")
+        hidden = Host(address="198.51.77.77", country_code="DE",
+                      point=country("DE").point)
+        hidden.bind("tcp", 8853, DotService(
+            RecursiveBackend(universe, rng.fork("b")),
+            TlsConfig(cert_chain=chain)))
+        network.add_host(hidden)
+        try:
+            scanner = ZmapScanner(network, rng.fork("z"))
+            sweep = scanner.sweep(853)
+            # The methodology explicitly scans only the default port;
+            # "those services are not considered in this study".
+            assert hidden.address not in sweep.open_addresses
+            # A sweep of the non-standard port would see it.
+            other = scanner.sweep(8853)
+            assert hidden.address in other.open_addresses
+        finally:
+            network.remove_host(hidden.address)

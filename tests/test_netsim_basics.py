@@ -1,0 +1,204 @@
+"""Tests for clock, rng, geo and IPv4 helpers."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.netsim import (
+    COUNTRIES,
+    Netblock,
+    SeededRng,
+    SimClock,
+    country,
+    great_circle_km,
+    int_to_ip,
+    ip_to_int,
+    is_public_unicast,
+    slash24,
+)
+from repro.netsim.clock import format_date, iter_months, month_key, parse_date
+from repro.netsim.geo import GeoPoint, nearest
+from repro.netsim.ipv4 import random_public_ip
+
+
+class TestClock:
+    def test_parse_format_roundtrip(self):
+        assert format_date(parse_date("2019-02-01")) == "2019-02-01"
+
+    def test_advance(self):
+        clock = SimClock(100.0)
+        clock.advance(5.0)
+        assert clock.now() == 105.0
+
+    def test_advance_ms(self):
+        clock = SimClock()
+        clock.advance_ms(1500.0)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_set_backwards_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.set_to(5.0)
+
+    def test_month_key(self):
+        assert month_key(parse_date("2018-07-15")) == "2018-07"
+
+    def test_iter_months_spans_year_boundary(self):
+        months = [month_key(ts) for ts in iter_months(
+            parse_date("2018-11-15"), parse_date("2019-02-15"))]
+        assert months == ["2018-11", "2018-12", "2019-01", "2019-02"]
+
+    def test_at_date(self):
+        clock = SimClock.at_date("2019-05-01")
+        assert format_date(clock.now()) == "2019-05-01"
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(1).random()
+        b = SeededRng(1).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(1).random() != SeededRng(2).random()
+
+    def test_forks_are_independent(self):
+        root = SeededRng(1)
+        fork_a = root.fork("a")
+        fork_b = root.fork("b")
+        assert fork_a.random() != fork_b.random()
+
+    def test_fork_is_deterministic(self):
+        assert SeededRng(9).fork("x").random() == SeededRng(9).fork("x").random()
+
+    def test_fork_path_nesting(self):
+        nested = SeededRng(1).fork("a").fork("b")
+        assert nested.path == "a/b"
+
+    def test_chance_extremes(self):
+        rng = SeededRng(3)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_binomial_bounds(self):
+        rng = SeededRng(4)
+        for trials, p in ((10, 0.5), (100_000, 0.001), (500, 0.0), (7, 1.0)):
+            draw = rng.binomial(trials, p)
+            assert 0 <= draw <= trials
+
+    def test_binomial_large_mean_accuracy(self):
+        rng = SeededRng(5)
+        draws = [rng.binomial(3_000_000, 1 / 3000.0) for _ in range(50)]
+        mean = sum(draws) / len(draws)
+        assert 900 < mean < 1100  # expectation is 1000
+
+    def test_clipped_gauss_respects_bounds(self):
+        rng = SeededRng(6)
+        for _ in range(200):
+            value = rng.clipped_gauss(5.0, 10.0, low=1.0, high=8.0)
+            assert 1.0 <= value <= 8.0
+
+    def test_token_alphabet(self):
+        token = SeededRng(7).token(24)
+        assert len(token) == 24
+        assert token.islower() or token.isdigit() or token.isalnum()
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = SeededRng(8)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0])
+                 for _ in range(50)}
+        assert picks == {"a"}
+
+
+class TestGeo:
+    def test_country_lookup(self):
+        assert country("DE").name == "Germany"
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(ScenarioError):
+            country("XX")
+
+    def test_all_paper_countries_present(self):
+        for code in ("IE", "CN", "US", "DE", "FR", "JP", "NL", "GB",
+                     "BR", "RU", "ID", "VN", "IN", "LA", "MY"):
+            assert code in COUNTRIES
+
+    def test_great_circle_known_distance(self):
+        # Berlin-ish to New York-ish should be roughly 6,400 km.
+        km = great_circle_km(GeoPoint(52.5, 13.4), GeoPoint(40.7, -74.0))
+        assert 6000 < km < 6800
+
+    def test_distance_to_self_is_zero(self):
+        point = country("JP").point
+        assert great_circle_km(point, point) == pytest.approx(0.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = country("BR").point, country("AU").point
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_nearest(self):
+        candidates = (country("US").point, country("SG").point)
+        index, km = nearest(country("JP").point, candidates)
+        assert index == 1  # Singapore is closer to Japan than the US
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(ScenarioError):
+            nearest(country("US").point, ())
+
+    def test_proxy_weights_positive(self):
+        assert all(entry.proxy_weight > 0 for entry in COUNTRIES.values())
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        assert int_to_ip(ip_to_int("203.0.113.77")) == "203.0.113.77"
+
+    def test_ip_to_int_known_value(self):
+        assert ip_to_int("1.0.0.1") == (1 << 24) + 1
+
+    def test_bad_address_raises(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ScenarioError):
+                ip_to_int(bad)
+
+    def test_slash24(self):
+        assert slash24("198.51.100.73") == "198.51.100.0/24"
+
+    def test_public_unicast_excludes_reserved(self):
+        for reserved in ("10.1.2.3", "192.168.1.1", "127.0.0.1",
+                         "169.254.1.1", "224.0.0.5", "100.64.0.1"):
+            assert not is_public_unicast(reserved)
+
+    def test_public_unicast_accepts_public(self):
+        for public in ("8.8.8.8", "1.1.1.1", "93.184.216.34"):
+            assert is_public_unicast(public)
+
+    def test_random_public_ip(self):
+        rng = SeededRng(10)
+        for _ in range(100):
+            assert is_public_unicast(random_public_ip(rng))
+
+    def test_netblock_contains(self):
+        block = Netblock.from_text("192.0.2.0/24")
+        assert block.contains("192.0.2.200")
+        assert not block.contains("192.0.3.1")
+
+    def test_netblock_size(self):
+        assert Netblock.from_text("10.0.0.0/30").size == 4
+
+    def test_netblock_nth(self):
+        block = Netblock.from_text("10.0.0.0/30")
+        assert block.nth(3) == "10.0.0.3"
+        with pytest.raises(ScenarioError):
+            block.nth(4)
+
+    def test_netblock_needs_prefix(self):
+        with pytest.raises(ScenarioError):
+            Netblock.from_text("10.0.0.0")
+
+    def test_netblock_addresses_iterates_all(self):
+        block = Netblock.from_text("198.51.100.4/31")
+        assert list(block.addresses()) == ["198.51.100.4", "198.51.100.5"]

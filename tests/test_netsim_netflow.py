@@ -1,0 +1,104 @@
+"""Tests for NetFlow collection with packet sampling."""
+
+import pytest
+
+from repro.netsim import FlowRecord, NetFlowCollector, SeededRng, TcpFlags
+from repro.netsim.netflow import PacketizedFlow
+
+
+def flow(packets: int = 1000, handshake: bool = True) -> PacketizedFlow:
+    return PacketizedFlow(
+        src_ip="115.48.3.77", dst_ip="1.1.1.1", src_port=40000,
+        dst_port=853, protocol="tcp", data_packets=packets,
+        avg_packet_octets=120, start_ts=1000.0, duration_s=5.0,
+        completed_handshake=handshake)
+
+
+class TestSampling:
+    def test_full_sampling_records_every_flow(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(1, "nf"))
+        record = collector.observe(flow(10))
+        assert record is not None
+        # 1 SYN + 3 control + 10 data packets.
+        assert record.packets == 14
+
+    def test_sparse_sampling_misses_small_flows(self):
+        collector = NetFlowCollector(sampling_rate=1 / 3000.0,
+                                     rng=SeededRng(2, "nf"))
+        emitted = collector.observe_all(flow(3) for _ in range(300))
+        # E[record] = 300 * 7/3000 = 0.7; seeing >20 would mean sampling
+        # is broken.
+        assert emitted < 20
+
+    def test_sampling_rate_statistics(self):
+        collector = NetFlowCollector(sampling_rate=0.001,
+                                     rng=SeededRng(3, "nf"))
+        record = collector.observe(flow(1_000_000))
+        assert record is not None
+        assert record.packets == pytest.approx(1000, rel=0.3)
+
+    def test_bad_sampling_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NetFlowCollector(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            NetFlowCollector(sampling_rate=1.5)
+
+    def test_flag_union_includes_data_flags(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(4, "nf"))
+        record = collector.observe(flow(5))
+        assert record.tcp_flags & TcpFlags.SYN
+        assert record.tcp_flags & TcpFlags.PSH
+
+    def test_incomplete_handshake_can_be_single_syn(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(5, "nf"))
+        record = collector.observe(flow(0, handshake=False))
+        assert record is not None
+        assert record.is_single_syn()
+
+    def test_octets_proportional_to_packets(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(6, "nf"))
+        record = collector.observe(flow(10))
+        assert record.octets == record.packets * 120
+
+
+class TestRecords:
+    def test_anonymization_truncates_to_slash24(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(7, "nf"))
+        collector.observe(flow(10))
+        exported = collector.export(anonymize=True)
+        assert exported[0].src_ip == "115.48.3.0"
+
+    def test_raw_export_keeps_address(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(8, "nf"))
+        collector.observe(flow(10))
+        assert collector.export(anonymize=False)[0].src_ip == "115.48.3.77"
+
+    def test_src_slash24(self):
+        record = FlowRecord("10.20.30.40", "1.1.1.1", 1, 853, "tcp",
+                            1, 100, TcpFlags.SYN, 0.0, 1.0)
+        assert record.src_slash24() == "10.20.30.0/24"
+
+    def test_single_syn_detection(self):
+        syn_only = FlowRecord("1.2.3.4", "1.1.1.1", 1, 853, "tcp", 1, 60,
+                              TcpFlags.SYN, 0.0, 0.0)
+        with_ack = FlowRecord("1.2.3.4", "1.1.1.1", 1, 853, "tcp", 2, 200,
+                              TcpFlags.SYN | TcpFlags.ACK, 0.0, 0.0)
+        assert syn_only.is_single_syn()
+        assert not with_ack.is_single_syn()
+
+    def test_flag_text(self):
+        assert TcpFlags.to_text(TcpFlags.SYN | TcpFlags.ACK) == "SYN+ACK"
+        assert TcpFlags.to_text(0) == "none"
+
+    def test_clear(self):
+        collector = NetFlowCollector(sampling_rate=1.0,
+                                     rng=SeededRng(9, "nf"))
+        collector.observe(flow(10))
+        collector.clear()
+        assert len(collector) == 0

@@ -1,0 +1,101 @@
+"""Property-based tests for the network-simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    LatencyModel,
+    Netblock,
+    SeededRng,
+    int_to_ip,
+    ip_to_int,
+    slash24,
+)
+from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.netsim.latency import PathProfile
+from repro.tlssim import CaStore, CertificateAuthority, make_chain, validate_chain
+from repro.netsim.clock import parse_date
+
+ip_ints = st.integers(0, 0xFFFFFFFF)
+lat = st.floats(min_value=-89.0, max_value=89.0)
+lon = st.floats(min_value=-179.0, max_value=179.0)
+seeds = st.integers(0, 2**31)
+
+
+@given(value=ip_ints)
+def test_ipv4_roundtrip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+@given(value=ip_ints)
+def test_slash24_is_idempotent_prefix(value):
+    address = int_to_ip(value)
+    prefix = slash24(address)
+    base = prefix.split("/")[0]
+    assert slash24(base) == prefix
+    assert Netblock.from_text(prefix).contains(address)
+
+
+@given(value=ip_ints, prefix_length=st.integers(0, 32))
+def test_netblock_contains_its_base(value, prefix_length):
+    block = Netblock.from_text(f"{int_to_ip(value)}/{prefix_length}")
+    assert block.contains(int_to_ip(block.base))
+    assert block.size == 1 << (32 - prefix_length)
+
+
+@given(a_lat=lat, a_lon=lon, b_lat=lat, b_lon=lon)
+def test_great_circle_symmetry_and_bounds(a_lat, a_lon, b_lat, b_lon):
+    a, b = GeoPoint(a_lat, a_lon), GeoPoint(b_lat, b_lon)
+    forward = great_circle_km(a, b)
+    backward = great_circle_km(b, a)
+    assert abs(forward - backward) < 1e-6
+    assert 0.0 <= forward <= 20_016  # half the Earth's circumference
+
+
+@given(seed=seeds, name=st.text(min_size=1, max_size=12))
+def test_forked_rng_is_reproducible(seed, name):
+    first = SeededRng(seed).fork(name)
+    second = SeededRng(seed).fork(name)
+    assert [first.random() for _ in range(3)] == [
+        second.random() for _ in range(3)]
+
+
+@given(seed=seeds, trials=st.integers(0, 10_000),
+       probability=st.floats(min_value=0.0, max_value=1.0))
+def test_binomial_always_in_range(seed, trials, probability):
+    draw = SeededRng(seed).binomial(trials, probability)
+    assert 0 <= draw <= trials
+
+
+@given(propagation=st.floats(min_value=0.0, max_value=500.0),
+       last_mile=st.floats(min_value=0.0, max_value=100.0),
+       processing=st.floats(min_value=0.0, max_value=50.0),
+       penalty=st.floats(min_value=0.0, max_value=200.0),
+       seed=seeds)
+@settings(max_examples=100)
+def test_rtt_samples_positive_and_near_base(propagation, last_mile,
+                                            processing, penalty, seed):
+    profile = PathProfile(propagation, last_mile, processing, penalty)
+    model = LatencyModel()
+    rng = SeededRng(seed, "latency")
+    sample = model.sample_rtt_ms(profile, rng)
+    assert sample > 0
+    assert sample < profile.base_rtt_ms * 3.0
+
+
+@given(not_before=st.integers(2014, 2018), lifetime=st.integers(1, 5),
+       check_year=st.integers(2014, 2025))
+def test_certificate_validity_window(not_before, lifetime, check_year):
+    # The root must span the whole property range, or its own window
+    # (correctly) breaks the chain.
+    ca = CertificateAuthority.root("Prop Root", not_before="2010-01-01",
+                                   not_after="2040-01-01")
+    store = CaStore()
+    store.trust(ca)
+    chain = make_chain(ca, "prop.example",
+                       f"{not_before}-01-01",
+                       f"{not_before + lifetime}-01-01")
+    report = validate_chain(chain, store,
+                            parse_date(f"{check_year}-06-01"))
+    inside = not_before <= check_year < not_before + lifetime
+    assert report.valid == inside

@@ -1,0 +1,297 @@
+"""Tests for hosts, network routing, transports and latency accounting."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+    ScenarioError,
+    TimeoutError_,
+    TlsError,
+)
+from repro.netsim import (
+    ClientEnvironment,
+    Host,
+    LatencyModel,
+    Network,
+    SeededRng,
+    TcpConnection,
+    TlsChannel,
+    UdpExchange,
+    country,
+)
+from repro.netsim.host import CallableService, TlsConfig
+from repro.netsim.latency import PathProfile
+from repro.netsim.middlebox import (
+    Censor,
+    PortFilter,
+    RuleSet,
+    TlsInterceptor,
+    Verdict,
+)
+from repro.tlssim import make_chain
+
+
+@pytest.fixture()
+def world(rng):
+    network = Network()
+    host = Host(address="9.8.7.6", country_code="US",
+                point=country("US").point)
+    host.bind("tcp", 853, CallableService(lambda p, ctx: b"tcp:" + p))
+    host.bind("udp", 53, CallableService(lambda p, ctx: b"udp:" + p))
+    network.add_host(host)
+    env = ClientEnvironment.in_country("client", "5.5.5.5", "DE",
+                                       rng.fork("env"))
+    return network, host, env
+
+
+class TestHost:
+    def test_rebinding_port_rejected(self, world):
+        _, host, _ = world
+        with pytest.raises(ScenarioError):
+            host.bind("tcp", 853, CallableService(lambda p, c: p))
+
+    def test_open_tcp_ports_sorted(self, rng):
+        host = Host(address="1.2.3.4", country_code="US",
+                    point=country("US").point)
+        for port in (443, 53, 80):
+            host.bind("tcp", port, CallableService(lambda p, c: p))
+        assert host.open_tcp_ports() == (53, 80, 443)
+
+    def test_duplicate_host_rejected(self, world):
+        network, host, _ = world
+        with pytest.raises(ScenarioError):
+            network.add_host(Host(address=host.address, country_code="US",
+                                  point=country("US").point))
+
+    def test_default_pop_is_own_location(self):
+        host = Host(address="4.3.2.1", country_code="JP",
+                    point=country("JP").point)
+        assert host.pops == (host.point,)
+
+
+class TestTcp:
+    def test_request_response(self, world, rng):
+        network, _, env = world
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        assert connection.request(b"ping") == b"tcp:ping"
+        assert connection.requests_sent == 1
+
+    def test_latency_accumulates(self, world, rng):
+        network, _, env = world
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        after_connect = connection.elapsed_ms
+        assert after_connect > 0
+        connection.request(b"x")
+        assert connection.elapsed_ms > after_connect
+
+    def test_refused_when_no_service(self, world, rng):
+        network, _, env = world
+        with pytest.raises(ConnectionRefused):
+            TcpConnection.open(network, env, "9.8.7.6", 80, rng.fork("c"))
+
+    def test_unreachable_when_no_host(self, world, rng):
+        network, _, env = world
+        with pytest.raises(HostUnreachable) as excinfo:
+            TcpConnection.open(network, env, "100.99.98.97", 853,
+                               rng.fork("c"), timeout_s=7.0)
+        assert excinfo.value.elapsed_ms == pytest.approx(7000.0)
+
+    def test_closed_connection_rejects_requests(self, world, rng):
+        network, _, env = world
+        with TcpConnection.open(network, env, "9.8.7.6", 853,
+                                rng.fork("c")) as connection:
+            pass
+        from repro.errors import TransportError
+        with pytest.raises(TransportError):
+            connection.request(b"late")
+
+    def test_geographically_farther_clients_see_higher_rtt(self, world, rng):
+        network, _, _ = world
+        near = ClientEnvironment.in_country("near", "6.6.6.1", "US",
+                                            rng.fork("n"))
+        far = ClientEnvironment.in_country("far", "6.6.6.2", "AU",
+                                           rng.fork("f"))
+        near.last_mile_ms = far.last_mile_ms = 10.0
+        near_conn = TcpConnection.open(network, near, "9.8.7.6", 853,
+                                       rng.fork("nc"))
+        far_conn = TcpConnection.open(network, far, "9.8.7.6", 853,
+                                      rng.fork("fc"))
+        assert far_conn.elapsed_ms > near_conn.elapsed_ms
+
+
+class TestMiddleboxes:
+    def test_port_filter_drops(self, world, rng):
+        network, _, env = world
+        env.middleboxes.append(PortFilter(
+            "f", RuleSet(blocked_endpoints={("9.8.7.6", 853)})))
+        with pytest.raises(TimeoutError_):
+            TcpConnection.open(network, env, "9.8.7.6", 853, rng.fork("c"))
+
+    def test_port_filter_leaves_other_ports(self, world, rng):
+        network, _, env = world
+        env.middleboxes.append(PortFilter(
+            "f", RuleSet(blocked_ports={53})))
+        TcpConnection.open(network, env, "9.8.7.6", 853, rng.fork("c"))
+
+    def test_reset_action(self, world, rng):
+        network, _, env = world
+        env.middleboxes.append(PortFilter(
+            "f", RuleSet(blocked_ips={"9.8.7.6"}), action=Verdict.RESET))
+        with pytest.raises(ConnectionReset):
+            TcpConnection.open(network, env, "9.8.7.6", 853, rng.fork("c"))
+
+    def test_country_policy_applies_to_matching_clients(self, world, rng):
+        network, _, env = world
+        network.add_country_policy(env.country_code, Censor(
+            "censor", RuleSet(blocked_ips={"9.8.7.6"})))
+        with pytest.raises(TimeoutError_):
+            TcpConnection.open(network, env, "9.8.7.6", 853, rng.fork("c"))
+
+    def test_country_policy_skips_other_countries(self, world, rng):
+        network, _, _ = world
+        network.add_country_policy("CN", Censor(
+            "censor", RuleSet(blocked_ips={"9.8.7.6"})))
+        other = ClientEnvironment.in_country("other", "5.5.5.9", "FR",
+                                             rng.fork("o"))
+        TcpConnection.open(network, other, "9.8.7.6", 853, rng.fork("c"))
+
+    def test_udp_censor_drop(self, world, rng):
+        network, _, env = world
+        env.middleboxes.append(Censor(
+            "censor", RuleSet(blocked_endpoints={("9.8.7.6", 53)})))
+        with pytest.raises(TimeoutError_):
+            UdpExchange.exchange(network, env, "9.8.7.6", 53, b"q",
+                                 rng.fork("u"))
+
+    def test_udp_spoofing(self, world, rng):
+        network, _, env = world
+        censor = Censor("censor", RuleSet(), spoof_port53=True)
+        censor.spoof_handler = lambda payload: b"spoofed"
+        env.middleboxes.append(censor)
+        response, elapsed = UdpExchange.exchange(
+            network, env, "9.8.7.6", 53, b"q", rng.fork("u"))
+        assert response == b"spoofed"
+        assert elapsed > 0
+
+
+class TestUdp:
+    def test_exchange(self, world, rng):
+        network, _, env = world
+        response, elapsed = UdpExchange.exchange(
+            network, env, "9.8.7.6", 53, b"hello", rng.fork("u"))
+        assert response == b"udp:hello"
+        assert elapsed > 0
+
+    def test_port_unreachable(self, world, rng):
+        network, _, env = world
+        with pytest.raises(ConnectionRefused):
+            UdpExchange.exchange(network, env, "9.8.7.6", 5353, b"x",
+                                 rng.fork("u"))
+
+    def test_timeout_for_absent_host(self, world, rng):
+        network, _, env = world
+        with pytest.raises(TimeoutError_):
+            UdpExchange.exchange(network, env, "100.1.2.3", 53, b"x",
+                                 rng.fork("u"), timeout_s=2.0)
+
+
+class TestTls:
+    @pytest.fixture()
+    def tls_world(self, rng, trust):
+        network = Network()
+        chain = make_chain(trust["ca"], "dns.test", "2018-06-01",
+                           "2019-12-31")
+        host = Host(address="9.8.7.6", country_code="US",
+                    point=country("US").point)
+        host.bind("tcp", 853, CallableService(
+            lambda p, ctx: b"secure:" + p, tls=TlsConfig(cert_chain=chain)))
+        host.bind("tcp", 80, CallableService(lambda p, ctx: p))
+        network.add_host(host)
+        env = ClientEnvironment.in_country("client", "5.5.5.5", "NL",
+                                           rng.fork("env"))
+        return network, env, chain
+
+    def test_handshake_presents_service_chain(self, tls_world, rng):
+        network, env, chain = tls_world
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        channel = TlsChannel(connection, server_name="dns.test").handshake()
+        assert channel.presented_chain == chain
+        assert channel.request(b"q") == b"secure:q"
+
+    def test_handshake_on_plaintext_port_fails(self, tls_world, rng):
+        network, env, _ = tls_world
+        connection = TcpConnection.open(network, env, "9.8.7.6", 80,
+                                        rng.fork("c"))
+        with pytest.raises(TlsError):
+            TlsChannel(connection).handshake()
+
+    def test_request_before_handshake_fails(self, tls_world, rng):
+        network, env, _ = tls_world
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        with pytest.raises(TlsError):
+            TlsChannel(connection).request(b"q")
+
+    def test_resumption_is_cheaper(self, tls_world, rng):
+        network, env, _ = tls_world
+        full_conn = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                       rng.fork("a"))
+        TlsChannel(full_conn).handshake(resume=False)
+        resumed_conn = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                          rng.fork("a"))
+        TlsChannel(resumed_conn).handshake(resume=True)
+        assert resumed_conn.elapsed_ms < full_conn.elapsed_ms
+
+    def test_interceptor_substitutes_chain(self, tls_world, rng, trust):
+        network, env, chain = tls_world
+        env.middleboxes.append(TlsInterceptor("dpi", trust["rogue"]))
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        channel = TlsChannel(connection, server_name="dns.test").handshake()
+        assert channel.intercepted_by == "dpi"
+        assert channel.presented_chain != chain
+        assert channel.presented_chain[0].subject_cn == "dns.test"
+        # Application data still flows: the interceptor proxies.
+        assert channel.request(b"q") == b"secure:q"
+
+    def test_interceptor_respects_port_list(self, tls_world, rng, trust):
+        network, env, chain = tls_world
+        env.middleboxes.append(TlsInterceptor("dpi", trust["rogue"],
+                                              ports=(443,)))
+        connection = TcpConnection.open(network, env, "9.8.7.6", 853,
+                                        rng.fork("c"))
+        channel = TlsChannel(connection, server_name="dns.test").handshake()
+        assert channel.intercepted_by is None
+        assert channel.presented_chain == chain
+
+
+class TestLatencyModel:
+    def test_profile_uses_nearest_pop(self):
+        model = LatencyModel()
+        client = country("JP").point
+        pops = (country("US").point, country("SG").point)
+        multi = model.path(client, 10.0, pops, 1.0)
+        single = model.path(client, 10.0, (country("US").point,), 1.0)
+        assert multi.propagation_ms < single.propagation_ms
+
+    def test_base_rtt_has_floor(self):
+        profile = PathProfile(0.0, 0.0, 0.0)
+        assert profile.base_rtt_ms >= 0.5
+
+    def test_penalty_adds_to_rtt(self):
+        base = PathProfile(10.0, 5.0, 1.0)
+        penalized = PathProfile(10.0, 5.0, 1.0, penalty_ms=95.0)
+        assert penalized.base_rtt_ms == pytest.approx(base.base_rtt_ms + 95.0)
+
+    def test_jitter_is_multiplicative_and_positive(self, rng):
+        model = LatencyModel()
+        profile = PathProfile(50.0, 10.0, 2.0)
+        samples = [model.sample_rtt_ms(profile, rng) for _ in range(300)]
+        assert all(sample > 0 for sample in samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(profile.base_rtt_ms, rel=0.15)

@@ -1,0 +1,95 @@
+"""Tests for network taps, transport accounting details, and suite glue."""
+
+import pytest
+
+from repro.analysis import tables
+from repro.core.client import ProxyNetwork
+from repro.netsim import (
+    ClientEnvironment,
+    Host,
+    Network,
+    SeededRng,
+    TcpConnection,
+    UdpExchange,
+    country,
+)
+from repro.netsim.host import CallableService
+
+
+@pytest.fixture()
+def tapped_world(rng):
+    network = Network()
+    host = Host(address="9.8.7.5", country_code="US",
+                point=country("US").point)
+    host.bind("tcp", 853, CallableService(lambda p, ctx: p))
+    host.bind("udp", 53, CallableService(lambda p, ctx: p))
+    network.add_host(host)
+    env = ClientEnvironment.in_country("tap-client", "5.5.5.4", "FR",
+                                       rng.fork("env"))
+    events = []
+    network.taps.append(
+        lambda env_, host_, port, protocol, n_bytes, ts:
+        events.append((env_.label, host_.address, port, protocol,
+                       n_bytes)))
+    return network, env, events
+
+
+class TestNetworkTaps:
+    def test_tcp_requests_hit_taps(self, tapped_world, rng):
+        network, env, events = tapped_world
+        connection = TcpConnection.open(network, env, "9.8.7.5", 853,
+                                        rng.fork("c"))
+        connection.request(b"hello-dns")
+        assert events == [("tap-client", "9.8.7.5", 853, "tcp", 9)]
+
+    def test_udp_exchanges_hit_taps(self, tapped_world, rng):
+        network, env, events = tapped_world
+        UdpExchange.exchange(network, env, "9.8.7.5", 53, b"q" * 40,
+                             rng.fork("u"))
+        assert events[-1] == ("tap-client", "9.8.7.5", 53, "udp", 40)
+
+    def test_failed_connections_do_not_tap(self, tapped_world, rng):
+        from repro.errors import ConnectionRefused
+        network, env, events = tapped_world
+        with pytest.raises(ConnectionRefused):
+            TcpConnection.open(network, env, "9.8.7.5", 80, rng.fork("c"))
+        assert events == []
+
+
+class TestSpendRtts:
+    def test_fractional_rtts(self, tapped_world, rng):
+        network, env, _ = tapped_world
+        connection = TcpConnection.open(network, env, "9.8.7.5", 853,
+                                        rng.fork("c"))
+        before = connection.elapsed_ms
+        connection.spend_rtts(0.5)
+        half = connection.elapsed_ms - before
+        connection.spend_rtts(2.0)
+        two = connection.elapsed_ms - before - half
+        assert 0 < half < two
+
+    def test_crypto_surcharge(self, tapped_world, rng):
+        network, env, _ = tapped_world
+        connection = TcpConnection.open(network, env, "9.8.7.5", 853,
+                                        rng.fork("c"))
+        before = connection.elapsed_ms
+        connection.spend_rtts(0.0, crypto_ms=7.5)
+        assert connection.elapsed_ms - before == pytest.approx(7.5)
+
+
+class TestTable3:
+    def test_dataset_summary_rows(self, scenario):
+        proxyrack = ProxyNetwork("ProxyRack", scenario.proxyrack())
+        zhima = ProxyNetwork("Zhima", scenario.zhima())
+        rows = tables.table3_rows([("Reachability", proxyrack),
+                                   ("Reachability", zhima)],
+                                  performance_counts={"ProxyRack": 42})
+        assert len(rows) == 3
+        test_name, platform, ips, countries, ases = rows[0]
+        assert platform == "ProxyRack"
+        assert ips == len(proxyrack)
+        assert countries > 10
+        zhima_row = rows[1]
+        assert zhima_row[3] == 1  # one country: CN
+        assert zhima_row[4] == 5  # five ASes
+        assert rows[2] == ("Performance", "ProxyRack", 42, 0, 0)

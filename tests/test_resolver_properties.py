@@ -1,0 +1,71 @@
+"""Property-based tests for resolver components."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dnswire import DnsName, Rcode, ResourceRecord, RRType, make_query
+from repro.dnswire.zone import Zone
+from repro.resolvers import DnsCache
+
+tokens = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                 min_size=1, max_size=24)
+ttls = st.integers(1, 86_400)
+times = st.floats(min_value=0.0, max_value=1e6)
+
+
+def make_wildcard_zone() -> Zone:
+    origin = DnsName.from_text("probe.prop.example.")
+    zone = Zone(origin)
+    zone.add(ResourceRecord.a(origin.child("*"), "198.51.100.53"))
+    return zone
+
+
+@given(token=tokens)
+def test_wildcard_answers_any_single_label(token):
+    zone = make_wildcard_zone()
+    name = zone.origin.child(token)
+    result = zone.lookup(name, RRType.A)
+    assert result.rcode == Rcode.NOERROR
+    assert result.records[0].name == name
+    assert result.records[0].rdata.address == "198.51.100.53"
+
+
+@given(token=tokens, ttl=ttls, put_at=times,
+       delta=st.floats(min_value=0.0, max_value=86_400.0))
+@settings(suppress_health_check=[HealthCheck.filter_too_much])
+def test_cache_hit_iff_within_ttl(token, ttl, put_at, delta):
+    cache = DnsCache()
+    name = DnsName.from_text(f"{token}.cache.example.")
+    record = ResourceRecord.a(name, "192.0.2.1", ttl=ttl)
+    cache.put(name, RRType.A, (record,), Rcode.NOERROR, now=put_at)
+    hit = cache.get(name, RRType.A, now=put_at + delta)
+    if delta < ttl:
+        assert hit is not None
+    else:
+        assert hit is None
+
+
+@given(token=tokens)
+@settings(max_examples=30,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_doh_get_post_equivalence(token, mini_world, rng, trust):
+    """GET and POST DoH encodings must yield identical answers."""
+    from repro.doe import DohClient, DohMethod
+    from repro.httpsim.uri import UriTemplate
+
+    template = UriTemplate(
+        f"https://{mini_world['hostname']}/dns-query{{?dns}}")
+    name = DnsName.from_text(f"{token}.example.com")
+    mini_world["universe"].host_a(name.to_display(), "192.0.2.200")
+    answers = {}
+    for method in (DohMethod.GET, DohMethod.POST):
+        client = DohClient(mini_world["network"],
+                           rng.fork(f"{method.value}-{token}"),
+                           trust["store"],
+                           bootstrap=mini_world["universe"].resolve_public,
+                           method=method)
+        result = client.query(mini_world["env"], template,
+                              make_query(name, msg_id=7))
+        assert result.ok
+        answers[method] = result.addresses()
+    assert answers[DohMethod.GET] == answers[DohMethod.POST]

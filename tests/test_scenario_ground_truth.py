@@ -1,0 +1,138 @@
+"""Cross-checks: what the scanner measures vs what the world contains.
+
+These tests close the loop between `repro.world` (ground truth) and
+`repro.core.scan` (measurement): every discovered property must agree
+with the scenario's own records, which is what makes the pipeline's
+numbers trustworthy rather than accidental.
+"""
+
+import pytest
+
+from repro.core.scan import ScanCampaign
+from repro.tlssim.certs import ValidationFailure, validate_chain
+from repro.world.providers import (
+    CERT_BAD_CHAIN,
+    CERT_EXPIRED,
+    CERT_EXPIRED_2018,
+    CERT_FORTIGATE,
+    CERT_SELF_SIGNED,
+    CERT_VALID,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from tests.conftest import tiny_config
+    from repro.world.scenario import build_scenario
+    return build_scenario(tiny_config(seed=61))
+
+
+@pytest.fixture(scope="module")
+def final_round(world):
+    return ScanCampaign(world).run_round(world.final_round())
+
+
+class TestScanAgainstGroundTruth:
+    def test_every_active_resolver_discovered(self, world, final_round):
+        discovered = {record.address for record in final_round.resolvers}
+        expected = set()
+        for provider in world.providers:
+            for spec in provider.addresses_in_round(world.final_round()):
+                expected.add(spec.address)
+        assert discovered >= expected
+
+    def test_cert_status_matches_validation(self, world, final_round):
+        by_address = {record.address: record
+                      for record in final_round.resolvers}
+        failure_for_status = {
+            CERT_EXPIRED: ValidationFailure.EXPIRED,
+            CERT_EXPIRED_2018: ValidationFailure.EXPIRED,
+            CERT_SELF_SIGNED: ValidationFailure.SELF_SIGNED,
+            CERT_FORTIGATE: ValidationFailure.SELF_SIGNED,
+            CERT_BAD_CHAIN: ValidationFailure.BROKEN_CHAIN,
+        }
+        checked = 0
+        for address, record in world.resolver_records.items():
+            scan = by_address.get(address)
+            if scan is None or scan.cert_report is None:
+                continue
+            checked += 1
+            status = record.spec.cert_status
+            if status == CERT_VALID:
+                assert scan.cert_report.valid, address
+            else:
+                assert (scan.cert_report.primary_failure()
+                        is failure_for_status[status]), address
+        assert checked > 1_000
+
+    def test_provider_grouping_matches_operator(self, world, final_round):
+        """Grouping by certificate CN recovers the true operator."""
+        network = world.network_for_round(world.final_round())
+        mismatches = 0
+        sampled = 0
+        for group in final_round.groups:
+            for record in group.records[:3]:
+                host = network.host_at(record.address)
+                if host is None or host.operator is None:
+                    continue
+                truth = world.resolver_records.get(record.address)
+                if truth is None:
+                    # Special hosts (self-built, ISP local resolvers)
+                    # are not provider ground truth.
+                    continue
+                sampled += 1
+                expected_key = truth.provider.cert_cn
+                # The grouping key is the CN folded to SLD for names.
+                if "." in expected_key:
+                    from repro.dnswire import DnsName
+                    expected_key = DnsName.from_text(
+                        expected_key).second_level_domain().to_display()
+                if group.key != expected_key:
+                    mismatches += 1
+        assert sampled > 100
+        assert mismatches == 0
+
+    def test_fortigate_devices_carry_inspection_tag(self, world,
+                                                    final_round):
+        network = world.network_for_round(world.final_round())
+        fortigate = [record for record in final_round.resolvers
+                     if record.common_name.startswith("FGT")]
+        assert len(fortigate) == 47
+        for record in fortigate:
+            host = network.host_at(record.address)
+            assert host.has_tag("tls-inspection")
+
+    def test_fixed_answer_resolvers_detected(self, world, final_round):
+        dnsfilter = [record for record in final_round.resolvers
+                     if record.grouping_key() == "dnsfilter.com"]
+        assert dnsfilter
+        assert all(not record.answer_correct for record in dnsfilter)
+        others = [record for record in final_round.resolvers
+                  if record.grouping_key() not in ("dnsfilter.com",)
+                  and record.is_dot]
+        correct_share = sum(1 for r in others if r.answer_correct) / len(
+            others)
+        assert correct_share > 0.99
+
+    def test_advertised_flag_consistency(self, world):
+        """Public-list addresses are exactly the advertised ones."""
+        listed = set(world.public_dot_list())
+        for provider in world.providers:
+            if not provider.in_public_list:
+                continue
+            for spec in provider.addresses:
+                assert (spec.address in listed) == spec.advertised
+
+    def test_tls_configs_are_stable_across_rounds(self, world):
+        """The same address presents the same chain in every round."""
+        early = world.network_for_round(0)
+        late = world.network_for_round(world.final_round())
+        shared = 0
+        for host in early.hosts_with_tcp_port(853)[:200]:
+            other = late.host_at(host.address)
+            if other is None or ("tcp", 853) not in other.services:
+                continue
+            shared += 1
+            assert (host.service_on("tcp", 853).tls.cert_chain
+                    == other.service_on("tcp", 853).tls.cert_chain)
+        assert shared > 100

@@ -1,0 +1,109 @@
+"""Tests for the fallback-capable stub resolver."""
+
+import pytest
+
+from repro.dnswire import DnsName
+from repro.doe.dot import PrivacyProfile
+from repro.errors import ScenarioError
+from repro.netsim.middlebox import PortFilter, RuleSet, TlsInterceptor
+from repro.resolvers import StubResolver, UpstreamConfig
+
+WWW = DnsName.from_text("www.example.com")
+
+
+def make_stub(mini_world, rng, trust, profile, transports=("dot", "do53"),
+              with_doh=False):
+    upstream = UpstreamConfig(
+        do53_ip=mini_world["resolver_ip"],
+        dot_ip=mini_world["resolver_ip"],
+        doh_template=(f"https://{mini_world['hostname']}/dns-query{{?dns}}"
+                      if with_doh else None),
+    )
+    return StubResolver(
+        mini_world["network"], mini_world["env"], rng.fork("stub"),
+        trust["store"], upstream, profile=profile, transports=transports,
+        bootstrap=(mini_world["universe"].resolve_public
+                   if with_doh else None))
+
+
+class TestHappyPath:
+    def test_resolves_via_first_transport(self, mini_world, rng, trust):
+        stub = make_stub(mini_world, rng, trust,
+                         PrivacyProfile.OPPORTUNISTIC)
+        answer = stub.resolve(WWW)
+        assert answer.ok
+        assert answer.result.transport == "dot"
+        assert answer.transport_trail == ("dot",)
+        assert not answer.fell_back_to_cleartext
+
+    def test_doh_transport(self, mini_world, rng, trust):
+        stub = make_stub(mini_world, rng, trust,
+                         PrivacyProfile.STRICT,
+                         transports=("doh",), with_doh=True)
+        answer = stub.resolve(WWW)
+        assert answer.ok
+        assert answer.result.transport == "doh"
+
+
+class TestFallback:
+    def test_opportunistic_falls_back_to_cleartext(self, mini_world, rng,
+                                                   trust):
+        mini_world["env"].middleboxes.append(PortFilter(
+            "block-dot", RuleSet(blocked_ports={853})))
+        stub = make_stub(mini_world, rng, trust,
+                         PrivacyProfile.OPPORTUNISTIC)
+        answer = stub.resolve(WWW)
+        assert answer.ok
+        assert answer.result.transport == "do53-tcp"
+        assert answer.transport_trail == ("dot", "do53")
+        assert answer.fell_back_to_cleartext
+
+    def test_strict_never_uses_cleartext(self, mini_world, rng, trust):
+        mini_world["env"].middleboxes.append(PortFilter(
+            "block-dot", RuleSet(blocked_ports={853})))
+        stub = make_stub(mini_world, rng, trust, PrivacyProfile.STRICT)
+        assert stub.effective_transports() == ("dot",)
+        answer = stub.resolve(WWW)
+        assert not answer.ok
+        assert answer.transport_trail == ("dot",)
+
+    def test_strict_fails_closed_under_interception(self, mini_world, rng,
+                                                    trust):
+        mini_world["env"].middleboxes.append(
+            TlsInterceptor("dpi", trust["rogue"]))
+        stub = make_stub(mini_world, rng, trust, PrivacyProfile.STRICT)
+        answer = stub.resolve(WWW)
+        assert not answer.ok
+
+    def test_opportunistic_proceeds_under_interception(self, mini_world,
+                                                       rng, trust):
+        mini_world["env"].middleboxes.append(
+            TlsInterceptor("dpi", trust["rogue"]))
+        stub = make_stub(mini_world, rng, trust,
+                         PrivacyProfile.OPPORTUNISTIC)
+        answer = stub.resolve(WWW)
+        assert answer.ok
+        assert answer.result.transport == "dot"
+        assert answer.result.intercepted_by == "dpi"
+
+
+class TestConfigValidation:
+    def test_unknown_transport_rejected(self, mini_world, rng, trust):
+        with pytest.raises(ScenarioError):
+            make_stub(mini_world, rng, trust,
+                      PrivacyProfile.OPPORTUNISTIC,
+                      transports=("carrier-pigeon",))
+
+    def test_doh_without_bootstrap_rejected(self, mini_world, rng, trust):
+        upstream = UpstreamConfig(doh_template="https://x/dns-query{?dns}")
+        with pytest.raises(ScenarioError):
+            StubResolver(mini_world["network"], mini_world["env"],
+                         rng.fork("s"), trust["store"], upstream,
+                         transports=("doh",))
+
+    def test_close_is_idempotent(self, mini_world, rng, trust):
+        stub = make_stub(mini_world, rng, trust,
+                         PrivacyProfile.OPPORTUNISTIC)
+        stub.resolve(WWW)
+        stub.close()
+        stub.close()

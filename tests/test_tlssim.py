@@ -1,0 +1,168 @@
+"""Tests for certificates, chains, trust stores and validation."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.netsim.clock import parse_date
+from repro.tlssim import (
+    CaStore,
+    CertificateAuthority,
+    ValidationFailure,
+    make_chain,
+    resign_for,
+    self_signed,
+    validate_chain,
+)
+from repro.tlssim.certs import ValidationReport
+
+NOW = parse_date("2019-05-01")
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority.root("Test Root")
+
+
+@pytest.fixture()
+def store(ca):
+    store = CaStore()
+    store.trust(ca)
+    return store
+
+
+class TestValidChains:
+    def test_valid_leaf(self, ca, store):
+        chain = make_chain(ca, "dns.example.com", "2018-06-01",
+                           "2019-12-01")
+        assert validate_chain(chain, store, NOW).valid
+
+    def test_intermediate_chain(self, ca, store):
+        intermediate = ca.intermediate("Test Issuing CA")
+        chain = make_chain(intermediate, "dns.example.com",
+                           "2018-06-01", "2019-12-01")
+        assert len(chain) == 3
+        assert validate_chain(chain, store, NOW).valid
+
+    def test_name_match_via_san(self, ca, store):
+        chain = make_chain(ca, "cloudflare-dns.com", "2018-06-01",
+                           "2019-12-01",
+                           san=("*.cloudflare-dns.com",))
+        report = validate_chain(chain, store, NOW,
+                                expected_name="mozilla.cloudflare-dns.com")
+        assert report.valid
+
+    def test_wildcard_matches_single_label_only(self, ca, store):
+        chain = make_chain(ca, "*.example.com", "2018-06-01", "2019-12-01")
+        ok = validate_chain(chain, store, NOW, expected_name="a.example.com")
+        deep = validate_chain(chain, store, NOW,
+                              expected_name="a.b.example.com")
+        assert ok.valid
+        assert deep.has(ValidationFailure.NAME_MISMATCH)
+
+
+class TestFailureModes:
+    def test_expired(self, ca, store):
+        chain = make_chain(ca, "dns.example.com", "2017-01-01",
+                           "2018-07-20")
+        report = validate_chain(chain, store, NOW)
+        assert report.has(ValidationFailure.EXPIRED)
+        assert report.primary_failure() is ValidationFailure.EXPIRED
+
+    def test_not_yet_valid(self, ca, store):
+        chain = make_chain(ca, "dns.example.com", "2020-01-01",
+                           "2021-01-01")
+        assert validate_chain(chain, store, NOW).has(
+            ValidationFailure.NOT_YET_VALID)
+
+    def test_expiry_boundary_is_inclusive(self, ca, store):
+        chain = make_chain(ca, "dns.example.com", "2018-06-01",
+                           "2019-05-01")
+        assert validate_chain(chain, store, NOW).valid
+
+    def test_self_signed(self, store):
+        chain = self_signed("FGT60E4Q16000001", "2017-01-01", "2027-01-01")
+        report = validate_chain(chain, store, NOW)
+        assert report.has(ValidationFailure.SELF_SIGNED)
+
+    def test_untrusted_ca(self, store):
+        rogue = CertificateAuthority.root("Rogue CA", trusted=False)
+        chain = make_chain(rogue, "dns.example.com", "2018-06-01",
+                           "2019-12-01")
+        assert validate_chain(chain, store, NOW).has(
+            ValidationFailure.UNTRUSTED_CA)
+
+    def test_broken_chain(self, ca, store):
+        other_root = CertificateAuthority.root("Unrelated Root")
+        store.trust(other_root)
+        leaf = ca.intermediate("Hidden Issuer").issue(
+            "dns.example.com", "2018-06-01", "2019-12-01")
+        chain = (leaf, other_root.certificate)
+        report = validate_chain(chain, store, NOW)
+        assert report.has(ValidationFailure.BROKEN_CHAIN)
+
+    def test_empty_chain(self, store):
+        report = validate_chain((), store, NOW)
+        assert report.has(ValidationFailure.EMPTY_CHAIN)
+        assert not report.valid
+
+    def test_name_mismatch(self, ca, store):
+        chain = make_chain(ca, "dns.example.com", "2018-06-01",
+                           "2019-12-01")
+        report = validate_chain(chain, store, NOW,
+                                expected_name="other.example.com")
+        assert report.has(ValidationFailure.NAME_MISMATCH)
+
+    def test_name_check_skipped_when_unknown(self, ca, store):
+        # The paper cannot know DoT resolver names discovered by address,
+        # so it only verifies certificate paths.
+        chain = make_chain(ca, "whatever.example", "2018-06-01",
+                           "2019-12-01")
+        assert validate_chain(chain, store, NOW, expected_name=None).valid
+
+    def test_expired_intermediate_breaks_chain(self, ca, store):
+        stale = ca.intermediate("Old Issuing CA", not_before="2015-01-01",
+                                not_after="2018-01-01")
+        chain = make_chain(stale, "dns.example.com", "2018-06-01",
+                           "2019-12-01")
+        assert validate_chain(chain, store, NOW).has(
+            ValidationFailure.BROKEN_CHAIN)
+
+
+class TestInterception:
+    def test_resign_copies_subject(self, ca):
+        rogue = CertificateAuthority.root("DPI CA", trusted=False)
+        chain = resign_for(rogue, "dns.quad9.net")
+        assert chain[0].subject_cn == "dns.quad9.net"
+        assert chain[0].issuer_cn == "DPI CA"
+
+    def test_resigned_chain_fails_strict_validation(self, store):
+        rogue = CertificateAuthority.root("DPI CA", trusted=False)
+        chain = resign_for(rogue, "dns.quad9.net")
+        report = validate_chain(chain, store, NOW,
+                                expected_name="dns.quad9.net")
+        assert report.has(ValidationFailure.UNTRUSTED_CA)
+        assert not report.has(ValidationFailure.NAME_MISMATCH)
+
+    def test_resign_requires_untrusted_ca(self, ca):
+        with pytest.raises(ScenarioError):
+            resign_for(ca, "dns.quad9.net")
+
+
+class TestReport:
+    def test_priority_order(self):
+        report = ValidationReport((ValidationFailure.BROKEN_CHAIN,
+                                   ValidationFailure.EXPIRED))
+        assert report.primary_failure() is ValidationFailure.EXPIRED
+
+    def test_valid_report_has_no_primary(self):
+        assert ValidationReport(()).primary_failure() is None
+
+    def test_store_len(self, store, ca):
+        assert len(store) == 1
+        store.trust(CertificateAuthority.root("Second Root"))
+        assert len(store) == 2
+
+    def test_trusting_intermediate_trusts_its_root(self, ca):
+        store = CaStore()
+        store.trust(ca.intermediate("Mid CA"))
+        assert store.is_trusted_root_key(ca.key_id)

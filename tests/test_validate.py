@@ -1,0 +1,45 @@
+"""Tests for the findings checklist."""
+
+import pytest
+
+from repro.analysis.report import ExperimentSuite
+from repro.analysis.validate import (
+    FindingCheck,
+    render_checklist,
+    validate_findings,
+)
+
+
+@pytest.fixture(scope="module")
+def findings():
+    from tests.conftest import tiny_config
+    suite = ExperimentSuite(
+        scenario=__import__("repro.world.scenario",
+                            fromlist=["build_scenario"]).build_scenario(
+                                tiny_config(seed=13)),
+        netflow_scale=0.2)
+    return validate_findings(suite)
+
+
+class TestValidation:
+    def test_all_findings_pass_at_test_scale(self, findings):
+        failing = [check for check in findings if not check.passed]
+        assert not failing, render_checklist(failing)
+
+    def test_every_section_covered(self, findings):
+        sections = {check.finding.split(".")[0] for check in findings}
+        assert sections == {"1", "2", "3", "4"}
+
+    def test_measured_values_are_recorded(self, findings):
+        assert all(check.measured for check in findings)
+
+    def test_render_checklist(self, findings):
+        text = render_checklist(findings)
+        assert "PASS" in text
+        assert f"{len(findings)}/{len(findings)} findings" in text
+
+    def test_render_marks_failures(self):
+        text = render_checklist([FindingCheck("9.9", "impossible claim",
+                                              False, "nope")])
+        assert "[FAIL]" in text
+        assert "0/1 findings" in text

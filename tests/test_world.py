@@ -1,0 +1,203 @@
+"""Tests for the world scenario: providers, populations, calibration."""
+
+import pytest
+
+from repro.world.population import (
+    build_atlas_probes,
+    build_proxyrack,
+    build_zhima,
+)
+from repro.world.providers import (
+    CERT_VALID,
+    OTHER_COUNTRY_COUNTS,
+    TABLE2_COUNTS,
+    build_provider_population,
+)
+from repro.world.scenario import GOOGLE_DOH_IP, SELF_BUILT_IP
+from repro.netsim.rand import SeededRng
+
+
+class TestProviderPopulation:
+    @pytest.fixture(scope="class")
+    def providers(self):
+        return build_provider_population(SeededRng(2019, "t"),
+                                         total_rounds=10)
+
+    def test_table2_counts_first_round(self, providers):
+        counts = {}
+        for provider in providers:
+            for spec in provider.addresses_in_round(0):
+                counts[spec.country] = counts.get(spec.country, 0) + 1
+        for code, (first, _) in TABLE2_COUNTS.items():
+            assert counts[code] == pytest.approx(first, abs=2), code
+
+    def test_table2_counts_final_round(self, providers):
+        counts = {}
+        for provider in providers:
+            for spec in provider.addresses_in_round(9):
+                counts[spec.country] = counts.get(spec.country, 0) + 1
+        for code, (_, last) in TABLE2_COUNTS.items():
+            assert counts[code] == pytest.approx(last, abs=2), code
+
+    def test_over_1500_resolvers_every_round(self, providers):
+        for round_index in range(10):
+            total = sum(len(provider.addresses_in_round(round_index))
+                        for provider in providers)
+            assert total > 1_500, round_index
+
+    def test_invalid_cert_budget(self, providers):
+        invalid = [spec for provider in providers
+                   for spec in provider.addresses_in_round(9)
+                   if spec.cert_status != CERT_VALID]
+        assert len(invalid) == 122
+        invalid_providers = [
+            provider for provider in providers
+            if provider.addresses_in_round(9)
+            and provider.has_invalid_cert_in_round(9)]
+        assert len(invalid_providers) == 62
+
+    def test_invalid_provider_fraction_near_25_percent(self, providers):
+        active = [provider for provider in providers
+                  if provider.addresses_in_round(9)]
+        invalid = [provider for provider in active
+                   if provider.has_invalid_cert_in_round(9)]
+        assert 0.2 < len(invalid) / len(active) < 0.32
+
+    def test_seventy_percent_single_address(self, providers):
+        active = [provider for provider in providers
+                  if provider.addresses_in_round(9)]
+        singles = sum(1 for provider in active
+                      if len(provider.addresses_in_round(9)) == 1)
+        assert 0.62 < singles / len(active) < 0.80
+
+    def test_large_providers_cover_most_addresses(self, providers):
+        active = [provider for provider in providers
+                  if provider.addresses_in_round(9)]
+        sizes = sorted((len(provider.addresses_in_round(9))
+                        for provider in active), reverse=True)
+        total = sum(sizes)
+        assert sum(sizes[:7]) / total > 0.75
+
+    def test_seventeen_doh_templates(self, providers):
+        templates = [provider.doh_template for provider in providers
+                     if provider.doh_template]
+        assert len(templates) == 17
+        in_list = [provider for provider in providers
+                   if provider.doh_template and provider.in_public_list]
+        assert len(in_list) == 15
+
+    def test_unique_addresses(self, providers):
+        addresses = [spec.address for provider in providers
+                     for spec in provider.addresses]
+        assert len(addresses) == len(set(addresses))
+
+    def test_determinism(self):
+        first = build_provider_population(SeededRng(7, "t"), total_rounds=5)
+        second = build_provider_population(SeededRng(7, "t"), total_rounds=5)
+        assert ([p.name for p in first] == [p.name for p in second])
+        assert ([a.address for p in first for a in p.addresses]
+                == [a.address for p in second for a in p.addresses])
+
+
+class TestPopulations:
+    def test_proxyrack_size_and_geography(self):
+        points = build_proxyrack(400, SeededRng(1, "pr"),
+                                 interception_count=3,
+                                 hijacked_router_count=2)
+        assert len(points) == 400
+        countries = {point.env.country_code for point in points}
+        assert len(countries) > 20
+
+    def test_interception_count_exact(self):
+        points = build_proxyrack(300, SeededRng(2, "pr"),
+                                 interception_count=5,
+                                 hijacked_router_count=0)
+        intercepted = [point for point in points
+                       if point.interceptor_cn is not None]
+        assert len(intercepted) == 5
+
+    def test_hijacked_routers_claim_1111(self):
+        points = build_proxyrack(300, SeededRng(3, "pr"),
+                                 interception_count=0,
+                                 hijacked_router_count=4)
+        hijacked = [point for point in points
+                    if point.conflict_kind == "hijacked-router"]
+        assert len(hijacked) == 4
+        for point in hijacked:
+            assert "1.1.1.1" in point.env.conflicts
+            device = point.env.conflicts["1.1.1.1"].device
+            assert "coinhive" in (device.webpage or "")
+
+    def test_india_has_cleartext_route_penalty(self):
+        points = build_proxyrack(1500, SeededRng(4, "pr"),
+                                 interception_count=0,
+                                 hijacked_router_count=0)
+        indian = [point for point in points
+                  if point.env.country_code == "IN"]
+        assert indian, "expected some Indian endpoints at n=1500"
+        for point in indian:
+            assert point.env.route_penalty_ms("1.1.1.1", 53) > 0
+            assert point.env.route_penalty_ms("1.1.1.1", 853) == 0
+
+    def test_zhima_all_chinese(self):
+        points = build_zhima(200, SeededRng(5, "zh"))
+        assert all(point.env.country_code == "CN" for point in points)
+        assert all(point.platform == "zhima" for point in points)
+
+    def test_zhima_has_five_ases(self):
+        points = build_zhima(50, SeededRng(6, "zh"))
+        assert len({point.env.asn for point in points}) == 5
+
+    def test_atlas_probe_split(self):
+        probes, capable = build_atlas_probes(600, SeededRng(7, "at"),
+                                             dot_capable_rate=0.05)
+        public = [probe for probe in probes if probe.uses_public_resolver]
+        assert 0 < len(public) < len(probes)
+        assert all(ip not in ("8.8.8.8",) for ip in capable)
+
+
+class TestScenario:
+    def test_scan_dates_cadence(self, scenario):
+        dates = scenario.scan_dates()
+        assert len(dates) == scenario.config.scan_rounds
+        assert dates[1] - dates[0] == pytest.approx(10 * 86400.0)
+
+    def test_client_network_has_key_hosts(self, client_network):
+        for address in ("1.1.1.1", "9.9.9.9", "8.8.8.8", SELF_BUILT_IP,
+                        GOOGLE_DOH_IP):
+            assert client_network.host_at(address) is not None, address
+
+    def test_google_has_no_dot(self, client_network):
+        host = client_network.host_at("8.8.8.8")
+        assert host.service_on("tcp", 853) is None
+
+    def test_self_built_serves_all_protocols(self, client_network):
+        host = client_network.host_at(SELF_BUILT_IP)
+        for proto, port in (("udp", 53), ("tcp", 53), ("tcp", 853),
+                            ("tcp", 443)):
+            assert host.service_on(proto, port) is not None
+
+    def test_probe_zone_wildcard(self, scenario):
+        addresses = scenario.universe.resolve_public(
+            "anytoken." + scenario.probe_origin.to_display())
+        assert addresses == scenario.expected_probe_answer()
+
+    def test_bootstrap_resolves_doh_hostnames(self, scenario):
+        scenario.client_network()  # ensure hosts and records exist
+        assert scenario.bootstrap("mozilla.cloudflare-dns.com")
+        assert scenario.bootstrap("dns.quad9.net")
+
+    def test_background_population_shrinks(self, scenario):
+        first = scenario.background_open853(0)
+        last = scenario.background_open853(scenario.final_round())
+        assert first > last > 1_000_000
+
+    def test_networks_are_cached(self, scenario):
+        assert (scenario.network_for_round(0)
+                is scenario.network_for_round(0))
+
+    def test_public_lists(self, scenario):
+        dot_list = scenario.public_dot_list()
+        assert "1.1.1.1" in dot_list
+        assert "9.9.9.9" in dot_list
+        assert len(scenario.public_doh_list()) == 15

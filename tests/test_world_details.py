@@ -1,0 +1,114 @@
+"""Deeper world-scenario behaviour: conflicts, censorship, datasets."""
+
+import pytest
+
+from repro.datasets.netflow import generate_netflow_dataset
+from repro.netsim import SeededRng, TcpConnection
+from repro.netsim.network import ClientEnvironment
+from repro.world.scenario import GOOGLE_DOH_IP
+
+
+class TestLocalConflictPath:
+    def test_conflict_device_answers_with_lan_latency(self, scenario, rng):
+        network = scenario.client_network()
+        hijacked = [point for point in scenario.proxyrack()
+                    if point.conflict_kind == "hijacked-router"]
+        assert hijacked
+        env = hijacked[0].env
+        connection = TcpConnection.open(network, env, "1.1.1.1", 80,
+                                        rng.fork("lan"))
+        assert connection.is_local
+        # LAN round trips are an order of magnitude below WAN ones.
+        assert connection.elapsed_ms < 15.0
+
+    def test_conflict_device_blocks_dot(self, scenario, rng):
+        from repro.errors import ConnectionRefused
+        network = scenario.client_network()
+        blackholes = [point for point in scenario.proxyrack()
+                      if point.conflict_kind == "blackhole"]
+        hijacked = [point for point in scenario.proxyrack()
+                    if point.conflict_kind == "hijacked-router"]
+        point = (hijacked or blackholes)[0]
+        with pytest.raises(ConnectionRefused):
+            TcpConnection.open(network, point.env, "1.1.1.1", 853,
+                               rng.fork("dot"))
+
+    def test_conflicts_do_not_leak_to_other_clients(self, scenario, rng):
+        network = scenario.client_network()
+        clean = ClientEnvironment.in_country("clean", "91.1.2.3", "DE",
+                                             rng.fork("clean"))
+        connection = TcpConnection.open(network, clean, "1.1.1.1", 853,
+                                        rng.fork("c"))
+        assert not connection.is_local
+        assert connection.host.operator == "Cloudflare"
+
+
+class TestCensorship:
+    def test_cn_policy_targets_google_doh_only(self, scenario):
+        network = scenario.client_network()
+        policies = network._country_policies.get("CN", [])
+        assert len(policies) == 1
+        censor = policies[0]
+        from repro.netsim.middlebox import Verdict
+        assert censor.tcp_verdict(GOOGLE_DOH_IP, 443) is Verdict.DROP
+        assert censor.tcp_verdict(GOOGLE_DOH_IP, 80) is Verdict.DROP
+        assert censor.tcp_verdict("8.8.8.8", 53) is Verdict.ALLOW
+        assert censor.tcp_verdict("104.16.249.249", 443) is Verdict.ALLOW
+
+
+class TestAtlasLocalResolvers:
+    def test_probe_resolvers_exist_in_network(self, scenario):
+        network = scenario.client_network()
+        probes, capable = scenario.atlas()
+        private = [probe for probe in probes
+                   if not probe.uses_public_resolver]
+        assert private
+        for probe in private[:20]:
+            host = network.host_at(probe.local_resolver_ip)
+            assert host is not None
+            assert host.service_on("udp", 53) is not None
+
+    def test_capable_resolvers_speak_dot(self, scenario):
+        network = scenario.client_network()
+        _, capable = scenario.atlas()
+        for address in capable:
+            host = network.host_at(address)
+            assert host.service_on("tcp", 853) is not None
+            assert host.has_tag("dot-local-resolver")
+
+
+class TestNetflowGeneratorToggles:
+    def test_scanner_toggle(self):
+        dataset = generate_netflow_dataset(SeededRng(31), scale=0.05,
+                                           include_scanners=False)
+        assert dataset.scanner_netblocks == ()
+        scanner_prefixes = ("141.212.120.", "74.120.14.", "167.94.138.")
+        assert not any(record.src_ip.startswith(scanner_prefixes)
+                       for record in dataset.records)
+
+    def test_noise_toggle(self):
+        with_noise = generate_netflow_dataset(SeededRng(32), scale=0.05,
+                                              include_scanners=False,
+                                              include_noise=True)
+        without = generate_netflow_dataset(SeededRng(32), scale=0.05,
+                                           include_scanners=False,
+                                           include_noise=False)
+        known = {"1.1.1.1", "1.0.0.1", "9.9.9.9", "149.112.112.112"}
+        assert any(record.dst_ip not in known
+                   for record in with_noise.records)
+        assert all(record.dst_ip in known for record in without.records)
+
+    def test_determinism(self):
+        first = generate_netflow_dataset(SeededRng(33), scale=0.05)
+        second = generate_netflow_dataset(SeededRng(33), scale=0.05)
+        assert len(first) == len(second)
+        assert first.records[0] == second.records[0]
+        assert first.do53_monthly == second.do53_monthly
+
+    def test_collection_window(self):
+        dataset = generate_netflow_dataset(SeededRng(34), scale=0.05,
+                                           include_scanners=False,
+                                           include_noise=False)
+        for record in dataset.records[:500]:
+            assert dataset.start_ts <= record.start_ts
+            assert record.start_ts <= dataset.end_ts + 31 * 86_400
