@@ -41,3 +41,41 @@ def performance(suite):
 @pytest.fixture(scope="session")
 def netflow(suite):
     return suite.netflow_report()
+
+
+# -- telemetry bridge ---------------------------------------------------------
+#
+# Benchmark timings flow into the telemetry registry too, so the
+# BENCH_TELEMETRY.json snapshot written at session end and the
+# pytest-benchmark JSON agree on what was measured (same runs, same
+# numbers, two serialisations).
+
+import os
+
+from repro import telemetry
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_session():
+    """One clean registry per benchmark session, snapshotted at the end."""
+    registry, _ = telemetry.reset_registry()
+    yield registry
+    if not len(registry):
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_TELEMETRY.json")
+    telemetry.write_snapshot(path, registry, telemetry.get_tracer(),
+                             deterministic=False)
+
+
+@pytest.fixture(autouse=True)
+def _record_benchmark_timing(request, _telemetry_session):
+    """After each bench, mirror its timing stats into the registry."""
+    yield
+    fixture = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(getattr(fixture, "stats", None), "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return
+    histogram = _telemetry_session.histogram("bench.round_time_s",
+                                             benchmark=request.node.name)
+    for seconds in stats.data:
+        histogram.observe(seconds)

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repository check: byte-compile every module, then run the test suite.
+# No make, no extra dependencies — sh + python + pytest only.
+#
+# Usage:  scripts/check.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== compileall src =="
+python -m compileall -q src
+
+echo "== pytest =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"

@@ -172,4 +172,14 @@ class ExperimentSuite:
         sections.append(figures.series_text(
             "Figure 13: Monthly DoH domain queries",
             figures.figure13_series(self.doh_usage())))
+        sections.append(self.telemetry_text())
         return "\n\n".join(sections)
+
+    def telemetry_text(self) -> str:
+        """What the instrumented pipelines recorded in this process."""
+        from repro import telemetry
+        registry = telemetry.get_registry()
+        if not len(registry):
+            return "Telemetry: no metrics recorded"
+        return telemetry.to_table(
+            registry, title="Telemetry: metrics recorded this process")

@@ -8,7 +8,12 @@ Commands mirror the paper's measurement legs:
 * ``usage`` — NetFlow + passive-DNS usage analysis (Figures 11-13);
 * ``compare`` — the protocol comparison (Tables 1 and 8);
 * ``report`` — everything, as one text report;
-* ``release`` — write the machine-readable dataset release.
+* ``release`` — write the machine-readable dataset release;
+* ``telemetry`` — run a small scenario and print its metrics/spans.
+
+Every command honours ``--metrics-out PATH`` (a global option, given
+before the command name): after the command finishes, the process-wide
+telemetry registry is exported as a deterministic JSON snapshot.
 """
 
 from __future__ import annotations
@@ -17,8 +22,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis import figures, tables
 from repro.analysis.report import ExperimentSuite
+from repro.telemetry.manifest import RunManifest
 from repro.world.scenario import ScenarioConfig
 
 
@@ -32,6 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="vantage-population scale, 1.0 = paper scale "
                              "(default: 0.02)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a deterministic JSON telemetry "
+                             "snapshot after the command finishes")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
     sub.add_parser("reachability", help="run the reachability study")
@@ -42,6 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
     release = sub.add_parser("release",
                              help="write the dataset release to a directory")
     release.add_argument("directory", help="output directory")
+    tele = sub.add_parser(
+        "telemetry",
+        help="run a small scenario and print its metrics and span tree")
+    tele.add_argument("--rounds", type=int, default=2,
+                      help="scan rounds to run (default: 2)")
+    tele.add_argument("--endpoints", type=int, default=5,
+                      help="reachability endpoints to probe (default: 5)")
+    tele.add_argument("--format", choices=("table", "json", "prom"),
+                      default="table",
+                      help="stdout format (default: table)")
     return parser
 
 
@@ -104,6 +124,32 @@ def cmd_report(suite: ExperimentSuite) -> None:
     print(suite.render_all())
 
 
+def cmd_telemetry(suite: ExperimentSuite, args: argparse.Namespace) -> None:
+    """Run a miniature campaign + client leg and print its telemetry."""
+    from repro.core.client.reachability import ReachabilityStudy
+    from repro.core.scan.campaign import ScanCampaign
+
+    campaign = ScanCampaign(suite.scenario)
+    campaign.run(rounds=max(1, args.rounds), include_doh=True)
+    study = ReachabilityStudy(suite.scenario)
+    points = suite.proxyrack_network().endpoints()[:max(1, args.endpoints)]
+    study.run("proxyrack", points)
+
+    registry = telemetry.get_registry()
+    tracer = telemetry.get_tracer()
+    if args.format == "json":
+        manifest = RunManifest.collect(suite.scenario.config, registry)
+        print(telemetry.to_json(registry, tracer, manifest.as_dict()),
+              end="")
+    elif args.format == "prom":
+        print(telemetry.to_prometheus(registry), end="")
+    else:
+        print(telemetry.to_table(registry, title="Telemetry"))
+        print()
+        print("Span tree:")
+        print(telemetry.span_tree_text(tracer))
+
+
 def cmd_release(suite: ExperimentSuite, directory: str) -> None:
     from repro.analysis.export import write_release
     _, netflow = suite.netflow_report()
@@ -113,11 +159,34 @@ def cmd_release(suite: ExperimentSuite, directory: str) -> None:
         print(f"wrote {path}")
 
 
+def _write_metrics(args: argparse.Namespace,
+                   suite: Optional[ExperimentSuite]) -> int:
+    if not args.metrics_out:
+        return 0
+    manifest = None
+    if suite is not None:
+        manifest = RunManifest.collect(suite.scenario.config,
+                                       telemetry.get_registry()).as_dict()
+    try:
+        path = telemetry.write_snapshot(args.metrics_out,
+                                        telemetry.get_registry(),
+                                        telemetry.get_tracer(), manifest)
+    except OSError as error:
+        print(f"error: cannot write metrics snapshot: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"wrote telemetry snapshot to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Each invocation gets a clean registry, so snapshots describe
+    # exactly one command (and same-seed runs serialise identically).
+    telemetry.reset_registry()
     if args.command == "compare":
         cmd_compare(None)
-        return 0
+        return _write_metrics(args, None)
     suite = _make_suite(args)
     if args.command == "scan":
         cmd_scan(suite)
@@ -131,7 +200,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_report(suite)
     elif args.command == "release":
         cmd_release(suite, args.directory)
-    return 0
+    elif args.command == "telemetry":
+        cmd_telemetry(suite, args)
+    return _write_metrics(args, suite)
 
 
 if __name__ == "__main__":

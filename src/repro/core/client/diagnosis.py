@@ -18,6 +18,7 @@ from repro.httpsim.messages import HttpRequest
 from repro.netsim.network import Network
 from repro.netsim.rand import SeededRng
 from repro.netsim.transport import TcpConnection
+from repro.telemetry import get_registry, get_tracer
 from repro.world.population import VantagePoint
 
 #: Ports probed on each failed client (the Table 5 census).
@@ -109,6 +110,12 @@ class FailureDiagnosis:
             open_ports.append(port)
         webpage_title, hijacked = self._fetch_webpage(env, probe_rng,
                                                       open_ports)
+        registry = get_registry()
+        registry.inc("client.diag.clients")
+        registry.inc("client.diag.ports_probed", len(self.ports))
+        registry.inc("client.diag.ports_open", len(open_ports))
+        if hijacked:
+            registry.inc("client.diag.crypto_hijacked")
         return ClientDiagnosis(
             endpoint=env.label,
             country=env.country_code,
@@ -121,8 +128,11 @@ class FailureDiagnosis:
 
     def diagnose_all(self, points: List[VantagePoint]) -> DiagnosisReport:
         report = DiagnosisReport()
-        for point in points:
-            report.clients.append(self.diagnose(point))
+        with get_tracer().span("client.diagnosis",
+                               clock=self.network.clock.now,
+                               clients=len(points)):
+            for point in points:
+                report.clients.append(self.diagnose(point))
         return report
 
     def _fetch_webpage(self, env, probe_rng,

@@ -28,11 +28,23 @@ from repro.doe.dot import DotClient, PrivacyProfile
 from repro.httpsim.uri import UriTemplate
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 from repro.world.population import VantagePoint
 from repro.world.scenario import SELF_BUILT_IP, Scenario
 
 QUERIES_PER_ENDPOINT = 20
 QUERIES_NO_REUSE = 200
+
+
+def _record_query(result, protocol: str, reuse: bool) -> None:
+    registry = get_registry()
+    if result.ok:
+        registry.observe("client.query.latency", result.latency_ms,
+                         protocol=protocol, reuse=str(reuse).lower())
+    else:
+        registry.inc("client.query.failed", protocol=protocol,
+                     kind=result.failure.value
+                     if result.failure else "unknown")
 
 #: Endpoints must survive the whole battery; shorter-lived ones are
 #: discarded up front (Section 4.1).
@@ -175,14 +187,17 @@ class PerformanceStudy:
             query_rng = endpoint_rng.fork(f"q{index}")
             result = do53.query_tcp(env, self.do53_ip,
                                     self._query(query_rng), reuse=True)
+            _record_query(result, "do53", reuse=True)
             if result.ok:
                 series["do53"].append(result.latency_ms)
             result = dot.query(env, self.dot_ip, self._query(query_rng),
                                reuse=True)
+            _record_query(result, "dot", reuse=True)
             if result.ok:
                 series["dot"].append(result.latency_ms)
             result = doh.query(env, self.doh_template,
                                self._query(query_rng), reuse=True)
+            _record_query(result, "doh", reuse=True)
             if result.ok:
                 series["doh"].append(result.latency_ms)
         do53.close_all()
@@ -207,12 +222,22 @@ class PerformanceStudy:
             queries: int = QUERIES_PER_ENDPOINT,
             require_uptime: bool = True) -> PerformanceReport:
         report = PerformanceReport()
-        for point in points:
-            if require_uptime and point.remaining_uptime_s < REQUIRED_UPTIME_S:
-                continue
-            timing = self.measure_endpoint(point, queries)
-            if timing is not None:
-                report.timings.append(timing)
+        registry = get_registry()
+        with get_tracer().span("client.performance",
+                               clock=self.network.clock.now,
+                               endpoints=len(points)):
+            for point in points:
+                if (require_uptime
+                        and point.remaining_uptime_s < REQUIRED_UPTIME_S):
+                    registry.inc("client.perf.endpoint_skipped",
+                                 reason="uptime")
+                    continue
+                timing = self.measure_endpoint(point, queries)
+                if timing is not None:
+                    report.timings.append(timing)
+                else:
+                    registry.inc("client.perf.endpoint_skipped",
+                                 reason="incomplete")
         return report
 
     # -- no-reuse mode ---------------------------------------------------------------
@@ -240,15 +265,18 @@ class PerformanceStudy:
             query_rng = vantage_rng.fork(f"q{index}")
             result = do53.query_tcp(env, do53_ip, self._query(query_rng),
                                     reuse=False)
+            _record_query(result, "do53", reuse=False)
             if result.ok:
                 series["do53"].append(result.latency_ms)
             result = dot.query(env, dot_ip, self._query(query_rng),
                                reuse=False)
+            _record_query(result, "dot", reuse=False)
             if result.ok:
                 series["dot"].append(result.latency_ms)
             # A fresh DoH client per query defeats session resumption.
             result = doh.query(env, template, self._query(query_rng),
                                reuse=False)
+            _record_query(result, "doh", reuse=False)
             if result.ok:
                 series["doh"].append(result.latency_ms)
         return NoReuseResult(

@@ -21,6 +21,7 @@ from repro.doe.result import QueryOutcome, QueryResult
 from repro.httpsim.uri import UriTemplate
 from repro.netsim.network import Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 from repro.tlssim.certs import ValidationFailure
 from repro.world.population import VantagePoint
 from repro.world.scenario import (
@@ -190,8 +191,12 @@ class ReachabilityStudy:
         """Measure every endpoint of one platform."""
         if report is None:
             report = ReachabilityReport()
-        for point in points:
-            self.measure_endpoint(point, report)
+        with get_tracer().span("client.reachability",
+                               clock=self.network.clock.now,
+                               platform=platform_name,
+                               endpoints=len(points)):
+            for point in points:
+                self.measure_endpoint(point, report)
         return report
 
     # -- helpers ------------------------------------------------------------------
@@ -214,6 +219,16 @@ class ReachabilityStudy:
     def _observe(self, point: VantagePoint, target: TargetSpec,
                  protocol: str, result: QueryResult) -> Observation:
         outcome = result.classify(self.scenario.expected_probe_answer())
+        registry = get_registry()
+        registry.inc("client.reach.outcome", protocol=protocol,
+                     target=target.name, outcome=outcome.value)
+        if result.response is not None:
+            registry.observe("client.query.latency", result.latency_ms,
+                             protocol=protocol, reuse="false")
+        else:
+            registry.inc("client.query.failed", protocol=protocol,
+                         kind=result.failure.value
+                         if result.failure else "unknown")
         return Observation(
             endpoint=point.env.label,
             platform=point.platform,
@@ -244,6 +259,9 @@ class ReachabilityStudy:
                 doh_intercepted = True
         if resigned_cn is None:
             return
+        get_registry().inc("client.reach.interception",
+                           port853=str(dot_intercepted).lower(),
+                           port443=str(doh_intercepted).lower())
         report.interceptions.append(InterceptionCase(
             endpoint=point.env.label,
             country=point.env.country_code,

@@ -22,6 +22,7 @@ from repro.core.scan.providers import (
 from repro.core.scan.zmap import ZmapScanner
 from repro.netsim.clock import format_date
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 from repro.world.scenario import Scenario
 
 
@@ -97,22 +98,28 @@ class ScanCampaign:
     def run_round(self, round_index: int) -> RoundResult:
         scenario = self.scenario
         network = scenario.network_for_round(round_index)
-        scanner = ZmapScanner(
-            network, self.rng.fork(f"zmap-{round_index}"),
-            background_total=scenario.background_open853(round_index))
-        discovery = DotDiscovery(
-            network, scanner, self.rng.fork(f"dot-{round_index}"),
-            scenario.trust_store, scenario.probe_origin,
-            scenario.expected_probe_answer())
-        records, stats = discovery.discover(round_index)
-        result = RoundResult(
-            round_index=round_index,
-            date=scenario.scan_dates()[round_index],
-            stats=stats,
-            records=records,
-        )
-        result.groups = group_into_providers(result.resolvers)
-        return result
+        with get_tracer().span("campaign.round", clock=network.clock.now,
+                               round=round_index):
+            scanner = ZmapScanner(
+                network, self.rng.fork(f"zmap-{round_index}"),
+                background_total=scenario.background_open853(round_index))
+            discovery = DotDiscovery(
+                network, scanner, self.rng.fork(f"dot-{round_index}"),
+                scenario.trust_store, scenario.probe_origin,
+                scenario.expected_probe_answer())
+            records, stats = discovery.discover(round_index)
+            result = RoundResult(
+                round_index=round_index,
+                date=scenario.scan_dates()[round_index],
+                stats=stats,
+                records=records,
+            )
+            result.groups = group_into_providers(result.resolvers)
+            registry = get_registry()
+            registry.inc("scan.rounds")
+            registry.set_gauge("scan.round.dot_resolvers",
+                              stats.dot_resolvers, round=str(round_index))
+            return result
 
     def run_doh_discovery(self) -> List[DohScanRecord]:
         scenario = self.scenario
@@ -129,6 +136,12 @@ class ScanCampaign:
         """Run the whole campaign (all rounds by default)."""
         total = (self.scenario.config.scan_rounds if rounds is None
                  else rounds)
-        round_results = [self.run_round(index) for index in range(total)]
-        doh_records = self.run_doh_discovery() if include_doh else []
-        return CampaignResult(round_results, doh_records)
+        # Stamp the campaign span with the scenario timeline (the first
+        # scan date) rather than a per-round network clock, so the span
+        # exists before any network is built.
+        start = self.scenario.scan_dates()[0]
+        with get_tracer().span("campaign", clock=lambda: start,
+                               rounds=total, include_doh=include_doh):
+            round_results = [self.run_round(index) for index in range(total)]
+            doh_records = self.run_doh_discovery() if include_doh else []
+            return CampaignResult(round_results, doh_records)

@@ -20,6 +20,7 @@ from repro.doe.result import QueryOutcome
 from repro.httpsim.uri import UriTemplate, parse_url
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 from repro.tlssim.certs import CaStore
 
 
@@ -82,12 +83,19 @@ class DohDiscovery:
                            msg_id=self.rng.randint(1, 0xFFFF))
         result = client.probe_template(self.source, template, query)
         in_list = parsed.hostname in self.public_list_hosts
+        registry = get_registry()
+        registry.observe("doh.probe.latency_ms", result.latency_ms)
         if not result.ok:
+            registry.inc("doh.handshake.fail",
+                         kind=result.failure.value
+                         if result.failure else "unknown")
             return DohScanRecord(url=url, hostname=parsed.hostname,
                                  is_doh=False, in_public_list=in_list,
                                  latency_ms=result.latency_ms,
                                  error=result.error)
         outcome = result.classify(self.expected_answers)
+        registry.inc("doh.handshake.ok")
+        registry.inc("doh.validation.outcome", outcome=outcome.value)
         return DohScanRecord(
             url=url, hostname=parsed.hostname, is_doh=True,
             in_public_list=in_list,
@@ -98,8 +106,11 @@ class DohDiscovery:
 
     def discover(self, dataset: UrlDataset) -> List[DohScanRecord]:
         """Full discovery: filter, dedupe, probe everything."""
-        return [self.probe_url(url)
-                for url in self.candidate_urls(dataset)]
+        candidates = self.candidate_urls(dataset)
+        with get_tracer().span("doh.discovery",
+                               clock=self.network.clock.now,
+                               candidates=len(candidates)):
+            return [self.probe_url(url) for url in candidates]
 
     @staticmethod
     def working(records: List[DohScanRecord]) -> List[DohScanRecord]:

@@ -20,6 +20,7 @@ from repro.doe.dot import DotClient, PrivacyProfile
 from repro.doe.result import QueryOutcome
 from repro.netsim.network import Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 from repro.tlssim.certs import CaStore, ValidationReport
 from repro.core.scan.zmap import ZmapScanner
 
@@ -85,10 +86,13 @@ class DotDiscovery:
 
     def probe_all(self, addresses: List[str],
                   round_index: int = 0) -> List[DotScanRecord]:
-        records = []
-        for index, address in enumerate(addresses):
-            records.append(self.probe_one(address, index, round_index))
-        return records
+        with get_tracer().span("scan.probe",
+                               clock=self.network.clock.now,
+                               round=round_index, targets=len(addresses)):
+            records = []
+            for index, address in enumerate(addresses):
+                records.append(self.probe_one(address, index, round_index))
+            return records
 
     def probe_one(self, address: str, index: int = 0,
                   round_index: int = 0) -> DotScanRecord:
@@ -104,13 +108,23 @@ class DotDiscovery:
                               timeout_s=10.0)
         host = self.network.host_at(address)
         country = host.country_code if host is not None else ""
+        registry = get_registry()
+        registry.observe("dot.probe.latency_ms", result.latency_ms)
         if not result.ok:
+            registry.inc("dot.handshake.fail",
+                         kind=result.failure.value
+                         if result.failure else "unknown")
             return DotScanRecord(
                 address=address, round_index=round_index, is_dot=False,
                 error=result.error, latency_ms=result.latency_ms,
                 chain=result.presented_chain,
                 cert_report=result.cert_report, country=country)
         outcome = result.classify(self.expected_answers)
+        registry.inc("dot.handshake.ok")
+        registry.inc("dot.validation.outcome", outcome=outcome.value)
+        if result.cert_report is not None:
+            registry.inc("dot.cert.validated",
+                         valid=str(result.cert_report.valid).lower())
         return DotScanRecord(
             address=address, round_index=round_index, is_dot=True,
             answer_correct=(outcome is QueryOutcome.CORRECT),

@@ -17,6 +17,7 @@ from typing import List, Optional, Set, Tuple
 
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry, get_tracer
 
 #: The study scans from 3 cloud addresses in China and the US.
 SCAN_SOURCE_SPECS: Tuple[Tuple[str, str], ...] = (
@@ -68,29 +69,38 @@ class ZmapScanner:
 
     def sweep(self, port: int, round_index: int = 0) -> SweepResult:
         """One randomised sweep; returns every responsive address."""
-        started_at = self.network.clock.now()
-        open_addresses = []
-        opted_out = 0
-        for host in self.network.hosts():
-            if ("tcp", port) not in host.services:
-                continue
-            if host.address in self.opt_out:
-                opted_out += 1
-                continue
-            open_addresses.append(host.address)
-        # ZMap probes the space in a random permutation; downstream
-        # consumers must not rely on registry order.
-        self.rng.fork(f"order-{round_index}").shuffle(open_addresses)
-        background = max(0, self.background_total - len(open_addresses))
-        return SweepResult(
-            port=port,
-            round_index=round_index,
-            started_at=started_at,
-            duration_s=SWEEP_DURATION_S,
-            open_addresses=open_addresses,
-            total_open_estimate=len(open_addresses) + background,
-            opted_out=opted_out,
-        )
+        with get_tracer().span("scan.sweep", clock=self.network.clock.now,
+                               port=port, round=round_index):
+            started_at = self.network.clock.now()
+            open_addresses = []
+            opted_out = 0
+            probed = 0
+            for host in self.network.hosts():
+                probed += 1
+                if ("tcp", port) not in host.services:
+                    continue
+                if host.address in self.opt_out:
+                    opted_out += 1
+                    continue
+                open_addresses.append(host.address)
+            # ZMap probes the space in a random permutation; downstream
+            # consumers must not rely on registry order.
+            self.rng.fork(f"order-{round_index}").shuffle(open_addresses)
+            background = max(0, self.background_total - len(open_addresses))
+            registry = get_registry()
+            registry.inc("scan.probes_sent", probed, port=str(port))
+            registry.inc("scan.zmap.responses", len(open_addresses),
+                         port=str(port))
+            registry.inc("scan.zmap.opted_out", opted_out, port=str(port))
+            return SweepResult(
+                port=port,
+                round_index=round_index,
+                started_at=started_at,
+                duration_s=SWEEP_DURATION_S,
+                open_addresses=open_addresses,
+                total_open_estimate=len(open_addresses) + background,
+                opted_out=opted_out,
+            )
 
     def source_for_probe(self, index: int) -> ClientEnvironment:
         """Rotate probe traffic across the scan sources."""

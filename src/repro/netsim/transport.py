@@ -30,6 +30,7 @@ from repro.netsim.latency import PathProfile
 from repro.netsim.middlebox import Verdict
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry
 
 DEFAULT_TIMEOUT_S = 30.0
 
@@ -106,7 +107,11 @@ class TcpConnection:
             profile = cls._profile_for(network, env, host, dst_ip, port)
         connection = cls(network, env, host, service, port, profile, rng,
                          is_local=(where == "local"))
-        connection._spend(network.latency.sample_rtt_ms(profile, rng))
+        rtt_ms = network.latency.sample_rtt_ms(profile, rng)
+        connection._spend(rtt_ms)
+        registry = get_registry()
+        registry.inc("netsim.transport.connections_opened")
+        registry.observe("netsim.transport.rtt_ms", rtt_ms)
         return connection
 
     @staticmethod
@@ -142,6 +147,9 @@ class TcpConnection:
         self._spend(cost)
         self.requests_sent += 1
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 256
+        registry = get_registry()
+        registry.inc("netsim.transport.requests", protocol="tcp")
+        registry.inc("netsim.transport.bytes_sent", size, protocol="tcp")
         self.network.notify_taps(self.env, self.host, self.port, "tcp", size)
         return response
 
@@ -225,6 +233,8 @@ class TlsChannel:
         connection.spend_rtts(rtts, crypto_ms=crypto)
         self.established = True
         self.resumed = can_resume
+        get_registry().inc("netsim.tls.handshakes",
+                           resumed=str(can_resume).lower())
         return self
 
     def request(self, payload: Any, extra_server_ms: float = 0.0) -> Any:
@@ -310,5 +320,9 @@ class UdpExchange:
         response = service.handle(payload, ctx)
         elapsed += service.extra_latency_ms(rng)
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 128
+        registry = get_registry()
+        registry.inc("netsim.transport.requests", protocol="udp")
+        registry.inc("netsim.transport.bytes_sent", size, protocol="udp")
+        registry.observe("netsim.transport.rtt_ms", elapsed)
         network.notify_taps(env, host, port, "udp", size)
         return response, elapsed

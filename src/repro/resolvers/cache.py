@@ -8,6 +8,7 @@ from typing import Optional, Tuple
 
 from repro.dnswire.names import DnsName
 from repro.dnswire.records import ResourceRecord
+from repro.telemetry import get_registry
 
 
 @dataclass
@@ -55,14 +56,19 @@ class DnsCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            get_registry().inc("resolver.cache.miss")
             return None
         if now >= entry.expires_at:
             del self._entries[key]
             self.stats.expirations += 1
             self.stats.misses += 1
+            registry = get_registry()
+            registry.inc("resolver.cache.expiration")
+            registry.inc("resolver.cache.miss")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        get_registry().inc("resolver.cache.hit")
         return entry.records, entry.rcode
 
     def put(self, qname: DnsName, qtype: int, records: Tuple[ResourceRecord, ...],
@@ -79,6 +85,7 @@ class DnsCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            get_registry().inc("resolver.cache.eviction")
 
     def flush(self) -> None:
         self._entries.clear()

@@ -1,0 +1,91 @@
+"""repro.telemetry — dependency-free observability for the platform.
+
+Every measurement leg writes into one process-wide default
+:class:`MetricsRegistry` / :class:`Tracer` pair, reachable through
+:func:`get_registry` / :func:`get_tracer` and reset between runs with
+:func:`reset_registry`. Metric names follow ``layer.component.event``
+(``scan.probes_sent``, ``dot.handshake.ok``, ``client.query.latency``).
+
+Exports are deterministic by construction: label sets are sorted,
+histograms keep bucket counts rather than raw samples, and wall-clock
+durations are excluded from the canonical JSON (sim-clock durations,
+which are seed-reproducible, are kept). Same seed ⇒ byte-identical
+snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.telemetry.export import (
+    snapshot,
+    span_tree_text,
+    to_json,
+    to_prometheus,
+    to_table,
+    write_snapshot,
+)
+from repro.telemetry.manifest import RunManifest, git_describe
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Span, Tracer
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer(_default_registry)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumented code writes to."""
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (shares the default registry)."""
+    return _default_tracer
+
+
+def reset_registry() -> Tuple[MetricsRegistry, Tracer]:
+    """Fresh default registry + tracer; returns the new pair.
+
+    Call between runs (and between tests) so one run's metrics never
+    leak into the next snapshot.
+    """
+    global _default_registry, _default_tracer
+    _default_registry = MetricsRegistry()
+    _default_tracer = Tracer(_default_registry)
+    return _default_registry, _default_tracer
+
+
+def set_sim_clock(clock) -> None:
+    """Attach a simulated clock (``() -> float``) to the default tracer.
+
+    Spans opened afterwards stamp sim-time start/duration, keeping the
+    deterministic export self-consistent with the scenario timeline.
+    """
+    _default_tracer.sim_clock = clock
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "git_describe",
+    "reset_registry",
+    "set_sim_clock",
+    "snapshot",
+    "span_tree_text",
+    "to_json",
+    "to_prometheus",
+    "to_table",
+    "write_snapshot",
+]

@@ -1,0 +1,148 @@
+"""Exporters: JSON snapshot, Prometheus text format, human table.
+
+All exporters iterate the registry in sorted (name, labels) order, so
+two registries holding the same metric state serialise to identical
+bytes — the property the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Tracer
+
+
+def _series_name(metric) -> str:
+    if not metric.labels:
+        return metric.name
+    rendered = ",".join(f"{key}={value}" for key, value in metric.labels)
+    return f"{metric.name}{{{rendered}}}"
+
+
+def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
+             manifest: Optional[dict] = None,
+             deterministic: bool = True) -> dict:
+    """The whole telemetry state as one JSON-ready dict."""
+    metrics = {}
+    for metric in registry:
+        metrics[_series_name(metric)] = metric.as_dict()
+    document = {"metrics": metrics}
+    if tracer is not None:
+        document["spans"] = tracer.as_dict(deterministic=deterministic)
+    if manifest is not None:
+        document["manifest"] = manifest
+    return document
+
+
+def to_json(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
+            manifest: Optional[dict] = None,
+            deterministic: bool = True) -> str:
+    """Canonical JSON: sorted keys, fixed separators, newline-terminated."""
+    document = snapshot(registry, tracer, manifest,
+                        deterministic=deterministic)
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format (counters/gauges + histogram summaries).
+
+    Metric names swap ``.`` for ``_``; histograms expose ``_count``,
+    ``_sum`` and quantile gauges, the scheme used by Prometheus
+    summaries.
+    """
+    lines = []
+    seen_types = set()
+    for metric in registry:
+        flat = metric.name.replace(".", "_").replace("-", "_")
+        labels = "".join(f'{key}="{value}",'
+                         for key, value in metric.labels).rstrip(",")
+        labelled = f"{flat}{{{labels}}}" if labels else flat
+        if isinstance(metric, (Counter, Gauge)):
+            kind = "counter" if isinstance(metric, Counter) else "gauge"
+            if flat not in seen_types:
+                lines.append(f"# TYPE {flat} {kind}")
+                seen_types.add(flat)
+            lines.append(f"{labelled} {_number(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if flat not in seen_types:
+                lines.append(f"# TYPE {flat} summary")
+                seen_types.add(flat)
+            for q in (0.5, 0.9, 0.95, 0.99):
+                quantile_labels = (labels + "," if labels else "")
+                lines.append(
+                    f'{flat}{{{quantile_labels}quantile="{q}"}} '
+                    f"{_number(metric.quantile(q))}")
+            lines.append(f"{flat}_count{{{labels}}} {metric.count}"
+                         if labels else f"{flat}_count {metric.count}")
+            lines.append(f"{flat}_sum{{{labels}}} {_number(metric.sum)}"
+                         if labels else f"{flat}_sum {_number(metric.sum)}")
+    return "\n".join(lines) + "\n"
+
+
+def _number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(round(value, 6))
+
+
+def to_table(registry: MetricsRegistry,
+             title: str = "Telemetry") -> str:
+    """Aligned monospace table of every series, for terminals."""
+    # Imported lazily: repro.analysis pulls in the whole measurement
+    # stack, which itself imports repro.telemetry at module load.
+    from repro.analysis.textfmt import render_table
+    rows = []
+    for metric in registry:
+        name = _series_name(metric)
+        if isinstance(metric, Histogram):
+            rows.append((name, "histogram", metric.count,
+                         f"p50={metric.quantile(0.5):.2f} "
+                         f"p95={metric.quantile(0.95):.2f} "
+                         f"p99={metric.quantile(0.99):.2f}"))
+        else:
+            rows.append((name, metric.kind, _number(metric.value), ""))
+    return render_table(("metric", "type", "value", "quantiles"), rows,
+                        title=title)
+
+
+def span_tree_text(tracer: Tracer, deterministic: bool = True) -> str:
+    """Indented text rendering of the span tree."""
+    lines = []
+
+    def _walk(node: dict, depth: int) -> None:
+        attrs = " ".join(f"{key}={value}"
+                         for key, value in node["attrs"].items())
+        timing = ""
+        if "sim_ms" in node:
+            timing = f" sim={node['sim_ms']:.1f}ms"
+        if "wall_ms" in node:
+            timing += f" wall={node['wall_ms']:.1f}ms"
+        status = "" if node["status"] == "ok" else f" [{node['status']}]"
+        lines.append(f"{'  ' * depth}{node['name']}"
+                     + (f" ({attrs})" if attrs else "")
+                     + timing + status)
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in tracer.as_dict(deterministic=deterministic):
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def write_snapshot(path: str, registry: MetricsRegistry,
+                   tracer: Optional[Tracer] = None,
+                   manifest: Optional[dict] = None,
+                   deterministic: bool = True) -> str:
+    """Write the canonical JSON snapshot to ``path``; returns the path."""
+    text = to_json(registry, tracer, manifest, deterministic=deterministic)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

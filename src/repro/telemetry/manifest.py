@@ -1,0 +1,78 @@
+"""Run manifests: what ran, under which parameters, producing what.
+
+A :class:`RunManifest` is the reproducibility record attached to every
+exported snapshot: the scenario seed and knobs, the code version (git
+describe when available), and the headline metric totals. Two runs
+whose manifests agree measured the same thing with the same code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import Counter, MetricsRegistry
+
+
+def git_describe(cwd: Optional[str] = None) -> str:
+    """``git describe --always --dirty``, or "unknown" outside a repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=5.0, cwd=cwd)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record for one measurement run."""
+
+    seed: int
+    scenario: Dict[str, object] = field(default_factory=dict)
+    code_version: str = "unknown"
+    #: Top-level counter totals (name -> summed value across labels).
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, config, registry: Optional[MetricsRegistry] = None,
+                include_git: bool = True) -> "RunManifest":
+        """Build a manifest from a ScenarioConfig-like object."""
+        if dataclasses.is_dataclass(config):
+            scenario = dataclasses.asdict(config)
+        elif isinstance(config, dict):
+            scenario = dict(config)
+        else:
+            scenario = {key: value for key, value in vars(config).items()
+                        if not key.startswith("_")}
+        manifest = cls(
+            seed=int(scenario.get("seed", 0)),
+            scenario=scenario,
+            code_version=git_describe() if include_git else "unknown",
+        )
+        if registry is not None:
+            manifest.record_totals(registry)
+        return manifest
+
+    def record_totals(self, registry: MetricsRegistry) -> None:
+        totals: Dict[str, float] = {}
+        for metric in registry:
+            if isinstance(metric, Counter):
+                totals[metric.name] = (totals.get(metric.name, 0.0)
+                                       + metric.value)
+        self.totals = totals
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "scenario": {key: self.scenario[key]
+                         for key in sorted(self.scenario)},
+            "code_version": self.code_version,
+            "totals": {key: self.totals[key]
+                       for key in sorted(self.totals)},
+        }

@@ -1,0 +1,249 @@
+"""Counters, gauges, and streaming histograms with label support.
+
+The registry is the substrate every instrumented module writes into.
+Metric names follow the ``layer.component.event`` convention
+(``scan.probes_sent``, ``dot.handshake.ok``, ``client.query.latency``).
+Labels are free-form string pairs; a metric name plus its sorted label
+set identifies one time series.
+
+Histograms use a fixed log-bucket scheme (geometric bucket boundaries,
+``GROWTH`` per bucket) so quantile estimation is O(buckets) with a
+bounded relative error, never stores raw samples, and — crucially for
+reproducibility — produces identical state for identical observation
+streams regardless of arrival order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Dict[str, str]) -> LabelPairs:
+    """Canonical (sorted) label tuple — determinism satellite."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, cache sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A streaming histogram over geometric (log-spaced) buckets.
+
+    Bucket ``i`` covers ``(GROWTH**(i-1), GROWTH**i]`` for positive
+    values; zero and negative observations land in dedicated buckets
+    (negative values occur for *overhead* series, which can be
+    legitimately below zero). Quantiles are estimated at the geometric
+    midpoint of the winning bucket, giving a relative error bounded by
+    ``sqrt(GROWTH) - 1`` (~4.4% with the default growth of 2**(1/8)).
+    """
+
+    kind = "histogram"
+
+    #: Geometric bucket growth factor; 2**(1/8) = 96 buckets per 1000x.
+    GROWTH = 2.0 ** 0.125
+    _LOG_GROWTH = math.log(GROWTH)
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket index -> count. Index 0 holds exact zeros; positive
+        #: indices hold positive values; negative indices mirror the
+        #: positive scheme for negative values.
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = self._bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @classmethod
+    def _bucket_index(cls, value: float) -> int:
+        if value == 0.0:
+            return 0
+        magnitude = abs(value)
+        # ceil(log_G(m)), shifted so magnitudes <= 1 share bucket 1.
+        index = max(1, 1 + math.ceil(math.log(magnitude) / cls._LOG_GROWTH))
+        return index if value > 0 else -index
+
+    @classmethod
+    def _bucket_midpoint(cls, index: int) -> float:
+        if index == 0:
+            return 0.0
+        sign = 1.0 if index > 0 else -1.0
+        magnitude = abs(index)
+        if magnitude == 1:
+            return sign * 0.5
+        upper = cls.GROWTH ** (magnitude - 1)
+        return sign * upper / math.sqrt(cls.GROWTH)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 <= q <= 1) from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min if self.min is not None else 0.0
+        if q >= 1.0:
+            return self.max if self.max is not None else 0.0
+        rank = q * self.count
+        seen = 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                estimate = self._bucket_midpoint(index)
+                # Clamp into the observed range so tiny histograms
+                # cannot report quantiles outside [min, max].
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+        return self.max if self.max is not None else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted (bucket index, count) pairs."""
+        return sorted(self._buckets.items())
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": round(self.min, 6) if self.min is not None else None,
+            "max": round(self.max, 6) if self.max is not None else None,
+            "p50": round(self.quantile(0.50), 6),
+            "p90": round(self.quantile(0.90), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric of one run, keyed by (name, sorted labels)."""
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelPairs], object] = {}
+
+    def _get(self, factory, name: str, labels: Dict[str, str]):
+        key = (name, _labelkey(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {factory.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- convenience write paths (keep call sites one-line) ---------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
+
+    # -- read paths --------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        """Metrics in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels: str):
+        """The metric object, or None if never written."""
+        return self._metrics.get((name, _labelkey(labels)))
+
+    def value(self, name: str, **labels: str) -> float:
+        """Counter/gauge value (0.0 when absent) — handy in assertions."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        return getattr(metric, "value", 0.0)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        total = 0.0
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name == name and isinstance(metric, Counter):
+                total += metric.value
+        return total
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._metrics})
+
+    def clear(self) -> None:
+        self._metrics.clear()

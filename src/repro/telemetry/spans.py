@@ -1,0 +1,155 @@
+"""Nestable spans recording where campaign time goes.
+
+``Tracer`` produces a tree of spans::
+
+    with tracer.span("campaign.round", round=3):
+        with tracer.span("scan.sweep"):
+            ...
+
+Every span records two durations:
+
+* **wall** — host wall-clock (``time.perf_counter``), what a profiler
+  would show. Excluded from deterministic exports, since two identical
+  runs never agree on wall time.
+* **sim** — simulated time from an injectable clock (``SimClock.now``
+  or any ``() -> float``), byte-identical across same-seed runs.
+
+Durations also land in the registry as ``span.<name>`` histograms so
+exporters see them next to the ordinary metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Span:
+    """One timed region; children nest via the tracer's active stack."""
+
+    def __init__(self, name: str, attrs: Dict[str, str],
+                 sim_started_at: Optional[float] = None):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.status = "ok"
+        self.error: str = ""
+        self.wall_ms = 0.0
+        self.sim_started_at = sim_started_at
+        self.sim_ms: Optional[float] = None
+        self._wall_started = 0.0
+
+    def as_dict(self, deterministic: bool = True) -> dict:
+        """JSON-ready tree; wall times dropped in deterministic mode."""
+        node = {
+            "name": self.name,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+            "status": self.status,
+        }
+        if self.error:
+            node["error"] = self.error
+        if self.sim_started_at is not None:
+            node["sim_started_at"] = round(self.sim_started_at, 6)
+        if self.sim_ms is not None:
+            node["sim_ms"] = round(self.sim_ms, 6)
+        if not deterministic:
+            node["wall_ms"] = round(self.wall_ms, 3)
+        node["children"] = [child.as_dict(deterministic)
+                            for child in self.children]
+        return node
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search of this subtree by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _SpanContext:
+    def __init__(self, tracer: "Tracer", span: Span,
+                 clock: Optional[Callable[[], float]]):
+        self.tracer = tracer
+        self.span = span
+        self.clock = clock
+
+    def __enter__(self) -> Span:
+        span = self.span
+        span._wall_started = time.perf_counter()
+        if self.clock is not None:
+            span.sim_started_at = self.clock()
+        self.tracer._push(span)
+        return span
+
+    def __exit__(self, exc_type, exc_value, _tb) -> bool:
+        span = self.span
+        span.wall_ms = (time.perf_counter() - span._wall_started) * 1000.0
+        if self.clock is not None and span.sim_started_at is not None:
+            span.sim_ms = self.clock() - span.sim_started_at
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc_value}"
+        self.tracer._pop(span)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Builds the span tree and mirrors durations into the registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 sim_clock: Optional[Callable[[], float]] = None):
+        self.registry = registry
+        #: Default simulated clock for spans that don't pass their own.
+        self.sim_clock = sim_clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str,
+             clock: Optional[Callable[[], float]] = None,
+             **attrs) -> _SpanContext:
+        """Open a nested span; attrs become string labels."""
+        span = Span(name, {key: str(value) for key, value in attrs.items()})
+        return _SpanContext(self, span, clock or self.sim_clock)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate foreign frames on the stack (a span leaked by a
+        # generator, say) rather than corrupting the tree.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if self.registry is not None:
+            histogram = self.registry.histogram(f"span.{span.name}",
+                                                status=span.status)
+            histogram.observe(span.sim_ms if span.sim_ms is not None
+                              else span.wall_ms)
+
+    @property
+    def active(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def as_dict(self, deterministic: bool = True) -> List[dict]:
+        return [root.as_dict(deterministic) for root in self.roots]
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []

@@ -139,6 +139,48 @@ class TestFinding4:
                                 "2019-03") < 11
 
 
+class TestTelemetryIntegration:
+    """A full campaign leaves a coherent trail in the default registry."""
+
+    @pytest.fixture(scope="class")
+    def fresh_run(self, suite):
+        from repro import telemetry
+        from repro.core.client.reachability import ReachabilityStudy
+        telemetry.reset_registry()
+        ScanCampaign(suite.scenario).run(rounds=1, include_doh=False)
+        study = ReachabilityStudy(suite.scenario)
+        study.run("proxyrack", suite.proxyrack_network().endpoints()[:2])
+        yield telemetry.get_registry(), telemetry.get_tracer()
+        telemetry.reset_registry()
+
+    def test_campaign_emits_scan_counters(self, fresh_run):
+        registry, _ = fresh_run
+        assert registry.total("scan.probes_sent") > 0
+        assert registry.total("dot.handshake.ok") > 0
+        assert registry.total("scan.rounds") == 1
+
+    def test_client_latency_histogram_populated(self, fresh_run):
+        registry, _ = fresh_run
+        histogram = registry.get("client.query.latency", protocol="dot",
+                                 reuse="false")
+        assert histogram is not None and histogram.count > 0
+        assert histogram.quantile(0.95) >= histogram.quantile(0.5) > 0
+
+    def test_span_tree_covers_campaign_sweep_probe(self, fresh_run):
+        _, tracer = fresh_run
+        campaign = tracer.find("campaign")
+        assert campaign is not None
+        assert campaign.find("scan.sweep") is not None
+        assert campaign.find("scan.probe") is not None
+
+    def test_transport_counters_track_probes(self, fresh_run):
+        registry, _ = fresh_run
+        opened = registry.total("netsim.transport.connections_opened")
+        assert opened > 0
+        # Every successful DoT probe opened at least one connection.
+        assert opened >= registry.total("dot.handshake.ok")
+
+
 class TestSuitePlumbing:
     def test_results_are_cached(self, suite):
         assert suite.campaign() is suite.campaign()

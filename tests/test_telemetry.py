@@ -1,0 +1,357 @@
+"""The telemetry subsystem: metrics, spans, exporters, manifests."""
+
+import json
+import math
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+)
+from repro.telemetry.export import (
+    snapshot,
+    span_tree_text,
+    to_json,
+    to_prometheus,
+    to_table,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("scan.probes_sent")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.inc("dot.handshake.fail", kind="tls")
+        registry.inc("dot.handshake.fail", 2, kind="timeout")
+        assert registry.value("dot.handshake.fail", kind="tls") == 1
+        assert registry.value("dot.handshake.fail", kind="timeout") == 2
+        assert registry.total("dot.handshake.fail") == 3
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("m", a="1", b="2")
+        registry.inc("m", b="2", a="1")
+        assert registry.value("m", b="2", a="1") == 2
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("resolver.cache.size")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (5.0, 1.0, 9.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 15.0
+        assert histogram.min == 1.0
+        assert histogram.max == 9.0
+        assert histogram.mean == 5.0
+
+    def test_quantiles_on_uniform_distribution(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in range(1, 1001):
+            histogram.observe(float(value))
+        # Log buckets bound the relative error by sqrt(growth) - 1
+        # (~4.4%); allow 8% for bucket-edge effects.
+        for q in (0.50, 0.90, 0.95, 0.99):
+            expected = q * 1000
+            estimate = histogram.quantile(q)
+            assert abs(estimate - expected) / expected < 0.08, (q, estimate)
+
+    def test_quantiles_on_lognormal_distribution(self):
+        from repro.netsim.rand import SeededRng
+        rng = SeededRng(7, "telemetry-test")
+        samples = sorted(rng.lognormal(3.0, 0.8) for _ in range(5000))
+        histogram = MetricsRegistry().histogram("latency")
+        for value in samples:
+            histogram.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            expected = samples[int(q * len(samples)) - 1]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - expected) / expected < 0.10, (q, estimate)
+
+    def test_extreme_quantiles_are_exact(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (2.0, 50.0, 400.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 2.0
+        assert histogram.quantile(1.0) == 400.0
+
+    def test_zero_and_negative_observations(self):
+        histogram = MetricsRegistry().histogram("overhead_ms")
+        for value in (-30.0, -5.0, 0.0, 5.0, 30.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.min == -30.0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.1) < 0.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.as_dict()["count"] == 0
+
+    def test_quantile_range_validated(self):
+        histogram = MetricsRegistry().histogram("latency")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_state_independent_of_arrival_order(self):
+        values = [float(v) for v in range(1, 200)]
+        forward = MetricsRegistry().histogram("latency")
+        backward = MetricsRegistry().histogram("latency")
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.buckets() == backward.buckets()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            with tracer.span("round", round=0):
+                with tracer.span("sweep"):
+                    pass
+            with tracer.span("round", round=1):
+                pass
+        assert len(tracer.roots) == 1
+        campaign = tracer.roots[0]
+        assert [child.name for child in campaign.children] == ["round",
+                                                               "round"]
+        assert campaign.children[0].children[0].name == "sweep"
+        assert tracer.find("sweep") is campaign.children[0].children[0]
+        assert tracer.active is None
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        inner = tracer.find("inner")
+        assert inner.status == "error"
+        assert "boom" in inner.error
+        assert tracer.find("outer").status == "error"
+        # The stack unwound fully: new spans are roots again.
+        with tracer.span("next"):
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "next"]
+
+    def test_durations_recorded_into_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("campaign"):
+            pass
+        histogram = registry.get("span.campaign", status="ok")
+        assert histogram is not None
+        assert histogram.count == 1
+
+    def test_sim_clock_durations(self):
+        from repro.netsim.clock import SimClock
+        clock = SimClock(100.0)
+        tracer = Tracer(sim_clock=clock.now)
+        with tracer.span("work") as span:
+            clock.advance(2.5)
+        assert span.sim_started_at == 100.0
+        assert span.sim_ms == pytest.approx(2.5)
+
+    def test_deterministic_export_omits_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("work", round=3):
+            pass
+        deterministic = tracer.as_dict(deterministic=True)[0]
+        assert "wall_ms" not in deterministic
+        assert deterministic["attrs"] == {"round": "3"}
+        full = tracer.as_dict(deterministic=False)[0]
+        assert "wall_ms" in full
+
+    def test_span_tree_text(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            with tracer.span("sweep", port=853):
+                pass
+        text = span_tree_text(tracer)
+        assert "campaign" in text
+        assert "  sweep (port=853)" in text
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.inc("scan.probes_sent", 100)
+        registry.inc("dot.handshake.ok", 90)
+        registry.inc("dot.handshake.fail", 10, kind="tls")
+        registry.set_gauge("scan.round.dot_resolvers", 1532, round="0")
+        for value in range(1, 101):
+            registry.observe("client.query.latency", float(value),
+                             protocol="dot")
+        return registry
+
+    def test_json_round_trip(self):
+        registry = self._populated()
+        document = json.loads(to_json(registry))
+        metrics = document["metrics"]
+        assert metrics["scan.probes_sent"]["value"] == 100
+        assert metrics["dot.handshake.fail{kind=tls}"]["value"] == 10
+        histogram = metrics["client.query.latency{protocol=dot}"]
+        assert histogram["count"] == 100
+        for key in ("p50", "p90", "p95", "p99"):
+            assert key in histogram
+
+    def test_json_is_byte_identical_for_equal_state(self):
+        first, second = self._populated(), self._populated()
+        assert to_json(first) == to_json(second)
+
+    def test_json_identical_across_label_insertion_order(self):
+        first = MetricsRegistry()
+        first.inc("m", a="1", b="2")
+        second = MetricsRegistry()
+        second.inc("m", b="2", a="1")
+        assert to_json(first) == to_json(second)
+
+    def test_prometheus_format(self):
+        text = to_prometheus(self._populated())
+        assert "# TYPE scan_probes_sent counter" in text
+        assert "scan_probes_sent 100" in text
+        assert 'dot_handshake_fail{kind="tls"} 10' in text
+        assert "# TYPE client_query_latency summary" in text
+        assert 'client_query_latency{protocol="dot",quantile="0.95"}' in text
+        assert 'client_query_latency_count{protocol="dot"} 100' in text
+
+    def test_table_contains_every_series(self):
+        text = to_table(self._populated(), title="Telemetry")
+        assert "Telemetry" in text
+        assert "scan.probes_sent" in text
+        assert "client.query.latency{protocol=dot}" in text
+        assert "p95=" in text
+
+    def test_snapshot_includes_spans_and_manifest(self):
+        registry = self._populated()
+        tracer = Tracer(registry)
+        with tracer.span("campaign"):
+            pass
+        document = snapshot(registry, tracer, {"seed": 7})
+        assert document["manifest"] == {"seed": 7}
+        assert document["spans"][0]["name"] == "campaign"
+
+
+class TestDefaultRegistry:
+    def test_reset_isolation(self):
+        registry = telemetry.get_registry()
+        registry.inc("test.leak")
+        new_registry, new_tracer = telemetry.reset_registry()
+        assert telemetry.get_registry() is new_registry
+        assert telemetry.get_tracer() is new_tracer
+        assert new_registry is not registry
+        assert new_registry.value("test.leak") == 0.0
+        assert new_tracer.registry is new_registry
+
+    def test_set_sim_clock(self):
+        from repro.netsim.clock import SimClock
+        telemetry.reset_registry()
+        clock = SimClock(5.0)
+        telemetry.set_sim_clock(clock.now)
+        with telemetry.get_tracer().span("work") as span:
+            clock.advance(1.0)
+        assert span.sim_ms == pytest.approx(1.0)
+        telemetry.reset_registry()
+
+
+class TestRunManifest:
+    def test_collect_from_scenario_config(self):
+        from repro.world.scenario import ScenarioConfig
+        registry = MetricsRegistry()
+        registry.inc("scan.probes_sent", 5, port="853")
+        registry.inc("scan.probes_sent", 7, port="443")
+        manifest = RunManifest.collect(ScenarioConfig(seed=99), registry,
+                                       include_git=False)
+        assert manifest.seed == 99
+        assert manifest.scenario["scan_rounds"] == 10
+        assert manifest.totals["scan.probes_sent"] == 12
+        document = manifest.as_dict()
+        assert document["seed"] == 99
+        assert document["code_version"] == "unknown"
+
+    def test_collect_from_dict(self):
+        manifest = RunManifest.collect({"seed": 3, "scale": 0.01},
+                                       include_git=False)
+        assert manifest.seed == 3
+        assert manifest.scenario["scale"] == 0.01
+
+    def test_git_describe_never_raises(self):
+        version = telemetry.git_describe()
+        assert isinstance(version, str) and version
+
+
+class TestCliTelemetry:
+    """The `repro telemetry` command and --metrics-out plumbing."""
+
+    def test_telemetry_command_prints_table_and_spans(self, capsys):
+        from repro.cli import main
+        assert main(["--scale", "0.004", "--seed", "7", "telemetry",
+                     "--rounds", "1", "--endpoints", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "scan.probes_sent" in output
+        assert "dot.handshake.ok" in output
+        assert "Span tree:" in output
+        assert "campaign" in output
+        assert "scan.sweep" in output
+        assert "scan.probe" in output
+
+    def test_metrics_out_snapshot_is_deterministic(self, tmp_path, capsys):
+        from repro.cli import main
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        argv = ["--scale", "0.004", "--seed", "7", "telemetry",
+                "--rounds", "1", "--endpoints", "2", "--format", "json"]
+        main(["--metrics-out", str(first)] + argv)
+        capsys.readouterr()
+        main(["--metrics-out", str(second)] + argv)
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        document = json.loads(first.read_text())
+        assert document["manifest"]["seed"] == 7
+        histograms = [m for m in document["metrics"].values()
+                      if m["type"] == "histogram"]
+        assert histograms and all("p99" in h for h in histograms)
+        campaign = next(s for s in document["spans"]
+                        if s["name"] == "campaign")
+        names = {child["name"] for round_span in campaign["children"]
+                 for child in round_span["children"]}
+        assert "scan.sweep" in names
+        assert "scan.probe" in names
