@@ -12,3 +12,13 @@ python -m compileall -q src
 
 echo "== pytest =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"
+
+# The chaos suite must be hash-seed independent: run it twice under
+# different PYTHONHASHSEED values so any dict/set-iteration-order
+# dependence in the fault-injection layer shows up as a diff.
+echo "== chaos suite (PYTHONHASHSEED=0) =="
+PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m chaos
+echo "== chaos suite (PYTHONHASHSEED=1) =="
+PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m chaos

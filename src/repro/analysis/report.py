@@ -97,7 +97,8 @@ class ExperimentSuite:
                       if point.env.label in failed]
             diagnosis = FailureDiagnosis(
                 self.scenario.client_network(),
-                self.scenario.rng.fork("diagnosis"))
+                self.scenario.rng.fork("diagnosis"),
+                retry_policy=self.scenario.retry_policy(op="client.diag"))
             self._diagnosis = diagnosis.diagnose_all(points)
         return self._diagnosis
 

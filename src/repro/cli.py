@@ -42,6 +42,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write a deterministic JSON telemetry "
                              "snapshot after the command finishes")
+    parser.add_argument("--fault-plan", metavar="SPEC", default="",
+                        help="inject seeded network faults, e.g. "
+                             "'reset host=1.1.1.1 port=853 p=0.5; "
+                             "slow host=* ms=250' (default: none)")
+    parser.add_argument("--retry-attempts", type=int, default=None,
+                        metavar="N",
+                        help="override per-probe retry attempts "
+                             "(default: each study's own policy)")
+    parser.add_argument("--retry-backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="base exponential-backoff delay between "
+                             "retries, simulated seconds (default: 0)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
     sub.add_parser("reachability", help="run the reachability study")
@@ -71,7 +83,10 @@ def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
                             url_dataset_noise=5_000,
                             intercepted_clients=max(
                                 2, round(17 * args.scale)),
-                            hijacked_routers=max(1, round(12 * args.scale)))
+                            hijacked_routers=max(1, round(12 * args.scale)),
+                            fault_plan=args.fault_plan,
+                            retry_attempts=args.retry_attempts,
+                            retry_backoff_s=args.retry_backoff)
     return ExperimentSuite.build(config)
 
 
@@ -180,7 +195,15 @@ def _write_metrics(args: argparse.Namespace,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.fault_plan:
+        from repro.errors import ScenarioError
+        from repro.netsim.faults import FaultPlan
+        try:
+            FaultPlan.parse(args.fault_plan)
+        except ScenarioError as error:
+            parser.error(f"--fault-plan: {error}")
     # Each invocation gets a clean registry, so snapshots describe
     # exactly one command (and same-seed runs serialise identically).
     telemetry.reset_registry()

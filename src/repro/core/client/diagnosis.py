@@ -13,7 +13,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import TransportError
+from repro.core.retry import RetryClass, RetryPolicy
+from repro.errors import (
+    TRANSIENT_ERRORS,
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+    TimeoutError_,
+    TransportError,
+)
 from repro.httpsim.messages import HttpRequest
 from repro.netsim.network import Network
 from repro.netsim.rand import SeededRng
@@ -31,6 +39,22 @@ GENUINE_PORTS = frozenset({53, 80, 443, 853})
 
 COINMINER_MARKER = "coinhive"
 
+#: How each transport exception reads as a Table 5/6 failure cause.
+_CAUSE_BY_ERROR = (
+    (ConnectionRefused, "refused"),
+    (TimeoutError_, "timeout"),
+    (ConnectionReset, "reset"),
+    (HostUnreachable, "unreachable"),
+)
+
+
+def _failure_cause(error: Optional[BaseException]) -> str:
+    """Name the failure cause the way the paper's tables attribute it."""
+    for error_class, cause in _CAUSE_BY_ERROR:
+        if isinstance(error, error_class):
+            return cause
+    return "error"
+
 
 @dataclass
 class ClientDiagnosis:
@@ -43,6 +67,11 @@ class ClientDiagnosis:
     open_ports: Tuple[int, ...]
     webpage_title: str = ""
     crypto_hijacked: bool = False
+    #: Why each closed port failed: port -> "refused" / "timeout" /
+    #: "reset" / "unreachable" — the Table 5/6-style cause attribution.
+    failure_causes: Dict[int, str] = field(default_factory=dict)
+    #: Ports whose failures were transient but survived every retry.
+    transient_exhausted_ports: Tuple[int, ...] = ()
 
     @property
     def no_ports_open(self) -> bool:
@@ -83,34 +112,61 @@ class DiagnosisReport:
                 return f"AS{client.asn} {client.as_name}"
         return None
 
+    def cause_census(self) -> Dict[str, int]:
+        """How many closed-port observations had each failure cause.
+
+        Mirrors the way Table 5/6 attribute failures: a refused port
+        means nothing listens (IP conflict / closed), a timeout means
+        the path blackholes the probe, a reset means in-path
+        interference.
+        """
+        census: Counter = Counter()
+        for client in self.clients:
+            census.update(client.failure_causes.values())
+        return dict(census)
+
 
 class FailureDiagnosis:
     """Probes failed clients' view of one resolver address."""
 
     def __init__(self, network: Network, rng: SeededRng,
                  resolver_ip: str = "1.1.1.1",
-                 ports: Tuple[int, ...] = PROBE_PORTS):
+                 ports: Tuple[int, ...] = PROBE_PORTS,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.rng = rng
         self.resolver_ip = resolver_ip
         self.ports = ports
+        #: Transient failures (TRANSIENT_ERRORS) get retried before a
+        #: port is declared closed; refusals short-circuit immediately.
+        self.retry_policy = retry_policy or RetryPolicy(
+            retryable=TRANSIENT_ERRORS, op="client.diag")
 
     def diagnose(self, point: VantagePoint) -> ClientDiagnosis:
         env = point.env
         probe_rng = self.rng.fork(f"diag-{env.label}")
         open_ports = []
+        failure_causes: Dict[int, str] = {}
+        exhausted_ports = []
+        registry = get_registry()
         for port in self.ports:
-            try:
-                connection = TcpConnection.open(
+            outcome = self.retry_policy.call(
+                lambda: TcpConnection.open(
                     self.network, env, self.resolver_ip, port, probe_rng,
-                    timeout_s=3.0)
-            except TransportError:
+                    timeout_s=3.0),
+                rng=probe_rng.fork(f"retry-{port}"), op="client.diag")
+            if not outcome.ok:
+                cause = _failure_cause(outcome.error)
+                failure_causes[port] = cause
+                if outcome.classification is RetryClass.TRANSIENT_EXHAUSTED:
+                    exhausted_ports.append(port)
+                registry.inc("client.diag.failure_cause", cause=cause,
+                             classification=outcome.classification.value)
                 continue
-            connection.close()
+            outcome.value.close()
             open_ports.append(port)
         webpage_title, hijacked = self._fetch_webpage(env, probe_rng,
                                                       open_ports)
-        registry = get_registry()
         registry.inc("client.diag.clients")
         registry.inc("client.diag.ports_probed", len(self.ports))
         registry.inc("client.diag.ports_open", len(open_ports))
@@ -124,6 +180,8 @@ class FailureDiagnosis:
             open_ports=tuple(open_ports),
             webpage_title=webpage_title,
             crypto_hijacked=hijacked,
+            failure_causes=failure_causes,
+            transient_exhausted_ports=tuple(exhausted_ports),
         )
 
     def diagnose_all(self, points: List[VantagePoint]) -> DiagnosisReport:

@@ -12,6 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
 from repro.dnswire.builder import make_query
 from repro.dnswire.rdtypes import RRType
 from repro.doe.do53 import Do53Client
@@ -137,11 +138,17 @@ class ReachabilityStudy:
     def __init__(self, scenario: Scenario,
                  network: Optional[Network] = None,
                  rng: Optional[SeededRng] = None,
-                 max_attempts: int = MAX_ATTEMPTS):
+                 max_attempts: int = MAX_ATTEMPTS,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.scenario = scenario
         self.network = network or scenario.client_network()
         self.rng = rng or scenario.rng.fork("reachability")
         self.max_attempts = max_attempts
+        #: The per-lookup retry behaviour. The default reproduces the
+        #: study's historical semantics exactly: up to ``max_attempts``
+        #: immediate repeats of any lookup that produced no DNS response.
+        self.retry_policy = retry_policy or scenario.retry_policy(
+            default_attempts=max_attempts, op="client.reach")
         self.targets = default_targets(scenario)
 
     # -- single-endpoint workflow ----------------------------------------------
@@ -207,14 +214,27 @@ class ReachabilityStudy:
                           msg_id=rng.randint(1, 0xFFFF))
 
     def _attempt(self, once) -> QueryResult:
-        """Repeat a failing request up to ``max_attempts`` times."""
-        result = once()
-        attempts = 1
-        while result.response is None and attempts < self.max_attempts:
-            result = once()
-            attempts += 1
-        result.attempts = attempts
+        """Drive one lookup through the retry policy.
+
+        ``retry_on=None`` repeats *any* failed lookup (the paper repeats
+        failing measurements regardless of cause); the final result's
+        failure kind still feeds the transient/permanent attribution via
+        :meth:`_classify_failure`.
+        """
+        result = self.retry_policy.run_query(
+            once, rng=None, op="client.reach", retry_on=None)
+        self._classify_failure(result)
         return result
+
+    def _classify_failure(self, result: QueryResult) -> None:
+        """Count how the lookup ended: transient vs permanent (Table 5)."""
+        if result.response is not None:
+            return
+        kind = (result.failure.value if result.failure else "unknown")
+        get_registry().inc(
+            "client.reach.failure_class",
+            kind=kind,
+            transient=str(result.failure in TRANSIENT_KINDS).lower())
 
     def _observe(self, point: VantagePoint, target: TargetSpec,
                  protocol: str, result: QueryResult) -> Observation:

@@ -1,0 +1,284 @@
+"""Retry policies with per-attempt timeouts and seeded-jitter backoff.
+
+A :class:`RetryPolicy` decides how the measurement pipelines respond to
+transport failure: how many attempts, how long each may take, how long
+to back off between them, and — via the shared
+:data:`repro.errors.TRANSIENT_ERRORS` allowlist — *which* failures are
+worth repeating at all. The same policy object drives both styles of
+caller:
+
+* :meth:`RetryPolicy.call` wraps a callable that raises
+  :mod:`repro.errors` exceptions (raw transport operations), and
+* :meth:`RetryPolicy.run_query` wraps a callable returning a
+  :class:`~repro.doe.result.QueryResult` (the DoE clients, which fold
+  transport errors into result objects).
+
+Every run is classified the way Tables 5-6 attribute failure causes:
+``ok`` (first try), ``recovered`` (a retry cured a transient fault),
+``transient-exhausted`` (the fault persisted through the attempt
+budget) or ``permanent`` (retrying could not have helped). The policy
+emits ``retry.*`` counters and a backoff-delay histogram through the
+process-wide telemetry registry.
+
+Backoff is exponential with an optional multiplicative jitter drawn
+from a :class:`~repro.netsim.rand.SeededRng`, so two runs with the same
+seed produce byte-identical schedules. Delays are *simulated* time —
+they are accounted against the policy's total budget, never slept.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.doe.result import FailureKind, QueryResult
+from repro.errors import TRANSIENT_ERRORS, ReproError
+from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry
+
+#: Result-level mirror of :data:`repro.errors.TRANSIENT_ERRORS` for
+#: callers that see :class:`FailureKind` instead of exceptions.
+TRANSIENT_KINDS = frozenset({
+    FailureKind.TIMEOUT,
+    FailureKind.RESET,
+    FailureKind.UNREACHABLE,
+})
+
+
+class RetryClass(enum.Enum):
+    """How one retried operation ultimately ended."""
+
+    OK = "ok"
+    RECOVERED = "recovered"
+    TRANSIENT_EXHAUSTED = "transient-exhausted"
+    PERMANENT = "permanent"
+
+
+@dataclass
+class RetryOutcome:
+    """The final value/error of a retried call plus its retry trail."""
+
+    value: object = None
+    error: Optional[BaseException] = None
+    attempts: int = 0
+    classification: RetryClass = RetryClass.OK
+    #: Backoff delays actually scheduled between attempts (ms).
+    delays_ms: Tuple[float, ...] = ()
+    #: Simulated time the whole operation consumed, attempts + backoff.
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self):
+        """The value, or re-raise the final error."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt count, timeouts, and exponential backoff with jitter."""
+
+    #: Total attempts including the first (must be >= 1).
+    attempts: int = 1
+    #: Deadline handed to each individual attempt, seconds.
+    per_attempt_timeout_s: float = 30.0
+    #: First backoff delay, seconds; 0 disables backoff entirely.
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 30.0
+    #: Multiplicative jitter fraction in [0, 1): each delay is scaled by
+    #: a factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    jitter: float = 0.0
+    #: Total simulated-time budget (attempt elapsed + backoff), seconds.
+    #: A retry that cannot fit its backoff delay inside the remaining
+    #: budget is abandoned — "timeout budget exhausted mid-backoff".
+    budget_s: float = math.inf
+    #: Exception classes worth retrying (:meth:`call` only).
+    retryable: Tuple[type, ...] = TRANSIENT_ERRORS
+    #: Telemetry label for this policy's counters.
+    op: str = "op"
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(
+                f"RetryPolicy.attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"RetryPolicy.jitter must be in [0, 1), got {self.jitter}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("RetryPolicy.backoff_multiplier must be >= 1")
+
+    # -- backoff schedule --------------------------------------------------
+
+    def backoff_delay_s(self, retry_index: int,
+                        rng: Optional[SeededRng] = None) -> float:
+        """Delay before retry ``retry_index`` (0 = first retry), seconds.
+
+        Without jitter (or without an rng) the schedule is the pure
+        exponential ``base * multiplier**i`` capped at ``backoff_max_s``;
+        with jitter the capped delay is scaled by a seeded uniform
+        factor, so the jittered schedule stays within
+        ``[(1-j) * delay, (1+j) * delay]``.
+        """
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = self.backoff_base_s * (self.backoff_multiplier
+                                       ** retry_index)
+        delay = min(delay, self.backoff_max_s)
+        if self.jitter > 0.0 and rng is not None:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+    def schedule_s(self, rng: Optional[SeededRng] = None) -> List[float]:
+        """The full backoff schedule for this policy's attempt budget."""
+        return [self.backoff_delay_s(index, rng)
+                for index in range(max(0, self.attempts - 1))]
+
+    # -- exception-style execution ----------------------------------------
+
+    def call(self, fn: Callable[[], object],
+             rng: Optional[SeededRng] = None,
+             op: Optional[str] = None) -> RetryOutcome:
+        """Run ``fn`` under this policy; ``fn`` signals failure by raising.
+
+        Only exceptions in :attr:`retryable` are retried; anything else
+        in the :class:`ReproError` hierarchy is a permanent failure and
+        short-circuits after the first attempt. Non-``ReproError``
+        exceptions (programming errors) propagate untouched.
+        """
+        label = op or self.op
+        registry = get_registry()
+        outcome = RetryOutcome()
+        delays: List[float] = []
+        spent_s = 0.0
+        for attempt in range(self.attempts):
+            outcome.attempts = attempt + 1
+            registry.inc("retry.attempts", op=label)
+            try:
+                outcome.value = fn()
+            except self.retryable as error:
+                outcome.error = error
+                spent_s += getattr(error, "elapsed_ms", 0.0) / 1000.0
+            except ReproError as error:
+                outcome.error = error
+                spent_s += getattr(error, "elapsed_ms", 0.0) / 1000.0
+                outcome.classification = RetryClass.PERMANENT
+                registry.inc("retry.permanent", op=label)
+                break
+            else:
+                outcome.error = None
+                outcome.classification = (RetryClass.OK if attempt == 0
+                                          else RetryClass.RECOVERED)
+                if attempt > 0:
+                    registry.inc("retry.recovered", op=label)
+                break
+            if attempt + 1 >= self.attempts:
+                outcome.classification = RetryClass.TRANSIENT_EXHAUSTED
+                registry.inc("retry.exhausted", op=label)
+                break
+            delay_s = self.backoff_delay_s(attempt, rng)
+            if spent_s + delay_s >= self.budget_s:
+                # The next attempt could not even start before the
+                # budget runs out: give up mid-backoff.
+                outcome.classification = RetryClass.TRANSIENT_EXHAUSTED
+                registry.inc("retry.exhausted", op=label)
+                registry.inc("retry.budget_exhausted", op=label)
+                break
+            spent_s += delay_s
+            delays.append(delay_s * 1000.0)
+            registry.observe("retry.backoff_delay_ms", delay_s * 1000.0,
+                             op=label)
+        outcome.delays_ms = tuple(delays)
+        outcome.elapsed_ms = spent_s * 1000.0
+        return outcome
+
+    # -- QueryResult-style execution --------------------------------------
+
+    def run_query(self, fn: Callable[[], QueryResult],
+                  rng: Optional[SeededRng] = None,
+                  op: Optional[str] = None,
+                  retry_on: Optional[frozenset] = None) -> QueryResult:
+        """Run a DoE-client lookup under this policy.
+
+        ``fn`` returns a :class:`QueryResult`; a result with no DNS
+        response counts as a failed attempt (the reachability study's
+        historical semantics). ``retry_on`` narrows retries to specific
+        :class:`FailureKind` values — ``None`` retries *any* failure,
+        :data:`TRANSIENT_KINDS` retries only transient transports.
+
+        The returned result is the last attempt's, with ``attempts``
+        stamped; its retry classification lands in the ``retry.*``
+        counters under the ``op`` label.
+        """
+        label = op or self.op
+        registry = get_registry()
+        result: Optional[QueryResult] = None
+        attempts_made = 0
+        spent_s = 0.0
+        for attempt in range(self.attempts):
+            registry.inc("retry.attempts", op=label)
+            result = fn()
+            attempts_made = attempt + 1
+            spent_s += result.latency_ms / 1000.0
+            if result.response is not None:
+                result.attempts = attempts_made
+                if attempt > 0:
+                    registry.inc("retry.recovered", op=label)
+                return result
+            if retry_on is not None and result.failure not in retry_on:
+                result.attempts = attempts_made
+                registry.inc("retry.permanent", op=label)
+                return result
+            if attempts_made >= self.attempts:
+                break
+            delay_s = self.backoff_delay_s(attempt, rng)
+            if spent_s + delay_s >= self.budget_s:
+                registry.inc("retry.budget_exhausted", op=label)
+                break
+            spent_s += delay_s
+            registry.observe("retry.backoff_delay_ms", delay_s * 1000.0,
+                             op=label)
+        assert result is not None
+        result.attempts = attempts_made
+        registry.inc("retry.exhausted", op=label)
+        return result
+
+    def classify_error(self, error: BaseException) -> RetryClass:
+        """Transient/permanent attribution for one observed error."""
+        if isinstance(error, self.retryable):
+            return RetryClass.TRANSIENT_EXHAUSTED
+        return RetryClass.PERMANENT
+
+
+@dataclass
+class RetryStats:
+    """Aggregate view of many retried operations (diagnosis helper)."""
+
+    ok: int = 0
+    recovered: int = 0
+    transient_exhausted: int = 0
+    permanent: int = 0
+    by_class: dict = field(default_factory=dict)
+
+    def record(self, classification: RetryClass) -> None:
+        self.by_class[classification.value] = (
+            self.by_class.get(classification.value, 0) + 1)
+        if classification is RetryClass.OK:
+            self.ok += 1
+        elif classification is RetryClass.RECOVERED:
+            self.recovered += 1
+        elif classification is RetryClass.TRANSIENT_EXHAUSTED:
+            self.transient_exhausted += 1
+        else:
+            self.permanent += 1
+
+    @property
+    def total(self) -> int:
+        return self.ok + self.recovered + self.transient_exhausted \
+            + self.permanent

@@ -102,11 +102,13 @@ class ScanCampaign:
                                round=round_index):
             scanner = ZmapScanner(
                 network, self.rng.fork(f"zmap-{round_index}"),
-                background_total=scenario.background_open853(round_index))
+                background_total=scenario.background_open853(round_index),
+                retry_policy=scenario.retry_policy(op="scan.zmap"))
             discovery = DotDiscovery(
                 network, scanner, self.rng.fork(f"dot-{round_index}"),
                 scenario.trust_store, scenario.probe_origin,
-                scenario.expected_probe_answer())
+                scenario.expected_probe_answer(),
+                retry_policy=scenario.retry_policy(op="dot.probe"))
             records, stats = discovery.discover(round_index)
             result = RoundResult(
                 round_index=round_index,
@@ -128,7 +130,8 @@ class ScanCampaign:
             network, self.rng.fork("doh"), scenario.trust_store,
             scenario.bootstrap, scenario.probe_origin,
             scenario.expected_probe_answer(),
-            public_list=scenario.public_doh_list())
+            public_list=scenario.public_doh_list(),
+            retry_policy=scenario.retry_policy(op="doh.probe"))
         return discovery.discover(scenario.url_dataset())
 
     def run(self, rounds: Optional[int] = None,

@@ -9,8 +9,9 @@ DoH query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
 from repro.datasets.urldataset import UrlDataset
 from repro.dnswire.builder import make_query
 from repro.dnswire.names import DnsName
@@ -44,13 +45,15 @@ class DohDiscovery:
     def __init__(self, network: Network, rng: SeededRng, ca_store: CaStore,
                  bootstrap, probe_origin: DnsName,
                  expected_answers: Tuple[str, ...],
-                 public_list: Iterable[str] = ()):
+                 public_list: Iterable[str] = (),
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.rng = rng
         self.ca_store = ca_store
         self.bootstrap = bootstrap
         self.probe_origin = probe_origin
         self.expected_answers = expected_answers
+        self.retry_policy = retry_policy or RetryPolicy(op="doh.probe")
         #: Known templates from the public list (curl wiki [73]).
         self.public_list_hosts = {
             UriTemplate(template).hostname for template in public_list}
@@ -81,7 +84,10 @@ class DohDiscovery:
         token = self.rng.fork(f"token-{url}").token(10)
         query = make_query(self.probe_origin.child(token), RRType.A,
                            msg_id=self.rng.randint(1, 0xFFFF))
-        result = client.probe_template(self.source, template, query)
+        result = self.retry_policy.run_query(
+            lambda: client.probe_template(self.source, template, query),
+            rng=self.rng.fork(f"retry-{url}"), op="doh.probe",
+            retry_on=TRANSIENT_KINDS)
         in_list = parsed.hostname in self.public_list_hosts
         registry = get_registry()
         registry.observe("doh.probe.latency_ms", result.latency_ms)

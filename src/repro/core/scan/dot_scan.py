@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.retry import RetryPolicy
 from repro.dnswire.builder import make_query
 from repro.dnswire.names import DnsName
 from repro.dnswire.rdtypes import RRType
@@ -76,13 +77,17 @@ class DotDiscovery:
     def __init__(self, network: Network, scanner: ZmapScanner,
                  rng: SeededRng, ca_store: CaStore,
                  probe_origin: DnsName,
-                 expected_answers: Tuple[str, ...]):
+                 expected_answers: Tuple[str, ...],
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.scanner = scanner
         self.rng = rng
         self.ca_store = ca_store
         self.probe_origin = probe_origin
         self.expected_answers = expected_answers
+        #: Transient-failure handling for the getdns-style probe; the
+        #: default single attempt reproduces the paper's one-shot scan.
+        self.retry_policy = retry_policy or RetryPolicy(op="dot.probe")
 
     def probe_all(self, addresses: List[str],
                   round_index: int = 0) -> List[DotScanRecord]:
@@ -104,8 +109,12 @@ class DotDiscovery:
         token = probe_rng.token(10)
         query = make_query(self.probe_origin.child(token), RRType.A,
                            msg_id=probe_rng.randint(1, 0xFFFF))
-        result = client.query(source, address, query, reuse=False,
-                              timeout_s=10.0)
+        from repro.core.retry import TRANSIENT_KINDS
+        result = self.retry_policy.run_query(
+            lambda: client.query(source, address, query, reuse=False,
+                                 timeout_s=10.0),
+            rng=probe_rng.fork("retry"), op="dot.probe",
+            retry_on=TRANSIENT_KINDS)
         host = self.network.host_at(address)
         country = host.country_code if host is not None else ""
         registry = get_registry()

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro.core.retry import RetryPolicy
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
 from repro.telemetry import get_registry, get_tracer
@@ -43,6 +44,8 @@ class SweepResult:
     #: background (the paper's "2 to 3 million hosts with port 853 open").
     total_open_estimate: int
     opted_out: int = 0
+    #: Open hosts whose SYN probes were all lost to injected faults.
+    probes_lost: int = 0
 
     @property
     def materialized_count(self) -> int:
@@ -54,12 +57,16 @@ class ZmapScanner:
 
     def __init__(self, network: Network, rng: SeededRng,
                  background_total: int = 0,
-                 opt_out: Optional[Set[str]] = None):
+                 opt_out: Optional[Set[str]] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.rng = rng
         self.background_total = background_total
         #: Addresses whose operators asked to be excluded.
         self.opt_out = set(opt_out or ())
+        #: How often a lost SYN probe is re-sent before the host is
+        #: written off as closed (default: single probe, like zmap).
+        self.retry_policy = retry_policy or RetryPolicy(op="scan.zmap")
         self.sources = [
             ClientEnvironment.in_country(f"zmap-src-{address}", address,
                                          country_code,
@@ -75,12 +82,18 @@ class ZmapScanner:
             open_addresses = []
             opted_out = 0
             probed = 0
+            probes_lost = 0
+            injector = self.network.fault_injector
             for host in self.network.hosts():
                 probed += 1
                 if ("tcp", port) not in host.services:
                     continue
                 if host.address in self.opt_out:
                     opted_out += 1
+                    continue
+                if injector is not None and self._probe_lost(
+                        injector, host.address, port):
+                    probes_lost += 1
                     continue
                 open_addresses.append(host.address)
             # ZMap probes the space in a random permutation; downstream
@@ -92,6 +105,9 @@ class ZmapScanner:
             registry.inc("scan.zmap.responses", len(open_addresses),
                          port=str(port))
             registry.inc("scan.zmap.opted_out", opted_out, port=str(port))
+            if probes_lost:
+                registry.inc("scan.zmap.probes_lost", probes_lost,
+                             port=str(port))
             return SweepResult(
                 port=port,
                 round_index=round_index,
@@ -100,7 +116,20 @@ class ZmapScanner:
                 open_addresses=open_addresses,
                 total_open_estimate=len(open_addresses) + background,
                 opted_out=opted_out,
+                probes_lost=probes_lost,
             )
+
+    def _probe_lost(self, injector, address: str, port: int) -> bool:
+        """Drive the SYN probe through the retry policy; True = no answer."""
+        registry = get_registry()
+        for attempt in range(self.retry_policy.attempts):
+            registry.inc("retry.attempts", op="scan.zmap")
+            if not injector.probe_lost(address, port):
+                if attempt > 0:
+                    registry.inc("retry.recovered", op="scan.zmap")
+                return False
+        registry.inc("retry.exhausted", op="scan.zmap")
+        return True
 
     def source_for_probe(self, index: int) -> ClientEnvironment:
         """Rotate probe traffic across the scan sources."""

@@ -5,6 +5,12 @@ callers can catch library failures without masking programming errors.
 The protocol-level exceptions mirror the failure modes the paper observes
 in the wild: unreachable services, TLS authentication failures, malformed
 wire data and lookup timeouts.
+
+The transient/permanent split lives here, in :data:`TRANSIENT_ERRORS`:
+both :class:`repro.core.retry.RetryPolicy` (which errors are worth
+retrying) and the client-side failure diagnosis (how Table 5/6 attribute
+failure causes) import the same tuple, so the classification cannot
+drift between the two consumers.
 """
 
 from __future__ import annotations
@@ -91,3 +97,10 @@ class ProxyError(ReproError):
 
 class ScenarioError(ReproError):
     """The world scenario is internally inconsistent or misconfigured."""
+
+
+#: Transport failures a retry may plausibly cure: the path dropped or
+#: reset the attempt, or routing momentarily blackholed it. A refused
+#: connection (nothing listens) and TLS/certificate failures are
+#: *permanent* — repeating the attempt observes the same world state.
+TRANSIENT_ERRORS = (TimeoutError_, ConnectionReset, HostUnreachable)

@@ -38,6 +38,12 @@ from repro.netsim.middlebox import (
     Verdict,
 )
 from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+)
 from repro.netsim.transport import TcpConnection, TlsChannel, UdpExchange
 from repro.netsim.netflow import FlowRecord, NetFlowCollector, TcpFlags
 
@@ -70,6 +76,10 @@ __all__ = [
     "IpConflictDevice",
     "Network",
     "ClientEnvironment",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "TcpConnection",
     "TlsChannel",
     "UdpExchange",

@@ -1,0 +1,312 @@
+"""Deterministic fault injection for the simulated transports.
+
+The paper's client-side study (Section 4, Tables 5-6) is a study of
+*failure*: timeouts, resets, interception and unreachable resolvers are
+the data. This module makes those failures first-class and schedulable:
+a :class:`FaultPlan` describes which faults to inject where, and a
+seeded :class:`FaultInjector` executes the plan from inside
+:mod:`repro.netsim.transport`, raising the same :mod:`repro.errors`
+classes real network conditions produce.
+
+Determinism contract: an injector's decisions are a pure function of
+``(seed, plan, sequence of consults)``. An injector holding an *empty*
+plan draws no randomness at all, so installing one perturbs nothing —
+the no-regression guard the chaos suite relies on.
+
+Plan specs are compact strings, one rule per ``;``-separated clause::
+
+    reset host=1.1.1.1 port=853 p=0.5 max=3
+    slow host=* port=443 ms=250
+    tls host=9.9.9.9 p=1.0
+    drop-after host=* bytes=512
+
+The first token is the fault kind; the rest are ``key=value`` matchers
+and parameters. ``host`` accepts ``fnmatch`` globs (``1.1.*``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    ReproError,
+    ScenarioError,
+    TimeoutError_,
+    TlsError,
+)
+from repro.netsim.rand import SeededRng
+from repro.telemetry import get_registry
+
+
+class FaultKind(enum.Enum):
+    """What kind of failure a rule injects.
+
+    The kinds mirror the paper's observed failure causes: ``refuse``
+    (nothing listens — Table 5's closed ports), ``timeout`` (silent
+    drop — the GFW-style blackhole), ``reset`` (in-path RST injection),
+    ``slow`` (congested last mile, latency spike only), ``tls``
+    (handshake interference) and ``drop-after`` (a middlebox that kills
+    long-lived connections once they carry real traffic).
+    """
+
+    REFUSE = "refuse"
+    TIMEOUT = "timeout"
+    RESET = "reset"
+    SLOW = "slow"
+    TLS = "tls"
+    DROP_AFTER = "drop-after"
+
+
+#: Which injection points each kind participates in. ``connect`` and
+#: ``request`` are TCP phases, ``tls`` the handshake, ``udp`` a datagram
+#: exchange, ``probe`` a ZMap SYN probe.
+_OPS_BY_KIND: Dict[FaultKind, frozenset] = {
+    FaultKind.REFUSE: frozenset({"connect", "udp", "probe"}),
+    FaultKind.TIMEOUT: frozenset({"connect", "request", "udp", "probe"}),
+    FaultKind.RESET: frozenset({"connect", "request"}),
+    FaultKind.SLOW: frozenset({"connect", "request", "udp", "tls"}),
+    FaultKind.TLS: frozenset({"tls"}),
+    FaultKind.DROP_AFTER: frozenset({"request"}),
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: what to inject, where, how often."""
+
+    kind: FaultKind
+    host: str = "*"
+    port: Optional[int] = None
+    protocol: str = "*"
+    #: Probability each matching consult triggers the fault.
+    probability: float = 1.0
+    #: Stop triggering after this many injections (None = unlimited).
+    max_hits: Optional[int] = None
+    #: Extra latency for ``slow`` faults (and the simulated time an
+    #: injected reset/refusal consumes before surfacing).
+    latency_ms: float = 250.0
+    #: ``drop-after`` threshold: trigger once a connection has carried
+    #: more than this many payload bytes.
+    after_bytes: int = 0
+
+    def matches(self, op: str, host: str, port: int, protocol: str) -> bool:
+        if op not in _OPS_BY_KIND[self.kind]:
+            return False
+        if self.port is not None and self.port != port:
+            return False
+        if self.protocol != "*" and self.protocol != protocol:
+            return False
+        return self.host == "*" or fnmatchcase(host, self.host)
+
+    def describe(self) -> str:
+        """Canonical one-line spec clause (parse/describe round-trips)."""
+        parts = [self.kind.value, f"host={self.host}"]
+        if self.port is not None:
+            parts.append(f"port={self.port}")
+        if self.protocol != "*":
+            parts.append(f"proto={self.protocol}")
+        parts.append(f"p={self.probability:g}")
+        if self.max_hits is not None:
+            parts.append(f"max={self.max_hits}")
+        if self.kind is FaultKind.SLOW:
+            parts.append(f"ms={self.latency_ms:g}")
+        if self.kind is FaultKind.DROP_AFTER:
+            parts.append(f"bytes={self.after_bytes}")
+        return " ".join(parts)
+
+
+_KINDS_BY_NAME = {kind.value: kind for kind in FaultKind}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules plus the spec they parsed from."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rules
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``;``-separated rule spec (see module docstring)."""
+        rules: List[FaultRule] = []
+        for clause in (spec or "").split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            rules.append(cls._parse_clause(clause))
+        return cls(rules=tuple(rules))
+
+    @staticmethod
+    def _parse_clause(clause: str) -> FaultRule:
+        tokens = clause.split()
+        kind = _KINDS_BY_NAME.get(tokens[0])
+        if kind is None:
+            raise ScenarioError(
+                f"unknown fault kind {tokens[0]!r} "
+                f"(expected one of {sorted(_KINDS_BY_NAME)})")
+        params: Dict[str, object] = {"kind": kind}
+        for token in tokens[1:]:
+            if "=" not in token:
+                raise ScenarioError(
+                    f"malformed fault parameter {token!r} in {clause!r}")
+            key, value = token.split("=", 1)
+            try:
+                if key == "host":
+                    params["host"] = value
+                elif key == "port":
+                    params["port"] = int(value)
+                elif key == "proto":
+                    params["protocol"] = value
+                elif key == "p":
+                    params["probability"] = float(value)
+                elif key == "max":
+                    params["max_hits"] = int(value)
+                elif key == "ms":
+                    params["latency_ms"] = float(value)
+                elif key == "bytes":
+                    params["after_bytes"] = int(value)
+                else:
+                    raise ScenarioError(
+                        f"unknown fault parameter {key!r} in {clause!r}")
+            except ValueError as error:
+                raise ScenarioError(
+                    f"bad value for {key!r} in {clause!r}: {error}")
+        rule = FaultRule(**params)  # type: ignore[arg-type]
+        if not 0.0 <= rule.probability <= 1.0:
+            raise ScenarioError(
+                f"probability {rule.probability} outside [0, 1] "
+                f"in {clause!r}")
+        return rule
+
+    def describe(self) -> str:
+        """Canonical spec string — what the :class:`RunManifest` records."""
+        return "; ".join(rule.describe() for rule in self.rules)
+
+
+@dataclass
+class InjectedFault:
+    """What one consult decided (telemetry + caller bookkeeping)."""
+
+    rule: FaultRule
+    #: TransportError subclass, or TlsError for handshake faults.
+    error: Optional[ReproError]
+    latency_ms: float
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with seeded, per-rule randomness.
+
+    One injector instance belongs to one :class:`~repro.netsim.network.
+    Network`; the transports consult it at every connect, request, TLS
+    handshake and UDP exchange. Rules are evaluated in plan order; the
+    first triggering *error* rule wins, while ``slow`` rules accumulate
+    latency and let the operation proceed.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: SeededRng):
+        self.plan = plan
+        #: Per-rule independent streams: consulting one rule more often
+        #: (because a retry policy re-drives it) never perturbs another.
+        self._rule_rngs = [rng.fork(f"rule-{index}")
+                           for index in range(len(plan.rules))]
+        self._hits = [0] * len(plan.rules)
+
+    # -- decision core -----------------------------------------------------
+
+    def decide(self, op: str, host: str, port: int, protocol: str,
+               total_bytes: int = 0) -> Optional[InjectedFault]:
+        """First triggering rule for this consult, or None.
+
+        Matching happens *before* any randomness is drawn, so consults
+        that no rule matches (in particular: every consult under an
+        empty plan) consume nothing and stay invisible to determinism.
+        """
+        slow_ms = 0.0
+        slow_rule: Optional[FaultRule] = None
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches(op, host, port, protocol):
+                continue
+            if rule.max_hits is not None and self._hits[index] >= rule.max_hits:
+                continue
+            if (rule.kind is FaultKind.DROP_AFTER
+                    and total_bytes <= rule.after_bytes):
+                continue
+            if not self._rule_rngs[index].chance(rule.probability):
+                continue
+            self._hits[index] += 1
+            if rule.kind is FaultKind.SLOW:
+                slow_ms += rule.latency_ms
+                slow_rule = rule
+                self._record(rule, op, protocol)
+                continue
+            error = self._make_error(rule, op, host, port, protocol)
+            self._record(rule, op, protocol)
+            return InjectedFault(rule=rule, error=error,
+                                 latency_ms=slow_ms + rule.latency_ms)
+        if slow_rule is not None:
+            return InjectedFault(rule=slow_rule, error=None,
+                                 latency_ms=slow_ms)
+        return None
+
+    def inject(self, op: str, host: str, port: int, protocol: str,
+               timeout_s: float = 30.0, total_bytes: int = 0) -> float:
+        """Transport-side entry point.
+
+        Raises the scheduled error (with ``elapsed_ms`` attached, like
+        every organic transport failure) or returns extra latency in
+        milliseconds to add to the operation (0.0 when nothing fired).
+        """
+        fault = self.decide(op, host, port, protocol,
+                            total_bytes=total_bytes)
+        if fault is None:
+            return 0.0
+        if fault.error is None:
+            return fault.latency_ms
+        elapsed = (timeout_s * 1000.0
+                   if isinstance(fault.error, TimeoutError_)
+                   else fault.latency_ms)
+        fault.error.elapsed_ms = elapsed  # type: ignore[attr-defined]
+        raise fault.error
+
+    def probe_lost(self, host: str, port: int) -> bool:
+        """Whether a ZMap SYN probe to ``host:port`` goes unanswered."""
+        fault = self.decide("probe", host, port, "tcp")
+        return fault is not None and fault.error is not None
+
+    def hits(self, rule_index: int) -> int:
+        """How many times one rule has triggered so far."""
+        return self._hits[rule_index]
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _make_error(rule: FaultRule, op: str, host: str, port: int,
+                    protocol: str) -> ReproError:
+        where = f"{host}:{port} ({protocol})"
+        if rule.kind is FaultKind.REFUSE:
+            return ConnectionRefused(f"injected refusal at {where}")
+        if rule.kind is FaultKind.RESET:
+            return ConnectionReset(f"injected reset at {where} during {op}")
+        if rule.kind is FaultKind.TLS:
+            return TlsError(f"injected TLS handshake failure at {where}")
+        if rule.kind is FaultKind.DROP_AFTER:
+            return TimeoutError_(
+                f"injected drop after {rule.after_bytes} bytes at {where}")
+        return TimeoutError_(f"injected timeout at {where} during {op}")
+
+    @staticmethod
+    def _record(rule: FaultRule, op: str, protocol: str) -> None:
+        get_registry().inc("faults.injected", kind=rule.kind.value,
+                           op=op, protocol=protocol)

@@ -72,6 +72,13 @@ class Network:
         #: traffic observation (NetFlow-style collection at "backbone"
         #: level). Signature: (env, host, port, protocol, n_bytes, ts).
         self.taps: List[Callable] = []
+        #: Optional :class:`~repro.netsim.faults.FaultInjector` consulted
+        #: by every transport operation; None = no fault injection.
+        self.fault_injector = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a fault injector driving scheduled transport failures."""
+        self.fault_injector = injector
 
     # -- topology ----------------------------------------------------------
 

@@ -72,6 +72,8 @@ class TcpConnection:
         self.last_op_ms = 0.0
         self.closed = False
         self.requests_sent = 0
+        #: Payload bytes carried so far (drives drop-after-N-bytes faults).
+        self.bytes_sent = 0
 
     # -- establishment ------------------------------------------------------
 
@@ -80,6 +82,12 @@ class TcpConnection:
              port: int, rng: SeededRng,
              timeout_s: float = DEFAULT_TIMEOUT_S) -> "TcpConnection":
         """TCP three-way handshake, 1 RTT on success."""
+        injected_ms = 0.0
+        if network.fault_injector is not None:
+            # Scheduled faults fire before path devices: they model
+            # conditions between the client and everything else.
+            injected_ms = network.fault_injector.inject(
+                "connect", dst_ip, port, "tcp", timeout_s=timeout_s)
         devices = network.path_devices(env)
         where, host = network.resolve_destination(env, dst_ip)
         if where != "local":
@@ -107,7 +115,7 @@ class TcpConnection:
             profile = cls._profile_for(network, env, host, dst_ip, port)
         connection = cls(network, env, host, service, port, profile, rng,
                          is_local=(where == "local"))
-        rtt_ms = network.latency.sample_rtt_ms(profile, rng)
+        rtt_ms = network.latency.sample_rtt_ms(profile, rng) + injected_ms
         connection._spend(rtt_ms)
         registry = get_registry()
         registry.inc("netsim.transport.connections_opened")
@@ -130,6 +138,19 @@ class TcpConnection:
         """One request/response exchange: 1 RTT plus server-side cost."""
         if self.closed:
             raise TransportError("connection already closed")
+        injected_ms = 0.0
+        if self.network.fault_injector is not None:
+            size = (len(payload)
+                    if isinstance(payload, (bytes, bytearray)) else 256)
+            try:
+                injected_ms = self.network.fault_injector.inject(
+                    "request", self.host.address, self.port, "tcp",
+                    timeout_s=DEFAULT_TIMEOUT_S,
+                    total_bytes=self.bytes_sent + size)
+            except TransportError:
+                # A mid-stream reset or drop kills the connection.
+                self.close()
+                raise
         ctx = ServiceContext(
             client_address=self.env.address,
             server_address=self.host.address,
@@ -143,10 +164,12 @@ class TcpConnection:
         )
         response = self.service.handle(payload, ctx)
         cost = (self.network.latency.sample_rtt_ms(self.profile, self.rng)
-                + self.service.extra_latency_ms(self.rng) + extra_server_ms)
+                + self.service.extra_latency_ms(self.rng) + extra_server_ms
+                + injected_ms)
         self._spend(cost)
         self.requests_sent += 1
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 256
+        self.bytes_sent += size
         registry = get_registry()
         registry.inc("netsim.transport.requests", protocol="tcp")
         registry.inc("netsim.transport.bytes_sent", size, protocol="tcp")
@@ -212,6 +235,10 @@ class TlsChannel:
     def handshake(self, resume: bool = False) -> "TlsChannel":
         """Perform the TLS handshake; 2 RTTs full, 1 RTT resumed."""
         connection = self.connection
+        injected_ms = 0.0
+        if connection.network.fault_injector is not None:
+            injected_ms = connection.network.fault_injector.inject(
+                "tls", connection.host.address, connection.port, "tcp")
         interceptor = self._find_interceptor()
         if interceptor is not None:
             device, config = interceptor
@@ -230,7 +257,7 @@ class TlsChannel:
         rtts = 1 if can_resume else 2
         crypto = (self.HANDSHAKE_CRYPTO_MS / 2.0 if can_resume
                   else self.HANDSHAKE_CRYPTO_MS)
-        connection.spend_rtts(rtts, crypto_ms=crypto)
+        connection.spend_rtts(rtts, crypto_ms=crypto + injected_ms)
         self.established = True
         self.resumed = can_resume
         get_registry().inc("netsim.tls.handshakes",
@@ -276,6 +303,10 @@ class UdpExchange:
         Returns ``(response, elapsed_ms)``. Raises transport errors with
         ``elapsed_ms`` attached.
         """
+        injected_ms = 0.0
+        if network.fault_injector is not None:
+            injected_ms = network.fault_injector.inject(
+                "udp", dst_ip, port, "udp", timeout_s=timeout_s)
         devices = network.path_devices(env)
         where, host = network.resolve_destination(env, dst_ip)
         if where != "local":
@@ -318,7 +349,7 @@ class UdpExchange:
             client_country=env.country_code,
         )
         response = service.handle(payload, ctx)
-        elapsed += service.extra_latency_ms(rng)
+        elapsed += service.extra_latency_ms(rng) + injected_ms
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 128
         registry = get_registry()
         registry.inc("netsim.transport.requests", protocol="udp")

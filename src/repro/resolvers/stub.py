@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
 from repro.dnswire.builder import make_query
 from repro.dnswire.message import Message
 from repro.dnswire.names import DnsName
@@ -64,13 +65,18 @@ class StubResolver:
                  upstream: UpstreamConfig,
                  profile: PrivacyProfile = PrivacyProfile.OPPORTUNISTIC,
                  transports: Sequence[str] = ("dot", "doh", "do53"),
-                 bootstrap=None):
+                 bootstrap=None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.env = env
         self.rng = rng
         self.profile = profile
         self.upstream = upstream
         self.transports = tuple(transports)
+        #: Per-transport retry behaviour; ``None`` keeps the historical
+        #: single attempt per transport before falling through the
+        #: preference list.
+        self.retry_policy = retry_policy
         self._dot = DotClient(network, rng.fork("dot"), ca_store,
                               profile=profile,
                               auth_name=upstream.auth_name)
@@ -115,6 +121,15 @@ class StubResolver:
 
     def _query_via(self, transport: str, query: Message,
                    reuse: bool) -> QueryResult:
+        if self.retry_policy is not None:
+            return self.retry_policy.run_query(
+                lambda: self._query_once(transport, query, reuse),
+                rng=self.rng.fork(f"retry-{transport}"),
+                op=f"stub.{transport}", retry_on=TRANSIENT_KINDS)
+        return self._query_once(transport, query, reuse)
+
+    def _query_once(self, transport: str, query: Message,
+                    reuse: bool) -> QueryResult:
         if transport == "dot":
             if self.upstream.dot_ip is None:
                 return QueryResult.failed("dot", "unconfigured", 0.0,

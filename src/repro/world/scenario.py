@@ -107,6 +107,15 @@ class ScenarioConfig:
     url_dataset_noise: int = 120_000
     intercepted_clients: int = 17
     hijacked_routers: int = 12
+    #: Fault-injection plan spec (see :mod:`repro.netsim.faults`); the
+    #: empty string disables injection entirely.
+    fault_plan: str = ""
+    #: Retry attempts for scan probes / stub lookups; None keeps each
+    #: component's historical default (1 for probes, 5 for reachability).
+    retry_attempts: Optional[int] = None
+    #: First backoff delay between retries, seconds (0 = immediate retry,
+    #: the historical behaviour).
+    retry_backoff_s: float = 0.0
 
     def scaled(self, value: int) -> int:
         return max(1, round(value * self.vantage_scale))
@@ -152,6 +161,7 @@ class Scenario:
         self._zhima: Optional[List[VantagePoint]] = None
         self._atlas: Optional[Tuple[List[AtlasProbe], List[str]]] = None
         self._url_dataset = None
+        self._fault_plan = None
         self.probe_origin = DnsName.from_text(PROBE_ZONE)
 
     # -- campaign timeline ---------------------------------------------------
@@ -197,7 +207,43 @@ class Scenario:
         self._add_background_sample(network, round_index)
         self._add_atlas_local_resolvers(network)
         self._add_censorship(network)
+        self._install_faults(network, round_index)
         return network
+
+    # -- fault injection & retry -----------------------------------------------
+
+    def fault_plan_obj(self):
+        """The parsed :class:`FaultPlan` behind ``config.fault_plan``."""
+        from repro.netsim.faults import FaultPlan
+        if self._fault_plan is None:
+            self._fault_plan = FaultPlan.parse(self.config.fault_plan)
+        return self._fault_plan
+
+    def _install_faults(self, network: Network, round_index: int) -> None:
+        plan = self.fault_plan_obj()
+        if plan.is_empty:
+            return
+        from repro.netsim.faults import FaultInjector
+        # fork() is stateless, so deriving the per-round stream here
+        # cannot perturb any other subsystem's randomness.
+        network.install_fault_injector(FaultInjector(
+            plan, self.rng.fork(f"faults-{round_index}")))
+
+    def retry_policy(self, default_attempts: int = 1, op: str = "op"):
+        """The scenario-wide retry policy for one pipeline component.
+
+        ``config.retry_attempts``/``config.retry_backoff_s`` override the
+        component's historical default when set; with the defaults the
+        returned policy reproduces pre-fault-injection behaviour exactly
+        (immediate retries, no backoff, no extra randomness).
+        """
+        from repro.core.retry import RetryPolicy
+        attempts = (self.config.retry_attempts
+                    if self.config.retry_attempts is not None
+                    else default_attempts)
+        return RetryPolicy(attempts=max(1, attempts),
+                           backoff_base_s=self.config.retry_backoff_s,
+                           op=op)
 
     def _add_censorship(self, network: Network) -> None:
         """Country-level blocking (Finding 2.2).

@@ -1,0 +1,388 @@
+"""Deterministic chaos suite for the fault-injection layer.
+
+Every test here is seeded: a fault plan plus a seed fully determine
+which probes fail, how retries play out, and what the telemetry
+snapshot looks like. ``scripts/check.sh`` runs this module twice under
+different ``PYTHONHASHSEED`` values to prove none of it leans on hash
+ordering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import telemetry
+from repro.core.retry import RetryClass, RetryPolicy
+from repro.dnswire import DnsName, RRType, make_query
+from repro.doe import DotClient, FailureKind, PrivacyProfile
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    ScenarioError,
+    TimeoutError_,
+    TlsError,
+)
+from repro.netsim.faults import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.netsim.rand import SeededRng
+
+pytestmark = pytest.mark.chaos
+
+
+# -- plan parsing ------------------------------------------------------------
+
+
+class TestPlanParsing:
+    def test_parse_describe_round_trip(self):
+        spec = ("reset host=1.1.1.1 port=853 p=0.5 max=3; "
+                "slow host=* port=443 p=1 ms=250; "
+                "tls host=9.9.* p=0.25; "
+                "drop-after host=* p=1 bytes=512; "
+                "refuse host=7.7.7.7 proto=udp p=1")
+        plan = FaultPlan.parse(spec)
+        assert len(plan.rules) == 5
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_empty_specs(self):
+        assert FaultPlan.parse("").is_empty
+        assert FaultPlan.parse("  ;  ; ").is_empty
+        assert FaultPlan.empty().is_empty
+        assert not FaultPlan.parse("refuse host=*").is_empty
+
+    def test_defaults(self):
+        rule = FaultPlan.parse("timeout").rules[0]
+        assert rule.kind is FaultKind.TIMEOUT
+        assert rule.host == "*"
+        assert rule.port is None
+        assert rule.probability == 1.0
+        assert rule.max_hits is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultPlan.parse("explode host=*")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultPlan.parse("reset hostless")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultPlan.parse("reset color=red")
+
+    def test_bad_numeric_value_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultPlan.parse("reset port=eight")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultPlan.parse("reset p=1.5")
+
+
+class TestRuleMatching:
+    def test_host_glob(self):
+        rule = FaultRule(kind=FaultKind.RESET, host="1.1.*")
+        assert rule.matches("connect", "1.1.1.1", 853, "tcp")
+        assert not rule.matches("connect", "9.9.9.9", 853, "tcp")
+
+    def test_port_and_protocol_filters(self):
+        rule = FaultRule(kind=FaultKind.TIMEOUT, port=853, protocol="tcp")
+        assert rule.matches("connect", "1.1.1.1", 853, "tcp")
+        assert not rule.matches("connect", "1.1.1.1", 443, "tcp")
+        assert not rule.matches("udp", "1.1.1.1", 853, "udp")
+
+    def test_kind_limits_injection_points(self):
+        tls_rule = FaultRule(kind=FaultKind.TLS)
+        assert tls_rule.matches("tls", "1.1.1.1", 853, "tcp")
+        assert not tls_rule.matches("connect", "1.1.1.1", 853, "tcp")
+        refuse = FaultRule(kind=FaultKind.REFUSE)
+        assert refuse.matches("probe", "1.1.1.1", 853, "tcp")
+        assert not refuse.matches("request", "1.1.1.1", 853, "tcp")
+
+
+# -- injector determinism ----------------------------------------------------
+
+SWEEP_PLANS = [
+    "reset host=* port=853 p=0.5",
+    "timeout host=198.* p=0.3; refuse host=* port=443 p=0.2",
+    "slow host=* p=0.7 ms=100; reset host=* p=0.1",
+    "tls host=* p=0.4; drop-after host=* p=1 bytes=64",
+]
+
+CONSULTS = [
+    ("connect", "198.51.100.7", 853, "tcp", 0),
+    ("connect", "1.1.1.1", 443, "tcp", 0),
+    ("request", "198.51.100.7", 853, "tcp", 128),
+    ("tls", "9.9.9.9", 853, "tcp", 0),
+    ("udp", "8.8.8.8", 53, "udp", 0),
+    ("probe", "203.0.113.9", 853, "tcp", 0),
+] * 25
+
+
+def _decision_trace(plan_spec: str, seed: int):
+    injector = FaultInjector(FaultPlan.parse(plan_spec),
+                             SeededRng(seed).fork("faults"))
+    trace = []
+    for op, host, port, proto, total in CONSULTS:
+        fault = injector.decide(op, host, port, proto, total_bytes=total)
+        if fault is None:
+            trace.append(None)
+        else:
+            trace.append((fault.rule.kind.value,
+                          type(fault.error).__name__ if fault.error
+                          else None,
+                          fault.latency_ms))
+    return trace
+
+
+class TestInjectorDeterminism:
+    @pytest.mark.parametrize("plan_spec", SWEEP_PLANS)
+    def test_same_seed_same_decisions(self, plan_spec):
+        assert (_decision_trace(plan_spec, 11)
+                == _decision_trace(plan_spec, 11))
+
+    def test_different_seeds_diverge(self):
+        traces = {tuple(_decision_trace(SWEEP_PLANS[0], seed))
+                  for seed in range(5)}
+        assert len(traces) > 1
+
+    def test_sweep_actually_injects(self):
+        for plan_spec in SWEEP_PLANS:
+            trace = _decision_trace(plan_spec, 11)
+            assert any(entry is not None for entry in trace), plan_spec
+
+    def test_empty_plan_never_fires(self):
+        injector = FaultInjector(FaultPlan.empty(),
+                                 SeededRng(11).fork("faults"))
+        for op, host, port, proto, total in CONSULTS:
+            assert injector.decide(op, host, port, proto,
+                                   total_bytes=total) is None
+            assert injector.inject(op, host, port, proto,
+                                   total_bytes=total) == 0.0
+
+    def test_max_hits_caps_injections(self):
+        injector = FaultInjector(
+            FaultPlan.parse("reset host=* p=1 max=3"),
+            SeededRng(1).fork("faults"))
+        fired = sum(
+            injector.decide("connect", "1.1.1.1", 853, "tcp") is not None
+            for _ in range(10))
+        assert fired == 3
+        assert injector.hits(0) == 3
+
+    def test_rule_streams_are_independent(self):
+        """Consulting rule 0 more often never changes rule 1's stream."""
+        plan = FaultPlan.parse("reset host=a.test p=0.5; "
+                               "reset host=b.test p=0.5")
+
+        def b_trace(extra_a_consults: int):
+            injector = FaultInjector(plan, SeededRng(3).fork("faults"))
+            for _ in range(extra_a_consults):
+                injector.decide("connect", "a.test", 853, "tcp")
+            return [injector.decide("connect", "b.test", 853, "tcp")
+                    is not None for _ in range(40)]
+
+        assert b_trace(0) == b_trace(17)
+
+
+# -- injected error classes --------------------------------------------------
+
+
+class TestErrorClasses:
+    def _injector(self, spec):
+        return FaultInjector(FaultPlan.parse(spec),
+                             SeededRng(5).fork("faults"))
+
+    def test_refuse_raises_connection_refused(self):
+        injector = self._injector("refuse host=* p=1")
+        with pytest.raises(ConnectionRefused) as excinfo:
+            injector.inject("connect", "1.1.1.1", 853, "tcp")
+        assert excinfo.value.elapsed_ms > 0
+
+    def test_reset_raises_connection_reset(self):
+        with pytest.raises(ConnectionReset):
+            self._injector("reset host=* p=1").inject(
+                "request", "1.1.1.1", 853, "tcp")
+
+    def test_timeout_burns_the_full_deadline(self):
+        injector = self._injector("timeout host=* p=1")
+        with pytest.raises(TimeoutError_) as excinfo:
+            injector.inject("connect", "1.1.1.1", 853, "tcp",
+                            timeout_s=7.0)
+        assert excinfo.value.elapsed_ms == pytest.approx(7000.0)
+
+    def test_tls_raises_tls_error(self):
+        with pytest.raises(TlsError):
+            self._injector("tls host=* p=1").inject(
+                "tls", "1.1.1.1", 853, "tcp")
+
+    def test_drop_after_respects_byte_threshold(self):
+        injector = self._injector("drop-after host=* p=1 bytes=512")
+        assert injector.inject("request", "1.1.1.1", 853, "tcp",
+                               total_bytes=100) == 0.0
+        with pytest.raises(TimeoutError_):
+            injector.inject("request", "1.1.1.1", 853, "tcp",
+                            total_bytes=513)
+
+    def test_slow_returns_latency_without_raising(self):
+        injector = self._injector("slow host=* p=1 ms=300")
+        assert injector.inject("connect", "1.1.1.1", 853,
+                               "tcp") == pytest.approx(300.0)
+
+
+# -- retry policies driving injected faults ----------------------------------
+
+
+class TestRetryUnderFaults:
+    def setup_method(self):
+        telemetry.reset_registry()
+
+    def teardown_method(self):
+        telemetry.reset_registry()
+
+    def test_persistent_timeout_exhausts_retries(self):
+        injector = FaultInjector(FaultPlan.parse("timeout host=* p=1"),
+                                 SeededRng(7).fork("faults"))
+        policy = RetryPolicy(attempts=3, op="chaos")
+        outcome = policy.call(
+            lambda: injector.inject("connect", "1.1.1.1", 853, "tcp"))
+        assert outcome.classification is RetryClass.TRANSIENT_EXHAUSTED
+        assert outcome.attempts == 3
+        registry = telemetry.get_registry()
+        assert registry.value("retry.attempts", op="chaos") == 3
+        assert registry.value("retry.exhausted", op="chaos") == 1
+        assert registry.value("faults.injected", kind="timeout",
+                              op="connect", protocol="tcp") == 3
+
+    def test_refusal_is_permanent_no_retry(self):
+        injector = FaultInjector(FaultPlan.parse("refuse host=* p=1"),
+                                 SeededRng(7).fork("faults"))
+        policy = RetryPolicy(attempts=5, op="chaos")
+        outcome = policy.call(
+            lambda: injector.inject("connect", "1.1.1.1", 853, "tcp"))
+        assert outcome.classification is RetryClass.PERMANENT
+        assert outcome.attempts == 1
+        assert telemetry.get_registry().value("retry.permanent",
+                                              op="chaos") == 1
+
+    def test_bounded_fault_recovers(self):
+        """A rule with max=2 lets the third attempt through."""
+        injector = FaultInjector(
+            FaultPlan.parse("reset host=* p=1 max=2"),
+            SeededRng(7).fork("faults"))
+        policy = RetryPolicy(attempts=5, op="chaos")
+        outcome = policy.call(
+            lambda: injector.inject("connect", "1.1.1.1", 853, "tcp"))
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.classification is RetryClass.RECOVERED
+        assert telemetry.get_registry().value("retry.recovered",
+                                              op="chaos") == 1
+
+
+# -- transport integration ---------------------------------------------------
+
+
+WWW = DnsName.from_text("www.example.com")
+
+
+class TestTransportIntegration:
+    def setup_method(self):
+        telemetry.reset_registry()
+
+    def teardown_method(self):
+        telemetry.reset_registry()
+
+    def _query(self, mini_world, rng, trust, timeout_s=10.0):
+        client = DotClient(mini_world["network"], rng.fork("dot"),
+                           trust["store"],
+                           profile=PrivacyProfile.OPPORTUNISTIC)
+        return client.query(mini_world["env"], mini_world["resolver_ip"],
+                            make_query(WWW, RRType.A, msg_id=1),
+                            reuse=False, timeout_s=timeout_s)
+
+    def test_refusal_surfaces_as_refused(self, mini_world, rng, trust):
+        mini_world["network"].install_fault_injector(FaultInjector(
+            FaultPlan.parse("refuse host=7.7.7.7 port=853 p=1"),
+            rng.fork("faults")))
+        result = self._query(mini_world, rng, trust)
+        assert not result.ok
+        assert result.failure is FailureKind.REFUSED
+
+    def test_reset_surfaces_as_reset(self, mini_world, rng, trust):
+        mini_world["network"].install_fault_injector(FaultInjector(
+            FaultPlan.parse("reset host=7.7.7.7 p=1"),
+            rng.fork("faults")))
+        result = self._query(mini_world, rng, trust)
+        assert not result.ok
+        assert result.failure is FailureKind.RESET
+
+    def test_tls_fault_surfaces_as_tls(self, mini_world, rng, trust):
+        mini_world["network"].install_fault_injector(FaultInjector(
+            FaultPlan.parse("tls host=7.7.7.7 p=1"),
+            rng.fork("faults")))
+        result = self._query(mini_world, rng, trust)
+        assert not result.ok
+        assert result.failure is FailureKind.TLS
+
+    def test_timeout_fault_surfaces_as_timeout(self, mini_world, rng,
+                                               trust):
+        mini_world["network"].install_fault_injector(FaultInjector(
+            FaultPlan.parse("timeout host=7.7.7.7 p=1"),
+            rng.fork("faults")))
+        result = self._query(mini_world, rng, trust, timeout_s=4.0)
+        assert not result.ok
+        assert result.failure is FailureKind.TIMEOUT
+        assert result.latency_ms == pytest.approx(4000.0)
+
+    def test_slow_fault_adds_latency_only(self, mini_world, rng, trust):
+        baseline = self._query(mini_world, rng, trust)
+        assert baseline.ok
+        mini_world["network"].install_fault_injector(FaultInjector(
+            FaultPlan.parse("slow host=7.7.7.7 p=1 ms=400"),
+            rng.fork("faults")))
+        slowed = self._query(mini_world, rng, trust)
+        assert slowed.ok
+        assert slowed.latency_ms > baseline.latency_ms + 400
+
+
+# -- end-to-end golden determinism -------------------------------------------
+
+GOLDEN_PLAN = ("reset host=* port=853 p=0.05 max=40; "
+               "timeout host=198.* port=853 p=0.1; "
+               "slow host=* port=443 p=0.5 ms=120")
+
+
+def _campaign_snapshot(seed: int, plan: str) -> str:
+    from tests.conftest import tiny_config
+
+    from repro.core.scan.campaign import ScanCampaign
+    from repro.telemetry.manifest import RunManifest
+    from repro.world.scenario import build_scenario
+
+    telemetry.reset_registry()
+    try:
+        config = dataclasses.replace(tiny_config(seed), fault_plan=plan,
+                                     retry_attempts=2)
+        scenario = build_scenario(config)
+        ScanCampaign(scenario).run(rounds=1, include_doh=True)
+        registry = telemetry.get_registry()
+        manifest = RunManifest.collect(scenario.config, registry,
+                                       include_git=False)
+        return telemetry.to_json(registry, telemetry.get_tracer(),
+                                 manifest.as_dict())
+    finally:
+        telemetry.reset_registry()
+
+
+class TestGoldenDeterminism:
+    def test_same_seed_same_plan_byte_identical_telemetry(self):
+        first = _campaign_snapshot(77, GOLDEN_PLAN)
+        second = _campaign_snapshot(77, GOLDEN_PLAN)
+        assert first == second
+
+    def test_snapshot_records_faults_and_retries(self):
+        snapshot = _campaign_snapshot(77, GOLDEN_PLAN)
+        assert '"faults.injected' in snapshot
+        assert '"retry.attempts' in snapshot
+        assert '"fault_plan":"%s"' % GOLDEN_PLAN in snapshot

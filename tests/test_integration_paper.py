@@ -203,3 +203,31 @@ class TestSuitePlumbing:
                                                        include_doh=False)
         assert ([record.address for record in campaign_a.first.resolvers]
                 == [record.address for record in campaign_b.first.resolvers])
+
+
+class TestEmptyFaultPlanNoRegression:
+    """An installed-but-empty fault injector must not move a single bit.
+
+    The fault layer's determinism contract: an injector holding an empty
+    plan draws no randomness, so Tables 4/5 come out byte-identical to a
+    run without any injector at all.
+    """
+
+    def test_tables_4_and_5_unchanged(self):
+        from tests.conftest import tiny_config
+        from repro.analysis import tables
+        from repro.netsim.faults import FaultInjector, FaultPlan
+        from repro.netsim.rand import SeededRng
+        from repro.world.scenario import build_scenario
+
+        def tables_4_and_5(install_empty_injector: bool):
+            scenario = build_scenario(tiny_config(seed=13))
+            if install_empty_injector:
+                scenario.client_network().install_fault_injector(
+                    FaultInjector(FaultPlan.empty(),
+                                  SeededRng(13).fork("faults")))
+            run = ExperimentSuite(scenario=scenario, netflow_scale=0.2)
+            return (tables.table4_text(run.reachability()),
+                    tables.table5_text(run.diagnosis()))
+
+        assert tables_4_and_5(False) == tables_4_and_5(True)

@@ -1,0 +1,272 @@
+"""RetryPolicy unit tests: validation, classification, backoff, budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retry import (
+    TRANSIENT_KINDS,
+    RetryClass,
+    RetryOutcome,
+    RetryPolicy,
+    RetryStats,
+)
+from repro.doe.result import FailureKind, QueryResult
+from repro.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    TimeoutError_,
+    TlsError,
+)
+from repro.netsim.rand import SeededRng
+
+
+def _failing(error_factory, succeed_after=None):
+    """A callable that raises until attempt ``succeed_after`` (1-based)."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if succeed_after is not None and calls["n"] >= succeed_after:
+            return f"ok-{calls['n']}"
+        raise error_factory()
+
+    fn.calls = calls
+    return fn
+
+
+# -- construction -----------------------------------------------------------
+
+
+def test_zero_attempts_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+
+
+def test_negative_attempts_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=-3)
+
+
+def test_jitter_must_stay_below_one():
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=-0.1)
+
+
+def test_multiplier_below_one_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_multiplier=0.5)
+
+
+# -- call(): classification --------------------------------------------------
+
+
+def test_first_try_success_is_ok():
+    outcome = RetryPolicy(attempts=3).call(lambda: 42)
+    assert outcome.ok
+    assert outcome.value == 42
+    assert outcome.attempts == 1
+    assert outcome.classification is RetryClass.OK
+
+
+def test_transient_then_success_is_recovered():
+    fn = _failing(lambda: TimeoutError_("t"), succeed_after=3)
+    outcome = RetryPolicy(attempts=5).call(fn)
+    assert outcome.ok
+    assert outcome.value == "ok-3"
+    assert outcome.attempts == 3
+    assert outcome.classification is RetryClass.RECOVERED
+
+
+def test_transient_every_time_is_exhausted():
+    fn = _failing(lambda: ConnectionReset("r"))
+    outcome = RetryPolicy(attempts=4).call(fn)
+    assert not outcome.ok
+    assert outcome.attempts == 4
+    assert fn.calls["n"] == 4
+    assert isinstance(outcome.error, ConnectionReset)
+    assert outcome.classification is RetryClass.TRANSIENT_EXHAUSTED
+
+
+def test_non_retryable_short_circuits():
+    """A refused connection is permanent: exactly one call, no retries."""
+    fn = _failing(lambda: ConnectionRefused("nothing listens"))
+    outcome = RetryPolicy(attempts=5).call(fn)
+    assert not outcome.ok
+    assert fn.calls["n"] == 1
+    assert outcome.attempts == 1
+    assert outcome.classification is RetryClass.PERMANENT
+
+
+def test_tls_error_is_permanent_by_default():
+    outcome = RetryPolicy(attempts=5).call(
+        _failing(lambda: TlsError("bad handshake")))
+    assert outcome.classification is RetryClass.PERMANENT
+    assert outcome.attempts == 1
+
+
+def test_custom_retryable_allowlist():
+    policy = RetryPolicy(attempts=3, retryable=(ConnectionRefused,))
+    outcome = policy.call(_failing(lambda: ConnectionRefused("x")))
+    assert outcome.attempts == 3
+    assert outcome.classification is RetryClass.TRANSIENT_EXHAUSTED
+
+
+def test_programming_errors_propagate():
+    with pytest.raises(ZeroDivisionError):
+        RetryPolicy(attempts=3).call(lambda: 1 / 0)
+
+
+def test_unwrap_reraises_final_error():
+    outcome = RetryPolicy(attempts=2).call(
+        _failing(lambda: TimeoutError_("t")))
+    with pytest.raises(TimeoutError_):
+        outcome.unwrap()
+    assert RetryOutcome(value=7).unwrap() == 7
+
+
+# -- backoff schedule --------------------------------------------------------
+
+
+def test_backoff_schedule_monotonic_and_capped():
+    policy = RetryPolicy(attempts=6, backoff_base_s=0.5,
+                         backoff_multiplier=2.0, backoff_max_s=3.0)
+    schedule = policy.schedule_s()
+    assert schedule == [0.5, 1.0, 2.0, 3.0, 3.0]
+    assert all(later >= earlier for earlier, later
+               in zip(schedule, schedule[1:]))
+    assert max(schedule) <= policy.backoff_max_s
+
+
+def test_zero_base_disables_backoff():
+    policy = RetryPolicy(attempts=4, backoff_base_s=0.0, jitter=0.5)
+    assert policy.schedule_s(SeededRng(1).fork("jitter")) == [0.0, 0.0, 0.0]
+
+
+def test_jitter_bounds_and_determinism():
+    policy = RetryPolicy(attempts=8, backoff_base_s=1.0,
+                         backoff_multiplier=1.0, backoff_max_s=10.0,
+                         jitter=0.25)
+    first = policy.schedule_s(SeededRng(99).fork("retry"))
+    second = policy.schedule_s(SeededRng(99).fork("retry"))
+    assert first == second, "same seed must give the same jitter"
+    for delay in first:
+        assert 0.75 <= delay <= 1.25
+    other = policy.schedule_s(SeededRng(100).fork("retry"))
+    assert first != other, "different seeds should jitter differently"
+
+
+def test_delays_recorded_on_outcome():
+    policy = RetryPolicy(attempts=3, backoff_base_s=0.1,
+                         backoff_multiplier=2.0)
+    outcome = policy.call(_failing(lambda: TimeoutError_("t")))
+    assert outcome.delays_ms == (100.0, 200.0)
+
+
+# -- budget ------------------------------------------------------------------
+
+
+def test_budget_exhausted_mid_backoff():
+    """The third attempt cannot fit its backoff delay into the budget."""
+    policy = RetryPolicy(attempts=10, backoff_base_s=5.0,
+                         backoff_multiplier=1.0, budget_s=8.0)
+    fn = _failing(lambda: TimeoutError_("t"))
+    outcome = policy.call(fn)
+    # Attempt 1 fails, 5 s backoff fits (5 < 8); attempt 2 fails, the
+    # next 5 s delay would cross the 8 s budget: stop at two calls.
+    assert fn.calls["n"] == 2
+    assert outcome.classification is RetryClass.TRANSIENT_EXHAUSTED
+    assert outcome.delays_ms == (5000.0,)
+
+
+def test_error_elapsed_counts_against_budget():
+    def timed_failure():
+        error = TimeoutError_("t")
+        error.elapsed_ms = 4000.0
+        raise error
+
+    policy = RetryPolicy(attempts=10, backoff_base_s=1.0,
+                         backoff_multiplier=1.0, budget_s=9.0)
+    outcome = policy.call(timed_failure)
+    # Each failed attempt burns 4 s + 1 s backoff; the third attempt's
+    # backoff would land at 11 s > 9 s budget.
+    assert outcome.attempts == 2
+    assert outcome.classification is RetryClass.TRANSIENT_EXHAUSTED
+
+
+# -- run_query ---------------------------------------------------------------
+
+
+def _query_fn(failures, kind=FailureKind.TIMEOUT):
+    """Fail ``failures`` times with ``kind``, then answer."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            return QueryResult.failed("dot", "9.9.9.9", 10.0, failure=kind)
+        from repro.dnswire.builder import make_query, make_response
+        from repro.dnswire.names import DnsName
+        from repro.dnswire.rdtypes import RRType
+        from repro.dnswire.records import ResourceRecord
+        name = DnsName.from_text("probe.test")
+        query = make_query(name, RRType.A, msg_id=7)
+        answer = ResourceRecord.a(name, "1.2.3.4")
+        return QueryResult.answered(
+            "dot", "9.9.9.9", 10.0,
+            response=make_response(query, answers=(answer,)))
+
+    fn.calls = calls
+    return fn
+
+
+def test_run_query_retries_transient_kinds():
+    policy = RetryPolicy(attempts=3)
+    result = policy.run_query(_query_fn(2), retry_on=TRANSIENT_KINDS)
+    assert result.response is not None
+    assert result.attempts == 3
+
+
+def test_run_query_permanent_kind_short_circuits():
+    fn = _query_fn(5, kind=FailureKind.CERTIFICATE)
+    result = RetryPolicy(attempts=5).run_query(fn,
+                                               retry_on=TRANSIENT_KINDS)
+    assert fn.calls["n"] == 1
+    assert result.attempts == 1
+    assert result.failure is FailureKind.CERTIFICATE
+
+
+def test_run_query_retry_on_none_retries_everything():
+    fn = _query_fn(2, kind=FailureKind.CERTIFICATE)
+    result = RetryPolicy(attempts=5).run_query(fn, retry_on=None)
+    assert result.response is not None
+    assert result.attempts == 3
+
+
+def test_run_query_exhaustion_keeps_last_result():
+    fn = _query_fn(99)
+    result = RetryPolicy(attempts=4).run_query(fn,
+                                               retry_on=TRANSIENT_KINDS)
+    assert fn.calls["n"] == 4
+    assert result.attempts == 4
+    assert result.failure is FailureKind.TIMEOUT
+
+
+# -- stats -------------------------------------------------------------------
+
+
+def test_retry_stats_aggregation():
+    stats = RetryStats()
+    for classification in (RetryClass.OK, RetryClass.OK,
+                           RetryClass.RECOVERED,
+                           RetryClass.TRANSIENT_EXHAUSTED,
+                           RetryClass.PERMANENT):
+        stats.record(classification)
+    assert stats.ok == 2
+    assert stats.recovered == 1
+    assert stats.transient_exhausted == 1
+    assert stats.permanent == 1
+    assert stats.total == 5
+    assert stats.by_class["ok"] == 2
