@@ -1,0 +1,65 @@
+"""Serial-vs-sharded wall clock for the scan campaign.
+
+Unlike the artefact benches, this file measures the *execution layer*:
+the same seeded campaign runs once on the historical serial path and
+once sharded at ``--workers N`` (default 4), and the wall-clock pair is
+recorded in ``BENCH_PARALLEL.json``. The pair is the perf trajectory
+the ROADMAP's "fast as the hardware allows" goal is tracked against;
+the speedup itself depends on the CI machine's core count, so the
+bench records honest numbers rather than asserting a ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import telemetry
+from repro.core.parallel import ParallelConfig
+from repro.core.scan.campaign import ScanCampaign
+from repro.world.scenario import ScenarioConfig, build_scenario
+
+ROUNDS = 2
+SEED = 23
+
+
+def _config() -> ScenarioConfig:
+    return ScenarioConfig(seed=SEED, vantage_scale=0.006,
+                          background_sample_size=40, url_dataset_noise=500,
+                          intercepted_clients=4, hijacked_routers=2)
+
+
+def _timed_campaign(parallel):
+    telemetry.reset_registry()
+    try:
+        scenario = build_scenario(_config())
+        started = time.perf_counter()
+        result = ScanCampaign(scenario, parallel=parallel).run(
+            rounds=ROUNDS, include_doh=True)
+        return time.perf_counter() - started, result
+    finally:
+        telemetry.reset_registry()
+
+
+def test_campaign_serial_vs_parallel(bench_workers, parallel_pairs):
+    serial_s, serial = _timed_campaign(None)
+    shards = max(4, bench_workers)
+    parallel_s, sharded = _timed_campaign(
+        ParallelConfig(workers=bench_workers, shards=shards))
+    parallel_pairs["campaign"] = {
+        "rounds": ROUNDS,
+        "seed": SEED,
+        "workers": bench_workers,
+        "shards": shards,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    }
+    # The sharded path re-partitions rng streams, so latencies differ
+    # from the legacy serial run — but the discovered world must agree.
+    assert ([len(r.resolvers) for r in sharded.rounds]
+            == [len(r.resolvers) for r in serial.rounds])
+    assert ({r.address for round_ in sharded.rounds
+             for r in round_.resolvers}
+            == {r.address for round_ in serial.rounds
+                for r in round_.resolvers})
+    assert len(sharded.doh_records) == len(serial.doh_records)

@@ -12,10 +12,38 @@ Run with:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.report import ExperimentSuite
 from repro.world.scenario import ScenarioConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", action="store", type=int, default=4,
+        help="worker-process count the parallel benches run at "
+             "(serial-vs-parallel pairs land in BENCH_PARALLEL.json)")
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int:
+    return max(1, int(request.config.getoption("--workers")))
+
+
+@pytest.fixture(scope="session")
+def parallel_pairs():
+    """Collects serial-vs-parallel wall-clock pairs; written at session
+    end to BENCH_PARALLEL.json so the perf trajectory is measurable."""
+    pairs = {}
+    yield pairs
+    if not pairs:
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_PARALLEL.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(pairs, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -11,7 +11,15 @@ echo "== compileall src =="
 python -m compileall -q src
 
 echo "== pytest =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"
+# Coverage-gated when pytest-cov is available (it ships in the `test`
+# extra); plain run otherwise so the check works on a bare toolchain.
+if python -c "import pytest_cov" 2>/dev/null; then
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q \
+        --cov=repro --cov-report=term --cov-fail-under=80 "$@"
+else
+    echo "(pytest-cov not installed; running without the coverage gate)"
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"
+fi
 
 # The chaos suite must be hash-seed independent: run it twice under
 # different PYTHONHASHSEED values so any dict/set-iteration-order
@@ -22,3 +30,13 @@ PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 echo "== chaos suite (PYTHONHASHSEED=1) =="
 PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest -x -q -m chaos
+
+# The parallel suite proves worker-count invariance (workers 1/4/16
+# yield byte-identical artefacts); running it under two hash seeds
+# additionally proves the shard merge never leans on dict/set order.
+echo "== parallel suite (PYTHONHASHSEED=0) =="
+PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m parallel
+echo "== parallel suite (PYTHONHASHSEED=1) =="
+PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m parallel

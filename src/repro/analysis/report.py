@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis import figures, tables
+from repro.core.parallel import ParallelConfig
 from repro.core.client import (
     AtlasStudy,
     FailureDiagnosis,
@@ -41,6 +42,9 @@ class ExperimentSuite:
     #: (1.0 = everything the scenario built).
     client_sample: float = 1.0
     netflow_scale: float = 1.0
+    #: Sharded execution plan (``--workers``/``--shards``); None keeps
+    #: the historical serial paths byte-for-byte.
+    parallel: Optional[ParallelConfig] = None
     _campaign: Optional[CampaignResult] = field(default=None, repr=False)
     _reachability: Optional[ReachabilityReport] = field(default=None,
                                                         repr=False)
@@ -76,16 +80,24 @@ class ExperimentSuite:
 
     def campaign(self) -> CampaignResult:
         if self._campaign is None:
-            self._campaign = ScanCampaign(self.scenario).run()
+            self._campaign = ScanCampaign(
+                self.scenario, parallel=self.parallel).run()
         return self._campaign
 
     def reachability(self) -> ReachabilityReport:
         if self._reachability is None:
             study = ReachabilityStudy(self.scenario)
-            report = study.run("proxyrack",
-                               self.proxyrack_network().endpoints())
-            self._reachability = study.run(
-                "zhima", self.zhima_network().endpoints(), report)
+            if self.parallel is not None:
+                report = study.run_sharded("proxyrack", self.parallel,
+                                           sample=self.client_sample)
+                self._reachability = study.run_sharded(
+                    "zhima", self.parallel, sample=self.client_sample,
+                    report=report)
+            else:
+                report = study.run("proxyrack",
+                                   self.proxyrack_network().endpoints())
+                self._reachability = study.run(
+                    "zhima", self.zhima_network().endpoints(), report)
         return self._reachability
 
     def diagnosis(self):
@@ -105,8 +117,13 @@ class ExperimentSuite:
     def performance(self):
         if self._performance is None:
             study = PerformanceStudy(self.scenario)
-            self._performance = study.run(
-                self.proxyrack_network().usable_for(2_590.0))
+            if self.parallel is not None:
+                self._performance = study.run_sharded(
+                    self.parallel, platform="proxyrack",
+                    sample=self.client_sample)
+            else:
+                self._performance = study.run(
+                    self.proxyrack_network().usable_for(2_590.0))
         return self._performance
 
     def no_reuse(self):

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro import telemetry
 from repro.analysis import figures, tables
 from repro.analysis.report import ExperimentSuite
+from repro.core.parallel import ParallelConfig
 from repro.telemetry.manifest import RunManifest
 from repro.world.scenario import ScenarioConfig
 
@@ -54,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="base exponential-backoff delay between "
                              "retries, simulated seconds (default: 0)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for sharded execution; "
+                             "pure scheduling, never changes results "
+                             "(default: 1, in-process)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard count for parallel runs; part of the "
+                             "experiment definition and recorded in the "
+                             "run manifest (default: 8 when --workers > 1)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
     sub.add_parser("reachability", help="run the reachability study")
@@ -77,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parallel_config(args: argparse.Namespace) -> Optional[ParallelConfig]:
+    """A ParallelConfig when the run opted into sharding, else None.
+
+    ``--shards`` alone selects the sharded (in-process) path, so a
+    sharded experiment can be reproduced exactly without extra workers.
+    """
+    if args.workers <= 1 and args.shards is None:
+        return None
+    return ParallelConfig(workers=max(1, args.workers), shards=args.shards)
+
+
 def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
     config = ScenarioConfig(seed=args.seed, vantage_scale=args.scale,
                             background_sample_size=200,
@@ -87,7 +107,7 @@ def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
                             fault_plan=args.fault_plan,
                             retry_attempts=args.retry_attempts,
                             retry_backoff_s=args.retry_backoff)
-    return ExperimentSuite.build(config)
+    return ExperimentSuite.build(config, parallel=_parallel_config(args))
 
 
 def cmd_scan(suite: ExperimentSuite) -> None:
@@ -180,8 +200,11 @@ def _write_metrics(args: argparse.Namespace,
         return 0
     manifest = None
     if suite is not None:
+        execution = (suite.parallel.manifest_execution()
+                     if suite.parallel is not None else None)
         manifest = RunManifest.collect(suite.scenario.config,
-                                       telemetry.get_registry()).as_dict()
+                                       telemetry.get_registry(),
+                                       execution=execution).as_dict()
     try:
         path = telemetry.write_snapshot(args.metrics_out,
                                         telemetry.get_registry(),

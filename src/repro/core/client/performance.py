@@ -20,6 +20,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardOutcome,
+    merge_outcomes,
+    run_shards,
+)
 from repro.dnswire.builder import make_query
 from repro.dnswire.rdtypes import RRType
 from repro.doe.do53 import Do53Client
@@ -30,7 +37,7 @@ from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
 from repro.telemetry import get_registry, get_tracer
 from repro.world.population import VantagePoint
-from repro.world.scenario import SELF_BUILT_IP, Scenario
+from repro.world.scenario import SELF_BUILT_IP, Scenario, ScenarioConfig
 
 QUERIES_PER_ENDPOINT = 20
 QUERIES_NO_REUSE = 200
@@ -147,6 +154,38 @@ class NoReuseResult:
         return self.median_doh_ms - self.median_do53_ms
 
 
+@dataclass(frozen=True)
+class _PerfTask:
+    """Time one slice of a platform's vantage-point list."""
+
+    config: ScenarioConfig
+    platform: str
+    sample: float
+    shard: Shard
+    queries: int = QUERIES_PER_ENDPOINT
+    require_uptime: bool = True
+    do53_ip: str = "1.1.1.1"
+    dot_ip: str = "1.1.1.1"
+    doh_template: str = "https://mozilla.cloudflare-dns.com/dns-query{?dns}"
+    target_name: str = "Cloudflare"
+
+
+def _perf_shard(task: _PerfTask) -> ShardOutcome:
+    from repro.core.client.reachability import platform_points
+    from repro.core.scan.campaign import shard_scenario
+    final_round = task.config.scan_rounds - 1
+    scenario, network = shard_scenario(task.config, final_round, task.shard)
+    study = PerformanceStudy(scenario, network=network,
+                             do53_ip=task.do53_ip, dot_ip=task.dot_ip,
+                             doh_template=task.doh_template,
+                             target_name=task.target_name)
+    points = task.shard.slice(
+        platform_points(scenario, task.platform, task.sample))
+    report = study.run(list(points), queries=task.queries,
+                       require_uptime=task.require_uptime)
+    return ShardOutcome(task.shard.index, report.timings)
+
+
 class PerformanceStudy:
     """Runs both performance modes against one target resolver."""
 
@@ -238,6 +277,35 @@ class PerformanceStudy:
                 else:
                     registry.inc("client.perf.endpoint_skipped",
                                  reason="incomplete")
+        return report
+
+    def run_sharded(self, parallel: ParallelConfig,
+                    platform: str = "proxyrack", sample: float = 1.0,
+                    queries: int = QUERIES_PER_ENDPOINT,
+                    require_uptime: bool = True) -> PerformanceReport:
+        """Reused-connection mode across deterministic point shards.
+
+        Shards partition the *unfiltered* platform list; the uptime
+        check runs inside each worker (same predicate ``usable_for``
+        applies), so the surviving timing set matches a serial run over
+        the pre-filtered list.
+        """
+        from repro.core.client.reachability import platform_points
+        points = platform_points(self.scenario, platform, sample)
+        with get_tracer().span("client.performance",
+                               clock=self.network.clock.now,
+                               endpoints=len(points)):
+            tasks = [
+                _PerfTask(self.scenario.config, platform, sample, shard,
+                          queries=queries, require_uptime=require_uptime,
+                          do53_ip=self.do53_ip, dot_ip=self.dot_ip,
+                          doh_template=self.doh_template.text,
+                          target_name=self.target_name)
+                for shard in parallel.plan(len(points))]
+            report = PerformanceReport()
+            for fragment in merge_outcomes(
+                    run_shards(_perf_shard, tasks, parallel.workers)):
+                report.timings.extend(fragment)
         return report
 
     # -- no-reuse mode ---------------------------------------------------------------

@@ -12,6 +12,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardOutcome,
+    merge_outcomes,
+    run_shards,
+)
 from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
 from repro.dnswire.builder import make_query
 from repro.dnswire.rdtypes import RRType
@@ -29,10 +36,31 @@ from repro.world.scenario import (
     GOOGLE_DO53_IPS,
     SELF_BUILT_IP,
     Scenario,
+    ScenarioConfig,
 )
 
 MAX_ATTEMPTS = 5
 TIMEOUT_S = 30.0
+
+
+def platform_points(scenario: Scenario, platform: str,
+                    sample: float = 1.0) -> List[VantagePoint]:
+    """The vantage points of one platform, optionally down-sampled.
+
+    Mirrors ``ExperimentSuite._sample`` (keep the first
+    ``round(len * sample)`` points, at least one) so parent and worker
+    processes agree on the point list without pickling it.
+    """
+    if platform == "proxyrack":
+        points = scenario.proxyrack()
+    elif platform == "zhima":
+        points = scenario.zhima()
+    else:
+        raise ValueError(f"unknown vantage platform {platform!r}")
+    if sample >= 1.0:
+        return points
+    keep = max(1, round(len(points) * sample))
+    return points[:keep]
 
 
 @dataclass(frozen=True)
@@ -132,6 +160,34 @@ class ReachabilityReport:
         return tuple(sorted({obs.platform for obs in self.observations}))
 
 
+@dataclass(frozen=True)
+class _ReachTask:
+    """Measure one slice of a platform's vantage-point list."""
+
+    config: ScenarioConfig
+    platform: str
+    sample: float
+    shard: Shard
+    max_attempts: int = MAX_ATTEMPTS
+
+
+def _reach_shard(task: _ReachTask) -> ShardOutcome:
+    from repro.core.scan.campaign import shard_scenario
+    final_round = task.config.scan_rounds - 1
+    scenario, network = shard_scenario(task.config, final_round, task.shard)
+    study = ReachabilityStudy(scenario, network=network,
+                              max_attempts=task.max_attempts)
+    points = task.shard.slice(
+        platform_points(scenario, task.platform, task.sample))
+    report = ReachabilityReport()
+    with get_tracer().span("client.reachability.shard",
+                           clock=network.clock.now,
+                           platform=task.platform, endpoints=len(points)):
+        for point in points:
+            study.measure_endpoint(point, report)
+    return ShardOutcome(task.shard.index, report)
+
+
 class ReachabilityStudy:
     """Runs the full reachability workflow of Figure 7."""
 
@@ -204,6 +260,34 @@ class ReachabilityStudy:
                                endpoints=len(points)):
             for point in points:
                 self.measure_endpoint(point, report)
+        return report
+
+    def run_sharded(self, platform_name: str, parallel: ParallelConfig,
+                    sample: float = 1.0,
+                    report: Optional[ReachabilityReport] = None
+                    ) -> ReachabilityReport:
+        """Measure one platform across deterministic vantage-point shards.
+
+        Per-endpoint rng streams are keyed (``ep-{label}``), so every
+        shard assignment gives each endpoint the same stream; only the
+        shard-scoped network-side streams (faults, backends) depend on
+        the plan — and the plan depends only on (seed, shard count).
+        """
+        if report is None:
+            report = ReachabilityReport()
+        points = platform_points(self.scenario, platform_name, sample)
+        with get_tracer().span("client.reachability",
+                               clock=self.network.clock.now,
+                               platform=platform_name,
+                               endpoints=len(points)):
+            tasks = [
+                _ReachTask(self.scenario.config, platform_name, sample,
+                           shard, max_attempts=self.max_attempts)
+                for shard in parallel.plan(len(points))]
+            for fragment in merge_outcomes(
+                    run_shards(_reach_shard, tasks, parallel.workers)):
+                report.observations.extend(fragment.observations)
+                report.interceptions.extend(fragment.interceptions)
         return report
 
     # -- helpers ------------------------------------------------------------------

@@ -1,0 +1,237 @@
+"""Deterministic sharded parallel execution for the measurement legs.
+
+The paper's pipelines are embarrassingly parallel: a ZMap sweep probes
+addresses independently, reachability tests vantage points
+independently, DoH discovery fetches candidate URLs independently. This
+module partitions such work into **shards** and runs the shards either
+in-process (``workers <= 1``) or across ``multiprocessing`` fork
+workers — with one hard contract:
+
+    *The output is a pure function of (seed, shard plan). The worker
+    count never appears in any result, table, or telemetry byte.*
+
+Three mechanisms uphold the contract (see DESIGN.md "Parallel
+execution & the determinism contract"):
+
+* **Stable rng paths.** Shard ``i`` forks its stream from
+  ``root.fork(f"shard/{i}")``; because :class:`SeededRng` forks are
+  stateless (keyed hashes, not stream splits), the fork yields the
+  same stream no matter which worker runs the shard or when.
+* **Isolated telemetry fragments.** Each shard runs against a fresh
+  process-default registry/tracer pair (a fork child inherits the
+  parent's — it must be reset) and ships the pair back in its
+  :class:`ShardOutcome`.
+* **Order-free merge.** Fragments are merged in shard-index order
+  using the registry merge laws (counters add, gauges last-write by
+  shard index, histograms add bucket-wise) and shard root spans are
+  re-attached under the caller's active span via ``Tracer.attach``.
+
+Worker functions handed to :func:`run_shards` must be **module-level
+callables taking one picklable payload** (scenario *configs* travel,
+never scenarios — live networks hold lambdas) and returning a picklable
+value. The in-process fallback runs the identical isolation wrapper, so
+``--workers 1`` is a real differential baseline, not a separate code
+path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span, Tracer
+
+#: Shard count used when a parallel run doesn't pin one explicitly.
+#: Part of the experiment definition: changing it changes which rng
+#: stream probes which item, so it is recorded in the RunManifest.
+DEFAULT_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the work-item sequence."""
+
+    index: int
+    count: int
+    start: int
+    stop: int
+
+    @property
+    def rng_path(self) -> str:
+        """Stable fork path — the same for every worker count."""
+        return f"shard/{self.index}"
+
+    def slice(self, items: Sequence) -> Sequence:
+        return items[self.start:self.stop]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic, lossless partition of ``item_count`` work items.
+
+    Balanced contiguous ranges: the first ``item_count % shards`` shards
+    get one extra item. The plan depends only on (item_count,
+    shard_count) — pinned by Hypothesis properties in
+    ``tests/test_parallel_properties.py`` to be disjoint, covering, and
+    stable (the same pair always yields the same plan).
+    """
+
+    item_count: int
+    shard_count: int
+    shards: Tuple[Shard, ...] = field(init=False)
+
+    def __post_init__(self):
+        if self.item_count < 0:
+            raise ValueError(f"item_count {self.item_count} < 0")
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count {self.shard_count} < 1")
+        base, extra = divmod(self.item_count, self.shard_count)
+        shards: List[Shard] = []
+        start = 0
+        for index in range(self.shard_count):
+            size = base + (1 if index < extra else 0)
+            shards.append(Shard(index=index, count=self.shard_count,
+                                start=start, stop=start + size))
+            start += size
+        object.__setattr__(self, "shards", tuple(shards))
+
+    @classmethod
+    def for_items(cls, item_count: int,
+                  shard_count: Optional[int] = None) -> "ShardPlan":
+        """Plan with the requested shard count clamped to sane bounds.
+
+        The count is clamped to ``[1, max(1, item_count)]`` so empty
+        inputs still yield one (empty) shard and no shard is ever
+        guaranteed empty by over-partitioning.
+        """
+        requested = DEFAULT_SHARDS if shard_count is None else shard_count
+        clamped = max(1, min(int(requested), max(1, int(item_count))))
+        return cls(item_count=int(item_count), shard_count=clamped)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+@dataclass
+class ParallelConfig:
+    """How a run is sharded and scheduled.
+
+    ``shards`` is part of the experiment (it decides rng-stream
+    assignment); ``workers`` is pure scheduling and must never change a
+    single output byte — the invariant the differential suite proves.
+    """
+
+    workers: int = 1
+    shards: Optional[int] = None
+
+    def plan(self, item_count: int) -> ShardPlan:
+        return ShardPlan.for_items(item_count, self.shards)
+
+    def manifest_execution(self) -> dict:
+        """What the RunManifest records. Workers deliberately excluded —
+        recording a scheduling knob would break byte-identity across
+        worker counts."""
+        return {"shards": (DEFAULT_SHARDS if self.shards is None
+                           else int(self.shards))}
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard ships back to the merge step (all picklable).
+
+    Workers construct it with just (shard_index, value); the isolation
+    wrapper fills in the captured registry and root spans.
+    """
+
+    shard_index: int
+    value: object
+    registry: Optional[MetricsRegistry] = None
+    spans: List[Span] = field(default_factory=list)
+
+
+def _run_isolated(worker: Callable[[object], ShardOutcome],
+                  payload: object) -> ShardOutcome:
+    """Run one shard against a fresh telemetry pair and capture it.
+
+    Used identically in fork children and in the in-process fallback:
+    fork children inherit the parent's populated registry (so a reset
+    is mandatory), and the fallback must produce the same isolated
+    fragments a child would.
+    """
+    registry, tracer = telemetry.reset_registry()
+    outcome = worker(payload)
+    outcome.registry = registry
+    outcome.spans = list(tracer.roots)
+    return outcome
+
+
+def run_shards(worker: Callable[[object], ShardOutcome],
+               payloads: Sequence[object],
+               workers: int = 1) -> List[ShardOutcome]:
+    """Execute ``worker(payload)`` for every payload, preserving order.
+
+    ``workers <= 1`` (or a single payload) runs in-process — saving and
+    restoring the caller's telemetry pair around each shard. Otherwise a
+    ``fork``-context pool maps the payloads with chunksize 1; results
+    come back in submission order regardless of completion order, so
+    scheduling cannot reorder the merge.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    if workers <= 1 or len(payloads) == 1:
+        saved_registry = telemetry.get_registry()
+        saved_tracer = telemetry.get_tracer()
+        try:
+            return [_run_isolated(worker, payload) for payload in payloads]
+        finally:
+            telemetry.install(saved_registry, saved_tracer)
+    context = multiprocessing.get_context("fork")
+    pool_size = min(int(workers), len(payloads))
+    with context.Pool(processes=pool_size) as pool:
+        return pool.map(_IsolatedWorker(worker), payloads, chunksize=1)
+
+
+class _IsolatedWorker:
+    """Picklable ``partial(_run_isolated, worker)`` for Pool.map."""
+
+    def __init__(self, worker: Callable[[object], ShardOutcome]):
+        self.worker = worker
+
+    def __call__(self, payload: object) -> ShardOutcome:
+        return _run_isolated(self.worker, payload)
+
+
+def merge_outcomes(outcomes: Sequence[ShardOutcome],
+                   registry: Optional[MetricsRegistry] = None,
+                   tracer: Optional[Tracer] = None) -> List[object]:
+    """Fold shard fragments into the caller's telemetry, in shard order.
+
+    Gauge fragments are stamped with their shard index first, so the
+    gauge "last write" is defined by shard order rather than merge-call
+    order. Shard root spans are adopted under the caller's active span
+    with a ``shard`` attribute. Returns the shard values, ordered by
+    shard index.
+    """
+    registry = registry if registry is not None else telemetry.get_registry()
+    tracer = tracer if tracer is not None else telemetry.get_tracer()
+    ordered = sorted(outcomes, key=lambda outcome: outcome.shard_index)
+    values: List[object] = []
+    for outcome in ordered:
+        if outcome.registry is not None:
+            outcome.registry.stamp_origin(outcome.shard_index)
+            registry.merge(outcome.registry)
+        for span in outcome.spans:
+            span.attrs.setdefault("shard", str(outcome.shard_index))
+            tracer.attach(span)
+        values.append(outcome.value)
+    return values

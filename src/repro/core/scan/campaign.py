@@ -11,6 +11,13 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.core.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardOutcome,
+    merge_outcomes,
+    run_shards,
+)
 from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord
 from repro.core.scan.dot_scan import DotDiscovery, DotScanRecord, SweepStats
 from repro.core.scan.providers import (
@@ -19,11 +26,11 @@ from repro.core.scan.providers import (
     group_into_providers,
     provider_stats,
 )
-from repro.core.scan.zmap import ZmapScanner
+from repro.core.scan.zmap import ZmapScanner, merge_sweeps
 from repro.netsim.clock import format_date
 from repro.netsim.rand import SeededRng
 from repro.telemetry import get_registry, get_tracer
-from repro.world.scenario import Scenario
+from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
 
 
 @dataclass
@@ -88,14 +95,119 @@ class CampaignResult:
         return [record for record in self.doh_records if record.is_doh]
 
 
-class ScanCampaign:
-    """Runs the repeated discovery over a scenario's timeline."""
+# -- shard workers (module-level and picklable for the fork pool) ----------
 
-    def __init__(self, scenario: Scenario, rng: Optional[SeededRng] = None):
+
+@dataclass(frozen=True)
+class _SweepTask:
+    """Sweep one contiguous slice of the round's host registry."""
+
+    config: ScenarioConfig
+    round_index: int
+    shard: Shard
+    port: int = 853
+
+
+@dataclass(frozen=True)
+class _ProbeTask:
+    """DoT-probe one slice of the merged (shuffled) open-address list."""
+
+    config: ScenarioConfig
+    round_index: int
+    addresses: Tuple[str, ...]
+    base_index: int
+    shard: Shard
+
+
+@dataclass(frozen=True)
+class _DohTask:
+    """DoH-probe one slice of the deduplicated candidate URL list."""
+
+    config: ScenarioConfig
+    urls: Tuple[str, ...]
+    shard: Shard
+
+
+def shard_scenario(config: ScenarioConfig, round_index: int, shard: Shard):
+    """Rebuild the world inside a worker, faults scoped to the shard.
+
+    Scenarios carry live networks (with lambdas) and so never cross the
+    process boundary — each shard rebuilds its own from the picklable
+    config, which is deterministic by construction. The fault injector
+    is reinstalled on the shard's own rng path so its order-dependent
+    per-rule streams depend only on (seed, shard plan), never on which
+    worker runs the shard.
+    """
+    scenario = build_scenario(config)
+    network = scenario.network_for_round(round_index)
+    plan = scenario.fault_plan_obj()
+    if not plan.is_empty:
+        from repro.netsim.faults import FaultInjector
+        network.install_fault_injector(FaultInjector(
+            plan, scenario.rng.fork(shard.rng_path)
+            .fork(f"faults-{round_index}")))
+    return scenario, network
+
+
+def _sweep_shard(task: _SweepTask) -> ShardOutcome:
+    scenario, network = shard_scenario(task.config, task.round_index,
+                                       task.shard)
+    campaign_rng = scenario.rng.fork("campaign")
+    scanner = ZmapScanner(
+        network, campaign_rng.fork(f"zmap-{task.round_index}"),
+        retry_policy=scenario.retry_policy(op="scan.zmap"))
+    fragment = scanner.sweep(task.port, task.round_index, shard=task.shard)
+    return ShardOutcome(task.shard.index, fragment)
+
+
+def _probe_shard(task: _ProbeTask) -> ShardOutcome:
+    scenario, network = shard_scenario(task.config, task.round_index,
+                                       task.shard)
+    campaign_rng = scenario.rng.fork("campaign")
+    scanner = ZmapScanner(
+        network, campaign_rng.fork(f"zmap-{task.round_index}"),
+        retry_policy=scenario.retry_policy(op="scan.zmap"))
+    discovery = DotDiscovery(
+        network, scanner, campaign_rng.fork(f"dot-{task.round_index}"),
+        scenario.trust_store, scenario.probe_origin,
+        scenario.expected_probe_answer(),
+        retry_policy=scenario.retry_policy(op="dot.probe"))
+    records = discovery.probe_all(list(task.addresses), task.round_index,
+                                  base_index=task.base_index)
+    return ShardOutcome(task.shard.index, records)
+
+
+def _doh_shard(task: _DohTask) -> ShardOutcome:
+    final_round = task.config.scan_rounds - 1
+    scenario, network = shard_scenario(task.config, final_round, task.shard)
+    discovery = DohDiscovery(
+        network,
+        scenario.rng.fork("campaign").fork("doh").fork(task.shard.rng_path),
+        scenario.trust_store, scenario.bootstrap, scenario.probe_origin,
+        scenario.expected_probe_answer(),
+        public_list=scenario.public_doh_list(),
+        retry_policy=scenario.retry_policy(op="doh.probe"))
+    records = discovery.probe_many(list(task.urls))
+    return ShardOutcome(task.shard.index, records)
+
+
+class ScanCampaign:
+    """Runs the repeated discovery over a scenario's timeline.
+
+    With a :class:`ParallelConfig` the per-round sweep, the DoT probe
+    pass, and the DoH discovery each fan out over deterministic shards;
+    without one the historical serial path runs unchanged.
+    """
+
+    def __init__(self, scenario: Scenario, rng: Optional[SeededRng] = None,
+                 parallel: Optional[ParallelConfig] = None):
         self.scenario = scenario
         self.rng = rng or scenario.rng.fork("campaign")
+        self.parallel = parallel
 
     def run_round(self, round_index: int) -> RoundResult:
+        if self.parallel is not None:
+            return self._run_round_sharded(round_index)
         scenario = self.scenario
         network = scenario.network_for_round(round_index)
         with get_tracer().span("campaign.round", clock=network.clock.now,
@@ -123,7 +235,79 @@ class ScanCampaign:
                               stats.dot_resolvers, round=str(round_index))
             return result
 
+    def _run_round_sharded(self, round_index: int) -> RoundResult:
+        """One round as two deterministic fan-outs: sweep, then probe.
+
+        The sweep partitions the host registry; its fragments merge into
+        the canonical shuffled address list, which the probe pass then
+        partitions again. Both plans depend only on (seed, shard count),
+        so every byte of the result is invariant under worker count.
+        """
+        scenario = self.scenario
+        parallel = self.parallel
+        network = scenario.network_for_round(round_index)
+        with get_tracer().span("campaign.round", clock=network.clock.now,
+                               round=round_index):
+            sweep_tasks = [
+                _SweepTask(scenario.config, round_index, shard)
+                for shard in parallel.plan(len(network.hosts()))]
+            fragments = merge_outcomes(
+                run_shards(_sweep_shard, sweep_tasks, parallel.workers))
+            sweep = merge_sweeps(
+                fragments, self.rng.fork(f"zmap-{round_index}"),
+                background_total=scenario.background_open853(round_index))
+            probe_tasks = [
+                _ProbeTask(scenario.config, round_index,
+                           tuple(shard.slice(sweep.open_addresses)),
+                           shard.start, shard)
+                for shard in parallel.plan(len(sweep.open_addresses))]
+            record_lists = merge_outcomes(
+                run_shards(_probe_shard, probe_tasks, parallel.workers))
+            records = [record for shard_records in record_lists
+                       for record in shard_records]
+            resolvers = [record for record in records if record.is_dot]
+            stats = SweepStats(
+                total_open_estimate=sweep.total_open_estimate,
+                probed=len(records),
+                dot_resolvers=len(resolvers))
+            result = RoundResult(
+                round_index=round_index,
+                date=scenario.scan_dates()[round_index],
+                stats=stats,
+                records=records,
+            )
+            result.groups = group_into_providers(result.resolvers)
+            registry = get_registry()
+            registry.inc("scan.rounds")
+            registry.set_gauge("scan.round.dot_resolvers",
+                               stats.dot_resolvers, round=str(round_index))
+            return result
+
+    def _run_doh_sharded(self) -> List[DohScanRecord]:
+        scenario = self.scenario
+        parallel = self.parallel
+        network = scenario.client_network()
+        discovery = DohDiscovery(
+            network, self.rng.fork("doh"), scenario.trust_store,
+            scenario.bootstrap, scenario.probe_origin,
+            scenario.expected_probe_answer(),
+            public_list=scenario.public_doh_list(),
+            retry_policy=scenario.retry_policy(op="doh.probe"))
+        candidates = discovery.candidate_urls(scenario.url_dataset())
+        with get_tracer().span("doh.discovery", clock=network.clock.now,
+                               candidates=len(candidates)):
+            tasks = [
+                _DohTask(scenario.config, tuple(shard.slice(candidates)),
+                         shard)
+                for shard in parallel.plan(len(candidates))]
+            record_lists = merge_outcomes(
+                run_shards(_doh_shard, tasks, parallel.workers))
+            return [record for shard_records in record_lists
+                    for record in shard_records]
+
     def run_doh_discovery(self) -> List[DohScanRecord]:
+        if self.parallel is not None:
+            return self._run_doh_sharded()
         scenario = self.scenario
         network = scenario.client_network()
         discovery = DohDiscovery(

@@ -110,13 +110,17 @@ class DohDiscovery:
             cert_valid=(result.cert_report is not None
                         and result.cert_report.valid))
 
+    def probe_many(self, urls: List[str]) -> List[DohScanRecord]:
+        """Probe one batch of candidate URLs (a shard of a discovery)."""
+        return [self.probe_url(url) for url in urls]
+
     def discover(self, dataset: UrlDataset) -> List[DohScanRecord]:
         """Full discovery: filter, dedupe, probe everything."""
         candidates = self.candidate_urls(dataset)
         with get_tracer().span("doh.discovery",
                                clock=self.network.clock.now,
                                candidates=len(candidates)):
-            return [self.probe_url(url) for url in candidates]
+            return self.probe_many(candidates)
 
     @staticmethod
     def working(records: List[DohScanRecord]) -> List[DohScanRecord]:

@@ -90,13 +90,18 @@ class DotDiscovery:
         self.retry_policy = retry_policy or RetryPolicy(op="dot.probe")
 
     def probe_all(self, addresses: List[str],
-                  round_index: int = 0) -> List[DotScanRecord]:
+                  round_index: int = 0,
+                  base_index: int = 0) -> List[DotScanRecord]:
+        """Probe a batch; ``base_index`` keeps the scan-source rotation
+        aligned with the address's global position when the batch is one
+        shard of a larger sweep."""
         with get_tracer().span("scan.probe",
                                clock=self.network.clock.now,
                                round=round_index, targets=len(addresses)):
             records = []
             for index, address in enumerate(addresses):
-                records.append(self.probe_one(address, index, round_index))
+                records.append(self.probe_one(address, base_index + index,
+                                              round_index))
             return records
 
     def probe_one(self, address: str, index: int = 0,

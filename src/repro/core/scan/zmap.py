@@ -74,8 +74,19 @@ class ZmapScanner:
             for address, country_code in SCAN_SOURCE_SPECS
         ]
 
-    def sweep(self, port: int, round_index: int = 0) -> SweepResult:
-        """One randomised sweep; returns every responsive address."""
+    def sweep(self, port: int, round_index: int = 0,
+              shard=None) -> SweepResult:
+        """One randomised sweep; returns every responsive address.
+
+        With a ``shard`` (see :mod:`repro.core.parallel`) only that
+        contiguous slice of the host registry is probed and the result
+        is a *fragment*: unshuffled, without the background estimate.
+        Fragments are combined — and the canonical permutation applied —
+        by :func:`merge_sweeps`.
+        """
+        hosts = self.network.hosts()
+        if shard is not None:
+            hosts = shard.slice(hosts)
         with get_tracer().span("scan.sweep", clock=self.network.clock.now,
                                port=port, round=round_index):
             started_at = self.network.clock.now()
@@ -84,7 +95,7 @@ class ZmapScanner:
             probed = 0
             probes_lost = 0
             injector = self.network.fault_injector
-            for host in self.network.hosts():
+            for host in hosts:
                 probed += 1
                 if ("tcp", port) not in host.services:
                     continue
@@ -96,10 +107,13 @@ class ZmapScanner:
                     probes_lost += 1
                     continue
                 open_addresses.append(host.address)
-            # ZMap probes the space in a random permutation; downstream
-            # consumers must not rely on registry order.
-            self.rng.fork(f"order-{round_index}").shuffle(open_addresses)
-            background = max(0, self.background_total - len(open_addresses))
+            if shard is None:
+                # ZMap probes the space in a random permutation;
+                # downstream consumers must not rely on registry order.
+                self.rng.fork(f"order-{round_index}").shuffle(open_addresses)
+            background = (0 if shard is not None
+                          else max(0, self.background_total
+                                   - len(open_addresses)))
             registry = get_registry()
             registry.inc("scan.probes_sent", probed, port=str(port))
             registry.inc("scan.zmap.responses", len(open_addresses),
@@ -134,3 +148,31 @@ class ZmapScanner:
     def source_for_probe(self, index: int) -> ClientEnvironment:
         """Rotate probe traffic across the scan sources."""
         return self.sources[index % len(self.sources)]
+
+
+def merge_sweeps(fragments: List[SweepResult], rng: SeededRng,
+                 background_total: int = 0) -> SweepResult:
+    """Combine per-shard sweep fragments into one canonical result.
+
+    Fragments must arrive in shard-index order; concatenation then
+    reproduces the registry order a serial sweep would have walked, and
+    the same stable ``order-{round}`` fork applies the same permutation
+    regardless of shard or worker count.
+    """
+    if not fragments:
+        raise ValueError("merge_sweeps needs at least one fragment")
+    first = fragments[0]
+    open_addresses = [address for fragment in fragments
+                      for address in fragment.open_addresses]
+    rng.fork(f"order-{first.round_index}").shuffle(open_addresses)
+    background = max(0, background_total - len(open_addresses))
+    return SweepResult(
+        port=first.port,
+        round_index=first.round_index,
+        started_at=first.started_at,
+        duration_s=first.duration_s,
+        open_addresses=open_addresses,
+        total_open_estimate=len(open_addresses) + background,
+        opted_out=sum(fragment.opted_out for fragment in fragments),
+        probes_lost=sum(fragment.probes_lost for fragment in fragments),
+    )

@@ -60,6 +60,19 @@ def reset_registry() -> Tuple[MetricsRegistry, Tracer]:
     return _default_registry, _default_tracer
 
 
+def install(registry: MetricsRegistry, tracer: Tracer) -> None:
+    """Swap in a specific registry/tracer pair as the process defaults.
+
+    The sharded in-process executor uses this to sandbox each shard's
+    telemetry (reset, run, capture) and then restore the caller's pair,
+    so workers=1 produces the same per-shard fragments a worker process
+    would.
+    """
+    global _default_registry, _default_tracer
+    _default_registry = registry
+    _default_tracer = tracer
+
+
 def set_sim_clock(clock) -> None:
     """Attach a simulated clock (``() -> float``) to the default tracer.
 
@@ -80,6 +93,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "git_describe",
+    "install",
     "reset_registry",
     "set_sim_clock",
     "snapshot",

@@ -38,10 +38,18 @@ class RunManifest:
     code_version: str = "unknown"
     #: Top-level counter totals (name -> summed value across labels).
     totals: Dict[str, float] = field(default_factory=dict)
+    #: Execution-plan knobs that are part of the experiment definition
+    #: (e.g. the shard count of a parallel run). Deliberately excludes
+    #: the worker count: workers are pure scheduling and must never
+    #: change results, so recording them would break the byte-identity
+    #: the parallel equivalence suite proves.
+    execution: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(cls, config, registry: Optional[MetricsRegistry] = None,
-                include_git: bool = True) -> "RunManifest":
+                include_git: bool = True,
+                execution: Optional[Dict[str, object]] = None
+                ) -> "RunManifest":
         """Build a manifest from a ScenarioConfig-like object."""
         if dataclasses.is_dataclass(config):
             scenario = dataclasses.asdict(config)
@@ -54,6 +62,7 @@ class RunManifest:
             seed=int(scenario.get("seed", 0)),
             scenario=scenario,
             code_version=git_describe() if include_git else "unknown",
+            execution=dict(execution or {}),
         )
         if registry is not None:
             manifest.record_totals(registry)
@@ -68,7 +77,7 @@ class RunManifest:
         self.totals = totals
 
     def as_dict(self) -> dict:
-        return {
+        record = {
             "seed": self.seed,
             "scenario": {key: self.scenario[key]
                          for key in sorted(self.scenario)},
@@ -76,3 +85,7 @@ class RunManifest:
             "totals": {key: self.totals[key]
                        for key in sorted(self.totals)},
         }
+        if self.execution:
+            record["execution"] = {key: self.execution[key]
+                                   for key in sorted(self.execution)}
+        return record

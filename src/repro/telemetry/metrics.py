@@ -41,6 +41,10 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
 
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another shard's counter in: plain sum (commutative)."""
+        self.value += other.value
+
     def as_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
@@ -54,6 +58,10 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        #: Merge-ordering token. Sharded runs stamp each fragment's
+        #: gauges with the shard index before merging, so "last write
+        #: wins" is defined by shard order, not merge-call order.
+        self.origin = -1
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -63,6 +71,17 @@ class Gauge:
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Last-write-wins keyed on ``(origin, value)``.
+
+        The lexicographic key makes the merge a total-order max, hence
+        associative and commutative even when two fragments share an
+        origin (the larger value then wins deterministically).
+        """
+        if (other.origin, other.value) >= (self.origin, self.value):
+            self.value = other.value
+            self.origin = other.origin
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -153,6 +172,21 @@ class Histogram:
                 return estimate
         return self.max if self.max is not None else 0.0
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Bucket-wise addition: the merged state is exactly the state a
+        single histogram would reach observing both streams (in any
+        order), which is what makes sharded telemetry order-free."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min,
+                                                              other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max,
+                                                              other.max)
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -212,6 +246,48 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
         self.gauge(name, **labels).set(value)
+
+    # -- sharded-run merge --------------------------------------------------
+
+    def stamp_origin(self, origin: int) -> None:
+        """Tag every gauge with the shard index that produced it.
+
+        Called on a per-shard fragment before :meth:`merge`, this defines
+        the "last write" in the gauge merge law as the highest shard
+        index rather than whichever fragment happened to merge last.
+        """
+        for metric in self._metrics.values():
+            if isinstance(metric, Gauge):
+                metric.origin = int(origin)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's state into this one.
+
+        Merge laws (pinned by ``tests/test_parallel_properties.py``):
+
+        * counters add,
+        * gauges keep the ``(origin, value)``-maximal write,
+        * histograms add bucket-wise (count/sum/min/max/buckets),
+        * the empty registry is the identity.
+
+        Under these laws a serial run and any sharded run that
+        partitions the same observation stream reach identical registry
+        state, which is what makes sharded telemetry snapshots
+        byte-identical across worker counts.
+        """
+        for key in sorted(other._metrics):
+            theirs = other._metrics[key]
+            mine = self._metrics.get(key)
+            if mine is None:
+                mine = type(theirs)(theirs.name, key[1])
+                self._metrics[key] = mine
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"metric {theirs.name!r} is a "
+                    f"{type(mine).__name__} here but a "
+                    f"{type(theirs).__name__} in the merged registry")
+            mine.merge_from(theirs)
+        return self
 
     # -- read paths --------------------------------------------------------
 

@@ -136,6 +136,21 @@ class Tracer:
             histogram.observe(span.sim_ms if span.sim_ms is not None
                               else span.wall_ms)
 
+    def attach(self, span: Span) -> Span:
+        """Adopt a finished span produced elsewhere (shard stitching).
+
+        Sharded execution runs each shard under its own tracer — in a
+        worker process or behind the in-process fallback — and the merge
+        step re-attaches the shard's root spans here, under whichever
+        span is currently active. Durations were already mirrored into
+        the shard's own registry, so adoption records nothing.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
     @property
     def active(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None

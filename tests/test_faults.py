@@ -353,7 +353,7 @@ GOLDEN_PLAN = ("reset host=* port=853 p=0.05 max=40; "
                "slow host=* port=443 p=0.5 ms=120")
 
 
-def _campaign_snapshot(seed: int, plan: str) -> str:
+def _campaign_snapshot(seed: int, plan: str, parallel=None) -> str:
     from tests.conftest import tiny_config
 
     from repro.core.scan.campaign import ScanCampaign
@@ -365,10 +365,13 @@ def _campaign_snapshot(seed: int, plan: str) -> str:
         config = dataclasses.replace(tiny_config(seed), fault_plan=plan,
                                      retry_attempts=2)
         scenario = build_scenario(config)
-        ScanCampaign(scenario).run(rounds=1, include_doh=True)
+        ScanCampaign(scenario, parallel=parallel).run(rounds=1,
+                                                      include_doh=True)
         registry = telemetry.get_registry()
-        manifest = RunManifest.collect(scenario.config, registry,
-                                       include_git=False)
+        manifest = RunManifest.collect(
+            scenario.config, registry, include_git=False,
+            execution=(parallel.manifest_execution()
+                       if parallel is not None else None))
         return telemetry.to_json(registry, telemetry.get_tracer(),
                                  manifest.as_dict())
     finally:
@@ -386,3 +389,24 @@ class TestGoldenDeterminism:
         assert '"faults.injected' in snapshot
         assert '"retry.attempts' in snapshot
         assert '"fault_plan":"%s"' % GOLDEN_PLAN in snapshot
+
+    def test_sharded_chaos_same_seed_byte_identical(self):
+        """Chaos-compose: an active FaultPlan under sharded execution
+        still yields byte-identical telemetry across two same-seed
+        runs at workers=4."""
+        from repro.core.parallel import ParallelConfig
+        parallel = ParallelConfig(workers=4, shards=4)
+        first = _campaign_snapshot(77, GOLDEN_PLAN, parallel)
+        second = _campaign_snapshot(77, GOLDEN_PLAN, parallel)
+        assert first == second
+        assert '"faults.injected' in first
+
+    def test_sharded_chaos_worker_count_invariant(self):
+        """The fork-pool path and the in-process fallback agree byte
+        for byte under fault injection."""
+        from repro.core.parallel import ParallelConfig
+        in_process = _campaign_snapshot(
+            77, GOLDEN_PLAN, ParallelConfig(workers=1, shards=4))
+        pooled = _campaign_snapshot(
+            77, GOLDEN_PLAN, ParallelConfig(workers=4, shards=4))
+        assert in_process == pooled

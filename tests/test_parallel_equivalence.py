@@ -1,0 +1,138 @@
+"""Differential equivalence suite for sharded parallel execution.
+
+The determinism contract of :mod:`repro.core.parallel` is that the
+worker count is pure scheduling: for a fixed (seed, shard count), runs
+at ``--workers 1``, ``4``, and ``16`` must serialise byte-identical
+tables and telemetry. This suite runs the same seeded experiments at
+all three worker counts and compares every artefact byte for byte.
+
+``scripts/check.sh`` runs this module twice under different
+``PYTHONHASHSEED`` values, mirroring the chaos suite, to prove the
+parallel layer does not lean on hash ordering either.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.analysis import tables
+from repro.core.client import FailureDiagnosis
+from repro.core.client.performance import PerformanceStudy
+from repro.core.client.reachability import ReachabilityStudy, platform_points
+from repro.core.parallel import ParallelConfig
+from repro.core.scan.campaign import ScanCampaign
+from repro.telemetry.manifest import RunManifest
+from repro.world.scenario import build_scenario
+from tests.conftest import tiny_config
+
+pytestmark = pytest.mark.parallel
+
+SEED = 91
+SHARDS = 5
+ROUNDS = 2
+REACH_SAMPLE = 0.08
+PERF_SAMPLE = 0.15
+
+#: Worker counts the contract names explicitly (ISSUE acceptance).
+WORKER_COUNTS = (1, 4, 16)
+
+_cache = {}
+
+
+def _diagnose(scenario, report):
+    """The parent-side Table 5 diagnosis over the sharded report."""
+    failed = set(report.failed_endpoints("proxyrack", "Cloudflare", "dot"))
+    points = [point
+              for point in platform_points(scenario, "proxyrack",
+                                           REACH_SAMPLE)
+              if point.env.label in failed]
+    diagnosis = FailureDiagnosis(
+        scenario.client_network(), scenario.rng.fork("diagnosis"),
+        retry_policy=scenario.retry_policy(op="client.diag"))
+    return diagnosis.diagnose_all(points)
+
+
+def snapshot(workers: int) -> dict:
+    """Every artefact of one full sharded run at a given worker count.
+
+    Cached per worker count: the suite compares the three runs against
+    each other, so each needs to execute exactly once.
+    """
+    if workers in _cache:
+        return _cache[workers]
+    telemetry.reset_registry()
+    try:
+        config = tiny_config(SEED)
+        scenario = build_scenario(config)
+        parallel = ParallelConfig(workers=workers, shards=SHARDS)
+        campaign = ScanCampaign(scenario, parallel=parallel).run(
+            rounds=ROUNDS, include_doh=True)
+        study = ReachabilityStudy(scenario)
+        report = study.run_sharded("proxyrack", parallel,
+                                   sample=REACH_SAMPLE)
+        report = study.run_sharded("zhima", parallel, sample=REACH_SAMPLE,
+                                   report=report)
+        perf = PerformanceStudy(scenario).run_sharded(parallel,
+                                                      sample=PERF_SAMPLE)
+        diagnosis = _diagnose(scenario, report)
+        registry = telemetry.get_registry()
+        manifest = RunManifest.collect(
+            config, registry, include_git=False,
+            execution=parallel.manifest_execution())
+        _cache[workers] = {
+            "table2": tables.table2_text(campaign),
+            "table4": tables.table4_text(report),
+            "table5": tables.table5_text(diagnosis),
+            "telemetry": telemetry.to_json(registry, telemetry.get_tracer(),
+                                           manifest.as_dict()),
+            "doh": tuple((record.url, record.is_doh, record.latency_ms)
+                         for record in campaign.doh_records),
+            "timings": tuple(
+                (timing.endpoint, timing.median_do53_ms,
+                 timing.median_dot_ms, timing.median_doh_ms)
+                for timing in perf.timings),
+        }
+    finally:
+        telemetry.reset_registry()
+    return _cache[workers]
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [count for count in WORKER_COUNTS
+                                         if count != 1])
+    def test_byte_identical_artifacts(self, workers):
+        base = snapshot(1)
+        other = snapshot(workers)
+        for key in ("table2", "table4", "table5", "telemetry", "doh",
+                    "timings"):
+            assert base[key] == other[key], (
+                f"artefact {key!r} differs between --workers 1 "
+                f"and --workers {workers}")
+
+    def test_telemetry_snapshot_nonempty(self):
+        data = json.loads(snapshot(1)["telemetry"])
+        assert data["metrics"], "sharded run recorded no metrics"
+
+    def test_shard_spans_stitched(self):
+        """Shard root spans are adopted with a ``shard`` attribute."""
+        data = json.loads(snapshot(1)["telemetry"])
+
+        def walk(nodes):
+            for node in nodes:
+                yield node
+                yield from walk(node.get("children", ()))
+
+        shard_attrs = sorted({node["attrs"]["shard"]
+                              for node in walk(data["spans"])
+                              if "shard" in node.get("attrs", {})})
+        assert shard_attrs == [str(index) for index in range(SHARDS)]
+
+    def test_manifest_records_shards_not_workers(self):
+        """Shards define the experiment; workers must not be recorded,
+        or the snapshots could never be byte-identical across counts."""
+        for workers in WORKER_COUNTS:
+            manifest = json.loads(snapshot(workers)["telemetry"])["manifest"]
+            assert manifest["execution"] == {"shards": SHARDS}

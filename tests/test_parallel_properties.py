@@ -1,0 +1,201 @@
+"""Hypothesis properties pinning the shard-plan and merge laws.
+
+Two algebraic facts make sharded execution equivalent to serial
+execution (see DESIGN.md):
+
+* :class:`ShardPlan` partitions losslessly — shards are disjoint,
+  covering, contiguous, balanced, and a pure function of
+  (item_count, shard_count);
+* :meth:`MetricsRegistry.merge` is associative and commutative with
+  the empty registry as identity, so fragments can be folded in any
+  grouping without changing a byte of the snapshot.
+
+Strategies draw integer-valued observations: the laws are about merge
+order, and float addition is only exactly associative on integers.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import (
+    DEFAULT_SHARDS,
+    ParallelConfig,
+    ShardPlan,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.parallel
+
+
+# -- shard plans -------------------------------------------------------------
+
+
+ITEM_COUNTS = st.integers(min_value=0, max_value=400)
+SHARD_COUNTS = st.integers(min_value=1, max_value=64)
+
+
+class TestShardPlan:
+    @settings(deadline=None)
+    @given(ITEM_COUNTS, SHARD_COUNTS)
+    def test_partition_is_lossless(self, item_count, shard_count):
+        """Disjoint, covering, order-preserving, balanced."""
+        plan = ShardPlan.for_items(item_count, shard_count)
+        items = list(range(item_count))
+        pieces = [list(shard.slice(items)) for shard in plan]
+        # Concatenating the slices in shard order reproduces the input
+        # exactly — which implies disjointness and full coverage.
+        assert sum(pieces, []) == items
+        sizes = [len(piece) for piece in pieces]
+        assert max(sizes) - min(sizes) <= 1
+
+    @settings(deadline=None)
+    @given(ITEM_COUNTS, SHARD_COUNTS)
+    def test_plan_is_stable(self, item_count, shard_count):
+        """The same (items, shards) pair always yields the same plan."""
+        first = ShardPlan.for_items(item_count, shard_count)
+        second = ShardPlan.for_items(item_count, shard_count)
+        assert first == second
+        assert [shard.rng_path for shard in first] == [
+            f"shard/{index}" for index in range(len(first))]
+
+    @settings(deadline=None)
+    @given(ITEM_COUNTS, SHARD_COUNTS)
+    def test_shard_count_clamped(self, item_count, shard_count):
+        plan = ShardPlan.for_items(item_count, shard_count)
+        assert len(plan) == max(1, min(shard_count, max(1, item_count)))
+        assert [shard.index for shard in plan] == list(range(len(plan)))
+
+    @settings(deadline=None)
+    @given(ITEM_COUNTS, SHARD_COUNTS,
+           st.integers(min_value=1, max_value=32),
+           st.integers(min_value=1, max_value=32))
+    def test_plan_independent_of_workers(self, item_count, shard_count,
+                                         workers_a, workers_b):
+        """Workers are scheduling only — they never reshape the plan."""
+        plan_a = ParallelConfig(workers=workers_a, shards=shard_count)
+        plan_b = ParallelConfig(workers=workers_b, shards=shard_count)
+        assert plan_a.plan(item_count) == plan_b.plan(item_count)
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=DEFAULT_SHARDS, max_value=400))
+    def test_default_shard_count(self, item_count):
+        assert len(ShardPlan.for_items(item_count)) == DEFAULT_SHARDS
+
+    def test_empty_input_single_empty_shard(self):
+        plan = ShardPlan.for_items(0, 16)
+        assert len(plan) == 1
+        assert len(plan.shards[0]) == 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlan(item_count=-1, shard_count=2)
+        with pytest.raises(ValueError):
+            ShardPlan(item_count=4, shard_count=0)
+
+
+# -- registry merge laws ------------------------------------------------------
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("counter"), st.sampled_from("abc"),
+                  st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("gauge"), st.sampled_from("abc"),
+                  st.integers(min_value=-40, max_value=40)),
+        st.tuples(st.just("histogram"), st.sampled_from("abc"),
+                  st.integers(min_value=-40, max_value=40)),
+    ),
+    max_size=24,
+)
+
+_FRAGMENT = st.tuples(_OPS, st.integers(min_value=0, max_value=7))
+
+
+def _build(fragment) -> MetricsRegistry:
+    """Replay an op list into a registry stamped with a shard origin."""
+    ops, origin = fragment
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "counter":
+            registry.inc(f"{kind}.{name}", value, shard="x")
+        elif kind == "gauge":
+            registry.set_gauge(f"{kind}.{name}", value)
+        else:
+            registry.observe(f"{kind}.{name}", value)
+    registry.stamp_origin(origin)
+    return registry
+
+
+def _state(registry: MetricsRegistry):
+    """Full observable state, including gauge merge origins."""
+    state = []
+    for metric in registry:
+        entry = [metric.name, metric.labels, metric.kind]
+        if metric.kind == "counter":
+            entry.append(metric.value)
+        elif metric.kind == "gauge":
+            entry.extend((metric.value, metric.origin))
+        else:
+            entry.extend((metric.count, metric.sum, metric.min, metric.max,
+                          tuple(metric.buckets())))
+        state.append(tuple(entry))
+    return state
+
+
+def _merged(*fragments) -> MetricsRegistry:
+    registries = [copy.deepcopy(fragment) for fragment in fragments]
+    target = registries[0]
+    for other in registries[1:]:
+        target.merge(other)
+    return target
+
+
+class TestMergeLaws:
+    @settings(deadline=None)
+    @given(_FRAGMENT, _FRAGMENT)
+    def test_commutative(self, fragment_a, fragment_b):
+        a, b = _build(fragment_a), _build(fragment_b)
+        assert _state(_merged(a, b)) == _state(_merged(b, a))
+
+    @settings(deadline=None)
+    @given(_FRAGMENT, _FRAGMENT, _FRAGMENT)
+    def test_associative(self, fragment_a, fragment_b, fragment_c):
+        a, b, c = (_build(fragment_a), _build(fragment_b),
+                   _build(fragment_c))
+        left = _merged(_merged(a, b), c)
+        right = _merged(a, _merged(b, c))
+        assert _state(left) == _state(right)
+
+    @settings(deadline=None)
+    @given(_FRAGMENT)
+    def test_empty_registry_is_identity(self, fragment):
+        registry = _build(fragment)
+        assert _state(_merged(registry, MetricsRegistry())) == \
+            _state(registry)
+        assert _state(_merged(MetricsRegistry(), registry)) == \
+            _state(registry)
+
+    def test_kind_mismatch_rejected(self):
+        counters = MetricsRegistry()
+        counters.inc("series.a")
+        gauges = MetricsRegistry()
+        gauges.set_gauge("series.a", 1.0)
+        with pytest.raises(TypeError):
+            counters.merge(gauges)
+
+    def test_gauge_last_write_by_shard_index(self):
+        """The highest shard index wins, not the latest merge call."""
+        low = MetricsRegistry()
+        low.set_gauge("g", 111.0)
+        low.stamp_origin(0)
+        high = MetricsRegistry()
+        high.set_gauge("g", 5.0)
+        high.stamp_origin(3)
+        merged = _merged(high, low)
+        assert merged.get("g").value == 5.0
+        assert merged.get("g").origin == 3
