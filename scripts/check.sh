@@ -40,3 +40,14 @@ PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 echo "== parallel suite (PYTHONHASHSEED=1) =="
 PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest -x -q -m parallel
+
+# Hot-path micro-benchmarks (--skip-campaign keeps this to a few
+# seconds). The gate is the script exiting cleanly — throughput
+# regressions against the recorded baseline only print warnings,
+# because ops/sec depends on the machine running the check.
+echo "== hot-path benchmarks =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_hotpath.py --skip-campaign \
+    --out benchmarks/BENCH_HOTPATH.tmp.json >/dev/null
+rm -f benchmarks/BENCH_HOTPATH.tmp.json
+echo "ok (see benchmarks/BENCH_HOTPATH.json for the recorded run)"

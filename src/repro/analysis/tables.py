@@ -47,9 +47,23 @@ def table2_rows(campaign: CampaignResult,
     return campaign.country_growth(top_n)
 
 
+def _growth_percent(first: int, last: int) -> int:
+    """Growth percentage truncated toward zero, computed exactly.
+
+    The paper's printed Table 2 truncates (JP's -20.6% prints as -20%,
+    not -21%), and ``int()`` on the float growth is not enough: US's
+    exact +431% round-trips through binary floating point as
+    430.999..., which would truncate to +430.
+    """
+    if first <= 0:
+        return 0
+    magnitude = abs(last - first) * 100 // first
+    return magnitude if last >= first else -magnitude
+
+
 def table2_text(campaign: CampaignResult) -> str:
-    rows = [(code, first, last, f"{growth:+.0f}%")
-            for code, first, last, growth in table2_rows(campaign)]
+    rows = [(code, first, last, f"{_growth_percent(first, last):+d}%")
+            for code, first, last, _ in table2_rows(campaign)]
     return render_table(
         ["CC", f"# {campaign.first.date_text}",
          f"# {campaign.last.date_text}", "Growth"],

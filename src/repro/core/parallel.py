@@ -55,7 +55,9 @@ class Shard:
     """One contiguous slice of the work-item sequence."""
 
     index: int
-    count: int
+    #: Total number of shards in the plan this shard belongs to (NOT
+    #: this shard's item count — that is ``len(shard)``).
+    shard_total: int
     start: int
     stop: int
 
@@ -91,12 +93,18 @@ class ShardPlan:
             raise ValueError(f"item_count {self.item_count} < 0")
         if self.shard_count < 1:
             raise ValueError(f"shard_count {self.shard_count} < 1")
+        if self.item_count == 0:
+            # Zero work items partition into zero shards — dispatching
+            # a phantom empty shard would cost a worker round-trip and
+            # ship back an all-empty telemetry fragment.
+            object.__setattr__(self, "shards", ())
+            return
         base, extra = divmod(self.item_count, self.shard_count)
         shards: List[Shard] = []
         start = 0
         for index in range(self.shard_count):
             size = base + (1 if index < extra else 0)
-            shards.append(Shard(index=index, count=self.shard_count,
+            shards.append(Shard(index=index, shard_total=self.shard_count,
                                 start=start, stop=start + size))
             start += size
         object.__setattr__(self, "shards", tuple(shards))
@@ -106,9 +114,9 @@ class ShardPlan:
                   shard_count: Optional[int] = None) -> "ShardPlan":
         """Plan with the requested shard count clamped to sane bounds.
 
-        The count is clamped to ``[1, max(1, item_count)]`` so empty
-        inputs still yield one (empty) shard and no shard is ever
-        guaranteed empty by over-partitioning.
+        The count is clamped to ``[1, max(1, item_count)]`` so no shard
+        is ever guaranteed empty by over-partitioning; a zero-item input
+        yields an *empty* plan (no shards, no work dispatched).
         """
         requested = DEFAULT_SHARDS if shard_count is None else shard_count
         clamped = max(1, min(int(requested), max(1, int(item_count))))

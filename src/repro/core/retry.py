@@ -36,7 +36,16 @@ from typing import Callable, List, Optional, Tuple
 from repro.doe.result import FailureKind, QueryResult
 from repro.errors import TRANSIENT_ERRORS, ReproError
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry
+from repro.telemetry import BoundCounterFamily, BoundHistogramFamily
+
+# The op label varies per policy, so each counter is a bound *family*:
+# one dict lookup per distinct op value, then plain inc() calls.
+_ATTEMPTS = BoundCounterFamily("retry.attempts", "op")
+_RECOVERED = BoundCounterFamily("retry.recovered", "op")
+_PERMANENT = BoundCounterFamily("retry.permanent", "op")
+_EXHAUSTED = BoundCounterFamily("retry.exhausted", "op")
+_BUDGET_EXHAUSTED = BoundCounterFamily("retry.budget_exhausted", "op")
+_BACKOFF_MS = BoundHistogramFamily("retry.backoff_delay_ms", "op")
 
 #: Result-level mirror of :data:`repro.errors.TRANSIENT_ERRORS` for
 #: callers that see :class:`FailureKind` instead of exceptions.
@@ -153,13 +162,13 @@ class RetryPolicy:
         exceptions (programming errors) propagate untouched.
         """
         label = op or self.op
-        registry = get_registry()
+        attempts_counter = _ATTEMPTS.get(label)
         outcome = RetryOutcome()
         delays: List[float] = []
         spent_s = 0.0
         for attempt in range(self.attempts):
             outcome.attempts = attempt + 1
-            registry.inc("retry.attempts", op=label)
+            attempts_counter.inc()
             try:
                 outcome.value = fn()
             except self.retryable as error:
@@ -169,31 +178,30 @@ class RetryPolicy:
                 outcome.error = error
                 spent_s += getattr(error, "elapsed_ms", 0.0) / 1000.0
                 outcome.classification = RetryClass.PERMANENT
-                registry.inc("retry.permanent", op=label)
+                _PERMANENT.get(label).inc()
                 break
             else:
                 outcome.error = None
                 outcome.classification = (RetryClass.OK if attempt == 0
                                           else RetryClass.RECOVERED)
                 if attempt > 0:
-                    registry.inc("retry.recovered", op=label)
+                    _RECOVERED.get(label).inc()
                 break
             if attempt + 1 >= self.attempts:
                 outcome.classification = RetryClass.TRANSIENT_EXHAUSTED
-                registry.inc("retry.exhausted", op=label)
+                _EXHAUSTED.get(label).inc()
                 break
             delay_s = self.backoff_delay_s(attempt, rng)
             if spent_s + delay_s >= self.budget_s:
                 # The next attempt could not even start before the
                 # budget runs out: give up mid-backoff.
                 outcome.classification = RetryClass.TRANSIENT_EXHAUSTED
-                registry.inc("retry.exhausted", op=label)
-                registry.inc("retry.budget_exhausted", op=label)
+                _EXHAUSTED.get(label).inc()
+                _BUDGET_EXHAUSTED.get(label).inc()
                 break
             spent_s += delay_s
             delays.append(delay_s * 1000.0)
-            registry.observe("retry.backoff_delay_ms", delay_s * 1000.0,
-                             op=label)
+            _BACKOFF_MS.get(label).observe(delay_s * 1000.0)
         outcome.delays_ms = tuple(delays)
         outcome.elapsed_ms = spent_s * 1000.0
         return outcome
@@ -217,36 +225,35 @@ class RetryPolicy:
         counters under the ``op`` label.
         """
         label = op or self.op
-        registry = get_registry()
+        attempts_counter = _ATTEMPTS.get(label)
         result: Optional[QueryResult] = None
         attempts_made = 0
         spent_s = 0.0
         for attempt in range(self.attempts):
-            registry.inc("retry.attempts", op=label)
+            attempts_counter.inc()
             result = fn()
             attempts_made = attempt + 1
             spent_s += result.latency_ms / 1000.0
             if result.response is not None:
                 result.attempts = attempts_made
                 if attempt > 0:
-                    registry.inc("retry.recovered", op=label)
+                    _RECOVERED.get(label).inc()
                 return result
             if retry_on is not None and result.failure not in retry_on:
                 result.attempts = attempts_made
-                registry.inc("retry.permanent", op=label)
+                _PERMANENT.get(label).inc()
                 return result
             if attempts_made >= self.attempts:
                 break
             delay_s = self.backoff_delay_s(attempt, rng)
             if spent_s + delay_s >= self.budget_s:
-                registry.inc("retry.budget_exhausted", op=label)
+                _BUDGET_EXHAUSTED.get(label).inc()
                 break
             spent_s += delay_s
-            registry.observe("retry.backoff_delay_ms", delay_s * 1000.0,
-                             op=label)
+            _BACKOFF_MS.get(label).observe(delay_s * 1000.0)
         assert result is not None
         result.attempts = attempts_made
-        registry.inc("retry.exhausted", op=label)
+        _EXHAUSTED.get(label).inc()
         return result
 
     def classify_error(self, error: BaseException) -> RetryClass:

@@ -21,8 +21,18 @@ from repro.doe.result import QueryOutcome
 from repro.httpsim.uri import UriTemplate, parse_url
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry, get_tracer
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundHistogram,
+    get_tracer,
+)
 from repro.tlssim.certs import CaStore
+
+_PROBE_LATENCY_MS = BoundHistogram("doh.probe.latency_ms")
+_HANDSHAKE_OK = BoundCounter("doh.handshake.ok")
+_HANDSHAKE_FAIL = BoundCounterFamily("doh.handshake.fail", "kind")
+_VALIDATION_OUTCOME = BoundCounterFamily("doh.validation.outcome", "outcome")
 
 
 @dataclass
@@ -89,19 +99,17 @@ class DohDiscovery:
             rng=self.rng.fork(f"retry-{url}"), op="doh.probe",
             retry_on=TRANSIENT_KINDS)
         in_list = parsed.hostname in self.public_list_hosts
-        registry = get_registry()
-        registry.observe("doh.probe.latency_ms", result.latency_ms)
+        _PROBE_LATENCY_MS.observe(result.latency_ms)
         if not result.ok:
-            registry.inc("doh.handshake.fail",
-                         kind=result.failure.value
-                         if result.failure else "unknown")
+            _HANDSHAKE_FAIL.get(result.failure.value
+                                if result.failure else "unknown").inc()
             return DohScanRecord(url=url, hostname=parsed.hostname,
                                  is_doh=False, in_public_list=in_list,
                                  latency_ms=result.latency_ms,
                                  error=result.error)
         outcome = result.classify(self.expected_answers)
-        registry.inc("doh.handshake.ok")
-        registry.inc("doh.validation.outcome", outcome=outcome.value)
+        _HANDSHAKE_OK.inc()
+        _VALIDATION_OUTCOME.get(outcome.value).inc()
         return DohScanRecord(
             url=url, hostname=parsed.hostname, is_doh=True,
             in_public_list=in_list,

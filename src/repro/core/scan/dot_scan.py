@@ -21,9 +21,20 @@ from repro.doe.dot import DotClient, PrivacyProfile
 from repro.doe.result import QueryOutcome
 from repro.netsim.network import Network
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry, get_tracer
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundHistogram,
+    get_tracer,
+)
 from repro.tlssim.certs import CaStore, ValidationReport
 from repro.core.scan.zmap import ZmapScanner
+
+_PROBE_LATENCY_MS = BoundHistogram("dot.probe.latency_ms")
+_HANDSHAKE_OK = BoundCounter("dot.handshake.ok")
+_HANDSHAKE_FAIL = BoundCounterFamily("dot.handshake.fail", "kind")
+_VALIDATION_OUTCOME = BoundCounterFamily("dot.validation.outcome", "outcome")
+_CERT_VALIDATED = BoundCounterFamily("dot.cert.validated", "valid")
 
 
 @dataclass
@@ -122,23 +133,21 @@ class DotDiscovery:
             retry_on=TRANSIENT_KINDS)
         host = self.network.host_at(address)
         country = host.country_code if host is not None else ""
-        registry = get_registry()
-        registry.observe("dot.probe.latency_ms", result.latency_ms)
+        _PROBE_LATENCY_MS.observe(result.latency_ms)
         if not result.ok:
-            registry.inc("dot.handshake.fail",
-                         kind=result.failure.value
-                         if result.failure else "unknown")
+            _HANDSHAKE_FAIL.get(result.failure.value
+                                if result.failure else "unknown").inc()
             return DotScanRecord(
                 address=address, round_index=round_index, is_dot=False,
                 error=result.error, latency_ms=result.latency_ms,
                 chain=result.presented_chain,
                 cert_report=result.cert_report, country=country)
         outcome = result.classify(self.expected_answers)
-        registry.inc("dot.handshake.ok")
-        registry.inc("dot.validation.outcome", outcome=outcome.value)
+        _HANDSHAKE_OK.inc()
+        _VALIDATION_OUTCOME.get(outcome.value).inc()
         if result.cert_report is not None:
-            registry.inc("dot.cert.validated",
-                         valid=str(result.cert_report.valid).lower())
+            _CERT_VALIDATED.get(
+                "true" if result.cert_report.valid else "false").inc()
         return DotScanRecord(
             address=address, round_index=round_index, is_dot=True,
             answer_correct=(outcome is QueryOutcome.CORRECT),

@@ -18,7 +18,15 @@ from typing import List, Optional, Set, Tuple
 from repro.core.retry import RetryPolicy
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry, get_tracer
+from repro.telemetry import BoundCounterFamily, get_tracer
+
+_PROBES_SENT = BoundCounterFamily("scan.probes_sent", "port")
+_RESPONSES = BoundCounterFamily("scan.zmap.responses", "port")
+_OPTED_OUT = BoundCounterFamily("scan.zmap.opted_out", "port")
+_PROBES_LOST = BoundCounterFamily("scan.zmap.probes_lost", "port")
+_RETRY_ATTEMPTS = BoundCounterFamily("retry.attempts", "op")
+_RETRY_RECOVERED = BoundCounterFamily("retry.recovered", "op")
+_RETRY_EXHAUSTED = BoundCounterFamily("retry.exhausted", "op")
 
 #: The study scans from 3 cloud addresses in China and the US.
 SCAN_SOURCE_SPECS: Tuple[Tuple[str, str], ...] = (
@@ -114,14 +122,12 @@ class ZmapScanner:
             background = (0 if shard is not None
                           else max(0, self.background_total
                                    - len(open_addresses)))
-            registry = get_registry()
-            registry.inc("scan.probes_sent", probed, port=str(port))
-            registry.inc("scan.zmap.responses", len(open_addresses),
-                         port=str(port))
-            registry.inc("scan.zmap.opted_out", opted_out, port=str(port))
+            port_label = str(port)
+            _PROBES_SENT.get(port_label).inc(probed)
+            _RESPONSES.get(port_label).inc(len(open_addresses))
+            _OPTED_OUT.get(port_label).inc(opted_out)
             if probes_lost:
-                registry.inc("scan.zmap.probes_lost", probes_lost,
-                             port=str(port))
+                _PROBES_LOST.get(port_label).inc(probes_lost)
             return SweepResult(
                 port=port,
                 round_index=round_index,
@@ -135,14 +141,14 @@ class ZmapScanner:
 
     def _probe_lost(self, injector, address: str, port: int) -> bool:
         """Drive the SYN probe through the retry policy; True = no answer."""
-        registry = get_registry()
+        attempts_counter = _RETRY_ATTEMPTS.get("scan.zmap")
         for attempt in range(self.retry_policy.attempts):
-            registry.inc("retry.attempts", op="scan.zmap")
+            attempts_counter.inc()
             if not injector.probe_lost(address, port):
                 if attempt > 0:
-                    registry.inc("retry.recovered", op="scan.zmap")
+                    _RETRY_RECOVERED.get("scan.zmap").inc()
                 return False
-        registry.inc("retry.exhausted", op="scan.zmap")
+        _RETRY_EXHAUSTED.get("scan.zmap").inc()
         return True
 
     def source_for_probe(self, index: int) -> ClientEnvironment:

@@ -11,6 +11,10 @@ from repro.dnswire.names import DnsName
 from repro.dnswire.rdtypes import Rcode, RRClass, RRType
 from repro.dnswire.records import ResourceRecord
 
+#: OptRecord is frozen, so every defaulted-EDNS message can share one
+#: instance instead of constructing a fresh record per query/response.
+_DEFAULT_OPT = OptRecord()
+
 
 def make_query(name: DnsName, rrtype: int = RRType.A, msg_id: int = 0,
                recursion_desired: bool = True,
@@ -24,7 +28,7 @@ def make_query(name: DnsName, rrtype: int = RRType.A, msg_id: int = 0,
     message = Message(
         header=Header(msg_id=msg_id, flags=Flags(rd=recursion_desired)),
         questions=(Question(name, rrtype, RRClass.IN),),
-        opt=OptRecord() if with_edns else None,
+        opt=_DEFAULT_OPT if with_edns else None,
     )
     if pad_block:
         message = message.with_padding_to_block(pad_block)
@@ -46,7 +50,7 @@ def make_response(query: Message,
                     ra=recursion_available),
         rcode=rcode & 0xF,
     )
-    opt = OptRecord() if query.opt is not None else None
+    opt = _DEFAULT_OPT if query.opt is not None else None
     return Message(header, query.questions, tuple(answers),
                    tuple(authorities), tuple(additionals), opt)
 

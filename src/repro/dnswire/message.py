@@ -123,14 +123,32 @@ class Message:
     def with_padding_to_block(self, block: int = 128) -> "Message":
         """Return a copy padded to a multiple of ``block`` octets."""
         from repro.dnswire.edns import PaddingOption
-        opt = self.opt if self.opt is not None else OptRecord()
-        unpadded = replace(self, opt=opt)
-        base_length = len(unpadded.encode())
+        if self.opt is not None:
+            # Padding replaces any existing padding option, so the
+            # baseline is this exact message — whose encoding is cached.
+            base_length = len(self.encode())
+            opt = self.opt
+        else:
+            opt = OptRecord()
+            base_length = len(replace(self, opt=opt).encode())
         padded_opt = opt.with_option(
             PaddingOption.pad_to_block(base_length, block))
         return replace(self, opt=padded_opt)
 
     def encode(self, compress: bool = True) -> bytes:
+        # Message and everything it contains are frozen, so the wire
+        # form is a pure function of the instance: cache it per
+        # compression mode. The cache dict lives in __dict__ (set via
+        # object.__setattr__ to bypass the frozen guard) and is invisible
+        # to dataclass eq/repr/replace, which only consider fields.
+        cache = self.__dict__.get("_wire_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_wire_cache", cache)
+        else:
+            wire = cache.get(compress)
+            if wire is not None:
+                return wire
         writer = WireWriter(enable_compression=compress)
         flag_bits = self.header.flags.to_bits()
         flag_bits |= (self.header.opcode & 0xF) << 11
@@ -147,7 +165,9 @@ class Message:
             record.encode(writer)
         if self.opt is not None:
             self.opt.encode(writer)
-        return writer.getvalue()
+        wire = writer.getvalue()
+        cache[compress] = wire
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":

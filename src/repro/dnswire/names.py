@@ -32,7 +32,14 @@ class DnsName:
     'example.com.'
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_text", "_wire")
+
+    #: Parse memo for :meth:`from_text`: the simulation builds the same
+    #: hostnames over and over (probe origins, provider names), so the
+    #: parsed result is interned per exact input string. Bounded: the
+    #: whole map is dropped once it reaches ``_INTERN_MAX`` entries.
+    _intern: dict = {}
+    _INTERN_MAX = 4096
 
     def __init__(self, labels: Tuple[bytes, ...]):
         total = sum(len(label) + 1 for label in labels) + 1
@@ -42,6 +49,8 @@ class DnsName:
             _validate_label(label)
         self._labels = tuple(labels)
         self._folded = tuple(label.lower() for label in labels)
+        self._text: str = ""
+        self._wire: bytes = b""
 
     @classmethod
     def root(cls) -> "DnsName":
@@ -51,15 +60,23 @@ class DnsName:
     @classmethod
     def from_text(cls, text: str) -> "DnsName":
         """Parse a presentation-format name such as ``"dns.example.com."``."""
+        interned = cls._intern.get(text)
+        if interned is not None:
+            return interned
         if text in ("", "."):
-            return cls.root()
-        stripped = text[:-1] if text.endswith(".") else text
-        labels = []
-        for part in stripped.split("."):
-            if not part:
-                raise NameError_(f"empty label in {text!r}")
-            labels.append(part.encode("ascii", errors="strict"))
-        return cls(tuple(labels))
+            name = cls.root()
+        else:
+            stripped = text[:-1] if text.endswith(".") else text
+            labels = []
+            for part in stripped.split("."):
+                if not part:
+                    raise NameError_(f"empty label in {text!r}")
+                labels.append(part.encode("ascii", errors="strict"))
+            name = cls(tuple(labels))
+        if len(cls._intern) >= cls._INTERN_MAX:
+            cls._intern.clear()
+        cls._intern[text] = name
+        return name
 
     @classmethod
     def from_labels(cls, labels: Iterator[bytes]) -> "DnsName":
@@ -69,11 +86,39 @@ class DnsName:
     def labels(self) -> Tuple[bytes, ...]:
         return self._labels
 
+    @property
+    def folded_labels(self) -> Tuple[bytes, ...]:
+        """Lower-cased labels (the comparison key), precomputed once."""
+        return self._folded
+
     def to_text(self) -> str:
         """Render in absolute presentation format (trailing dot)."""
+        if self._text:
+            return self._text
         if not self._labels:
-            return "."
-        return ".".join(label.decode("ascii") for label in self._labels) + "."
+            text = "."
+        else:
+            text = ".".join(label.decode("ascii")
+                            for label in self._labels) + "."
+        self._text = text
+        return text
+
+    def to_wire(self) -> bytes:
+        """Uncompressed wire encoding (len-prefixed labels + root octet).
+
+        Cached per instance — writers with compression disabled emit
+        this buffer directly instead of re-walking the labels.
+        """
+        if self._wire:
+            return self._wire
+        parts = bytearray()
+        for label in self._labels:
+            parts.append(len(label))
+            parts += label
+        parts.append(0)
+        wire = bytes(parts)
+        self._wire = wire
+        return wire
 
     def to_display(self) -> str:
         """Render without the trailing dot, as users usually write names."""

@@ -42,8 +42,13 @@ class WireWriter:
 
     def write_name(self, name: DnsName) -> None:
         """Emit a domain name, compressing suffixes seen earlier."""
+        if not self._compress:
+            # No compression state to maintain: emit the name's cached
+            # uncompressed encoding in one append.
+            self._append(name.to_wire())
+            return
         labels = name.labels
-        folded = tuple(label.lower() for label in labels)
+        folded = name.folded_labels
         for index in range(len(labels)):
             suffix = folded[index:]
             known = self._offsets.get(suffix) if self._compress else None

@@ -40,7 +40,10 @@ from repro.errors import (
     TlsError,
 )
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry
+from repro.telemetry import BoundCounterFamily
+
+_FAULTS_INJECTED = BoundCounterFamily("faults.injected",
+                                      "kind", "op", "protocol")
 
 
 class FaultKind(enum.Enum):
@@ -308,5 +311,4 @@ class FaultInjector:
 
     @staticmethod
     def _record(rule: FaultRule, op: str, protocol: str) -> None:
-        get_registry().inc("faults.injected", kind=rule.kind.value,
-                           op=op, protocol=protocol)
+        _FAULTS_INJECTED.get(rule.kind.value, op, protocol).inc()

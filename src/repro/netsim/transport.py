@@ -30,9 +30,21 @@ from repro.netsim.latency import PathProfile
 from repro.netsim.middlebox import Verdict
 from repro.netsim.network import ClientEnvironment, Network
 from repro.netsim.rand import SeededRng
-from repro.telemetry import get_registry
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundHistogram,
+)
 
 DEFAULT_TIMEOUT_S = 30.0
+
+# Transport metrics fire on every simulated exchange — bound handles
+# keep the per-operation cost to one attribute check + method call.
+_CONNECTIONS_OPENED = BoundCounter("netsim.transport.connections_opened")
+_RTT_MS = BoundHistogram("netsim.transport.rtt_ms")
+_REQUESTS = BoundCounterFamily("netsim.transport.requests", "protocol")
+_BYTES_SENT = BoundCounterFamily("netsim.transport.bytes_sent", "protocol")
+_TLS_HANDSHAKES = BoundCounterFamily("netsim.tls.handshakes", "resumed")
 
 
 def _attach_elapsed(error: TransportError, elapsed_ms: float) -> TransportError:
@@ -117,9 +129,8 @@ class TcpConnection:
                          is_local=(where == "local"))
         rtt_ms = network.latency.sample_rtt_ms(profile, rng) + injected_ms
         connection._spend(rtt_ms)
-        registry = get_registry()
-        registry.inc("netsim.transport.connections_opened")
-        registry.observe("netsim.transport.rtt_ms", rtt_ms)
+        _CONNECTIONS_OPENED.inc()
+        _RTT_MS.observe(rtt_ms)
         return connection
 
     @staticmethod
@@ -170,9 +181,8 @@ class TcpConnection:
         self.requests_sent += 1
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 256
         self.bytes_sent += size
-        registry = get_registry()
-        registry.inc("netsim.transport.requests", protocol="tcp")
-        registry.inc("netsim.transport.bytes_sent", size, protocol="tcp")
+        _REQUESTS.get("tcp").inc()
+        _BYTES_SENT.get("tcp").inc(size)
         self.network.notify_taps(self.env, self.host, self.port, "tcp", size)
         return response
 
@@ -260,8 +270,7 @@ class TlsChannel:
         connection.spend_rtts(rtts, crypto_ms=crypto + injected_ms)
         self.established = True
         self.resumed = can_resume
-        get_registry().inc("netsim.tls.handshakes",
-                           resumed=str(can_resume).lower())
+        _TLS_HANDSHAKES.get("true" if can_resume else "false").inc()
         return self
 
     def request(self, payload: Any, extra_server_ms: float = 0.0) -> Any:
@@ -351,9 +360,8 @@ class UdpExchange:
         response = service.handle(payload, ctx)
         elapsed += service.extra_latency_ms(rng) + injected_ms
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 128
-        registry = get_registry()
-        registry.inc("netsim.transport.requests", protocol="udp")
-        registry.inc("netsim.transport.bytes_sent", size, protocol="udp")
-        registry.observe("netsim.transport.rtt_ms", elapsed)
+        _REQUESTS.get("udp").inc()
+        _BYTES_SENT.get("udp").inc(size)
+        _RTT_MS.observe(elapsed)
         network.notify_taps(env, host, port, "udp", size)
         return response, elapsed

@@ -8,7 +8,14 @@ from typing import Optional, Tuple
 
 from repro.dnswire.names import DnsName
 from repro.dnswire.records import ResourceRecord
-from repro.telemetry import get_registry
+from repro.telemetry import BoundCounter
+
+# Bound once at import; each cache operation is a single inc() on the
+# live metric instead of a get_registry() + string/dict lookup.
+_HIT = BoundCounter("resolver.cache.hit")
+_MISS = BoundCounter("resolver.cache.miss")
+_EVICTION = BoundCounter("resolver.cache.eviction")
+_EXPIRATION = BoundCounter("resolver.cache.expiration")
 
 
 @dataclass
@@ -56,23 +63,24 @@ class DnsCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
-            get_registry().inc("resolver.cache.miss")
+            _MISS.inc()
             return None
         if now >= entry.expires_at:
             del self._entries[key]
             self.stats.expirations += 1
             self.stats.misses += 1
-            registry = get_registry()
-            registry.inc("resolver.cache.expiration")
-            registry.inc("resolver.cache.miss")
+            _EXPIRATION.inc()
+            _MISS.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        get_registry().inc("resolver.cache.hit")
+        _HIT.inc()
         return entry.records, entry.rcode
 
     def put(self, qname: DnsName, qtype: int, records: Tuple[ResourceRecord, ...],
             rcode: int, now: float) -> None:
+        if self.max_entries <= 0:
+            return
         if records:
             ttl = min(record.ttl for record in records)
         else:
@@ -82,10 +90,24 @@ class DnsCache:
         key = (qname, qtype)
         self._entries[key] = _Entry(tuple(records), rcode, now + ttl)
         self._entries.move_to_end(key)
+        if len(self._entries) <= self.max_entries:
+            return
+        # Over capacity: drop already-expired entries first — they were
+        # dead weight, not victims — and attribute them to expirations.
+        # Only if the cache is genuinely full of live entries does the
+        # LRU eviction path run.
+        expired = [k for k, e in self._entries.items()
+                   if now >= e.expires_at]
+        for stale_key in expired:
+            if len(self._entries) <= self.max_entries:
+                break
+            del self._entries[stale_key]
+            self.stats.expirations += 1
+            _EXPIRATION.inc()
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-            get_registry().inc("resolver.cache.eviction")
+            _EVICTION.inc()
 
     def flush(self) -> None:
         self._entries.clear()

@@ -26,7 +26,14 @@ from repro.telemetry.export import (
     write_snapshot,
 )
 from repro.telemetry.manifest import RunManifest, git_describe
+from repro.telemetry import metrics as _metrics
 from repro.telemetry.metrics import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundGauge,
+    BoundGaugeFamily,
+    BoundHistogram,
+    BoundHistogramFamily,
     Counter,
     Gauge,
     Histogram,
@@ -36,6 +43,9 @@ from repro.telemetry.spans import Span, Tracer
 
 _default_registry = MetricsRegistry()
 _default_tracer = Tracer(_default_registry)
+# Bound handles write into whichever registry is "active"; keep that
+# pointer in lock-step with the default registry at all times.
+_metrics._active_registry = _default_registry
 
 
 def get_registry() -> MetricsRegistry:
@@ -57,6 +67,7 @@ def reset_registry() -> Tuple[MetricsRegistry, Tracer]:
     global _default_registry, _default_tracer
     _default_registry = MetricsRegistry()
     _default_tracer = Tracer(_default_registry)
+    _metrics._active_registry = _default_registry
     return _default_registry, _default_tracer
 
 
@@ -71,6 +82,7 @@ def install(registry: MetricsRegistry, tracer: Tracer) -> None:
     global _default_registry, _default_tracer
     _default_registry = registry
     _default_tracer = tracer
+    _metrics._active_registry = _default_registry
 
 
 def set_sim_clock(clock) -> None:
@@ -83,6 +95,12 @@ def set_sim_clock(clock) -> None:
 
 
 __all__ = [
+    "BoundCounter",
+    "BoundCounterFamily",
+    "BoundGauge",
+    "BoundGaugeFamily",
+    "BoundHistogram",
+    "BoundHistogramFamily",
     "Counter",
     "Gauge",
     "Histogram",

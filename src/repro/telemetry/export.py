@@ -26,12 +26,20 @@ def _series_name(metric) -> str:
     return f"{metric.name}{{{rendered}}}"
 
 
+def _is_empty_histogram(metric) -> bool:
+    """Registered but never observed — has no quantiles, so exporters
+    drop it rather than serialise a shape that looks like real zeros."""
+    return isinstance(metric, Histogram) and metric.count == 0
+
+
 def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
              manifest: Optional[dict] = None,
              deterministic: bool = True) -> dict:
     """The whole telemetry state as one JSON-ready dict."""
     metrics = {}
     for metric in registry:
+        if _is_empty_histogram(metric):
+            continue
         metrics[_series_name(metric)] = metric.as_dict()
     document = {"metrics": metrics}
     if tracer is not None:
@@ -61,6 +69,8 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines = []
     seen_types = set()
     for metric in registry:
+        if _is_empty_histogram(metric):
+            continue
         flat = metric.name.replace(".", "_").replace("-", "_")
         labels = "".join(f'{key}="{value}",'
                          for key, value in metric.labels).rstrip(",")
@@ -101,6 +111,8 @@ def to_table(registry: MetricsRegistry,
     from repro.analysis.textfmt import render_table
     rows = []
     for metric in registry:
+        if _is_empty_histogram(metric):
+            continue
         name = _series_name(metric)
         if isinstance(metric, Histogram):
             rows.append((name, "histogram", metric.count,

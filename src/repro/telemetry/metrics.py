@@ -147,12 +147,17 @@ class Histogram:
         upper = cls.GROWTH ** (magnitude - 1)
         return sign * upper / math.sqrt(cls.GROWTH)
 
-    def quantile(self, q: float) -> float:
-        """Estimate the q-quantile (0 <= q <= 1) from bucket counts."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0 <= q <= 1) from bucket counts.
+
+        Returns ``None`` for an empty histogram: a never-touched series
+        has no quantiles, and reporting 0.0 would be indistinguishable
+        from a real all-zero observation stream.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
-            return 0.0
+            return None
         if q <= 0.0:
             return self.min if self.min is not None else 0.0
         if q >= 1.0:
@@ -196,6 +201,11 @@ class Histogram:
         return sorted(self._buckets.items())
 
     def as_dict(self) -> dict:
+        if self.count == 0:
+            # No observations: no quantiles to report. Exporters drop
+            # empty histograms entirely, but keep the minimal shape
+            # here so direct as_dict() callers stay well-defined.
+            return {"type": "histogram", "count": 0, "sum": 0.0}
         return {
             "type": "histogram",
             "count": self.count,
@@ -323,3 +333,130 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         self._metrics.clear()
+
+
+# -- bound handles -----------------------------------------------------------
+#
+# The convenience write paths above cost a ``get_registry()`` call, a
+# kwargs dict build, a ``_labelkey`` sort, and a dict lookup on *every*
+# increment — measurable on the hot paths (cache hits, transport
+# exchanges, retry attempts) that fire millions of times per campaign.
+#
+# A bound handle amortises all of that: it is declared once at module
+# level (``_HIT = BoundCounter("resolver.cache.hit")``) and resolves the
+# underlying metric object lazily against whichever registry is
+# currently installed, re-resolving only when the active registry is
+# swapped (``reset_registry`` / ``install`` — which the sharded executor
+# does around every shard). Between swaps, ``inc()`` is one identity
+# check plus a plain method call on the same ``Counter`` object the
+# string-keyed path would return, so snapshots stay byte-identical.
+
+#: The registry bound handles write into. ``repro.telemetry`` keeps this
+#: pointing at its default registry (it assigns on import and inside
+#: ``reset_registry``/``install``); never mutate it from anywhere else.
+_active_registry: Optional[MetricsRegistry] = None
+
+
+class _BoundHandle:
+    """Lazily-resolved view onto one metric of the active registry."""
+
+    __slots__ = ("name", "labels", "_registry", "_metric")
+
+    _factory = None  # Counter / Gauge / Histogram, set by subclasses
+
+    def __init__(self, name: str, **labels: str):
+        self.name = name
+        self.labels = labels
+        self._registry: Optional[MetricsRegistry] = None
+        self._metric = None
+
+    def resolve(self):
+        """The live metric in the active registry (rebinding if needed)."""
+        registry = _active_registry
+        if registry is not self._registry:
+            if registry is None:
+                raise RuntimeError(
+                    f"no active registry for bound metric {self.name!r}")
+            self._metric = registry._get(self._factory, self.name,
+                                         self.labels)
+            self._registry = registry
+        return self._metric
+
+
+class BoundCounter(_BoundHandle):
+    _factory = Counter
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.resolve().inc(amount)
+
+
+class BoundGauge(_BoundHandle):
+    _factory = Gauge
+
+    def set(self, value: float) -> None:
+        self.resolve().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.resolve().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.resolve().dec(amount)
+
+
+class BoundHistogram(_BoundHandle):
+    _factory = Histogram
+
+    def observe(self, value: float) -> None:
+        self.resolve().observe(value)
+
+
+class _BoundFamily:
+    """A bound handle over one metric name with *varying* label values.
+
+    For call sites whose labels are dynamic (``protocol="tcp"``,
+    ``op=label``) a single handle cannot pre-bind the metric, but the
+    family can cache the resolved metric per label-value tuple:
+
+        _REQUESTS = BoundCounterFamily("netsim.requests", "protocol")
+        _REQUESTS.get(protocol).inc()
+
+    The per-tuple cache is cleared whenever the active registry swaps.
+    """
+
+    __slots__ = ("name", "label_names", "_registry", "_metrics")
+
+    _factory = None
+
+    def __init__(self, name: str, *label_names: str):
+        self.name = name
+        self.label_names = label_names
+        self._registry: Optional[MetricsRegistry] = None
+        self._metrics: Dict[Tuple[str, ...], object] = {}
+
+    def get(self, *label_values: str):
+        """The live metric for these label values in the active registry."""
+        registry = _active_registry
+        if registry is not self._registry:
+            if registry is None:
+                raise RuntimeError(
+                    f"no active registry for bound metric {self.name!r}")
+            self._metrics = {}
+            self._registry = registry
+        metric = self._metrics.get(label_values)
+        if metric is None:
+            labels = dict(zip(self.label_names, label_values))
+            metric = registry._get(self._factory, self.name, labels)
+            self._metrics[label_values] = metric
+        return metric
+
+
+class BoundCounterFamily(_BoundFamily):
+    _factory = Counter
+
+
+class BoundGaugeFamily(_BoundFamily):
+    _factory = Gauge
+
+
+class BoundHistogramFamily(_BoundFamily):
+    _factory = Histogram

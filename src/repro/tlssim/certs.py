@@ -144,12 +144,20 @@ class CaStore:
 
     name: str = "mozilla"
     _roots: dict = field(default_factory=dict)
+    #: Memoised :func:`validate_chain` results for this store, keyed by
+    #: (chain serials, time signature, expected name). Serials are
+    #: globally unique, and the time signature captures every ``now``
+    #: comparison validation makes, so a hit is exactly the report a
+    #: fresh validation would produce. Invalidated when trust changes.
+    _validation_memo: dict = field(default_factory=dict, repr=False,
+                                   compare=False)
 
     def trust(self, authority: CertificateAuthority) -> None:
         root = authority
         while root.parent is not None:
             root = root.parent
         self._roots[root.key_id] = root
+        self._validation_memo.clear()
 
     def is_trusted_root_key(self, key_id: str) -> bool:
         return key_id in self._roots
@@ -206,8 +214,20 @@ def validate_chain(chain: Tuple[Certificate, ...], store: CaStore,
     """
     if not chain:
         return ValidationReport((ValidationFailure.EMPTY_CHAIN,))
-    failures = []
     leaf = chain[0]
+    # Scan rounds re-validate the same unchanged chains thousands of
+    # times. The memo key folds in every time-dependent predicate the
+    # checks below evaluate, so a cached report stays correct even when
+    # ``now`` crosses an expiry boundary mid-campaign (the time
+    # signature changes and the memo misses).
+    time_sig = ((now > leaf.not_after, now < leaf.not_before)
+                + tuple(parent.valid_at(now) for parent in chain[1:]))
+    memo_key = (tuple(cert.serial for cert in chain), time_sig,
+                expected_name)
+    cached = store._validation_memo.get(memo_key)
+    if cached is not None:
+        return cached
+    failures = []
     if now > leaf.not_after:
         failures.append(ValidationFailure.EXPIRED)
     elif now < leaf.not_before:
@@ -219,7 +239,9 @@ def validate_chain(chain: Tuple[Certificate, ...], store: CaStore,
         failures.extend(link_failures)
     if expected_name is not None and not leaf.matches_name(expected_name):
         failures.append(ValidationFailure.NAME_MISMATCH)
-    return ValidationReport(tuple(failures), subject_cn=leaf.subject_cn)
+    report = ValidationReport(tuple(failures), subject_cn=leaf.subject_cn)
+    store._validation_memo[memo_key] = report
+    return report
 
 
 def _check_linkage(chain: Tuple[Certificate, ...], store: CaStore,

@@ -165,15 +165,25 @@ def _round_span(rng: SeededRng, first_count: int, last_count: int,
     return 0, max(0, last_round)
 
 
-def build_provider_population(rng: SeededRng,
-                              total_rounds: int = 10) -> List[ProviderSpec]:
-    """Generate the full provider ground truth."""
+def build_provider_population(
+        rng: SeededRng, total_rounds: int = 10,
+        reserved: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> List[ProviderSpec]:
+    """Generate the full provider ground truth.
+
+    ``reserved`` maps country codes to (first-scan, last-scan) resolver
+    counts contributed by hosts *outside* this population — e.g. the
+    platform's own self-built DoT resolver — so the long-tail top-up
+    leaves room for them and the scans still land exactly on the
+    Table 2 targets.
+    """
     allocator = _AddressAllocator()
     providers: List[ProviderSpec] = []
     providers.extend(_large_providers(allocator, total_rounds))
     providers.extend(_misconfigured_providers(rng, allocator, total_rounds))
     providers.extend(_fortigate_devices(rng, allocator, total_rounds))
-    _fill_long_tail(providers, rng, allocator, total_rounds)
+    _fill_long_tail(providers, rng, allocator, total_rounds,
+                    reserved=reserved)
     providers.extend(_doh_only_providers())
     return providers
 
@@ -296,7 +306,7 @@ _MID_PROVIDER_SPECS: Tuple[Tuple[str, str, int, int], ...] = (
     ("opennic-de.example", "DE", 30, 45),
     ("fdn-fr.example", "FR", 30, 30),
     ("giganet-br.example", "BR", 10, 35),
-    ("rudns-ru.example", "RU", 5, 25),
+    ("rudns-ru.example", "RU", 4, 25),
     ("nlnet-dns.example", "NL", 15, 15),
     ("iij-jp.example", "JP", 15, 10),
 )
@@ -423,10 +433,12 @@ def _fortigate_devices(rng: SeededRng, allocator: _AddressAllocator,
 
 def _fill_long_tail(providers: List[ProviderSpec], rng: SeededRng,
                     allocator: _AddressAllocator,
-                    total_rounds: int) -> None:
+                    total_rounds: int,
+                    reserved: Optional[Dict[str, Tuple[int, int]]] = None,
+                    ) -> None:
     """Top up each country to its Table 2 / long-tail target counts."""
     final_round = total_rounds - 1
-    allocated: Dict[str, Tuple[int, int]] = {}
+    allocated: Dict[str, Tuple[int, int]] = dict(reserved or {})
     for spec in providers:
         for address in spec.addresses:
             first_total, last_total = allocated.get(address.country, (0, 0))

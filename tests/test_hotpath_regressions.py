@@ -1,0 +1,233 @@
+"""Regression tests for the hot-path performance pass.
+
+Pins the four bug fixes that rode along with the bound-handle /
+memo-cache work, plus the determinism contract of the bound handles
+themselves: binding a metric once at import must never change a byte
+of the exported snapshot relative to the string-keyed
+``get_registry().inc(...)`` path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.tables import _growth_percent
+from repro.core.parallel import ShardPlan
+from repro.dnswire import DnsName, Rcode, ResourceRecord, RRType
+from repro.resolvers import DnsCache
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundGauge,
+    BoundHistogram,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.export import snapshot, to_json, to_prometheus, to_table
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Isolate the process-wide registry these tests write into."""
+    telemetry.reset_registry()
+    yield
+    telemetry.reset_registry()
+
+
+# -- Table 2 growth formatting ------------------------------------------------
+
+
+class TestGrowthPercent:
+    def test_truncates_toward_zero_for_losses(self):
+        # JP in the paper: 34 -> 27 is -20.6%, printed as -20%, not -21%.
+        assert _growth_percent(34, 27) == -20
+
+    def test_exact_percentages_survive_float_representation(self):
+        # US: 100 -> 531 is exactly +431%, but 431/100*100 in binary
+        # floating point is 430.999..., which int() would truncate to
+        # 430. The integer path must not lose the exact value.
+        assert _growth_percent(100, 531) == 431
+
+    def test_paper_table2_growth_column(self):
+        cases = {
+            (456, 951): 108, (257, 40): -84, (100, 531): 431,
+            (71, 86): 21, (59, 56): -5, (34, 27): -20, (30, 36): 20,
+            (25, 21): -16, (22, 49): 122, (17, 40): 135,
+        }
+        for (first, last), expected in cases.items():
+            assert _growth_percent(first, last) == expected
+
+    def test_zero_baseline_reports_zero(self):
+        assert _growth_percent(0, 50) == 0
+
+    def test_no_change_is_plus_zero(self):
+        assert _growth_percent(42, 42) == 0
+
+
+# -- empty histograms ---------------------------------------------------------
+
+
+class TestEmptyHistogram:
+    def test_quantile_is_none(self):
+        histogram = Histogram("latency_ms")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.0) is None
+        assert histogram.quantile(1.0) is None
+
+    def test_quantile_defined_after_first_observation(self):
+        histogram = Histogram("latency_ms")
+        histogram.observe(10.0)
+        assert histogram.quantile(0.5) is not None
+
+    def test_as_dict_has_no_quantiles(self):
+        histogram = Histogram("latency_ms")
+        assert histogram.as_dict() == {
+            "type": "histogram", "count": 0, "sum": 0.0}
+
+    def test_exporters_omit_empty_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("seen.latency_ms", 5.0)
+        registry.histogram("never.touched_ms")  # registered, empty
+        registry.inc("requests")
+
+        snap = snapshot(registry)
+        assert "seen.latency_ms" in snap["metrics"]
+        assert "never.touched_ms" not in snap["metrics"]
+        assert "never.touched_ms" not in to_json(registry)
+        assert "never.touched_ms" not in to_prometheus(registry)
+        assert "never.touched_ms" not in to_table(registry)
+        assert "requests" in snap["metrics"]
+
+
+# -- shard-plan edge cases ----------------------------------------------------
+
+
+class TestShardPlanEdgeCases:
+    def test_zero_items_yields_empty_plan(self):
+        plan = ShardPlan.for_items(0, 16)
+        assert len(plan) == 0
+        assert plan.shards == ()
+        assert [shard.slice([]) for shard in plan] == []
+
+    def test_shard_total_is_plan_width_not_item_count(self):
+        plan = ShardPlan.for_items(10, 4)
+        for shard in plan:
+            assert shard.shard_total == 4
+            assert shard.shard_total == plan.shard_count
+        # item counts differ per shard; shard_total never does.
+        assert sorted(len(shard) for shard in plan) == [2, 2, 3, 3]
+
+
+# -- DnsCache eviction policy -------------------------------------------------
+
+
+WWW = DnsName.from_text("www.example.com")
+
+
+def _record(name: DnsName, ttl: int = 300) -> ResourceRecord:
+    return ResourceRecord.a(name, "192.0.2.1", ttl=ttl)
+
+
+class TestDnsCacheEviction:
+    def test_expired_entries_purged_before_live_eviction(self):
+        cache = DnsCache(max_entries=2)
+        dead = DnsName.from_text("dead.example.com")
+        live = DnsName.from_text("live.example.com")
+        cache.put(dead, RRType.A, (_record(dead, ttl=10),),
+                  Rcode.NOERROR, now=0.0)
+        cache.put(live, RRType.A, (_record(live, ttl=600),),
+                  Rcode.NOERROR, now=0.0)
+        # At now=100 the first entry is expired. Inserting a third
+        # must drop the corpse, not evict the live LRU victim.
+        cache.put(WWW, RRType.A, (_record(WWW),), Rcode.NOERROR, now=100.0)
+        assert len(cache) == 2
+        assert cache.get(live, RRType.A, now=100.0) is not None
+        assert cache.get(WWW, RRType.A, now=100.0) is not None
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 0
+
+    def test_lru_eviction_still_runs_when_all_entries_live(self):
+        cache = DnsCache(max_entries=2)
+        for index in range(3):
+            name = DnsName.from_text(f"h{index}.example.com")
+            cache.put(name, RRType.A, (_record(name),),
+                      Rcode.NOERROR, now=0.0)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+
+    def test_zero_capacity_cache_stores_nothing(self):
+        cache = DnsCache(max_entries=0)
+        cache.put(WWW, RRType.A, (_record(WWW),), Rcode.NOERROR, now=0.0)
+        assert len(cache) == 0
+        assert cache.stats.evictions == 0
+        assert cache.get(WWW, RRType.A, now=0.0) is None
+
+
+# -- bound-handle determinism -------------------------------------------------
+
+
+class TestBoundHandleDeterminism:
+    def test_snapshot_byte_identical_to_string_keyed_path(self):
+        """The same op stream through handles and string lookups must
+        serialise to the same bytes."""
+        bound_registry, _ = telemetry.reset_registry()
+        requests = BoundCounterFamily("transport.requests", "protocol")
+        opened = BoundCounter("transport.connections_opened")
+        depth = BoundGauge("transport.queue_depth")
+        rtt = BoundHistogram("transport.rtt_ms")
+        for index in range(20):
+            requests.get("dot" if index % 2 else "doh").inc()
+            opened.inc()
+            depth.set(float(index))
+            rtt.observe(1.5 * index)
+        bound_json = to_json(bound_registry)
+
+        string_registry = MetricsRegistry()
+        for index in range(20):
+            string_registry.inc("transport.requests",
+                               protocol="dot" if index % 2 else "doh")
+            string_registry.inc("transport.connections_opened")
+            string_registry.set_gauge("transport.queue_depth", float(index))
+            string_registry.observe("transport.rtt_ms", 1.5 * index)
+        assert to_json(string_registry) == bound_json
+
+    def test_handles_rebind_across_registry_swaps(self):
+        """reset_registry()/install() swap the active registry out from
+        under import-time handles; writes must follow the swap, exactly
+        as the per-shard telemetry sandbox requires."""
+        counter = BoundCounter("swap.test_counter")
+        first_registry, _ = telemetry.reset_registry()
+        counter.inc()
+        second_registry, second_tracer = telemetry.reset_registry()
+        counter.inc(2.0)
+        assert first_registry.get("swap.test_counter").value == 1.0
+        assert second_registry.get("swap.test_counter").value == 2.0
+        # install() restores a captured pair; the handle must follow back.
+        telemetry.install(first_registry, second_tracer)
+        counter.inc(5.0)
+        assert first_registry.get("swap.test_counter").value == 6.0
+        assert second_registry.get("swap.test_counter").value == 2.0
+
+    def test_family_cache_cleared_on_registry_swap(self):
+        family = BoundCounterFamily("swap.family_counter", "op")
+        first_registry, _ = telemetry.reset_registry()
+        family.get("a").inc()
+        second_registry, _ = telemetry.reset_registry()
+        family.get("a").inc(3.0)
+        assert first_registry.get("swap.family_counter",
+                                  op="a").value == 1.0
+        assert second_registry.get("swap.family_counter",
+                                   op="a").value == 3.0
+
+    def test_bound_cache_metrics_land_in_default_registry(self):
+        """The migrated DnsCache counters keep writing the same series
+        names the string-keyed implementation used."""
+        registry, _ = telemetry.reset_registry()
+        cache = DnsCache()
+        cache.get(WWW, RRType.A, now=0.0)
+        cache.put(WWW, RRType.A, (_record(WWW),), Rcode.NOERROR, now=0.0)
+        cache.get(WWW, RRType.A, now=0.0)
+        assert registry.get("resolver.cache.miss").value == 1.0
+        assert registry.get("resolver.cache.hit").value == 1.0

@@ -51,7 +51,8 @@ class TestShardPlan:
         # exactly — which implies disjointness and full coverage.
         assert sum(pieces, []) == items
         sizes = [len(piece) for piece in pieces]
-        assert max(sizes) - min(sizes) <= 1
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
 
     @settings(deadline=None)
     @given(ITEM_COUNTS, SHARD_COUNTS)
@@ -67,8 +68,12 @@ class TestShardPlan:
     @given(ITEM_COUNTS, SHARD_COUNTS)
     def test_shard_count_clamped(self, item_count, shard_count):
         plan = ShardPlan.for_items(item_count, shard_count)
-        assert len(plan) == max(1, min(shard_count, max(1, item_count)))
+        if item_count == 0:
+            assert len(plan) == 0
+        else:
+            assert len(plan) == max(1, min(shard_count, item_count))
         assert [shard.index for shard in plan] == list(range(len(plan)))
+        assert all(shard.shard_total == plan.shard_count for shard in plan)
 
     @settings(deadline=None)
     @given(ITEM_COUNTS, SHARD_COUNTS,
@@ -86,10 +91,10 @@ class TestShardPlan:
     def test_default_shard_count(self, item_count):
         assert len(ShardPlan.for_items(item_count)) == DEFAULT_SHARDS
 
-    def test_empty_input_single_empty_shard(self):
+    def test_empty_input_yields_empty_plan(self):
         plan = ShardPlan.for_items(0, 16)
-        assert len(plan) == 1
-        assert len(plan.shards[0]) == 0
+        assert len(plan) == 0
+        assert plan.shards == ()
 
     def test_invalid_arguments_rejected(self):
         with pytest.raises(ValueError):

@@ -118,10 +118,11 @@ class TestHistogram:
         assert histogram.quantile(0.5) == 0.0
         assert histogram.quantile(0.1) < 0.0
 
-    def test_empty_histogram_quantile_is_zero(self):
+    def test_empty_histogram_has_no_quantiles(self):
         histogram = MetricsRegistry().histogram("latency")
-        assert histogram.quantile(0.5) == 0.0
-        assert histogram.as_dict()["count"] == 0
+        assert histogram.quantile(0.5) is None
+        assert histogram.as_dict() == {"type": "histogram", "count": 0,
+                                       "sum": 0.0}
 
     def test_quantile_range_validated(self):
         histogram = MetricsRegistry().histogram("latency")
