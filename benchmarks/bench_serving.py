@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The serving benchmark — sustained qps and tail latency per protocol.
+
+Runs one single-protocol serving leg each for Do53, DoT and DoH (10k
+queries through the full client → wire codec → frontend → cache →
+backend path by default), an overload leg that must complete by
+shedding rather than stalling, and a reproducibility check that two
+same-seed runs serialize byte-identical scorecards. Results go to
+``BENCH_SERVING.json`` next to this file.
+
+``scripts/check.sh`` runs this with a small ``--queries`` as an
+error-only gate: wall-clock qps is recorded but never asserted on
+(machine variance), while the schema, the shed counters and the
+byte-identity check are hard failures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--queries 10000]
+        [--qps 500] [--seed 2019] [--out benchmarks/BENCH_SERVING.json]
+        [--validate PATH [--min-queries N]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.serving import BenchConfig, run_serving_bench, validate_document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=10_000,
+                        help="queries per protocol leg (default: 10000)")
+    parser.add_argument("--qps", type=float, default=500.0,
+                        help="offered rate per leg (default: 500)")
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="world + workload seed (default: 2019)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_SERVING.json"))
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing document and exit")
+    parser.add_argument("--min-queries", type=int, default=None,
+                        help="served floor for --validate (default: the "
+                             "document's own queries_per_protocol)")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_document(document, min_queries=args.min_queries)
+        except (OSError, ValueError) as error:
+            print(f"error: {args.validate}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid serving benchmark document")
+        return 0
+
+    config = BenchConfig(seed=args.seed,
+                         queries_per_protocol=args.queries,
+                         qps=args.qps)
+    document = run_serving_bench(
+        config, log=lambda text: print(text, file=sys.stderr))
+    validate_document(document)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

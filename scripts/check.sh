@@ -51,3 +51,17 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     --out benchmarks/BENCH_HOTPATH.tmp.json >/dev/null
 rm -f benchmarks/BENCH_HOTPATH.tmp.json
 echo "ok (see benchmarks/BENCH_HOTPATH.json for the recorded run)"
+
+# Serving benchmark, error-only gate: a small run must exit cleanly and
+# its document must pass the schema validator (shed counters present,
+# same-seed scorecards byte-identical). qps numbers are never asserted
+# on — they depend on the machine running the check.
+echo "== serving benchmark =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_serving.py --queries 1000 \
+    --out benchmarks/BENCH_SERVING.tmp.json >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_serving.py \
+    --validate benchmarks/BENCH_SERVING.tmp.json --min-queries 1000
+rm -f benchmarks/BENCH_SERVING.tmp.json
+echo "ok (see benchmarks/BENCH_SERVING.json for the recorded run)"

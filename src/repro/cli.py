@@ -9,7 +9,9 @@ Commands mirror the paper's measurement legs:
 * ``compare`` — the protocol comparison (Tables 1 and 8);
 * ``report`` — everything, as one text report;
 * ``release`` — write the machine-readable dataset release;
-* ``telemetry`` — run a small scenario and print its metrics/spans.
+* ``telemetry`` — run a small scenario and print its metrics/spans;
+* ``serve`` — run one scored serving workload (resolver-as-a-service);
+* ``bench-serving`` — the qps/tail-latency serving benchmark.
 
 Every command honours ``--metrics-out PATH`` (a global option, given
 before the command name): after the command finishes, the process-wide
@@ -83,7 +85,62 @@ def build_parser() -> argparse.ArgumentParser:
     tele.add_argument("--format", choices=("table", "json", "prom"),
                       default="table",
                       help="stdout format (default: table)")
+    serve = sub.add_parser(
+        "serve",
+        help="run one scored serving workload against the sim resolver")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="workload duration, sim seconds (default: 30)")
+    serve.add_argument("--qps", type=float, default=200.0,
+                       help="offered rate at the start (default: 200)")
+    serve.add_argument("--qps-end", type=float, default=None,
+                       help="end rate for a linear ramp (default: flat)")
+    serve.add_argument("--clients", type=int, default=32,
+                       help="client population size (default: 32)")
+    serve.add_argument("--names", type=int, default=1024,
+                       help="queryable name-universe size (default: 1024)")
+    serve.add_argument("--mix", default="do53=1,dot=1,doh=1",
+                       help="protocol mix as name=weight pairs "
+                            "(default: do53=1,dot=1,doh=1)")
+    serve.add_argument("--concurrency", type=int, default=64,
+                       help="in-flight query slots (default: 64)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission-control queue bound; arrivals "
+                            "beyond it are shed (default: 256)")
+    serve.add_argument("--format", choices=("table", "json"),
+                       default="table",
+                       help="scorecard output format (default: table)")
+    bench = sub.add_parser(
+        "bench-serving",
+        help="sustained per-protocol serving benchmark -> "
+             "BENCH_SERVING.json")
+    bench.add_argument("--queries", type=int, default=10_000,
+                       help="queries per protocol leg (default: 10000)")
+    bench.add_argument("--qps", type=float, default=500.0,
+                       help="offered rate per leg (default: 500)")
+    bench.add_argument("--out", default="BENCH_SERVING.json",
+                       help="output path (default: ./BENCH_SERVING.json)")
+    bench.add_argument("--validate", metavar="PATH", default=None,
+                       help="validate an existing document instead of "
+                            "running the benchmark")
+    bench.add_argument("--min-queries", type=int, default=None,
+                       help="served-queries floor for --validate "
+                            "(default: the document's own target)")
     return parser
+
+
+def _parse_mix(text: str) -> dict:
+    """``do53=1,dot=2`` → ``{"do53": 1.0, "dot": 2.0}``."""
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        try:
+            mix[name.strip()] = float(weight) if weight else 1.0
+        except ValueError:
+            raise ValueError(f"bad mix entry {part!r}")
+    return mix
 
 
 def _parallel_config(args: argparse.Namespace) -> Optional[ParallelConfig]:
@@ -185,6 +242,72 @@ def cmd_telemetry(suite: ExperimentSuite, args: argparse.Namespace) -> None:
         print(telemetry.span_tree_text(tracer))
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError
+    from repro.serving import (
+        ResolverScorecard,
+        ServingConfig,
+        ServingEngine,
+        ServingWorld,
+        ServingWorldConfig,
+        WorkloadSpec,
+    )
+
+    try:
+        mix = _parse_mix(args.mix)
+    except ValueError as error:
+        print(f"error: --mix: {error}", file=sys.stderr)
+        return 2
+    world = ServingWorld.build(ServingWorldConfig(
+        seed=args.seed, clients=args.clients, names=args.names))
+    engine = ServingEngine(world, ServingConfig(
+        concurrency=args.concurrency, max_queue=args.max_queue))
+    spec = WorkloadSpec(duration_s=args.duration, qps_start=args.qps,
+                        qps_end=args.qps_end, clients=args.clients,
+                        names=args.names, protocol_mix=mix)
+    try:
+        report = engine.run(spec)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+    card = ResolverScorecard.from_report(report, seed=args.seed)
+    if args.format == "json":
+        sys.stdout.write(card.to_json_bytes().decode())
+    else:
+        print(card.to_table())
+    return 0
+
+
+def cmd_bench_serving(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serving import BenchConfig, run_serving_bench, \
+        validate_document
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                document = _json.load(handle)
+            validate_document(document, min_queries=args.min_queries)
+        except (OSError, ValueError) as error:
+            print(f"error: {args.validate}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid serving benchmark document")
+        return 0
+    config = BenchConfig(seed=args.seed, queries_per_protocol=args.queries,
+                         qps=args.qps)
+    document = run_serving_bench(
+        config, log=lambda text: print(text, file=sys.stderr))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        _json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(_json.dumps(document, indent=2, sort_keys=True))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_release(suite: ExperimentSuite, directory: str) -> None:
     from repro.analysis.export import write_release
     _, netflow = suite.netflow_report()
@@ -233,6 +356,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         cmd_compare(None)
         return _write_metrics(args, None)
+    if args.command == "serve":
+        status = cmd_serve(args)
+        return status or _write_metrics(args, None)
+    if args.command == "bench-serving":
+        status = cmd_bench_serving(args)
+        return status or _write_metrics(args, None)
     suite = _make_suite(args)
     if args.command == "scan":
         cmd_scan(suite)

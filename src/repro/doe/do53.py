@@ -39,12 +39,22 @@ def error_latency_ms(error: TransportError) -> float:
 
 
 class Do53Client:
-    """Clear-text DNS lookups, with TCP connection pooling for reuse."""
+    """Clear-text DNS lookups, with TCP connection pooling for reuse.
+
+    Pooled TCP connections honour the server's edns-tcp-keepalive
+    advertisement (RFC 7828): a connection idle past the advertised
+    window is treated as closed by the server and reopened instead of
+    reused — the same lifetime rule :class:`repro.doe.dot.DotClient`
+    applies to its TLS sessions.
+    """
 
     def __init__(self, network: Network, rng: SeededRng):
         self.network = network
         self.rng = rng
         self._pool: Dict[Tuple[str, str], TcpConnection] = {}
+        #: RFC 7828 idle deadlines (sim time) per pooled connection;
+        #: absent = the server never advertised a keepalive window.
+        self._idle_deadlines: Dict[Tuple[str, str], float] = {}
 
     # -- UDP -----------------------------------------------------------------
 
@@ -75,7 +85,18 @@ class Do53Client:
                   timeout_s: float = 5.0) -> QueryResult:
         key = (env.label, resolver_ip)
         connection = self._pool.get(key) if reuse else None
-        reused = connection is not None and not connection.closed
+        if connection is not None:
+            deadline = self._idle_deadlines.get(key)
+            if connection.closed or (
+                    deadline is not None
+                    and self.network.clock.now() > deadline):
+                # Idle past the advertised RFC 7828 window: the server
+                # has torn the connection down; reconnect.
+                connection.close()
+                connection = None
+                self._pool.pop(key, None)
+                self._idle_deadlines.pop(key, None)
+        reused = connection is not None
         latency = 0.0
         try:
             if not reused:
@@ -92,6 +113,7 @@ class Do53Client:
             latency += connection.elapsed_ms - before
         except TransportError as error:
             self._pool.pop(key, None)
+            self._idle_deadlines.pop(key, None)
             return QueryResult.failed(
                 "do53-tcp", resolver_ip, latency + error_latency_ms(error),
                 classify_transport_error(error), str(error),
@@ -105,6 +127,12 @@ class Do53Client:
         finally:
             if not reuse:
                 connection.close()
+        if reuse and response.opt is not None:
+            from repro.dnswire.edns import KeepaliveOption
+            timeout = KeepaliveOption.timeout_from(response.opt)
+            if timeout is not None:
+                self._idle_deadlines[key] = (self.network.clock.now()
+                                             + timeout)
         return QueryResult.answered("do53-tcp", resolver_ip, latency,
                                     response, reused_connection=reused)
 
@@ -112,3 +140,4 @@ class Do53Client:
         for connection in self._pool.values():
             connection.close()
         self._pool.clear()
+        self._idle_deadlines.clear()

@@ -8,7 +8,7 @@ from typing import Optional, Tuple
 
 from repro.dnswire.names import DnsName
 from repro.dnswire.records import ResourceRecord
-from repro.telemetry import BoundCounter
+from repro.telemetry import BoundCounter, BoundCounterFamily
 
 # Bound once at import; each cache operation is a single inc() on the
 # live metric instead of a get_registry() + string/dict lookup.
@@ -16,21 +16,64 @@ _HIT = BoundCounter("resolver.cache.hit")
 _MISS = BoundCounter("resolver.cache.miss")
 _EVICTION = BoundCounter("resolver.cache.eviction")
 _EXPIRATION = BoundCounter("resolver.cache.expiration")
+#: Capacity-driven removals only (the overflow path of ``put``), split
+#: by what was removed: ``reason=expired`` counts dead entries purged
+#: under pressure, ``reason=lru`` live entries sacrificed to make room.
+#: A warming cache shows only expirations; a thrashing one shows lru.
+_PRESSURE = BoundCounterFamily("resolver.cache.pressure", "reason")
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, exposed for cache-behaviour tests and ablations."""
+    """Hit/miss counters, exposed for cache-behaviour tests and ablations.
+
+    Sharded runs discard the per-shard :class:`DnsCache` objects and keep
+    only merged telemetry, so these stats can also be reconstructed from
+    a (merged) registry via :meth:`from_registry` — the hit ratio then
+    reflects every shard's traffic, not just the surviving cache object.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     expirations: int = 0
+    #: Capacity-pressure removals (subset of evictions/expirations).
+    pressure_lru: int = 0
+    pressure_expired: int = 0
 
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def merge_from(self, other: "CacheStats") -> "CacheStats":
+        """Fold another cache's stats in (plain sums, like counters)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.expirations += other.expirations
+        self.pressure_lru += other.pressure_lru
+        self.pressure_expired += other.pressure_expired
+        return self
+
+    @classmethod
+    def from_registry(cls, registry) -> "CacheStats":
+        """Rebuild stats from ``resolver.cache.*`` counters.
+
+        Works on any :class:`~repro.telemetry.MetricsRegistry`, including
+        one assembled by ``MetricsRegistry.merge`` from shard fragments —
+        the path sharded serving runs use to report correct hit ratios.
+        """
+        return cls(
+            hits=int(registry.value("resolver.cache.hit")),
+            misses=int(registry.value("resolver.cache.miss")),
+            evictions=int(registry.value("resolver.cache.eviction")),
+            expirations=int(registry.value("resolver.cache.expiration")),
+            pressure_lru=int(registry.value("resolver.cache.pressure",
+                                            reason="lru")),
+            pressure_expired=int(registry.value("resolver.cache.pressure",
+                                                reason="expired")),
+        )
 
 
 @dataclass(frozen=True)
@@ -103,11 +146,15 @@ class DnsCache:
                 break
             del self._entries[stale_key]
             self.stats.expirations += 1
+            self.stats.pressure_expired += 1
             _EXPIRATION.inc()
+            _PRESSURE.get("expired").inc()
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self.stats.pressure_lru += 1
             _EVICTION.inc()
+            _PRESSURE.get("lru").inc()
 
     def flush(self) -> None:
         self._entries.clear()

@@ -130,6 +130,11 @@ class DohService(_BackendService):
     the diagnosis step that fetches resolver front pages).
     """
 
+    #: Largest POST body accepted; a DNS message cannot legitimately
+    #: exceed the 16-bit wire length, so anything bigger is junk the
+    #: serving loop must reject (413) rather than decode.
+    MAX_POST_BYTES = 65_535
+
     def __init__(self, backend: ResolverBackend, tls: TlsConfig,
                  path: str = "/dns-query",
                  base_overhead_ms: float = 5.0,
@@ -137,7 +142,8 @@ class DohService(_BackendService):
                  webpage_html: Optional[str] = None,
                  supports_get: bool = True,
                  supports_post: bool = True,
-                 supports_json: bool = False):
+                 supports_json: bool = False,
+                 max_post_bytes: Optional[int] = None):
         super().__init__(backend, base_overhead_ms, overhead_sigma_ms)
         self.tls = tls
         self.path = path
@@ -146,6 +152,8 @@ class DohService(_BackendService):
         self.supports_post = supports_post
         #: Also answer Google-style JSON API queries (?name=&type=).
         self.supports_json = supports_json
+        self.max_post_bytes = (self.MAX_POST_BYTES if max_post_bytes is None
+                               else max_post_bytes)
 
     def handle(self, payload: HttpRequest, ctx: ServiceContext) -> HttpResponse:
         if not isinstance(payload, HttpRequest):
@@ -222,6 +230,10 @@ class DohService(_BackendService):
                 raise _DohRequestError(405, "POST not supported")
             if request.header("content-type") != DOH_MEDIA_TYPE:
                 raise _DohRequestError(415, "wrong content type")
+            if len(request.body) > self.max_post_bytes:
+                raise _DohRequestError(
+                    413, f"body of {len(request.body)} octets exceeds "
+                         f"{self.max_post_bytes}")
             return request.body
         raise _DohRequestError(405, f"method {request.method} not allowed")
 
@@ -252,17 +264,22 @@ def install_resolver_frontends(
         protocols: tuple = ("do53-udp", "do53-tcp", "dot", "doh"),
         doh_path: str = "/dns-query",
         doh_backend: Optional[ResolverBackend] = None,
-        webpage_html: Optional[str] = None) -> Host:
+        webpage_html: Optional[str] = None,
+        do53_keepalive_s: Optional[float] = None) -> Host:
     """Bind the requested protocol frontends onto a host.
 
     ``doh_backend`` lets the DoH frontend run a different policy than the
     other frontends — exactly the Quad9 situation, where only the DoH
-    path went through the flaky internal forwarder.
+    path went through the flaky internal forwarder. ``do53_keepalive_s``
+    turns on RFC 7828 keepalive advertisements on the clear-text TCP
+    frontend (the serving world uses it to drive pool lifetimes); the
+    default None preserves the historical bare-TCP responses.
     """
     if "do53-udp" in protocols:
         host.bind("udp", 53, Do53UdpService(backend))
     if "do53-tcp" in protocols:
-        host.bind("tcp", 53, Do53TcpService(backend))
+        host.bind("tcp", 53, Do53TcpService(
+            backend, keepalive_timeout_s=do53_keepalive_s))
     if "dot" in protocols:
         if tls is None:
             raise WireFormatError("DoT frontend requires a TLS config")

@@ -1,0 +1,65 @@
+"""repro.serving — resolver-as-a-service on the simulated stack.
+
+The serving subsystem turns the resolver frontends into a load-bearing
+service: a seeded workload generator (Zipf name popularity, per-client
+protocol mix, linear qps ramps), a keepalive-honouring connection-reuse
+pool, a serving engine with batching and bounded-queue admission
+control, and a DNSgauge-style scorer. ``repro serve`` runs one scored
+workload; ``repro bench-serving`` produces ``BENCH_SERVING.json``.
+
+Determinism contract: all latency and ordering derives from the sim
+clock and forked seeded rng streams, so two runs with the same seed
+produce byte-identical scorecards. Wall-clock throughput appears only
+in benchmark documents, never inside a scorecard.
+"""
+
+from repro.serving.bench import (
+    BENCH_PROTOCOLS,
+    BenchConfig,
+    run_serving_bench,
+    validate_document,
+)
+from repro.serving.engine import (
+    ProtocolStats,
+    ServingConfig,
+    ServingEngine,
+    ServingReport,
+)
+from repro.serving.pool import ConnectionReusePool
+from repro.serving.scorer import (
+    ProtocolScore,
+    ResolverScorecard,
+    score_protocol,
+)
+from repro.serving.workload import (
+    SERVING_PROTOCOLS,
+    QueryEvent,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfSampler,
+    assign_protocols,
+)
+from repro.serving.world import ServingWorld, ServingWorldConfig
+
+__all__ = [
+    "BENCH_PROTOCOLS",
+    "BenchConfig",
+    "ConnectionReusePool",
+    "ProtocolScore",
+    "ProtocolStats",
+    "QueryEvent",
+    "ResolverScorecard",
+    "SERVING_PROTOCOLS",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingReport",
+    "ServingWorld",
+    "ServingWorldConfig",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "assign_protocols",
+    "run_serving_bench",
+    "score_protocol",
+    "validate_document",
+]

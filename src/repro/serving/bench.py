@@ -1,0 +1,235 @@
+"""The serving benchmark: sustained per-protocol legs + overload + repro.
+
+Three kinds of evidence go into ``BENCH_SERVING.json``:
+
+* **Throughput legs** — one single-protocol run each for Do53, DoT and
+  DoH, sized to push 10k+ queries through the full client → wire codec
+  → frontend → cache → backend path, reporting wall-clock qps alongside
+  the sim-time latency tail (p50/p95/p99/p99.9).
+* **Overload leg** — a deliberately under-provisioned engine driven far
+  past capacity; the run must *complete* with shed-query counters
+  instead of stalling, which is the admission-control contract.
+* **Reproducibility check** — two identical seeded runs whose
+  scorecards must serialize to byte-identical JSON.
+
+Wall-clock numbers live only in this document, never in scorecards, so
+the scorecard byte-identity gate survives machine-speed variance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import telemetry
+from repro.errors import ScenarioError
+from repro.serving.engine import ServingConfig, ServingEngine
+from repro.serving.scorer import ResolverScorecard
+from repro.serving.workload import WorkloadSpec
+from repro.serving.world import ServingWorld, ServingWorldConfig
+
+BENCH_SCHEMA_VERSION = 1
+
+#: The protocol legs the acceptance gate requires.
+BENCH_PROTOCOLS = ("do53", "dot", "doh")
+
+
+@dataclass
+class BenchConfig:
+    """Knobs for one full benchmark run."""
+
+    seed: int = 2019
+    queries_per_protocol: int = 10_000
+    #: Flat offered rate per leg; duration is derived from it.
+    qps: float = 500.0
+    clients: int = 64
+    names: int = 2_048
+    concurrency: int = 256
+    max_queue: int = 1_024
+    #: Overload leg: a tiny engine driven at ``qps`` for this long.
+    overload_duration_s: float = 5.0
+    overload_concurrency: int = 4
+    overload_max_queue: int = 16
+    #: Reproducibility check size (two runs of this many queries).
+    repro_queries: int = 1_500
+
+    def validate(self) -> "BenchConfig":
+        if self.queries_per_protocol <= 0:
+            raise ScenarioError("queries_per_protocol must be positive")
+        if self.qps <= 0:
+            raise ScenarioError("qps must be positive")
+        return self
+
+
+def _build_engine(config: BenchConfig,
+                  engine_config: ServingConfig) -> ServingEngine:
+    world = ServingWorld.build(ServingWorldConfig(
+        seed=config.seed, clients=config.clients, names=config.names))
+    return ServingEngine(world, engine_config)
+
+
+def run_protocol_leg(config: BenchConfig, protocol: str) -> dict:
+    """One sustained single-protocol leg; returns its JSON fragment."""
+    telemetry.reset_registry()
+    engine = _build_engine(config, ServingConfig(
+        concurrency=config.concurrency, max_queue=config.max_queue))
+    duration = max(1.0, round(config.queries_per_protocol / config.qps))
+    spec = WorkloadSpec(
+        duration_s=duration, qps_start=config.qps,
+        clients=config.clients, names=config.names,
+        protocol_mix={protocol: 1.0})
+    start = time.perf_counter()
+    report = engine.run(spec)
+    wall_s = time.perf_counter() - start
+    engine.close()
+    card = ResolverScorecard.from_report(report, seed=config.seed)
+    row = card.by_protocol()[protocol]
+    return {
+        "protocol": protocol,
+        "offered": row.offered,
+        "served": row.served,
+        "ok": row.ok,
+        "shed": row.shed,
+        "success_rate": row.success_rate,
+        "wall_s": round(wall_s, 3),
+        "qps_wall": round(row.served / wall_s, 1) if wall_s else 0.0,
+        "qps_sim": card.qps_sim,
+        "p50_ms": row.p50_ms,
+        "p95_ms": row.p95_ms,
+        "p99_ms": row.p99_ms,
+        "p999_ms": row.p999_ms,
+        "jitter_ms": row.jitter_ms,
+        "warm_cold_delta_ms": row.warm_cold_delta_ms,
+        "pool_reused": card.pool_reused,
+        "pool_handshakes": card.pool_handshakes,
+        "score": row.score,
+    }
+
+
+def run_overload_leg(config: BenchConfig) -> dict:
+    """Drive a tiny engine far past capacity; it must shed, not stall."""
+    telemetry.reset_registry()
+    engine = _build_engine(config, ServingConfig(
+        concurrency=config.overload_concurrency,
+        max_queue=config.overload_max_queue))
+    spec = WorkloadSpec(
+        duration_s=config.overload_duration_s, qps_start=config.qps,
+        clients=config.clients, names=config.names,
+        protocol_mix={"do53-tcp": 1.0, "dot": 1.0, "doh": 1.0})
+    start = time.perf_counter()
+    report = engine.run(spec)
+    wall_s = time.perf_counter() - start
+    engine.close()
+    shed_by_protocol = {name: stats.shed
+                        for name, stats in sorted(report.protocols.items())}
+    return {
+        "offered": report.offered,
+        "served": report.served,
+        "shed": report.shed,
+        "shed_by_protocol": shed_by_protocol,
+        "queue_peak": report.queue_peak,
+        "completed": True,
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def run_repro_check(config: BenchConfig) -> dict:
+    """Two same-seed runs must serialize byte-identically."""
+    digests = []
+    duration = max(1.0, round(config.repro_queries / config.qps))
+    for _ in range(2):
+        telemetry.reset_registry()
+        engine = _build_engine(config, ServingConfig(
+            concurrency=config.concurrency, max_queue=config.max_queue))
+        spec = WorkloadSpec(
+            duration_s=duration, qps_start=config.qps,
+            clients=config.clients, names=config.names,
+            protocol_mix={"do53": 1.0, "do53-tcp": 1.0,
+                          "dot": 1.0, "doh": 1.0})
+        report = engine.run(spec)
+        engine.close()
+        card = ResolverScorecard.from_report(report, seed=config.seed)
+        digests.append(hashlib.sha256(card.to_json_bytes()).hexdigest())
+    return {
+        "digest_a": digests[0],
+        "digest_b": digests[1],
+        "identical": digests[0] == digests[1],
+    }
+
+
+def run_serving_bench(config: Optional[BenchConfig] = None,
+                      protocols: Tuple[str, ...] = BENCH_PROTOCOLS,
+                      log=lambda text: None) -> dict:
+    """The full benchmark; returns the BENCH_SERVING.json document."""
+    config = (config or BenchConfig()).validate()
+    legs: Dict[str, dict] = {}
+    for protocol in protocols:
+        log(f"serving leg: {protocol} "
+            f"({config.queries_per_protocol} queries)...")
+        legs[protocol] = run_protocol_leg(config, protocol)
+    log("overload leg...")
+    overload = run_overload_leg(config)
+    log("reproducibility check...")
+    repro = run_repro_check(config)
+    return {
+        "generated_by": "benchmarks/bench_serving.py",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": config.seed,
+        "queries_per_protocol": config.queries_per_protocol,
+        "qps_offered": config.qps,
+        "engine": {"concurrency": config.concurrency,
+                   "max_queue": config.max_queue},
+        "protocols": legs,
+        "overload": overload,
+        "reproducibility": repro,
+    }
+
+
+def validate_document(document: dict,
+                      min_queries: Optional[int] = None) -> None:
+    """Schema + invariant gate for a BENCH_SERVING.json document.
+
+    Raises :class:`ValueError` on the first violation; ``min_queries``
+    overrides the served-queries floor (the CI smoke run uses a small
+    one, the committed artifact the full 10k).
+    """
+    for key in ("schema_version", "seed", "queries_per_protocol",
+                "protocols", "overload", "reproducibility"):
+        if key not in document:
+            raise ValueError(f"missing key {key!r}")
+    if document["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(f"schema_version {document['schema_version']!r} "
+                         f"!= {BENCH_SCHEMA_VERSION}")
+    floor = (document["queries_per_protocol"] if min_queries is None
+             else min_queries)
+    legs = document["protocols"]
+    for protocol in BENCH_PROTOCOLS:
+        if protocol not in legs:
+            raise ValueError(f"missing protocol leg {protocol!r}")
+        leg = legs[protocol]
+        for key in ("served", "qps_wall", "p50_ms", "p95_ms", "p99_ms",
+                    "p999_ms", "success_rate"):
+            if key not in leg:
+                raise ValueError(f"{protocol}: missing {key!r}")
+        if leg["served"] < floor:
+            raise ValueError(f"{protocol}: served {leg['served']} below "
+                             f"the {floor}-query floor")
+        if leg["qps_wall"] <= 0:
+            raise ValueError(f"{protocol}: non-positive qps_wall")
+        quantiles = [leg["p50_ms"], leg["p95_ms"], leg["p99_ms"],
+                     leg["p999_ms"]]
+        if any(value is None or value <= 0 for value in quantiles):
+            raise ValueError(f"{protocol}: missing latency quantiles")
+        if sorted(quantiles) != quantiles:
+            raise ValueError(f"{protocol}: quantiles not monotone: "
+                             f"{quantiles}")
+    overload = document["overload"]
+    if not overload.get("completed"):
+        raise ValueError("overload leg did not complete")
+    if overload.get("shed", 0) <= 0:
+        raise ValueError("overload leg shed nothing — admission control "
+                         "is not engaging")
+    if not document["reproducibility"].get("identical"):
+        raise ValueError("same-seed scorecards were not byte-identical")

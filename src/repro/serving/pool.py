@@ -1,0 +1,138 @@
+"""Per-client, per-protocol connection reuse for the serving loop.
+
+Each client environment owns one protocol client (DoT, DoH, Do53) with
+its own forked rng stream, so a client's wire behaviour is keyed by its
+label, never by arrival order. On top of the protocol clients' own
+session pools, the pool tracks the server's edns-tcp-keepalive
+advertisement per ``(client, protocol)`` and *consults it before every
+reuse*: a lease idle past the advertised window is torn down first, so
+the query below re-handshakes exactly as a real stub would find the
+server had hung up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dnswire.builder import make_query
+from repro.dnswire.edns import KeepaliveOption
+from repro.dnswire.names import DnsName
+from repro.doe.do53 import Do53Client
+from repro.doe.doh import DohClient, DohMethod
+from repro.doe.dot import DotClient
+from repro.doe.result import QueryResult
+from repro.errors import ScenarioError
+from repro.netsim.rand import SeededRng
+from repro.telemetry import BoundCounterFamily
+
+_REUSED = BoundCounterFamily("serving.pool.reused", "protocol")
+_HANDSHAKES = BoundCounterFamily("serving.pool.handshakes", "protocol")
+_EXPIRED = BoundCounterFamily("serving.pool.expired", "protocol")
+
+#: Stream protocols whose responses may carry an RFC 7828 window.
+_STREAM = ("do53-tcp", "dot", "doh")
+
+
+@dataclass
+class _Lease:
+    """One client's live transport for one protocol."""
+
+    client: object
+    #: Sim-time instant after which the server has hung up; None means
+    #: no keepalive was advertised (the lease never idles out here —
+    #: the protocol client's own lifetime rules still apply).
+    idle_deadline: Optional[float] = None
+
+
+class ConnectionReusePool:
+    """Keepalive-honouring transport leases for a client population."""
+
+    def __init__(self, world, rng: SeededRng,
+                 default_idle_s: Optional[float] = None):
+        self.world = world
+        self.rng = rng
+        #: Fallback idle window for protocols that cannot advertise one
+        #: in-band (DoH has no edns-tcp-keepalive equivalent here).
+        self.default_idle_s = default_idle_s
+        self._leases: Dict[Tuple[int, str], _Lease] = {}
+        self.reused = 0
+        self.handshakes = 0
+        self.expired = 0
+
+    # -- lease management ---------------------------------------------------
+
+    def _make_client(self, index: int, protocol: str):
+        env = self.world.envs[index]
+        fork = self.rng.fork(f"client/{env.label}/{protocol}")
+        if protocol == "dot":
+            return DotClient(self.world.network, fork, self.world.ca_store,
+                             auth_name=None)
+        if protocol == "doh":
+            return DohClient(self.world.network, fork, self.world.ca_store,
+                             bootstrap=self.world.bootstrap,
+                             method=DohMethod.POST)
+        if protocol in ("do53", "do53-tcp"):
+            return Do53Client(self.world.network, fork)
+        raise ScenarioError(f"unknown serving protocol {protocol!r}")
+
+    def _lease(self, index: int, protocol: str, now: float) -> _Lease:
+        key = (index, protocol)
+        lease = self._leases.get(key)
+        if lease is None:
+            lease = _Lease(self._make_client(index, protocol))
+            self._leases[key] = lease
+        elif lease.idle_deadline is not None and now > lease.idle_deadline:
+            # The advertised keepalive window lapsed while this client
+            # was quiet: drop the sessions so the next query below pays
+            # a fresh handshake instead of writing into a dead socket.
+            lease.client.close_all()
+            lease.idle_deadline = None
+            self.expired += 1
+            _EXPIRED.get(protocol).inc()
+        return lease
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, index: int, protocol: str, qname: DnsName,
+              rrtype: int) -> QueryResult:
+        """One query for client ``index`` over ``protocol``."""
+        env = self.world.envs[index]
+        now = self.world.network.clock.now()
+        lease = self._lease(index, protocol, now)
+        message = make_query(qname, rrtype,
+                             msg_id=self.rng.randint(1, 0xFFFF))
+        client = lease.client
+        if protocol == "dot":
+            result = client.query(env, self.world.resolver_ip, message)
+        elif protocol == "doh":
+            result = client.query(env, self.world.doh_template, message)
+        elif protocol == "do53-tcp":
+            result = client.query_tcp(env, self.world.resolver_ip, message)
+        else:
+            result = client.query_udp(env, self.world.resolver_ip, message)
+        self._account(lease, protocol, result, now)
+        return result
+
+    def _account(self, lease: _Lease, protocol: str,
+                 result: QueryResult, now: float) -> None:
+        if result.reused_connection:
+            self.reused += 1
+            _REUSED.get(protocol).inc()
+        else:
+            self.handshakes += 1
+            _HANDSHAKES.get(protocol).inc()
+        if protocol not in _STREAM:
+            return  # single datagrams: nothing to keep alive
+        timeout = None
+        if result.ok and result.response is not None \
+                and result.response.opt is not None:
+            timeout = KeepaliveOption.timeout_from(result.response.opt)
+        if timeout is None:
+            timeout = self.default_idle_s
+        lease.idle_deadline = None if timeout is None else now + timeout
+
+    def close_all(self) -> None:
+        for lease in self._leases.values():
+            lease.client.close_all()
+        self._leases.clear()

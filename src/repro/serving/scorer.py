@@ -1,0 +1,178 @@
+"""DNSgauge-style scoring of a serving run.
+
+The exemplar tool scores a resolver per protocol on three axes —
+*does it answer* (success rate), *how fast at the tail* (p95/p99, not
+the mean), and *how steadily* (latency jitter) — and runs separate
+cold and warm passes so a fresh-handshake penalty is visible instead of
+averaged away. The scorecard here mirrors that shape over a
+:class:`~repro.serving.engine.ServingReport`.
+
+Scorecards are deterministic artifacts: every number derives from sim
+time and seeded draws, the JSON encoding sorts its keys, and floats are
+rounded at fixed precision — so two same-seed runs serialize to
+byte-identical documents (the benchmark's reproducibility gate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.textfmt import format_percent, render_table
+from repro.serving.engine import ProtocolStats, ServingReport
+
+SCORECARD_SCHEMA_VERSION = 1
+
+#: Latency anchor: a protocol at or below this p99 takes no tail
+#: penalty; the penalty grows log-scale above it. 250 ms is roughly the
+#: paper's worst observed DoH medians from well-connected vantages.
+_TAIL_ANCHOR_MS = 250.0
+#: Jitter anchor, same idea, against the latency stddev.
+_JITTER_ANCHOR_MS = 100.0
+
+
+@dataclass(frozen=True)
+class ProtocolScore:
+    """One protocol's row in a scorecard."""
+
+    protocol: str
+    offered: int
+    served: int
+    ok: int
+    shed: int
+    success_rate: float
+    p50_ms: Optional[float]
+    p95_ms: Optional[float]
+    p99_ms: Optional[float]
+    p999_ms: Optional[float]
+    jitter_ms: float
+    cold_p50_ms: Optional[float]
+    warm_p50_ms: Optional[float]
+    warm_cold_delta_ms: float
+    failures: Dict[str, int]
+    score: float
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 3)
+
+
+def score_protocol(stats: ProtocolStats) -> ProtocolScore:
+    """Collapse one protocol's stats into its scored row.
+
+    The score is ``success × tail × steadiness``, each factor in
+    [0, 1]: success is the raw answer rate (shed queries count against
+    it — a shed query is an answer the client never got), the tail
+    factor decays log-scale once p99 passes the anchor, and steadiness
+    does the same against jitter. 100 means "answered everything,
+    quickly, consistently".
+    """
+    import math
+
+    demand = stats.served + stats.shed
+    success = stats.ok / demand if demand else 0.0
+    p99 = stats.latency.quantile(0.99)
+    tail = 1.0
+    if p99 is not None and p99 > _TAIL_ANCHOR_MS:
+        tail = 1.0 / (1.0 + math.log2(p99 / _TAIL_ANCHOR_MS))
+    steadiness = 1.0
+    if stats.jitter_ms > _JITTER_ANCHOR_MS:
+        steadiness = 1.0 / (1.0 + math.log2(stats.jitter_ms
+                                            / _JITTER_ANCHOR_MS))
+    return ProtocolScore(
+        protocol=stats.protocol,
+        offered=stats.offered,
+        served=stats.served,
+        ok=stats.ok,
+        shed=stats.shed,
+        success_rate=round(success, 6),
+        p50_ms=_round(stats.latency.quantile(0.50)),
+        p95_ms=_round(stats.latency.quantile(0.95)),
+        p99_ms=_round(p99),
+        p999_ms=_round(stats.latency.quantile(0.999)),
+        jitter_ms=round(stats.jitter_ms, 3),
+        cold_p50_ms=_round(stats.cold.quantile(0.50)),
+        warm_p50_ms=_round(stats.warm.quantile(0.50)),
+        warm_cold_delta_ms=round(stats.warm_cold_delta_ms, 3),
+        failures=dict(sorted(stats.failures.items())),
+        score=round(100.0 * success * tail * steadiness, 2),
+    )
+
+
+@dataclass
+class ResolverScorecard:
+    """The full scored outcome of one serving run."""
+
+    seed: int
+    duration_s: float
+    offered: int
+    served: int
+    shed: int
+    qps_sim: float
+    queue_peak: int
+    pool_reused: int
+    pool_handshakes: int
+    pool_expired: int
+    cache: Dict[str, int] = field(default_factory=dict)
+    protocols: List[ProtocolScore] = field(default_factory=list)
+
+    @classmethod
+    def from_report(cls, report: ServingReport,
+                    seed: int) -> "ResolverScorecard":
+        return cls(
+            seed=seed,
+            duration_s=round(report.duration_s, 3),
+            offered=report.offered,
+            served=report.served,
+            shed=report.shed,
+            qps_sim=round(report.qps_sim, 3),
+            queue_peak=report.queue_peak,
+            pool_reused=report.pool_reused,
+            pool_handshakes=report.pool_handshakes,
+            pool_expired=report.pool_expired,
+            cache=dict(sorted(vars(report.cache).items())),
+            protocols=[score_protocol(report.protocols[name])
+                       for name in sorted(report.protocols)],
+        )
+
+    def by_protocol(self) -> Dict[str, ProtocolScore]:
+        return {entry.protocol: entry for entry in self.protocols}
+
+    def as_dict(self) -> dict:
+        document = asdict(self)
+        document["schema_version"] = SCORECARD_SCHEMA_VERSION
+        return document
+
+    def to_json_bytes(self) -> bytes:
+        """Canonical encoding — the byte-identity reproducibility gate."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2,
+                          separators=(",", ": ")).encode() + b"\n"
+
+    def to_table(self) -> str:
+        rows: List[Tuple] = []
+        for entry in self.protocols:
+            rows.append((
+                entry.protocol,
+                entry.served,
+                entry.shed,
+                format_percent(entry.success_rate),
+                _fmt(entry.p50_ms),
+                _fmt(entry.p95_ms),
+                _fmt(entry.p99_ms),
+                _fmt(entry.p999_ms),
+                f"{entry.jitter_ms:.1f}",
+                _fmt(entry.warm_cold_delta_ms),
+                f"{entry.score:.1f}",
+            ))
+        return render_table(
+            ("protocol", "served", "shed", "success", "p50", "p95",
+             "p99", "p99.9", "jitter", "cold-warm", "score"),
+            rows,
+            title=(f"serving scorecard — seed={self.seed} "
+                   f"qps_sim={self.qps_sim:.1f} "
+                   f"queue_peak={self.queue_peak}"))
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"

@@ -1,0 +1,195 @@
+"""Seeded workload generation for the serving loop.
+
+A workload is a deterministic stream of query arrivals on the sim
+clock: name popularity follows a Zipf distribution (a handful of hot
+names dominate, exactly the shape that makes resolver caches matter),
+every client is assigned a protocol from a configurable mix, and the
+offered rate follows a linear qps ramp over the run's duration.
+
+Everything is a pure function of ``(spec, rng seed)`` — the generator
+draws from forked :class:`~repro.netsim.rand.SeededRng` streams and
+never reads the wall clock, which is what lets two serving runs with
+the same seed produce byte-identical scorecards.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import RRType
+from repro.errors import ScenarioError
+from repro.netsim.rand import SeededRng
+
+#: Protocols a workload may exercise; "do53" is the classic UDP path.
+SERVING_PROTOCOLS = ("do53", "do53-tcp", "dot", "doh")
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One query arrival, relative to the workload's start instant."""
+
+    at_s: float
+    client: int
+    protocol: str
+    qname: DnsName
+    rrtype: int = RRType.A
+
+
+@dataclass
+class WorkloadSpec:
+    """The knobs of one serving workload.
+
+    ``qps_end`` enables a linear ramp from ``qps_start`` over
+    ``duration_s``; leaving it None keeps the rate flat. ``names`` is
+    the size of the queryable name universe (ranks 1..names under the
+    Zipf law with exponent ``zipf_s``).
+    """
+
+    duration_s: float = 60.0
+    qps_start: float = 100.0
+    qps_end: Optional[float] = None
+    clients: int = 8
+    names: int = 512
+    zipf_s: float = 1.1
+    protocol_mix: Mapping[str, float] = field(
+        default_factory=lambda: {"do53": 1.0, "dot": 1.0, "doh": 1.0})
+    rrtype: int = RRType.A
+
+    def validate(self) -> "WorkloadSpec":
+        if self.duration_s <= 0:
+            raise ScenarioError("workload duration must be positive")
+        if self.qps_start < 0 or (self.qps_end is not None
+                                  and self.qps_end < 0):
+            raise ScenarioError("qps must be non-negative")
+        if self.clients <= 0 or self.names <= 0:
+            raise ScenarioError("clients and names must be positive")
+        if not self.protocol_mix:
+            raise ScenarioError("protocol mix is empty")
+        for protocol, weight in self.protocol_mix.items():
+            if protocol not in SERVING_PROTOCOLS:
+                raise ScenarioError(f"unknown serving protocol {protocol!r}")
+            if weight < 0:
+                raise ScenarioError(f"negative weight for {protocol!r}")
+        if sum(self.protocol_mix.values()) <= 0:
+            raise ScenarioError("protocol mix has zero total weight")
+        return self
+
+    def qps_at(self, t_s: float) -> float:
+        """The offered rate at offset ``t_s`` (linear ramp)."""
+        if self.qps_end is None or self.duration_s == 0:
+            return self.qps_start
+        fraction = min(1.0, max(0.0, t_s / self.duration_s))
+        return self.qps_start + (self.qps_end - self.qps_start) * fraction
+
+
+class ZipfSampler:
+    """Zipf-distributed ranks with O(log n) draws.
+
+    Rank ``r`` (1-based) carries weight ``1 / r**s``; the cumulative
+    weight table is built once and sampling bisects it on a uniform
+    draw, so a 10^6-name universe costs ~20 comparisons per query.
+    """
+
+    def __init__(self, n: int, s: float = 1.1):
+        if n <= 0:
+            raise ScenarioError("Zipf universe must be non-empty")
+        self.n = n
+        self.s = s
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += rank ** -s
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: SeededRng) -> int:
+        """A 0-based index, 0 being the most popular."""
+        return bisect.bisect_left(self._cumulative,
+                                  rng.random() * self._total)
+
+
+def assign_protocols(spec: WorkloadSpec, rng: SeededRng) -> Tuple[str, ...]:
+    """Fix one protocol per client, honouring the mix.
+
+    Largest-remainder apportionment gives every protocol its exact share
+    of the client population (up to rounding); the seeded shuffle then
+    decides *which* client speaks which protocol, so client index never
+    encodes protocol.
+    """
+    protocols = sorted(spec.protocol_mix)
+    total_weight = sum(spec.protocol_mix[p] for p in protocols)
+    exact = {p: spec.clients * spec.protocol_mix[p] / total_weight
+             for p in protocols}
+    counts = {p: int(exact[p]) for p in protocols}
+    shortfall = spec.clients - sum(counts.values())
+    by_remainder = sorted(protocols,
+                          key=lambda p: (-(exact[p] - counts[p]), p))
+    for p in by_remainder[:shortfall]:
+        counts[p] += 1
+    assignment: List[str] = []
+    for p in protocols:
+        assignment.extend([p] * counts[p])
+    rng.shuffle(assignment)
+    return tuple(assignment)
+
+
+class WorkloadGenerator:
+    """Turns a :class:`WorkloadSpec` into per-second event batches."""
+
+    def __init__(self, spec: WorkloadSpec, rng: SeededRng):
+        self.spec = spec.validate()
+        self.rng = rng
+        self.client_protocols = assign_protocols(spec,
+                                                 rng.fork("protocol-mix"))
+        self._zipf = ZipfSampler(spec.names, spec.zipf_s)
+        self._arrivals = rng.fork("arrivals")
+
+    def name_for(self, index: int) -> DnsName:
+        """The qname at popularity rank ``index`` (0 = hottest)."""
+        return DnsName.from_text(f"name-{index:05d}.workload.test")
+
+    def batches(self) -> Iterator[Tuple[int, List[QueryEvent]]]:
+        """Yield ``(tick_index, events)`` per whole second of sim time.
+
+        Arrival counts track the qps ramp exactly via fractional carry;
+        offsets within a tick are uniform draws, sorted so events leave
+        the generator in arrival order.
+        """
+        spec = self.spec
+        rng = self._arrivals
+        carry = 0.0
+        ticks = int(spec.duration_s)
+        remainder = spec.duration_s - ticks
+        for tick in range(ticks + (1 if remainder > 0 else 0)):
+            width = 1.0 if tick < ticks else remainder
+            carry += spec.qps_at(tick + width / 2.0) * width
+            count = int(carry)
+            carry -= count
+            offsets = sorted(rng.uniform(0.0, width) for _ in range(count))
+            events = []
+            for offset in offsets:
+                client = rng.randint(0, spec.clients - 1)
+                name_index = self._zipf.sample(rng)
+                events.append(QueryEvent(
+                    at_s=tick + offset,
+                    client=client,
+                    protocol=self.client_protocols[client],
+                    qname=self.name_for(name_index),
+                    rrtype=spec.rrtype))
+            yield tick, events
+
+    def events(self) -> Iterator[QueryEvent]:
+        """The flattened arrival stream (tests and small tools)."""
+        for _, batch in self.batches():
+            yield from batch
+
+    def protocol_census(self) -> Dict[str, int]:
+        """How many clients ended up on each protocol."""
+        census: Dict[str, int] = {}
+        for protocol in self.client_protocols:
+            census[protocol] = census.get(protocol, 0) + 1
+        return census

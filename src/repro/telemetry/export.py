@@ -85,7 +85,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             if flat not in seen_types:
                 lines.append(f"# TYPE {flat} summary")
                 seen_types.add(flat)
-            for q in (0.5, 0.9, 0.95, 0.99):
+            for _, q in Histogram.QUANTILE_PRESETS:
                 quantile_labels = (labels + "," if labels else "")
                 lines.append(
                     f'{flat}{{{quantile_labels}quantile="{q}"}} '
@@ -118,7 +118,8 @@ def to_table(registry: MetricsRegistry,
             rows.append((name, "histogram", metric.count,
                          f"p50={metric.quantile(0.5):.2f} "
                          f"p95={metric.quantile(0.95):.2f} "
-                         f"p99={metric.quantile(0.99):.2f}"))
+                         f"p99={metric.quantile(0.99):.2f} "
+                         f"p999={metric.quantile(0.999):.2f}"))
         else:
             rows.append((name, metric.kind, _number(metric.value), ""))
     return render_table(("metric", "type", "value", "quantiles"), rows,

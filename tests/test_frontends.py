@@ -119,6 +119,35 @@ class TestDohService:
         assert self.make(backend, tls).handle(request,
                                               service_ctx()).status == 415
 
+    def test_oversized_post_413(self, backend, tls):
+        request = HttpRequest.post("/dns-query", b"\x00" * 70_000,
+                                   "application/dns-message")
+        assert self.make(backend, tls).handle(request,
+                                              service_ctx()).status == 413
+
+    def test_post_at_the_limit_is_decoded_not_rejected(self, backend, tls):
+        # Exactly max_post_bytes octets must pass the size gate: the
+        # 413 bound is strictly-greater-than, per RFC 8484's "larger
+        # than the server is willing to process".
+        service = self.make(backend, tls, max_post_bytes=1024)
+        request = HttpRequest.post("/dns-query", b"\x00" * 1024,
+                                   "application/dns-message")
+        assert service.handle(request, service_ctx()).status != 413
+
+    def test_custom_post_limit(self, backend, tls):
+        service = self.make(backend, tls, max_post_bytes=64)
+        request = HttpRequest.post("/dns-query", b"\x00" * 65,
+                                   "application/dns-message")
+        assert service.handle(request, service_ctx()).status == 413
+
+    def test_valid_query_over_tiny_limit_413(self, backend, tls):
+        # Even a well-formed DNS message is shed when it exceeds the
+        # configured bound: the size gate runs before the decoder.
+        service = self.make(backend, tls, max_post_bytes=8)
+        request = HttpRequest.post("/dns-query", make_query(WWW).encode(),
+                                   "application/dns-message")
+        assert service.handle(request, service_ctx()).status == 413
+
     def test_wrong_method_405(self, backend, tls):
         request = HttpRequest("PUT", "/dns-query")
         assert self.make(backend, tls).handle(request,

@@ -10,9 +10,17 @@ from repro.dnswire import (
     RRType,
     make_query,
 )
-from repro.doe import DotClient
+from repro.doe import Do53Client, DotClient
+from repro.resolvers import Do53TcpService
 
 WWW = DnsName.from_text("www.example.com")
+
+
+def enable_tcp_keepalive(world, timeout_s=30.0):
+    """Give the mini-world's TCP frontend an RFC 7828 window."""
+    service = world["host"].service_on("tcp", 53)
+    assert isinstance(service, Do53TcpService)
+    service.keepalive_timeout_s = timeout_s
 
 
 class TestOptionCodec:
@@ -56,6 +64,85 @@ class TestServerAdvertisement:
                                   make_query(WWW, msg_id=1))
         assert result.ok
         assert KeepaliveOption.timeout_from(result.response.opt) is None
+
+
+class TestDo53TcpAdvertisement:
+    def test_bare_tcp_responses_carry_no_option_by_default(self, mini_world,
+                                                           rng):
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_tcp(mini_world["env"],
+                                  mini_world["resolver_ip"],
+                                  make_query(WWW, msg_id=1))
+        assert result.ok
+        assert KeepaliveOption.timeout_from(result.response.opt) is None
+
+    def test_configured_frontend_advertises_window(self, mini_world, rng):
+        enable_tcp_keepalive(mini_world, 30.0)
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        result = client.query_tcp(mini_world["env"],
+                                  mini_world["resolver_ip"],
+                                  make_query(WWW, msg_id=1))
+        assert result.ok
+        assert KeepaliveOption.timeout_from(result.response.opt) == 30.0
+
+
+class TestDo53TcpClientLifetimes:
+    """Regression tests: the clear-text TCP pool honours RFC 7828.
+
+    Before the serving work the Do53 client reused a pooled TCP
+    connection forever; a server that advertised a 30 s window would
+    long since have hung up, so "reuse" after a long idle was writing
+    into a dead socket.
+    """
+
+    def query(self, world, client, msg_id):
+        return client.query_tcp(world["env"], world["resolver_ip"],
+                                make_query(WWW, msg_id=msg_id))
+
+    def test_connection_reused_within_window(self, mini_world, rng):
+        enable_tcp_keepalive(mini_world, 30.0)
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        self.query(mini_world, client, 1)
+        mini_world["network"].clock.advance(10.0)
+        assert self.query(mini_world, client, 2).reused_connection
+
+    def test_connection_expires_after_idle_window(self, mini_world, rng):
+        enable_tcp_keepalive(mini_world, 30.0)
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        assert self.query(mini_world, client, 1).ok
+        mini_world["network"].clock.advance(60.0)  # beyond the 30 s window
+        second = self.query(mini_world, client, 2)
+        assert second.ok
+        assert not second.reused_connection
+
+    def test_each_query_refreshes_the_deadline(self, mini_world, rng):
+        enable_tcp_keepalive(mini_world, 30.0)
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        self.query(mini_world, client, 1)
+        for step in range(4):
+            mini_world["network"].clock.advance(20.0)  # never past 30 s
+            assert self.query(mini_world, client,
+                              2 + step).reused_connection, step
+
+    def test_no_advertisement_means_no_expiry(self, mini_world, rng):
+        # Default frontend: no keepalive option, so the pool keeps the
+        # connection alive across an arbitrary idle gap (pre-existing
+        # behaviour, preserved byte-for-byte).
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        self.query(mini_world, client, 1)
+        mini_world["network"].clock.advance(3600.0)
+        assert self.query(mini_world, client, 2).reused_connection
+
+    def test_reconnect_pays_the_handshake_again(self, mini_world, rng):
+        enable_tcp_keepalive(mini_world, 30.0)
+        client = Do53Client(mini_world["network"], rng.fork("c"))
+        first = self.query(mini_world, client, 1)
+        mini_world["network"].clock.advance(10.0)
+        warm = self.query(mini_world, client, 2)
+        mini_world["network"].clock.advance(120.0)
+        cold = self.query(mini_world, client, 3)
+        assert warm.latency_ms < first.latency_ms
+        assert cold.latency_ms > warm.latency_ms
 
 
 class TestClientLifetimes:

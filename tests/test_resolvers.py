@@ -97,6 +97,85 @@ class TestDnsCache:
         cache.get(WWW, RRType.A, now=0.0)
         assert cache.stats.hit_ratio == pytest.approx(0.5)
 
+    def _fill(self, cache, count, ttl=300, now=0.0, prefix="h"):
+        for index in range(count):
+            name = DnsName.from_text(f"{prefix}{index}.example.com")
+            cache.put(name, RRType.A,
+                      (ResourceRecord.a(name, "192.0.2.1", ttl=ttl),),
+                      Rcode.NOERROR, now=now)
+
+    def test_pressure_lru_counts_live_victims(self):
+        cache = DnsCache(max_entries=4)
+        self._fill(cache, 6)
+        assert cache.stats.pressure_lru == 2
+        assert cache.stats.pressure_expired == 0
+        assert cache.stats.evictions == 2
+
+    def test_pressure_prefers_purging_expired_entries(self):
+        cache = DnsCache(max_entries=4)
+        self._fill(cache, 4, ttl=10, now=0.0)
+        # All four residents are dead by now=100: the overflow purge
+        # must claim them as expired, never as LRU sacrifices.
+        self._fill(cache, 2, ttl=300, now=100.0, prefix="fresh")
+        assert cache.stats.pressure_expired >= 1
+        assert cache.stats.pressure_lru == 0
+        assert cache.stats.evictions == 0
+
+    def test_pressure_counters_reach_the_registry(self):
+        from repro import telemetry
+        registry, _ = telemetry.reset_registry()
+        cache = DnsCache(max_entries=2)
+        self._fill(cache, 4)
+        assert registry.value("resolver.cache.pressure", reason="lru") == 2
+
+
+class TestCacheStats:
+    def test_merge_from_sums_every_field(self):
+        from repro.resolvers.cache import CacheStats
+        left = CacheStats(hits=5, misses=3, evictions=1, expirations=2,
+                          pressure_lru=1, pressure_expired=2)
+        right = CacheStats(hits=1, misses=1, evictions=1, expirations=1,
+                          pressure_lru=1, pressure_expired=1)
+        merged = left.merge_from(right)
+        assert merged is left
+        assert (left.hits, left.misses) == (6, 4)
+        assert (left.evictions, left.expirations) == (2, 3)
+        assert (left.pressure_lru, left.pressure_expired) == (2, 3)
+        assert left.hit_ratio == pytest.approx(0.6)
+
+    def test_from_registry_survives_shard_merge(self):
+        # The regression this guards: sharded runs keep only merged
+        # telemetry, and CacheStats must be reconstructible from it.
+        from repro import telemetry
+        from repro.resolvers.cache import CacheStats
+        from repro.telemetry import MetricsRegistry
+
+        fragments = []
+        for _ in range(2):
+            registry, _ = telemetry.reset_registry()
+            cache = DnsCache(max_entries=2)
+            cache.get(WWW, RRType.A, now=0.0)  # miss
+            cache.put(WWW, RRType.A,
+                      (ResourceRecord.a(WWW, "1.2.3.4"),),
+                      Rcode.NOERROR, now=0.0)
+            cache.get(WWW, RRType.A, now=0.0)  # hit
+            for index in range(3):
+                name = DnsName.from_text(f"h{index}.example.com")
+                cache.put(name, RRType.A,
+                          (ResourceRecord.a(name, "192.0.2.1"),),
+                          Rcode.NOERROR, now=0.0)
+            fragments.append(registry)
+        telemetry.reset_registry()
+        merged = MetricsRegistry()
+        for fragment in fragments:
+            merged.merge(fragment)
+        stats = CacheStats.from_registry(merged)
+        assert stats.hits == 2
+        assert stats.misses == 2
+        assert stats.evictions == 4
+        assert stats.pressure_lru == 4
+        assert stats.hit_ratio == pytest.approx(0.5)
+
 
 class TestUniverse:
     def test_host_a_and_resolve_public(self):

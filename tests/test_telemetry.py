@@ -231,8 +231,10 @@ class TestExporters:
         assert metrics["dot.handshake.fail{kind=tls}"]["value"] == 10
         histogram = metrics["client.query.latency{protocol=dot}"]
         assert histogram["count"] == 100
-        for key in ("p50", "p90", "p95", "p99"):
+        for key in ("p50", "p90", "p95", "p99", "p999"):
             assert key in histogram
+        # The tail ordering must hold: p99 <= p99.9 <= max.
+        assert histogram["p99"] <= histogram["p999"] <= histogram["max"]
 
     def test_json_is_byte_identical_for_equal_state(self):
         first, second = self._populated(), self._populated()
@@ -252,6 +254,7 @@ class TestExporters:
         assert 'dot_handshake_fail{kind="tls"} 10' in text
         assert "# TYPE client_query_latency summary" in text
         assert 'client_query_latency{protocol="dot",quantile="0.95"}' in text
+        assert 'client_query_latency{protocol="dot",quantile="0.999"}' in text
         assert 'client_query_latency_count{protocol="dot"} 100' in text
 
     def test_table_contains_every_series(self):
@@ -260,6 +263,7 @@ class TestExporters:
         assert "scan.probes_sent" in text
         assert "client.query.latency{protocol=dot}" in text
         assert "p95=" in text
+        assert "p999=" in text
 
     def test_snapshot_includes_spans_and_manifest(self):
         registry = self._populated()
