@@ -65,3 +65,14 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     --validate benchmarks/BENCH_SERVING.tmp.json --min-queries 1000
 rm -f benchmarks/BENCH_SERVING.tmp.json
 echo "ok (see benchmarks/BENCH_SERVING.json for the recorded run)"
+
+# Parallel-execution benchmark, error-only gate: the committed document
+# must pass the schema validator, including the >= 2x floor on the
+# persistent-pool-vs-legacy-executor speedup at the recorded worker
+# count. The floor compares two executors on the same machine in the
+# same run, so unlike raw wall-clock it is stable across hardware.
+echo "== parallel benchmark document =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_parallel_campaign.py \
+    --validate benchmarks/BENCH_PARALLEL.json
+echo "ok (see benchmarks/BENCH_PARALLEL.json for the recorded run)"

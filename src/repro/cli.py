@@ -252,26 +252,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ServingWorldConfig,
         WorkloadSpec,
     )
+    from repro.serving.engine import run_sharded
 
     try:
         mix = _parse_mix(args.mix)
     except ValueError as error:
         print(f"error: --mix: {error}", file=sys.stderr)
         return 2
-    world = ServingWorld.build(ServingWorldConfig(
-        seed=args.seed, clients=args.clients, names=args.names))
-    engine = ServingEngine(world, ServingConfig(
-        concurrency=args.concurrency, max_queue=args.max_queue))
+    world_config = ServingWorldConfig(
+        seed=args.seed, clients=args.clients, names=args.names)
+    serving_config = ServingConfig(
+        concurrency=args.concurrency, max_queue=args.max_queue)
     spec = WorkloadSpec(duration_s=args.duration, qps_start=args.qps,
                         qps_end=args.qps_end, clients=args.clients,
                         names=args.names, protocol_mix=mix)
+    parallel = _parallel_config(args)
     try:
-        report = engine.run(spec)
+        if parallel is not None:
+            report = run_sharded(world_config, spec, serving_config,
+                                 parallel)
+        else:
+            engine = ServingEngine(ServingWorld.build(world_config),
+                                   serving_config)
+            try:
+                report = engine.run(spec)
+            finally:
+                engine.close()
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    finally:
-        engine.close()
     card = ResolverScorecard.from_report(report, seed=args.seed)
     if args.format == "json":
         sys.stdout.write(card.to_json_bytes().decode())

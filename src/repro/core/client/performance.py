@@ -25,7 +25,6 @@ from repro.core.parallel import (
     Shard,
     ShardOutcome,
     merge_outcomes,
-    run_shards,
 )
 from repro.dnswire.builder import make_query
 from repro.dnswire.rdtypes import RRType
@@ -291,6 +290,8 @@ class PerformanceStudy:
         the pre-filtered list.
         """
         from repro.core.client.reachability import platform_points
+        from repro.core.scan.campaign import prime_scenario
+        prime_scenario(self.scenario)
         points = platform_points(self.scenario, platform, sample)
         with get_tracer().span("client.performance",
                                clock=self.network.clock.now,
@@ -304,7 +305,7 @@ class PerformanceStudy:
                 for shard in parallel.plan(len(points))]
             report = PerformanceReport()
             for fragment in merge_outcomes(
-                    run_shards(_perf_shard, tasks, parallel.workers)):
+                    parallel.dispatch(_perf_shard, tasks, len(points))):
                 report.timings.extend(fragment)
         return report
 

@@ -17,7 +17,6 @@ from repro.core.parallel import (
     Shard,
     ShardOutcome,
     merge_outcomes,
-    run_shards,
 )
 from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
 from repro.dnswire.builder import make_query
@@ -273,8 +272,10 @@ class ReachabilityStudy:
         shard-scoped network-side streams (faults, backends) depend on
         the plan — and the plan depends only on (seed, shard count).
         """
+        from repro.core.scan.campaign import prime_scenario
         if report is None:
             report = ReachabilityReport()
+        prime_scenario(self.scenario)
         points = platform_points(self.scenario, platform_name, sample)
         with get_tracer().span("client.reachability",
                                clock=self.network.clock.now,
@@ -285,7 +286,7 @@ class ReachabilityStudy:
                            shard, max_attempts=self.max_attempts)
                 for shard in parallel.plan(len(points))]
             for fragment in merge_outcomes(
-                    run_shards(_reach_shard, tasks, parallel.workers)):
+                    parallel.dispatch(_reach_shard, tasks, len(points))):
                 report.observations.extend(fragment.observations)
                 report.interceptions.extend(fragment.interceptions)
         return report

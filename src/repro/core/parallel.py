@@ -4,8 +4,8 @@ The paper's pipelines are embarrassingly parallel: a ZMap sweep probes
 addresses independently, reachability tests vantage points
 independently, DoH discovery fetches candidate URLs independently. This
 module partitions such work into **shards** and runs the shards either
-in-process (``workers <= 1``) or across ``multiprocessing`` fork
-workers — with one hard contract:
+in-process or across a **persistent** ``multiprocessing`` fork pool —
+with one hard contract:
 
     *The output is a pure function of (seed, shard plan). The worker
     count never appears in any result, table, or telemetry byte.*
@@ -18,9 +18,9 @@ execution & the determinism contract"):
   stateless (keyed hashes, not stream splits), the fork yields the
   same stream no matter which worker runs the shard or when.
 * **Isolated telemetry fragments.** Each shard runs against a fresh
-  process-default registry/tracer pair (a fork child inherits the
-  parent's — it must be reset) and ships the pair back in its
-  :class:`ShardOutcome`.
+  process-default registry/tracer pair (a pool worker reused across
+  dispatches still holds the previous shard's — it must be reset) and
+  ships the pair back in its :class:`ShardOutcome`.
 * **Order-free merge.** Fragments are merged in shard-index order
   using the registry merge laws (counters add, gauges last-write by
   shard index, histograms add bucket-wise) and shard root spans are
@@ -32,22 +32,68 @@ never scenarios — live networks hold lambdas) and returning a picklable
 value. The in-process fallback runs the identical isolation wrapper, so
 ``--workers 1`` is a real differential baseline, not a separate code
 path.
+
+Performance model (the reason this module exists at all):
+
+* **Persistent pool.** Workers are forked once per process (lazily, on
+  the first pooled dispatch) and reused across campaign rounds, sweeps,
+  and study legs. Worker-side modules cache scenario worlds keyed by
+  config (see ``core/scan/campaign.cached_scenario``), so after the
+  first dispatch only (shard descriptor, round params) cross the
+  boundary per dispatch — not a world, not a pool fork.
+* **Compact wire format.** Shard results return as flat tuples —
+  registry rows of (kind, name, labels, algebraic state) and nested
+  span tuples — instead of pickled ``MetricsRegistry``/``Span`` object
+  graphs. :func:`merge_outcomes` decodes them into the identical merge
+  the object-graph path performs, byte-for-byte.
+* **Adaptive shard sizing.** :meth:`ParallelConfig.dispatch` keeps
+  workloads below ``min_fanout_items`` in-process — fan-out overhead
+  can only ever be paid where it can win. The decision is a pure
+  predicate of (item count, threshold), recorded in the RunManifest,
+  and never depends on the worker count.
+
+Scheduling telemetry lands under the ``parallel.*`` namespace
+(:data:`repro.telemetry.metrics.SCHEDULING_NAMESPACE`), which
+deterministic exports and manifest totals exclude: a clamped worker
+count or a pooled-vs-in-process dispatch is real scheduling information
+but must never leak into the byte-identity the equivalence suite pins.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import (
+    BoundCounter,
+    BoundCounterFamily,
+    MetricsRegistry,
+)
 from repro.telemetry.spans import Span, Tracer
 
 #: Shard count used when a parallel run doesn't pin one explicitly.
 #: Part of the experiment definition: changing it changes which rng
 #: stream probes which item, so it is recorded in the RunManifest.
 DEFAULT_SHARDS = 8
+
+#: Workloads below this many items stay in-process by default: at small
+#: sizes the dispatch overhead (task pickling, result decode, merge)
+#: exceeds the work itself. Calibrated on the campaign benchmark —
+#: sub-threshold legs are dominated by per-item costs of ~100 µs,
+#: so even a free pool could not repay one round-trip. Recorded in the
+#: RunManifest execution block alongside each dispatch decision.
+DEFAULT_IN_PROCESS_THRESHOLD = 256
+
+# Scheduling telemetry (parallel.* namespace — excluded from
+# deterministic exports and manifest totals, visible in Prometheus,
+# tables, and non-deterministic snapshots).
+_CLAMPED = BoundCounter("parallel.workers.clamped")
+_POOL_CREATED = BoundCounter("parallel.pool.created")
+_DISPATCH = BoundCounterFamily("parallel.dispatch", "mode")
 
 
 @dataclass(frozen=True)
@@ -133,23 +179,98 @@ class ShardPlan:
 class ParallelConfig:
     """How a run is sharded and scheduled.
 
-    ``shards`` is part of the experiment (it decides rng-stream
-    assignment); ``workers`` is pure scheduling and must never change a
-    single output byte — the invariant the differential suite proves.
+    ``shards`` and ``min_fanout_items`` are part of the experiment
+    (they decide rng-stream assignment and which dispatches fan out);
+    ``workers`` and ``oversubscribe`` are pure scheduling and must
+    never change a single output byte — the invariant the differential
+    suite proves.
     """
 
     workers: int = 1
     shards: Optional[int] = None
+    #: Dispatches whose item count is below this stay in-process.
+    min_fanout_items: int = DEFAULT_IN_PROCESS_THRESHOLD
+    #: Allow more workers than ``os.cpu_count()``. Off by default:
+    #: silent oversubscription is a foot-gun (context-switch thrash
+    #: that looks like a perf regression), so excess workers are
+    #: clamped and counted. The differential suite turns this on to
+    #: genuinely exercise 4/16-worker pools on small CI machines.
+    oversubscribe: bool = False
+    #: Benchmark-only: route pooled dispatches through the historical
+    #: executor (a fresh fork pool per dispatch, pickled telemetry
+    #: object graphs). Pure scheduling — results are byte-identical —
+    #: kept so ``benchmarks/bench_parallel_campaign.py`` can measure
+    #: the persistent pool + wire format against the real baseline.
+    legacy_executor: bool = False
+    #: Adaptive-dispatch decision log (appended by :meth:`schedule`,
+    #: recorded in the RunManifest). Each entry is a pure function of
+    #: (item count, threshold) — never of the worker count.
+    decisions: List[Dict[str, object]] = field(
+        default_factory=list, compare=False, repr=False)
 
     def plan(self, item_count: int) -> ShardPlan:
         return ShardPlan.for_items(item_count, self.shards)
 
+    def effective_workers(self) -> int:
+        """The worker count actually used: clamped to the CPU count
+        unless ``oversubscribe`` is set, with the clamped-away excess
+        counted in ``parallel.workers.clamped``."""
+        workers = max(1, int(self.workers))
+        if self.oversubscribe:
+            return workers
+        cpus = os.cpu_count() or 1
+        if workers > cpus:
+            _CLAMPED.inc(workers - cpus)
+            return cpus
+        return workers
+
+    def schedule(self, item_count: int) -> bool:
+        """Decide (and record) whether a dispatch stays in-process.
+
+        A pure predicate of ``(item_count, min_fanout_items)`` so the
+        recorded decision — and therefore the manifest — is identical
+        at every worker count.
+        """
+        in_process = int(item_count) < int(self.min_fanout_items)
+        self.decisions.append({"items": int(item_count),
+                               "in_process": in_process})
+        return in_process
+
+    def dispatch(self, worker: Callable[[object], "ShardOutcome"],
+                 payloads: Sequence[object],
+                 item_count: int) -> List["ShardOutcome"]:
+        """Run the payloads under the adaptive policy.
+
+        ``item_count`` is the size of the underlying workload (the
+        quantity the threshold calibrates against), not the payload
+        count — a 3-shard dispatch over 3,000 addresses is a
+        3,000-item workload.
+        """
+        in_process = self.schedule(item_count)
+        if in_process:
+            _DISPATCH.get("in_process").inc()
+            return run_shards(worker, payloads, workers=1)
+        _DISPATCH.get("pool").inc()
+        return run_shards(worker, payloads,
+                          workers=self.effective_workers(),
+                          reuse_pool=not self.legacy_executor,
+                          wire=not self.legacy_executor)
+
     def manifest_execution(self) -> dict:
         """What the RunManifest records. Workers deliberately excluded —
         recording a scheduling knob would break byte-identity across
-        worker counts."""
-        return {"shards": (DEFAULT_SHARDS if self.shards is None
-                           else int(self.shards))}
+        worker counts. The adaptive block records the threshold and
+        every dispatch decision (both are experiment-definition facts:
+        identical at every worker count)."""
+        return {
+            "shards": (DEFAULT_SHARDS if self.shards is None
+                       else int(self.shards)),
+            "adaptive": {
+                "threshold": int(self.min_fanout_items),
+                "decisions": [dict(decision)
+                              for decision in self.decisions],
+            },
+        }
 
 
 @dataclass
@@ -157,23 +278,39 @@ class ShardOutcome:
     """What one shard ships back to the merge step (all picklable).
 
     Workers construct it with just (shard_index, value); the isolation
-    wrapper fills in the captured registry and root spans.
+    wrapper fills in the captured telemetry — as live objects on the
+    in-process path, as compact wire tuples (``registry_wire`` /
+    ``spans_wire``) when crossing the process boundary.
+    :func:`merge_outcomes` accepts either form and merges them
+    byte-identically.
     """
 
     shard_index: int
     value: object
     registry: Optional[MetricsRegistry] = None
     spans: List[Span] = field(default_factory=list)
+    registry_wire: Optional[tuple] = None
+    spans_wire: Optional[Tuple[tuple, ...]] = None
+
+    def encoded(self) -> "ShardOutcome":
+        """A copy carrying wire tuples instead of telemetry objects."""
+        return ShardOutcome(
+            shard_index=self.shard_index,
+            value=self.value,
+            registry_wire=(self.registry.to_wire()
+                           if self.registry is not None else None),
+            spans_wire=tuple(span.to_wire() for span in self.spans),
+        )
 
 
 def _run_isolated(worker: Callable[[object], ShardOutcome],
                   payload: object) -> ShardOutcome:
     """Run one shard against a fresh telemetry pair and capture it.
 
-    Used identically in fork children and in the in-process fallback:
-    fork children inherit the parent's populated registry (so a reset
-    is mandatory), and the fallback must produce the same isolated
-    fragments a child would.
+    Used identically in pool workers and in the in-process fallback: a
+    pool worker still holds the previous dispatch's registry (so a
+    reset is mandatory), and the fallback must produce the same
+    isolated fragments a worker would.
     """
     registry, tracer = telemetry.reset_registry()
     outcome = worker(payload)
@@ -182,16 +319,114 @@ def _run_isolated(worker: Callable[[object], ShardOutcome],
     return outcome
 
 
+# Worker-side caches (scenario worlds, keyed by config) register a
+# clearer here so the legacy benchmark baseline can reproduce the
+# historical executor, which had no caches: every shard task built its
+# world from scratch.
+_WORKER_CACHE_CLEARERS: List[Callable[[], None]] = []
+
+
+def register_worker_cache(clear: Callable[[], None]) -> None:
+    """Register a worker-side cache clearer (idempotent per callable)."""
+    if clear not in _WORKER_CACHE_CLEARERS:
+        _WORKER_CACHE_CLEARERS.append(clear)
+
+
+def clear_worker_caches() -> None:
+    for clear in _WORKER_CACHE_CLEARERS:
+        clear()
+
+
+class _IsolatedWorker:
+    """Picklable isolation wrapper for Pool.map.
+
+    ``wire=True`` (the default for pooled dispatch) returns the
+    compact-wire encoding so only flat tuples cross the process
+    boundary; ``wire=False`` ships the object graphs.
+    ``clear_caches=True`` additionally drops the worker-side world
+    caches before every task. Together they reproduce the historical
+    executor (fresh pool per dispatch, world rebuilt per shard, pickled
+    telemetry graphs) — kept as the measured legacy baseline for
+    ``benchmarks/bench_parallel_campaign.py``.
+    """
+
+    def __init__(self, worker: Callable[[object], ShardOutcome],
+                 wire: bool = True, clear_caches: bool = False):
+        self.worker = worker
+        self.wire = wire
+        self.clear_caches = clear_caches
+
+    def __call__(self, payload: object) -> ShardOutcome:
+        if self.clear_caches:
+            clear_worker_caches()
+        outcome = _run_isolated(self.worker, payload)
+        return outcome.encoded() if self.wire else outcome
+
+
+# -- persistent worker pool ---------------------------------------------------
+#
+# One fork pool per process, created lazily on the first pooled dispatch
+# and reused for every subsequent one (recreated only when the requested
+# size changes). Children inherit the parent's state at fork time via
+# copy-on-write — including any scenario caches the parent has built —
+# and each worker keeps its own config-keyed world cache warm across
+# dispatches, which is where the campaign speedup comes from.
+
+_worker_pool: Optional[Tuple[int, object]] = None
+
+
+def get_worker_pool(processes: int):
+    """The process-wide persistent pool, (re)created at ``processes``."""
+    global _worker_pool
+    processes = max(1, int(processes))
+    if _worker_pool is not None and _worker_pool[0] != processes:
+        shutdown_worker_pool()
+    if _worker_pool is None:
+        context = multiprocessing.get_context("fork")
+        _worker_pool = (processes, context.Pool(processes=processes))
+        _POOL_CREATED.inc()
+    return _worker_pool[1]
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the persistent pool (no-op when none exists).
+
+    Registered via ``atexit`` for process shutdown; tests call it
+    directly to prove a fresh pool per round changes nothing.
+    """
+    global _worker_pool
+    if _worker_pool is None:
+        return
+    _, pool = _worker_pool
+    _worker_pool = None
+    pool.terminate()
+    pool.join()
+
+
+atexit.register(shutdown_worker_pool)
+
+
 def run_shards(worker: Callable[[object], ShardOutcome],
                payloads: Sequence[object],
-               workers: int = 1) -> List[ShardOutcome]:
+               workers: int = 1,
+               *,
+               reuse_pool: bool = True,
+               wire: bool = True) -> List[ShardOutcome]:
     """Execute ``worker(payload)`` for every payload, preserving order.
 
     ``workers <= 1`` (or a single payload) runs in-process — saving and
-    restoring the caller's telemetry pair around each shard. Otherwise a
-    ``fork``-context pool maps the payloads with chunksize 1; results
-    come back in submission order regardless of completion order, so
-    scheduling cannot reorder the merge.
+    restoring the caller's telemetry pair around the dispatch, on both
+    the normal and the exception path, so a raising shard never leaks
+    its isolated registry into the caller. Otherwise the payloads map
+    over the persistent fork pool with chunksize 1; results come back
+    in submission order regardless of completion order, so scheduling
+    cannot reorder the merge.
+
+    ``reuse_pool=False`` forks a fresh pool for this one dispatch and
+    ``wire=False`` ships pickled telemetry object graphs instead of
+    wire tuples — together they reproduce the pre-persistent-pool
+    executor, kept only as the measured baseline in
+    ``benchmarks/bench_parallel_campaign.py``.
     """
     payloads = list(payloads)
     if not payloads:
@@ -203,20 +438,18 @@ def run_shards(worker: Callable[[object], ShardOutcome],
             return [_run_isolated(worker, payload) for payload in payloads]
         finally:
             telemetry.install(saved_registry, saved_tracer)
+    if reuse_pool:
+        wrapper = _IsolatedWorker(worker, wire=wire)
+        pool = get_worker_pool(workers)
+        return pool.map(wrapper, payloads, chunksize=1)
+    # Legacy executor: a throwaway pool for this one dispatch whose
+    # children rebuild their worlds per task (the historical cost
+    # model — worker-side caches postdate it).
+    wrapper = _IsolatedWorker(worker, wire=wire, clear_caches=True)
     context = multiprocessing.get_context("fork")
     pool_size = min(int(workers), len(payloads))
     with context.Pool(processes=pool_size) as pool:
-        return pool.map(_IsolatedWorker(worker), payloads, chunksize=1)
-
-
-class _IsolatedWorker:
-    """Picklable ``partial(_run_isolated, worker)`` for Pool.map."""
-
-    def __init__(self, worker: Callable[[object], ShardOutcome]):
-        self.worker = worker
-
-    def __call__(self, payload: object) -> ShardOutcome:
-        return _run_isolated(self.worker, payload)
+        return pool.map(wrapper, payloads, chunksize=1)
 
 
 def merge_outcomes(outcomes: Sequence[ShardOutcome],
@@ -227,18 +460,29 @@ def merge_outcomes(outcomes: Sequence[ShardOutcome],
     Gauge fragments are stamped with their shard index first, so the
     gauge "last write" is defined by shard order rather than merge-call
     order. Shard root spans are adopted under the caller's active span
-    with a ``shard`` attribute. Returns the shard values, ordered by
-    shard index.
+    with a ``shard`` attribute. Fragments arriving as compact wire
+    tuples are decoded first; the decode path reconstructs the exact
+    registry/span state the object-graph path would merge, so the two
+    transports are byte-identical (pinned by
+    ``tests/test_parallel_wire.py``). Returns the shard values, ordered
+    by shard index.
     """
     registry = registry if registry is not None else telemetry.get_registry()
     tracer = tracer if tracer is not None else telemetry.get_tracer()
     ordered = sorted(outcomes, key=lambda outcome: outcome.shard_index)
     values: List[object] = []
     for outcome in ordered:
-        if outcome.registry is not None:
-            outcome.registry.stamp_origin(outcome.shard_index)
-            registry.merge(outcome.registry)
-        for span in outcome.spans:
+        fragment = outcome.registry
+        if fragment is None and outcome.registry_wire is not None:
+            fragment = MetricsRegistry.from_wire(outcome.registry_wire)
+        spans = outcome.spans
+        if not spans and outcome.spans_wire:
+            spans = [Span.from_wire(wire_span)
+                     for wire_span in outcome.spans_wire]
+        if fragment is not None:
+            fragment.stamp_origin(outcome.shard_index)
+            registry.merge(fragment)
+        for span in spans:
             span.attrs.setdefault("shard", str(outcome.shard_index))
             tracer.attach(span)
         values.append(outcome.value)

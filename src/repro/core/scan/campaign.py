@@ -7,7 +7,7 @@ behind Table 2 and Figures 3-4.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -16,7 +16,7 @@ from repro.core.parallel import (
     Shard,
     ShardOutcome,
     merge_outcomes,
-    run_shards,
+    register_worker_cache,
 )
 from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord
 from repro.core.scan.dot_scan import DotDiscovery, DotScanRecord, SweepStats
@@ -30,7 +30,12 @@ from repro.core.scan.zmap import ZmapScanner, merge_sweeps
 from repro.netsim.clock import format_date
 from repro.netsim.rand import SeededRng
 from repro.telemetry import get_registry, get_tracer
-from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.world.scenario import (
+    SELF_BUILT_IP,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
 
 
 @dataclass
@@ -128,18 +133,84 @@ class _DohTask:
     shard: Shard
 
 
-def shard_scenario(config: ScenarioConfig, round_index: int, shard: Shard):
-    """Rebuild the world inside a worker, faults scoped to the shard.
+# -- worker-side scenario cache ---------------------------------------------
+#
+# Persistent pool workers (and the in-process fallback) reuse one built
+# scenario per config across every dispatch: building the scenario —
+# providers, CAs, vantage populations, the URL corpus — dominates shard
+# cost, and it is a pure function of the picklable config. Networks are
+# NOT reused from `Scenario.network_for_round` here: that cache hands
+# out mutable worlds, and a shard must never observe another shard's
+# clock advances. Shards instead build fresh (often partial) networks,
+# or share the read-only pristine instance for sweeps.
+
+_SCENARIO_CACHE: "OrderedDict[tuple, Scenario]" = OrderedDict()
+_SCENARIO_CACHE_MAX = 4
+
+
+def _config_key(config: ScenarioConfig) -> tuple:
+    return tuple(sorted(vars(config).items()))
+
+
+def cached_scenario(config: ScenarioConfig) -> Scenario:
+    """The worker's scenario for this config (LRU-cached, built once)."""
+    key = _config_key(config)
+    scenario = _SCENARIO_CACHE.get(key)
+    if scenario is None:
+        scenario = build_scenario(config)
+        _SCENARIO_CACHE[key] = scenario
+        while len(_SCENARIO_CACHE) > _SCENARIO_CACHE_MAX:
+            _SCENARIO_CACHE.popitem(last=False)
+    else:
+        _SCENARIO_CACHE.move_to_end(key)
+    return scenario
+
+
+def prime_scenario(scenario: Scenario) -> None:
+    """Seed the worker-side cache with an already-built scenario.
+
+    The sharded entry points call this before dispatching: the
+    in-process fallback then reuses the caller's scenario instead of
+    building a second one, and a persistent pool forked after the prime
+    inherits the built world — certificate-chain memos included — via
+    fork copy-on-write. Pure optimisation: scenario building is a
+    deterministic function of the config, so a primed and a
+    worker-built scenario are interchangeable (the legacy-vs-persistent
+    byte-equality check in ``benchmarks/bench_parallel_campaign.py``
+    crosses the two).
+    """
+    key = _config_key(scenario.config)
+    if _SCENARIO_CACHE.get(key) is not scenario:
+        _SCENARIO_CACHE[key] = scenario
+        while len(_SCENARIO_CACHE) > _SCENARIO_CACHE_MAX:
+            _SCENARIO_CACHE.popitem(last=False)
+    else:
+        _SCENARIO_CACHE.move_to_end(key)
+
+
+register_worker_cache(_SCENARIO_CACHE.clear)
+
+
+def shard_scenario(config: ScenarioConfig, round_index: int, shard: Shard,
+                   *, only_addresses=None, pristine: bool = False):
+    """The world one shard runs against, faults scoped to the shard.
 
     Scenarios carry live networks (with lambdas) and so never cross the
-    process boundary — each shard rebuilds its own from the picklable
-    config, which is deterministic by construction. The fault injector
-    is reinstalled on the shard's own rng path so its order-dependent
-    per-rule streams depend only on (seed, shard plan), never on which
-    worker runs the shard.
+    process boundary — each worker builds its own from the picklable
+    config (once, via :func:`cached_scenario`) and hands every shard a
+    network that is deterministic by construction: a shared read-only
+    pristine instance for sweeps (``pristine=True``), or a fresh —
+    possibly partial, via ``only_addresses`` — build for mutating
+    measurements. The fault injector is reinstalled on the shard's own
+    rng path so its order-dependent per-rule streams depend only on
+    (seed, shard plan), never on which worker runs the shard.
     """
-    scenario = build_scenario(config)
-    network = scenario.network_for_round(round_index)
+    scenario = cached_scenario(config)
+    if pristine:
+        network = scenario.pristine_network_for_round(round_index)
+    else:
+        network = scenario.fresh_network_for_round(
+            round_index, only_addresses=only_addresses)
     plan = scenario.fault_plan_obj()
     if not plan.is_empty:
         from repro.netsim.faults import FaultInjector
@@ -150,8 +221,10 @@ def shard_scenario(config: ScenarioConfig, round_index: int, shard: Shard):
 
 
 def _sweep_shard(task: _SweepTask) -> ShardOutcome:
+    # Sweeps are read-only over the host registry, so every sweep shard
+    # shares the worker's pristine per-round network.
     scenario, network = shard_scenario(task.config, task.round_index,
-                                       task.shard)
+                                       task.shard, pristine=True)
     campaign_rng = scenario.rng.fork("campaign")
     scanner = ZmapScanner(
         network, campaign_rng.fork(f"zmap-{task.round_index}"),
@@ -161,8 +234,13 @@ def _sweep_shard(task: _SweepTask) -> ShardOutcome:
 
 
 def _probe_shard(task: _ProbeTask) -> ShardOutcome:
-    scenario, network = shard_scenario(task.config, task.round_index,
-                                       task.shard)
+    # DoT probing mutates its targets (clock advances, backend rng), so
+    # each shard gets a fresh partial world holding just its addresses —
+    # every host builds from its own stateless rng fork, so the partial
+    # world is byte-identical to the same hosts inside a full build.
+    scenario, network = shard_scenario(
+        task.config, task.round_index, task.shard,
+        only_addresses=frozenset(task.addresses))
     campaign_rng = scenario.rng.fork("campaign")
     scanner = ZmapScanner(
         network, campaign_rng.fork(f"zmap-{task.round_index}"),
@@ -179,7 +257,13 @@ def _probe_shard(task: _ProbeTask) -> ShardOutcome:
 
 def _doh_shard(task: _DohTask) -> ShardOutcome:
     final_round = task.config.scan_rounds - 1
-    scenario, network = shard_scenario(task.config, final_round, task.shard)
+    # DoH candidates only ever reach the providers' DoH fronts and the
+    # self-built resolver (lookalike/noise hosts have no bootstrap A
+    # record), so the shard world holds just those.
+    doh_world = cached_scenario(task.config).doh_addresses()
+    scenario, network = shard_scenario(
+        task.config, final_round, task.shard,
+        only_addresses=frozenset(doh_world | {SELF_BUILT_IP}))
     discovery = DohDiscovery(
         network,
         scenario.rng.fork("campaign").fork("doh").fork(task.shard.rng_path),
@@ -245,14 +329,19 @@ class ScanCampaign:
         """
         scenario = self.scenario
         parallel = self.parallel
-        network = scenario.network_for_round(round_index)
+        prime_scenario(scenario)
+        # The parent only needs a host count and a clock reading here;
+        # the shared read-only pristine network provides both without
+        # building (and caching) a mutable world nobody will probe.
+        network = scenario.pristine_network_for_round(round_index)
         with get_tracer().span("campaign.round", clock=network.clock.now,
                                round=round_index):
+            host_count = len(network.hosts())
             sweep_tasks = [
                 _SweepTask(scenario.config, round_index, shard)
-                for shard in parallel.plan(len(network.hosts()))]
+                for shard in parallel.plan(host_count)]
             fragments = merge_outcomes(
-                run_shards(_sweep_shard, sweep_tasks, parallel.workers))
+                parallel.dispatch(_sweep_shard, sweep_tasks, host_count))
             sweep = merge_sweeps(
                 fragments, self.rng.fork(f"zmap-{round_index}"),
                 background_total=scenario.background_open853(round_index))
@@ -262,7 +351,8 @@ class ScanCampaign:
                            shard.start, shard)
                 for shard in parallel.plan(len(sweep.open_addresses))]
             record_lists = merge_outcomes(
-                run_shards(_probe_shard, probe_tasks, parallel.workers))
+                parallel.dispatch(_probe_shard, probe_tasks,
+                                  len(sweep.open_addresses)))
             records = [record for shard_records in record_lists
                        for record in shard_records]
             resolvers = [record for record in records if record.is_dot]
@@ -286,6 +376,7 @@ class ScanCampaign:
     def _run_doh_sharded(self) -> List[DohScanRecord]:
         scenario = self.scenario
         parallel = self.parallel
+        prime_scenario(scenario)
         network = scenario.client_network()
         discovery = DohDiscovery(
             network, self.rng.fork("doh"), scenario.trust_store,
@@ -301,7 +392,7 @@ class ScanCampaign:
                          shard)
                 for shard in parallel.plan(len(candidates))]
             record_lists = merge_outcomes(
-                run_shards(_doh_shard, tasks, parallel.workers))
+                parallel.dispatch(_doh_shard, tasks, len(candidates)))
             return [record for shard_records in record_lists
                     for record in shard_records]
 
@@ -327,6 +418,20 @@ class ScanCampaign:
         # scan date) rather than a per-round network clock, so the span
         # exists before any network is built.
         start = self.scenario.scan_dates()[0]
+        if self.parallel is not None:
+            # A campaign run opens a fresh adaptive-decision log:
+            # re-running with the same ParallelConfig must record the
+            # same decisions, not an accumulating history — same-seed
+            # reruns stay byte-identical (studies dispatched after the
+            # campaign still append theirs to the same log).
+            self.parallel.decisions.clear()
+            # Build every round's shared read-only world before the
+            # first dispatch: the persistent pool forks on that first
+            # dispatch, so workers inherit all of them copy-on-write
+            # instead of each rebuilding the later rounds' worlds.
+            prime_scenario(self.scenario)
+            for index in range(total):
+                self.scenario.pristine_network_for_round(index)
         with get_tracer().span("campaign", clock=lambda: start,
                                rounds=total, include_doh=include_doh):
             round_results = [self.run_round(index) for index in range(total)]

@@ -18,11 +18,26 @@ T = TypeVar("T")
 class SeededRng:
     """A deterministic random stream derived from a seed and a path."""
 
+    __slots__ = ("seed", "path", "_random")
+
     def __init__(self, seed: int, path: str = ""):
         self.seed = int(seed)
         self.path = path
-        digest = hashlib.sha256(f"{seed}:{path}".encode()).digest()
-        self._random = random.Random(int.from_bytes(digest[:8], "big"))
+        # ``_random`` is built lazily (see __getattr__): forks are cheap
+        # to create and many are never drawn from (per-host streams for
+        # hosts a shard skips), so deferring the sha256 + Random
+        # construction to first use keeps fork fan-out nearly free. The
+        # derivation — sha256(f"{seed}:{path}") truncated to 8 bytes —
+        # must never change: every recorded artefact depends on it.
+
+    def __getattr__(self, name: str):
+        if name == "_random":
+            digest = hashlib.sha256(
+                f"{self.seed}:{self.path}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            object.__setattr__(self, "_random", rng)
+            return rng
+        raise AttributeError(name)
 
     def fork(self, name: str) -> "SeededRng":
         """Derive an independent stream for a named subsystem."""

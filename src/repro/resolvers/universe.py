@@ -83,7 +83,14 @@ class DnsUniverse:
     # -- convenience builders ---------------------------------------------------
 
     def host_a(self, hostname: str, *addresses: str, ttl: int = 300) -> None:
-        """Register A records, creating the SLD zone when needed."""
+        """Register A records, creating the SLD zone when needed.
+
+        Idempotent: an (name, address) pair already present is skipped,
+        so scenario worlds rebuilt from a cached scenario (the persistent
+        worker pool rebuilds networks per round) never accumulate
+        duplicate records — the universe state stays a function of the
+        config, not of how many builds this process has done.
+        """
         name = DnsName.from_text(hostname)
         sld = name.second_level_domain()
         zone = self._zones.get(sld)
@@ -91,8 +98,13 @@ class DnsUniverse:
             zone = Zone(sld, ResourceRecord.soa(
                 sld, sld.child("ns1"), sld.child("hostmaster"), serial=1))
             self._zones[sld] = zone
+        existing = {record.rdata.to_text()
+                    for record in zone.lookup(name, RRType.A).records
+                    if record.rrtype == RRType.A}
         for address in addresses:
-            zone.add(ResourceRecord.a(name, address, ttl))
+            if address not in existing:
+                zone.add(ResourceRecord.a(name, address, ttl))
+                existing.add(address)
 
     def resolve_public(self, hostname: str) -> Tuple[str, ...]:
         """Ground-truth A lookup used for DoH bootstrap resolution."""

@@ -24,6 +24,7 @@ from repro.serving.engine import (
     ServingConfig,
     ServingEngine,
     ServingReport,
+    run_sharded,
 )
 from repro.serving.pool import ConnectionReusePool
 from repro.serving.scorer import (
@@ -60,6 +61,7 @@ __all__ = [
     "ZipfSampler",
     "assign_protocols",
     "run_serving_bench",
+    "run_sharded",
     "score_protocol",
     "validate_document",
 ]

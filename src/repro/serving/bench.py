@@ -11,6 +11,10 @@ Three kinds of evidence go into ``BENCH_SERVING.json``:
   instead of stalling, which is the admission-control contract.
 * **Reproducibility check** — two identical seeded runs whose
   scorecards must serialize to byte-identical JSON.
+* **Sharded leg** — the same workload run through the client-range
+  sharded path (``repro.serving.engine.run_sharded``) at two worker
+  counts; the merged scorecards must be byte-identical to each other,
+  proving the worker count is pure scheduling for serving too.
 
 Wall-clock numbers live only in this document, never in scorecards, so
 the scorecard byte-identity gate survives machine-speed variance.
@@ -159,6 +163,58 @@ def run_repro_check(config: BenchConfig) -> dict:
     }
 
 
+#: Shard count for the sharded leg; part of the leg's definition.
+SHARDED_LEG_SHARDS = 4
+
+#: Worker counts the sharded leg compares.
+SHARDED_LEG_WORKERS = (1, 2)
+
+
+def run_sharded_leg(config: BenchConfig) -> dict:
+    """Client-range sharded runs at two worker counts must merge to
+    byte-identical scorecards (the serving determinism contract)."""
+    from repro.core.parallel import ParallelConfig
+    from repro.serving.engine import run_sharded
+
+    duration = max(1.0, round(config.repro_queries / config.qps))
+    spec = WorkloadSpec(
+        duration_s=duration, qps_start=config.qps,
+        clients=config.clients, names=config.names,
+        protocol_mix={"do53": 1.0, "do53-tcp": 1.0,
+                      "dot": 1.0, "doh": 1.0})
+    world_config = ServingWorldConfig(
+        seed=config.seed, clients=config.clients, names=config.names)
+    serving_config = ServingConfig(
+        concurrency=config.concurrency, max_queue=config.max_queue)
+    digests = {}
+    served = 0
+    wall = {}
+    for workers in SHARDED_LEG_WORKERS:
+        telemetry.reset_registry()
+        # oversubscribe so both counts genuinely exercise the pool path
+        # even on single-CPU machines; min_fanout_items=0 so the leg
+        # never falls back to the unsharded in-process shortcut.
+        parallel = ParallelConfig(workers=workers,
+                                  shards=SHARDED_LEG_SHARDS,
+                                  min_fanout_items=0, oversubscribe=True)
+        start = time.perf_counter()
+        report = run_sharded(world_config, spec, serving_config, parallel)
+        wall[workers] = round(time.perf_counter() - start, 3)
+        card = ResolverScorecard.from_report(report, seed=config.seed)
+        digests[workers] = hashlib.sha256(card.to_json_bytes()).hexdigest()
+        served = report.served
+    first, second = SHARDED_LEG_WORKERS
+    return {
+        "shards": SHARDED_LEG_SHARDS,
+        "workers": list(SHARDED_LEG_WORKERS),
+        "digest_a": digests[first],
+        "digest_b": digests[second],
+        "identical": digests[first] == digests[second],
+        "served": served,
+        "wall_s": wall,
+    }
+
+
 def run_serving_bench(config: Optional[BenchConfig] = None,
                       protocols: Tuple[str, ...] = BENCH_PROTOCOLS,
                       log=lambda text: None) -> dict:
@@ -173,6 +229,8 @@ def run_serving_bench(config: Optional[BenchConfig] = None,
     overload = run_overload_leg(config)
     log("reproducibility check...")
     repro = run_repro_check(config)
+    log("sharded leg...")
+    sharded = run_sharded_leg(config)
     return {
         "generated_by": "benchmarks/bench_serving.py",
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -184,6 +242,7 @@ def run_serving_bench(config: Optional[BenchConfig] = None,
         "protocols": legs,
         "overload": overload,
         "reproducibility": repro,
+        "sharded": sharded,
     }
 
 
@@ -233,3 +292,16 @@ def validate_document(document: dict,
                          "is not engaging")
     if not document["reproducibility"].get("identical"):
         raise ValueError("same-seed scorecards were not byte-identical")
+    # ``sharded`` is optional (older documents predate the sharded
+    # serving path) but fully validated when present.
+    if "sharded" in document:
+        sharded = document["sharded"]
+        for key in ("shards", "workers", "digest_a", "digest_b",
+                    "identical", "served"):
+            if key not in sharded:
+                raise ValueError(f"sharded: missing {key!r}")
+        if not sharded["identical"]:
+            raise ValueError("sharded scorecards differ across worker "
+                             "counts — scheduling leaked into results")
+        if sharded["served"] <= 0:
+            raise ValueError("sharded leg served nothing")

@@ -18,13 +18,19 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.parallel import (
+    ParallelConfig,
+    Shard,
+    ShardOutcome,
+    merge_outcomes,
+)
 from repro.netsim.rand import SeededRng
 from repro.resolvers.cache import CacheStats
 from repro.serving.pool import ConnectionReusePool
 from repro.serving.workload import WorkloadGenerator, WorkloadSpec
-from repro.serving.world import ServingWorld
+from repro.serving.world import ServingWorld, ServingWorldConfig
 from repro.telemetry import (
     BoundCounter,
     BoundCounterFamily,
@@ -111,6 +117,52 @@ class ProtocolStats:
             return 0.0
         return cold - warm
 
+    # -- shard merge & wire codec ------------------------------------------
+
+    def merge_from(self, other: "ProtocolStats") -> "ProtocolStats":
+        """Registry-algebra fold: counts add, histograms add bucket-wise.
+
+        The merged stats are exactly what a single engine observing both
+        event streams would have recorded, which is what lets sharded
+        serving runs score through the unchanged scorecard."""
+        self.offered += other.offered
+        self.served += other.served
+        self.ok += other.ok
+        self.shed += other.shed
+        for kind, count in other.failures.items():
+            self.failures[kind] = self.failures.get(kind, 0) + count
+        self.latency.merge_from(other.latency)
+        self.cold.merge_from(other.cold)
+        self.warm.merge_from(other.warm)
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        return self
+
+    def to_wire(self) -> tuple:
+        return (self.protocol, self.offered, self.served, self.ok,
+                self.shed, tuple(sorted(self.failures.items())),
+                self.latency.to_wire_payload(),
+                self.cold.to_wire_payload(),
+                self.warm.to_wire_payload(),
+                self._sum, self._sumsq)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "ProtocolStats":
+        (protocol, offered, served, ok, shed, failures,
+         latency, cold, warm, total, sumsq) = wire
+        stats = cls(protocol)
+        stats.offered = offered
+        stats.served = served
+        stats.ok = ok
+        stats.shed = shed
+        stats.failures = dict(failures)
+        stats.latency.load_wire_payload(latency)
+        stats.cold.load_wire_payload(cold)
+        stats.warm.load_wire_payload(warm)
+        stats._sum = total
+        stats._sumsq = sumsq
+        return stats
+
 
 @dataclass
 class ServingReport:
@@ -160,7 +212,17 @@ class ServingEngine:
             world, self.rng.fork("pool"),
             default_idle_s=self.config.default_idle_s)
 
-    def run(self, spec: WorkloadSpec) -> ServingReport:
+    def run(self, spec: WorkloadSpec,
+            client_range: Optional[Tuple[int, int]] = None) -> ServingReport:
+        """Serve the workload; ``client_range=(lo, hi)`` serves only the
+        events of clients ``lo <= client < hi``.
+
+        The generator always produces the *full* deterministic event
+        stream — one arrivals rng drives every shard — and the range
+        filters it, so the union of disjoint ranges is exactly the
+        unfiltered stream: sharded serving partitions work without
+        perturbing which client issues which query when.
+        """
         generator = WorkloadGenerator(spec, self.rng.fork("workload"))
         clock = self.world.network.clock
         start = clock.now()
@@ -179,6 +241,10 @@ class ServingEngine:
             batches += 1
             _BATCHES.inc()
             for event in events:
+                if (client_range is not None
+                        and not (client_range[0] <= event.client
+                                 < client_range[1])):
+                    continue
                 arrival = start + event.at_s
                 per_protocol = stats[event.protocol]
                 per_protocol.offered += 1
@@ -229,3 +295,129 @@ class ServingEngine:
 
     def close(self) -> None:
         self.pool.close_all()
+
+
+# -- sharded serving ---------------------------------------------------------
+#
+# A serving run shards over *client ranges*: every shard builds its own
+# (cheap, deterministic) world, generates the full workload stream, and
+# serves only its clients' events with a proportional slice of the
+# engine capacity. Shard reports come back as flat wire tuples and fold
+# together with the same algebra the telemetry merge uses, so the merged
+# report — and the scorecard built from it — depends only on
+# (seed, shard plan), never on the worker count.
+
+
+@dataclass(frozen=True)
+class _ServingTask:
+    """One client-range slice of a serving run (all picklable)."""
+
+    world_config: ServingWorldConfig
+    spec: WorkloadSpec
+    config: ServingConfig
+    shard: Shard
+
+
+def shard_serving_config(config: ServingConfig,
+                         shard_total: int) -> ServingConfig:
+    """Divide the engine capacity across shards (each at least 1).
+
+    Splitting concurrency/queue keeps the *aggregate* capacity of an
+    N-shard run comparable to the single-engine run, so admission
+    control sheds at roughly the same offered load.
+    """
+    shard_total = max(1, int(shard_total))
+    return ServingConfig(
+        concurrency=max(1, config.concurrency // shard_total),
+        max_queue=max(1, config.max_queue // shard_total),
+        default_idle_s=config.default_idle_s)
+
+
+def report_to_wire(report: ServingReport) -> tuple:
+    """Flat picklable form of a report (the spec never travels — the
+    parent already holds it)."""
+    return (
+        tuple(stats.to_wire()
+              for _, stats in sorted(report.protocols.items())),
+        report.duration_s,
+        report.batches,
+        report.queue_peak,
+        tuple(sorted(vars(report.cache).items())),
+        report.pool_reused,
+        report.pool_handshakes,
+        report.pool_expired,
+    )
+
+
+def report_from_wire(spec: WorkloadSpec, wire: tuple) -> ServingReport:
+    (protocols, duration_s, batches, queue_peak, cache,
+     pool_reused, pool_handshakes, pool_expired) = wire
+    stats = {}
+    for row in protocols:
+        decoded = ProtocolStats.from_wire(row)
+        stats[decoded.protocol] = decoded
+    return ServingReport(
+        spec=spec, protocols=stats, duration_s=duration_s,
+        batches=batches, queue_peak=queue_peak,
+        cache=CacheStats(**dict(cache)),
+        pool_reused=pool_reused, pool_handshakes=pool_handshakes,
+        pool_expired=pool_expired)
+
+
+def merge_reports(spec: WorkloadSpec,
+                  fragments: List[ServingReport]) -> ServingReport:
+    """Fold shard reports into one, in shard order.
+
+    Counts and histograms add (the registry algebra); ``queue_peak``
+    takes the max across shards (each shard ran its own queue);
+    ``batches`` agrees across shards by construction (every shard
+    consumed the same tick stream), so max is a plain pass-through.
+    """
+    if not fragments:
+        raise ValueError("cannot merge zero serving reports")
+    merged = ServingReport(
+        spec=spec,
+        protocols={},
+        duration_s=fragments[0].duration_s,
+        batches=max(fragment.batches for fragment in fragments),
+        queue_peak=max(fragment.queue_peak for fragment in fragments),
+    )
+    for fragment in fragments:
+        for protocol, stats in sorted(fragment.protocols.items()):
+            mine = merged.protocols.get(protocol)
+            if mine is None:
+                merged.protocols[protocol] = ProtocolStats.from_wire(
+                    stats.to_wire())
+            else:
+                mine.merge_from(stats)
+        merged.cache.merge_from(fragment.cache)
+        merged.pool_reused += fragment.pool_reused
+        merged.pool_handshakes += fragment.pool_handshakes
+        merged.pool_expired += fragment.pool_expired
+    return merged
+
+
+def _serving_shard(task: _ServingTask) -> ShardOutcome:
+    world = ServingWorld.build(task.world_config)
+    engine = ServingEngine(world, config=task.config)
+    try:
+        report = engine.run(task.spec,
+                            client_range=(task.shard.start,
+                                          task.shard.stop))
+    finally:
+        engine.close()
+    return ShardOutcome(task.shard.index, report_to_wire(report))
+
+
+def run_sharded(world_config: ServingWorldConfig, spec: WorkloadSpec,
+                config: ServingConfig,
+                parallel: ParallelConfig) -> ServingReport:
+    """One serving run fanned out over client-range shards."""
+    plan = parallel.plan(spec.clients)
+    per_shard = shard_serving_config(config, len(plan))
+    tasks = [_ServingTask(world_config, spec, per_shard, shard)
+             for shard in plan]
+    wires = merge_outcomes(
+        parallel.dispatch(_serving_shard, tasks, spec.clients))
+    return merge_reports(spec, [report_from_wire(spec, wire)
+                                for wire in wires])

@@ -15,6 +15,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    is_scheduling_metric,
 )
 from repro.telemetry.spans import Tracer
 
@@ -39,6 +40,11 @@ def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
     metrics = {}
     for metric in registry:
         if _is_empty_histogram(metric):
+            continue
+        # Scheduling telemetry (worker clamps, dispatch-mode counters)
+        # varies with the worker count by design; deterministic
+        # snapshots drop it to keep the byte-identity contract.
+        if deterministic and is_scheduling_metric(metric.name):
             continue
         metrics[_series_name(metric)] = metric.as_dict()
     document = {"metrics": metrics}

@@ -13,7 +13,11 @@ import subprocess
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.telemetry.metrics import Counter, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    MetricsRegistry,
+    is_scheduling_metric,
+)
 
 
 def git_describe(cwd: Optional[str] = None) -> str:
@@ -71,9 +75,15 @@ class RunManifest:
     def record_totals(self, registry: MetricsRegistry) -> None:
         totals: Dict[str, float] = {}
         for metric in registry:
-            if isinstance(metric, Counter):
-                totals[metric.name] = (totals.get(metric.name, 0.0)
-                                       + metric.value)
+            if not isinstance(metric, Counter):
+                continue
+            # Scheduling counters (``parallel.*``) legitimately vary
+            # with the worker count; folding them into the manifest
+            # would break worker-count byte-identity.
+            if is_scheduling_metric(metric.name):
+                continue
+            totals[metric.name] = (totals.get(metric.name, 0.0)
+                                   + metric.value)
         self.totals = totals
 
     def as_dict(self) -> dict:

@@ -20,6 +20,22 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 LabelPairs = Tuple[Tuple[str, str], ...]
 
+#: Metrics under this prefix describe *scheduling* (worker clamping,
+#: dispatch mode, pool lifecycle) rather than the experiment itself.
+#: Deterministic exports and manifest totals exclude them: scheduling
+#: telemetry legitimately varies with the worker count, and including
+#: it would break the byte-identity contract the parallel equivalence
+#: suite proves. Non-deterministic snapshots, Prometheus, and tables
+#: still show it.
+SCHEDULING_NAMESPACE = "parallel."
+
+
+def is_scheduling_metric(name: str) -> bool:
+    return name.startswith(SCHEDULING_NAMESPACE)
+
+#: Version tag leading every registry wire payload.
+WIRE_VERSION = 1
+
 
 def _labelkey(labels: Dict[str, str]) -> LabelPairs:
     """Canonical (sorted) label tuple — determinism satellite."""
@@ -47,6 +63,14 @@ class Counter:
 
     def as_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
+
+    # -- wire codec (see MetricsRegistry.to_wire) --------------------------
+
+    def to_wire_payload(self) -> tuple:
+        return (self.value,)
+
+    def load_wire_payload(self, payload: tuple) -> None:
+        (self.value,) = payload
 
 
 class Gauge:
@@ -85,6 +109,12 @@ class Gauge:
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
+
+    def to_wire_payload(self) -> tuple:
+        return (self.value, self.origin)
+
+    def load_wire_payload(self, payload: tuple) -> None:
+        self.value, self.origin = payload
 
 
 class Histogram:
@@ -229,6 +259,17 @@ class Histogram:
             document[key] = round(self.quantile(q), 6)
         return document
 
+    def to_wire_payload(self) -> tuple:
+        # Floats travel verbatim (no rounding): decode must reconstruct
+        # the exact histogram state so merged snapshots stay
+        # byte-identical to the object-graph merge path.
+        return (self.count, self.sum, self.min, self.max,
+                tuple(sorted(self._buckets.items())))
+
+    def load_wire_payload(self, payload: tuple) -> None:
+        self.count, self.sum, self.min, self.max, buckets = payload
+        self._buckets = dict(buckets)
+
 
 class MetricsRegistry:
     """Holds every metric of one run, keyed by (name, sorted labels)."""
@@ -344,6 +385,42 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         self._metrics.clear()
+
+    # -- compact wire format -----------------------------------------------
+    #
+    # Shard results cross the process boundary as flat tuples instead of
+    # pickled object graphs: one row per series, each row carrying only
+    # the metric's algebraic state (a counter's value, a gauge's
+    # (value, origin) write, a histogram's count/sum/min/max plus sorted
+    # (bucket index, count) pairs). ``from_wire(to_wire())`` reconstructs
+    # a registry whose merge behaviour — and therefore every exported
+    # byte — is identical to shipping the objects themselves; the
+    # equivalence is pinned by tests/test_parallel_wire.py.
+
+    _WIRE_KINDS = {"c": Counter, "g": Gauge, "h": Histogram}
+
+    def to_wire(self) -> tuple:
+        """Flat, picklable snapshot of the registry state."""
+        rows = []
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            rows.append((metric.kind[0], key[0], key[1],
+                         metric.to_wire_payload()))
+        return (WIRE_VERSION, tuple(rows))
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_wire` output."""
+        version, rows = wire
+        if version != WIRE_VERSION:
+            raise ValueError(f"unsupported registry wire version {version}")
+        registry = cls()
+        for kind, name, labels, payload in rows:
+            factory = cls._WIRE_KINDS[kind]
+            metric = factory(name, tuple(tuple(pair) for pair in labels))
+            metric.load_wire_payload(payload)
+            registry._metrics[(metric.name, metric.labels)] = metric
+        return registry
 
 
 # -- bound handles -----------------------------------------------------------

@@ -70,6 +70,35 @@ class Span:
                 return found
         return None
 
+    # -- wire codec --------------------------------------------------------
+    #
+    # Shard results ship spans as nested tuples rather than pickled Span
+    # object graphs. Floats travel verbatim (``as_dict`` does the
+    # rounding at export time), so a decoded tree exports byte-identical
+    # JSON to the original.
+
+    def to_wire(self) -> tuple:
+        return (self.name,
+                tuple(sorted(self.attrs.items())),
+                self.status,
+                self.error,
+                self.sim_started_at,
+                self.sim_ms,
+                self.wall_ms,
+                tuple(child.to_wire() for child in self.children))
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "Span":
+        (name, attrs, status, error,
+         sim_started_at, sim_ms, wall_ms, children) = wire
+        span = cls(name, dict(attrs), sim_started_at=sim_started_at)
+        span.status = status
+        span.error = error
+        span.sim_ms = sim_ms
+        span.wall_ms = wall_ms
+        span.children = [cls.from_wire(child) for child in children]
+        return span
+
 
 class _SpanContext:
     def __init__(self, tracer: "Tracer", span: Span,

@@ -156,7 +156,19 @@ class Scenario:
         self.providers: List[ProviderSpec] = []
         self.resolver_records: Dict[str, ResolverRecord] = {}
         self._tls_configs: Dict[str, TlsConfig] = {}
+        #: Memoised leaf chains for hosts outside ``_tls_config_for``
+        #: (DoH fronts, the self-built resolver, atlas-local DoT).
+        #: Rebuilding a round's network from a cached scenario — which
+        #: persistent pool workers do every dispatch — must not
+        #: re-issue certificates: issuance consumes the process-global
+        #: serial counter and costs most of a rebuild.
+        self._chain_memo: Dict[str, Tuple[Certificate, ...]] = {}
         self._networks: Dict[int, Network] = {}
+        #: Read-only network cache for sweep shards (see
+        #: :meth:`pristine_network_for_round`). Separate from
+        #: ``_networks`` so the mutable-use cache can never hand a
+        #: sweep a clock-advanced world or vice versa.
+        self._pristine_networks: Dict[int, Network] = {}
         self._proxyrack: Optional[List[VantagePoint]] = None
         self._zhima: Optional[List[VantagePoint]] = None
         self._atlas: Optional[Tuple[List[AtlasProbe], List[str]]] = None
@@ -178,10 +190,54 @@ class Scenario:
     # -- world building ---------------------------------------------------------
 
     def network_for_round(self, round_index: int) -> Network:
-        """The resolver world as it exists at one scan round (cached)."""
+        """The resolver world as it exists at one scan round (cached).
+
+        The cached network is *mutable* (clocks advance, backends draw
+        rng, caches fill). Shard workers reusing a cached scenario must
+        not touch it — they build with :meth:`fresh_network_for_round`
+        (mutating measurements) or :meth:`pristine_network_for_round`
+        (read-only sweeps) instead.
+        """
         if round_index not in self._networks:
             self._networks[round_index] = self._build_network(round_index)
         return self._networks[round_index]
+
+    def fresh_network_for_round(self, round_index: int,
+                                only_addresses=None) -> Network:
+        """An uncached network build for one round.
+
+        ``only_addresses`` (a set of address strings) restricts the
+        build to hosts at those addresses: every included host is
+        constructed from its own stateless rng fork, so a partial world
+        behaves identically to the same addresses inside a full build.
+        Used by shard workers, whose cached scenarios outlive any one
+        dispatch — handing out the mutable cached network would let a
+        later shard observe an earlier shard's clock advances.
+        """
+        return self._build_network(round_index,
+                                   only_addresses=only_addresses)
+
+    def pristine_network_for_round(self, round_index: int) -> Network:
+        """A cached network reserved for *read-only* use (ZMap sweeps).
+
+        Sweeps only inspect service bindings and draw from their own
+        probe rng, so shards can share one pristine instance per round
+        instead of rebuilding the full world per sweep shard. Kept in a
+        cache separate from :meth:`network_for_round` so mutating
+        callers can never warm (or dirty) this one.
+        """
+        if round_index not in self._pristine_networks:
+            self._pristine_networks[round_index] = (
+                self._build_network(round_index))
+        return self._pristine_networks[round_index]
+
+    def doh_addresses(self) -> frozenset:
+        """Every DoH front address across providers (partial builds)."""
+        addresses = set()
+        for provider in self.providers:
+            if provider.doh_template and provider.doh_hosts:
+                addresses.update(provider.doh_hosts.values())
+        return frozenset(addresses)
 
     def client_network(self) -> Network:
         """The world the client-side studies run against (final round)."""
@@ -197,15 +253,17 @@ class Scenario:
                      + (config.background_open853_last
                         - config.background_open853_first) * fraction)
 
-    def _build_network(self, round_index: int) -> Network:
+    def _build_network(self, round_index: int,
+                       only_addresses=None) -> Network:
         dates = self.scan_dates()
         network = Network(clock=SimClock(dates[round_index]))
         for provider in self.providers:
-            self._add_provider_hosts(network, provider, round_index)
-        self._add_google_hosts(network)
-        self._add_self_built(network)
-        self._add_background_sample(network, round_index)
-        self._add_atlas_local_resolvers(network)
+            self._add_provider_hosts(network, provider, round_index,
+                                     only_addresses)
+        self._add_google_hosts(network, only_addresses)
+        self._add_self_built(network, only_addresses)
+        self._add_background_sample(network, round_index, only_addresses)
+        self._add_atlas_local_resolvers(network, only_addresses)
         self._add_censorship(network)
         self._install_faults(network, round_index)
         return network
@@ -259,12 +317,16 @@ class Scenario:
     # -- provider hosts ---------------------------------------------------------
 
     def _add_provider_hosts(self, network: Network, provider: ProviderSpec,
-                            round_index: int) -> None:
+                            round_index: int,
+                            only_addresses=None) -> None:
         for spec in provider.addresses_in_round(round_index):
+            if (only_addresses is not None
+                    and spec.address not in only_addresses):
+                continue
             host = self._make_resolver_host(network, provider, spec)
             network.add_host(host)
         if provider.doh_template and provider.doh_hosts:
-            self._add_doh_hosts(network, provider)
+            self._add_doh_hosts(network, provider, only_addresses)
 
     def _make_resolver_host(self, network: Network, provider: ProviderSpec,
                             spec: ResolverAddressSpec) -> Host:
@@ -297,11 +359,15 @@ class Scenario:
         return host
 
     def _add_doh_hosts(self, network: Network,
-                       provider: ProviderSpec) -> None:
+                       provider: ProviderSpec,
+                       only_addresses=None) -> None:
         from repro.httpsim.uri import UriTemplate
         template = UriTemplate(provider.doh_template)
         path = template.path
         for hostname, address in provider.doh_hosts.items():
+            if (only_addresses is not None
+                    and address not in only_addresses):
+                continue
             if network.host_at(address) is not None:
                 continue
             host_rng = self.rng.fork(f"doh-{address}")
@@ -314,8 +380,11 @@ class Scenario:
                         processing_ms=host_rng.uniform(0.8, 2.0),
                         operator=provider.name)
             host.tags.add("doh-resolver")
-            chain = make_chain(self.trusted_ca, hostname,
-                               "2018-09-01", "2019-09-01", san=(hostname,))
+            chain = self._memoised_chain(
+                f"doh/{hostname}/{address}",
+                lambda: make_chain(self.trusted_ca, hostname,
+                                   "2018-09-01", "2019-09-01",
+                                   san=(hostname,)))
             tls = TlsConfig(cert_chain=chain, alpn=("h2",))
             backend = self._backend_for(provider, host_rng)
             if provider.flaky_doh_probability > 0.0:
@@ -331,6 +400,13 @@ class Scenario:
             host.webpage = webpage
             network.add_host(host)
             self.universe.host_a(hostname, address)
+
+    def _memoised_chain(self, key: str, build) -> Tuple[Certificate, ...]:
+        chain = self._chain_memo.get(key)
+        if chain is None:
+            chain = build()
+            self._chain_memo[key] = chain
+        return chain
 
     def _backend_for(self, provider: ProviderSpec,
                      host_rng: SeededRng) -> ResolverBackend:
@@ -383,7 +459,8 @@ class Scenario:
 
     # -- special hosts -----------------------------------------------------------
 
-    def _add_google_hosts(self, network: Network) -> None:
+    def _add_google_hosts(self, network: Network,
+                          only_addresses=None) -> None:
         """Google public DNS: Do53 on 8.8.8.8/8.8.4.4, DoH on dns.google.com.
 
         At the time of the experiment Google DoT was not announced, so
@@ -391,6 +468,8 @@ class Scenario:
         Table 4 "n/a" cells).
         """
         for address in GOOGLE_DO53_IPS:
+            if only_addresses is not None and address not in only_addresses:
+                continue
             if network.host_at(address) is not None:
                 continue
             host_rng = self.rng.fork(f"google-{address}")
@@ -407,8 +486,12 @@ class Scenario:
             host.webpage = webpage
             network.add_host(host)
 
-    def _add_self_built(self, network: Network) -> None:
+    def _add_self_built(self, network: Network,
+                        only_addresses=None) -> None:
         """The paper's own resolver supporting Do53, DoT and DoH."""
+        if (only_addresses is not None
+                and SELF_BUILT_IP not in only_addresses):
+            return
         host_rng = self.rng.fork("self-built")
         entry = country("DE")
         host = Host(address=SELF_BUILT_IP, country_code="DE",
@@ -416,9 +499,11 @@ class Scenario:
                     operator="self-built")
         backend = RecursiveBackend(self.universe, host_rng.fork("recursive"),
                                    resolver_label="self-built")
-        chain = make_chain(self.trusted_ca, SELF_BUILT_HOSTNAME,
-                           "2018-11-01", "2019-11-01",
-                           san=(SELF_BUILT_HOSTNAME,))
+        chain = self._memoised_chain(
+            "self-built",
+            lambda: make_chain(self.trusted_ca, SELF_BUILT_HOSTNAME,
+                               "2018-11-01", "2019-11-01",
+                               san=(SELF_BUILT_HOSTNAME,)))
         tls = TlsConfig(cert_chain=chain)
         host.bind("udp", 53, Do53UdpService(backend))
         host.bind("tcp", 53, Do53TcpService(backend))
@@ -428,15 +513,21 @@ class Scenario:
         self.universe.host_a(SELF_BUILT_HOSTNAME, SELF_BUILT_IP)
 
     def _add_background_sample(self, network: Network,
-                               round_index: int) -> None:
+                               round_index: int,
+                               only_addresses=None) -> None:
         """Materialise a sample of port-853-open non-DoT hosts."""
         from repro.netsim.host import CallableService
         sample_rng = self.rng.fork(f"background-{round_index}")
         codes = ("US", "CN", "BR", "RU", "IN", "DE", "KR", "VN", "TR",
                  "ID", "MX", "TH")
         for index in range(self.config.background_sample_size):
+            # The country draw happens for every index — even ones a
+            # partial build skips — so each host's code depends only on
+            # its index, never on which other hosts were requested.
             code = sample_rng.choice(codes)
             address = f"203.{(index // 250) % 200}.{(index // 250) // 200}.{index % 250 + 1}"
+            if only_addresses is not None and address not in only_addresses:
+                continue
             if network.host_at(address) is not None:
                 continue
             entry = country(code)
@@ -448,11 +539,15 @@ class Scenario:
                 lambda payload, ctx: b""))
             network.add_host(host)
 
-    def _add_atlas_local_resolvers(self, network: Network) -> None:
+    def _add_atlas_local_resolvers(self, network: Network,
+                                   only_addresses=None) -> None:
         probes, dot_capable = self.atlas()
         capable = set(dot_capable)
         for probe in probes:
             if probe.uses_public_resolver:
+                continue
+            if (only_addresses is not None
+                    and probe.local_resolver_ip not in only_addresses):
                 continue
             if network.host_at(probe.local_resolver_ip) is not None:
                 continue
@@ -468,10 +563,12 @@ class Scenario:
             host.bind("udp", 53, Do53UdpService(backend))
             host.bind("tcp", 53, Do53TcpService(backend))
             if probe.local_resolver_ip in capable:
-                chain = make_chain(self.trusted_ca,
-                                   f"dns.isp-{probe.env.country_code.lower()}"
-                                   ".example",
-                                   "2018-10-01", "2019-10-01")
+                isp_name = (f"dns.isp-{probe.env.country_code.lower()}"
+                            ".example")
+                chain = self._memoised_chain(
+                    f"atlas/{probe.local_resolver_ip}",
+                    lambda: make_chain(self.trusted_ca, isp_name,
+                                       "2018-10-01", "2019-10-01"))
                 host.bind("tcp", 853, DotService(
                     backend, TlsConfig(cert_chain=chain)))
                 host.tags.add("dot-local-resolver")

@@ -67,7 +67,12 @@ def snapshot(workers: int) -> dict:
     try:
         config = tiny_config(SEED)
         scenario = build_scenario(config)
-        parallel = ParallelConfig(workers=workers, shards=SHARDS)
+        # oversubscribe so the 4/16-worker runs genuinely fork a pool
+        # even on single-CPU CI machines (the clamp would otherwise
+        # reduce them to the in-process path and prove nothing);
+        # min_fanout_items=0 so the tiny workloads fan out too.
+        parallel = ParallelConfig(workers=workers, shards=SHARDS,
+                                  min_fanout_items=0, oversubscribe=True)
         campaign = ScanCampaign(scenario, parallel=parallel).run(
             rounds=ROUNDS, include_doh=True)
         study = ReachabilityStudy(scenario)
@@ -133,6 +138,28 @@ class TestWorkerCountInvariance:
     def test_manifest_records_shards_not_workers(self):
         """Shards define the experiment; workers must not be recorded,
         or the snapshots could never be byte-identical across counts."""
+        executions = []
         for workers in WORKER_COUNTS:
             manifest = json.loads(snapshot(workers)["telemetry"])["manifest"]
-            assert manifest["execution"] == {"shards": SHARDS}
+            execution = manifest["execution"]
+            assert execution["shards"] == SHARDS
+            assert "workers" not in execution
+            adaptive = execution["adaptive"]
+            assert adaptive["threshold"] == 0
+            # Every decision is a pure predicate of (items, threshold).
+            for decision in adaptive["decisions"]:
+                assert set(decision) == {"items", "in_process"}
+                assert decision["in_process"] == (
+                    decision["items"] < adaptive["threshold"])
+            executions.append(execution)
+        # The whole block — decisions included — is worker-invariant.
+        assert executions[0] == executions[1] == executions[2]
+
+    def test_scheduling_metrics_stay_out_of_snapshots(self):
+        """parallel.* counters vary with scheduling and must never leak
+        into the deterministic export or the manifest totals."""
+        data = json.loads(snapshot(WORKER_COUNTS[-1])["telemetry"])
+        assert not [name for name in data["metrics"]
+                    if name.startswith("parallel.")]
+        assert not [name for name in data["manifest"]["totals"]
+                    if name.startswith("parallel.")]
