@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""The scale benchmark — flat-memory streaming sweeps over a
+procedural world.
+
+Builds a lazy scenario twice — once with a ~10^4-address background
+space, once with ~10^6 — and sweeps port 853 over each under
+``tracemalloc``. The procedural world derives hosts on first touch and
+the sweep streams open addresses, so peak traced memory must stay
+essentially flat as the address space grows 100x: the document records
+both peaks plus sweep throughput, and ``--validate`` (run by
+``scripts/check.sh``) asserts
+
+* the large space really covers >= 10^6 addresses,
+* ``peak_bytes`` of the 10^6 sweep <= ``flatness_budget`` x the 10^4
+  sweep's peak,
+* the host LRU never exceeded its configured bound,
+* open-address counts and probed totals are internally consistent.
+
+Throughput (``addresses_per_sec``) is recorded but never asserted on —
+machine variance — exactly like the other benchmark gates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--seed 2019]
+        [--out benchmarks/BENCH_SCALE.json]
+        [--validate PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+#: The sweep memory budget: the 10^6-address sweep may use at most this
+#: multiple of the 10^4 sweep's peak (ISSUE 8 acceptance: 1.25x).
+FLATNESS_BUDGET = 1.25
+
+SMALL_SPACE = 10_000
+LARGE_SPACE = 1_000_000
+
+#: Background sample kept tiny so the explicit segment is the same for
+#: both runs and the RangeSegment carries (space - sample) addresses.
+SAMPLE_SIZE = 100
+
+SCHEMA_KEYS = ("schema", "seed", "flatness_budget", "flatness_ratio",
+               "sweeps")
+SWEEP_KEYS = ("space", "address_count", "open_addresses", "probed",
+              "peak_bytes", "wall_s", "addresses_per_sec",
+              "host_cache_peak", "host_lru_size")
+
+
+def _lazy_config(seed: int, space: int):
+    from repro.world.scenario import ScenarioConfig
+    return ScenarioConfig(
+        seed=seed,
+        scan_rounds=2,
+        vantage_scale=0.005,
+        background_sample_size=SAMPLE_SIZE,
+        world_mode="lazy",
+        world_scale=space / SAMPLE_SIZE,
+        url_dataset_noise=1_000,
+        intercepted_clients=2,
+        hijacked_routers=1,
+    )
+
+
+def _measure_sweep(seed: int, space: int) -> dict:
+    """Build a lazy scenario and sweep port 853 under tracemalloc."""
+    from repro.core.scan.zmap import ZmapScanner
+    from repro.world.scenario import build_scenario
+
+    config = _lazy_config(seed, space)
+    tracemalloc.start()
+    started = time.perf_counter()
+    scenario = build_scenario(config)
+    network = scenario.network_for_round(0)
+    scanner = ZmapScanner(network, scenario.rng.fork("zmap-0"),
+                          background_total=scenario.background_open853(0))
+    result = scanner.sweep(853, 0)
+    wall_s = time.perf_counter() - started
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    address_count = network.address_count()
+    if network.full_materialise_calls:
+        raise AssertionError(
+            "sweep hit the full-materialise path "
+            f"({network.full_materialise_calls} calls)")
+    return {
+        "space": space,
+        "address_count": address_count,
+        "open_addresses": len(result.open_addresses),
+        # An unsharded sweep probes the whole combined space.
+        "probed": address_count,
+        "peak_bytes": peak_bytes,
+        "wall_s": round(wall_s, 4),
+        "addresses_per_sec": round(address_count / wall_s, 1)
+        if wall_s > 0 else 0.0,
+        "host_cache_peak": network.host_cache_peak,
+        "host_lru_size": network.host_cache_size,
+    }
+
+
+def run_bench(seed: int) -> dict:
+    sweeps = [_measure_sweep(seed, SMALL_SPACE),
+              _measure_sweep(seed, LARGE_SPACE)]
+    ratio = sweeps[1]["peak_bytes"] / max(1, sweeps[0]["peak_bytes"])
+    return {
+        "schema": "bench-scale/1",
+        "seed": seed,
+        "flatness_budget": FLATNESS_BUDGET,
+        "flatness_ratio": round(ratio, 4),
+        "sweeps": sweeps,
+    }
+
+
+def validate_document(document: dict) -> None:
+    """Raise ValueError when the document fails the scale gate."""
+    for key in SCHEMA_KEYS:
+        if key not in document:
+            raise ValueError(f"missing key {key!r}")
+    if document["schema"] != "bench-scale/1":
+        raise ValueError(f"unknown schema {document['schema']!r}")
+    sweeps = document["sweeps"]
+    if not isinstance(sweeps, list) or len(sweeps) != 2:
+        raise ValueError("sweeps must list exactly the small and "
+                         "large runs")
+    for sweep in sweeps:
+        for key in SWEEP_KEYS:
+            if key not in sweep:
+                raise ValueError(f"sweep record missing {key!r}")
+        if sweep["host_cache_peak"] > sweep["host_lru_size"]:
+            raise ValueError(
+                f"host LRU exceeded its bound: "
+                f"{sweep['host_cache_peak']} > {sweep['host_lru_size']}")
+        if sweep["open_addresses"] > sweep["probed"]:
+            raise ValueError("more opens than probed addresses")
+        if sweep["address_count"] < sweep["space"]:
+            raise ValueError(
+                f"address space smaller than requested: "
+                f"{sweep['address_count']} < {sweep['space']}")
+    small, large = sweeps
+    if large["space"] < 1_000_000:
+        raise ValueError("large sweep must cover >= 10^6 addresses")
+    budget = float(document["flatness_budget"])
+    ratio = large["peak_bytes"] / max(1, small["peak_bytes"])
+    if ratio > budget:
+        raise ValueError(
+            f"memory not flat: 10^6 sweep used {ratio:.2f}x the 10^4 "
+            f"sweep's peak (budget {budget}x)")
+    recorded = float(document["flatness_ratio"])
+    if abs(recorded - ratio) > 0.01:
+        raise ValueError(
+            f"flatness_ratio {recorded} does not match sweeps "
+            f"({ratio:.4f})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="scenario seed (default: 2019)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_SCALE.json"))
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_document(document)
+        except (OSError, ValueError) as error:
+            print(f"error: {args.validate}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid scale benchmark document")
+        return 0
+
+    document = run_bench(args.seed)
+    validate_document(document)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    small, large = document["sweeps"]
+    print(f"10^4 sweep: peak {small['peak_bytes'] / 1e6:.1f} MB, "
+          f"{small['addresses_per_sec']:,.0f} addr/s")
+    print(f"10^6 sweep: peak {large['peak_bytes'] / 1e6:.1f} MB, "
+          f"{large['addresses_per_sec']:,.0f} addr/s")
+    print(f"flatness ratio {document['flatness_ratio']:.3f} "
+          f"(budget {FLATNESS_BUDGET}x) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,22 @@ echo "== parallel suite (PYTHONHASHSEED=1) =="
 PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest -x -q -m parallel
 
+# The procedural-world suite proves eager/lazy/sharded materialisation
+# are byte-identical; two hash seeds prove host derivation and segment
+# enumeration never lean on dict/set order.
+echo "== procedural suite (PYTHONHASHSEED=0) =="
+PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m procedural
+echo "== procedural suite (PYTHONHASHSEED=1) =="
+PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m procedural
+
+# Memory-regression gate: a 10^6-address lazy sweep must stay under a
+# tracemalloc budget and never hit the full-materialise path.
+echo "== scale suite (10^6-address sweep) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m scale
+
 # Hot-path micro-benchmarks (--skip-campaign keeps this to a few
 # seconds). The gate is the script exiting cleanly — throughput
 # regressions against the recorded baseline only print warnings,
@@ -76,3 +92,13 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_parallel_campaign.py \
     --validate benchmarks/BENCH_PARALLEL.json
 echo "ok (see benchmarks/BENCH_PARALLEL.json for the recorded run)"
+
+# Scale benchmark document: the committed record must show the
+# 10^6-address sweep peaking within the flatness budget (1.25x) of the
+# 10^4 sweep. The ratio compares two sweeps from the same run on the
+# same machine, so it is stable across hardware.
+echo "== scale benchmark document =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_scale.py \
+    --validate benchmarks/BENCH_SCALE.json
+echo "ok (see benchmarks/BENCH_SCALE.json for the recorded run)"

@@ -42,6 +42,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="vantage-population scale, 1.0 = paper scale "
                              "(default: 0.02)")
+    parser.add_argument("--world-scale", type=float, default=1.0,
+                        metavar="X",
+                        help="background address-space multiplier; above "
+                             "1.0 the sweep space grows procedurally "
+                             "(default: 1.0)")
+    parser.add_argument("--world-mode", choices=("eager", "lazy"),
+                        default=None,
+                        help="world materialisation: eager builds every "
+                             "host up front, lazy derives on first touch "
+                             "(default: eager, or lazy when "
+                             "--world-scale > 1)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write a deterministic JSON telemetry "
                              "snapshot after the command finishes")
@@ -155,6 +166,11 @@ def _parallel_config(args: argparse.Namespace) -> Optional[ParallelConfig]:
 
 
 def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
+    world_mode = args.world_mode
+    if world_mode is None:
+        # A scaled space would be pointless (and slow) to materialise
+        # eagerly, so scaling opts into lazy derivation by default.
+        world_mode = "lazy" if args.world_scale > 1.0 else "eager"
     config = ScenarioConfig(seed=args.seed, vantage_scale=args.scale,
                             background_sample_size=200,
                             url_dataset_noise=5_000,
@@ -163,7 +179,9 @@ def _make_suite(args: argparse.Namespace) -> ExperimentSuite:
                             hijacked_routers=max(1, round(12 * args.scale)),
                             fault_plan=args.fault_plan,
                             retry_attempts=args.retry_attempts,
-                            retry_backoff_s=args.retry_backoff)
+                            retry_backoff_s=args.retry_backoff,
+                            world_mode=world_mode,
+                            world_scale=args.world_scale)
     return ExperimentSuite.build(config, parallel=_parallel_config(args))
 
 

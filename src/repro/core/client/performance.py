@@ -170,7 +170,6 @@ class _PerfTask:
 
 
 def _perf_shard(task: _PerfTask) -> ShardOutcome:
-    from repro.core.client.reachability import platform_points
     from repro.core.scan.campaign import shard_scenario
     final_round = task.config.scan_rounds - 1
     scenario, network = shard_scenario(task.config, final_round, task.shard)
@@ -178,9 +177,10 @@ def _perf_shard(task: _PerfTask) -> ShardOutcome:
                              do53_ip=task.do53_ip, dot_ip=task.dot_ip,
                              doh_template=task.doh_template,
                              target_name=task.target_name)
-    points = task.shard.slice(
-        platform_points(scenario, task.platform, task.sample))
-    report = study.run(list(points), queries=task.queries,
+    # Stream only this shard's window (per-index pure derivation).
+    points = list(scenario.iter_platform_points(
+        task.platform, task.sample, task.shard.start, task.shard.stop))
+    report = study.run(points, queries=task.queries,
                        require_uptime=task.require_uptime)
     return ShardOutcome(task.shard.index, report.timings)
 
@@ -289,23 +289,23 @@ class PerformanceStudy:
         applies), so the surviving timing set matches a serial run over
         the pre-filtered list.
         """
-        from repro.core.client.reachability import platform_points
         from repro.core.scan.campaign import prime_scenario
         prime_scenario(self.scenario)
-        points = platform_points(self.scenario, platform, sample)
+        # Plan from the point count alone (see ReachabilityStudy).
+        count = self.scenario.platform_point_count(platform, sample)
         with get_tracer().span("client.performance",
                                clock=self.network.clock.now,
-                               endpoints=len(points)):
+                               endpoints=count):
             tasks = [
                 _PerfTask(self.scenario.config, platform, sample, shard,
                           queries=queries, require_uptime=require_uptime,
                           do53_ip=self.do53_ip, dot_ip=self.dot_ip,
                           doh_template=self.doh_template.text,
                           target_name=self.target_name)
-                for shard in parallel.plan(len(points))]
+                for shard in parallel.plan(count)]
             report = PerformanceReport()
             for fragment in merge_outcomes(
-                    parallel.dispatch(_perf_shard, tasks, len(points))):
+                    parallel.dispatch(_perf_shard, tasks, count)):
                 report.timings.extend(fragment)
         return report
 

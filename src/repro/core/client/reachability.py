@@ -176,8 +176,11 @@ def _reach_shard(task: _ReachTask) -> ShardOutcome:
     scenario, network = shard_scenario(task.config, final_round, task.shard)
     study = ReachabilityStudy(scenario, network=network,
                               max_attempts=task.max_attempts)
-    points = task.shard.slice(
-        platform_points(scenario, task.platform, task.sample))
+    # Stream only this shard's window: point derivation is per-index
+    # pure, so the window matches the same slice of the full list
+    # without the worker materialising the whole platform population.
+    points = list(scenario.iter_platform_points(
+        task.platform, task.sample, task.shard.start, task.shard.stop))
     report = ReachabilityReport()
     with get_tracer().span("client.reachability.shard",
                            clock=network.clock.now,
@@ -276,17 +279,19 @@ class ReachabilityStudy:
         if report is None:
             report = ReachabilityReport()
         prime_scenario(self.scenario)
-        points = platform_points(self.scenario, platform_name, sample)
+        # Plan from the point *count* alone; the parent never builds
+        # the platform population (workers stream their own windows).
+        count = self.scenario.platform_point_count(platform_name, sample)
         with get_tracer().span("client.reachability",
                                clock=self.network.clock.now,
                                platform=platform_name,
-                               endpoints=len(points)):
+                               endpoints=count):
             tasks = [
                 _ReachTask(self.scenario.config, platform_name, sample,
                            shard, max_attempts=self.max_attempts)
-                for shard in parallel.plan(len(points))]
+                for shard in parallel.plan(count)]
             for fragment in merge_outcomes(
-                    parallel.dispatch(_reach_shard, tasks, len(points))):
+                    parallel.dispatch(_reach_shard, tasks, count)):
                 report.observations.extend(fragment.observations)
                 report.interceptions.extend(fragment.interceptions)
         return report

@@ -336,7 +336,7 @@ class ScanCampaign:
         network = scenario.pristine_network_for_round(round_index)
         with get_tracer().span("campaign.round", clock=network.clock.now,
                                round=round_index):
-            host_count = len(network.hosts())
+            host_count = network.address_count()
             sweep_tasks = [
                 _SweepTask(scenario.config, round_index, shard)
                 for shard in parallel.plan(host_count)]

@@ -91,30 +91,36 @@ class ZmapScanner:
         is a *fragment*: unshuffled, without the background estimate.
         Fragments are combined — and the canonical permutation applied —
         by :func:`merge_sweeps`.
+
+        The sweep *streams*: it never materialises host objects or the
+        registry tuple, so a procedurally-backed network holds memory
+        proportional to the open population, not the address space
+        (``probed`` still counts every address in the window, exactly
+        as the historical full-registry walk did).
         """
-        hosts = self.network.hosts()
+        total = self.network.address_count()
         if shard is not None:
-            hosts = shard.slice(hosts)
+            start, stop = shard.start, min(shard.stop, total)
+        else:
+            start, stop = 0, total
         with get_tracer().span("scan.sweep", clock=self.network.clock.now,
                                port=port, round=round_index):
             started_at = self.network.clock.now()
             open_addresses = []
             opted_out = 0
-            probed = 0
+            probed = max(0, stop - start)
             probes_lost = 0
             injector = self.network.fault_injector
-            for host in hosts:
-                probed += 1
-                if ("tcp", port) not in host.services:
-                    continue
-                if host.address in self.opt_out:
+            for address in self.network.open_tcp_addresses(port, start,
+                                                           stop):
+                if address in self.opt_out:
                     opted_out += 1
                     continue
                 if injector is not None and self._probe_lost(
-                        injector, host.address, port):
+                        injector, address, port):
                     probes_lost += 1
                     continue
-                open_addresses.append(host.address)
+                open_addresses.append(address)
             if shard is None:
                 # ZMap probes the space in a random permutation;
                 # downstream consumers must not rely on registry order.

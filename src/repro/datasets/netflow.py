@@ -29,7 +29,7 @@ from typing import Dict, List, Tuple
 from repro.netsim.clock import DAY_SECONDS, iter_months, month_key, parse_date
 from repro.netsim.ipv4 import int_to_ip
 from repro.netsim.netflow import FlowRecord, TcpFlags
-from repro.netsim.rand import SeededRng
+from repro.netsim.rand import SeededRng, keyed_offset
 
 COLLECTION_START = "2017-07-01"
 COLLECTION_END = "2019-01-31"
@@ -104,7 +104,10 @@ def _cloudflare_monthly(month: str) -> int:
 def _quad9_monthly(month: str, rng: SeededRng) -> int:
     if month < QUAD9_START:
         return 0
-    swing = 1.0 + QUAD9_FLUCTUATION * math.sin(hash(month) % 7 - 3)
+    # keyed_offset, not hash(): str hashes vary per process with
+    # PYTHONHASHSEED, which made this row differ between identical runs.
+    swing = 1.0 + QUAD9_FLUCTUATION * math.sin(
+        keyed_offset(f"quad9-swing:{month}", 0, 7) - 3)
     return max(50, round(QUAD9_BASE_MONTHLY * swing
                          * rng.uniform(0.85, 1.15)))
 

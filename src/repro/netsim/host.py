@@ -131,5 +131,9 @@ class Host:
         return tuple(sorted(port for proto, port in self.services
                             if proto == "tcp"))
 
+    def has_tcp_port(self, port: int) -> bool:
+        """Cheap port-open check; the form scan pipelines should use."""
+        return ("tcp", port) in self.services
+
     def has_tag(self, tag: str) -> bool:
         return tag in self.tags

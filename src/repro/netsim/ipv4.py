@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.errors import ScenarioError
 
@@ -106,6 +106,17 @@ class Netblock:
         """Iterate every address in the block (use only on small blocks)."""
         for offset in range(self.size):
             yield int_to_ip(self.base + offset)
+
+    def offset_of(self, address: str) -> Optional[int]:
+        """The position of ``address`` inside the block, or None.
+
+        Inverse of :meth:`nth`; procedural world segments use it to map
+        an arbitrary probed address back to its derivation index in
+        O(1), without holding any per-address state.
+        """
+        if not self.contains(address):
+            return None
+        return ip_to_int(address) - self.base
 
     def nth(self, offset: int) -> str:
         if not 0 <= offset < self.size:

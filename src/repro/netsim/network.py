@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ScenarioError
 from repro.netsim.clock import SimClock, parse_date
@@ -59,11 +60,28 @@ class ClientEnvironment:
         return self.route_penalties.get((dst_ip, None), 0.0)
 
 
+#: Default bound on the lazily-materialised host LRU. Generous enough
+#: that every host a round's measurements revisit stays resident at the
+#: seed scale, small enough that a 10^6-address sweep stays flat.
+DEFAULT_HOST_CACHE_SIZE = 4096
+
+
 class Network:
-    """Registry of hosts plus country-level path policies."""
+    """Registry of hosts plus country-level path policies.
+
+    Two sources back the address space: an explicit registry
+    (``add_host``) and an optional procedural world
+    (:class:`repro.netsim.procgen.ProceduralWorld`) whose hosts are
+    derived on first touch and kept in a bounded LRU. The combined
+    address order — registry insertion order first, then world order —
+    is what sweeps iterate, so eager (registry-only) and lazy
+    (world-backed) builds of the same scenario walk identical sequences.
+    """
 
     def __init__(self, latency: Optional[LatencyModel] = None,
-                 clock: Optional[SimClock] = None):
+                 clock: Optional[SimClock] = None,
+                 world=None,
+                 host_cache_size: int = DEFAULT_HOST_CACHE_SIZE):
         self.latency = latency or LatencyModel()
         self.clock = clock or SimClock(parse_date("2019-02-01"))
         self._hosts: Dict[str, Host] = {}
@@ -75,6 +93,20 @@ class Network:
         #: Optional :class:`~repro.netsim.faults.FaultInjector` consulted
         #: by every transport operation; None = no fault injection.
         self.fault_injector = None
+        self._world = world
+        self._host_cache: "OrderedDict[str, Host]" = OrderedDict()
+        self._host_cache_size = max(1, host_cache_size)
+        #: High-water mark of the materialised-host LRU; the scale suite
+        #: asserts it never exceeds the configured bound.
+        self.host_cache_peak = 0
+        #: How many times the full-materialise path (``hosts()`` /
+        #: ``hosts_with_tcp_port()``) ran; sweeps must never bump this.
+        self.full_materialise_calls = 0
+        #: Procedural addresses explicitly removed (shadowed) from the
+        #: world; consulted only when a world is attached.
+        self._removed: set = set()
+        self._hosts_view: Optional[Tuple[Host, ...]] = None
+        self._port_views: Dict[int, Tuple[Host, ...]] = {}
 
     def install_fault_injector(self, injector) -> None:
         """Attach a fault injector driving scheduled transport failures."""
@@ -82,24 +114,183 @@ class Network:
 
     # -- topology ----------------------------------------------------------
 
+    @property
+    def world(self):
+        """The attached procedural world, if any."""
+        return self._world
+
+    def attach_world(self, world, host_cache_size: Optional[int] = None) -> None:
+        """Back this network with a procedural address space."""
+        self._world = world
+        if host_cache_size is not None:
+            self._host_cache_size = max(1, host_cache_size)
+        self._host_cache.clear()
+        self._invalidate_views()
+
+    @property
+    def host_cache_size(self) -> int:
+        return self._host_cache_size
+
+    @property
+    def host_cache_len(self) -> int:
+        return len(self._host_cache)
+
+    def _invalidate_views(self) -> None:
+        self._hosts_view = None
+        self._port_views.clear()
+
     def add_host(self, host: Host) -> Host:
         if host.address in self._hosts:
             raise ScenarioError(f"duplicate host address {host.address}")
         self._hosts[host.address] = host
+        self._removed.discard(host.address)
+        self._invalidate_views()
         return host
 
     def remove_host(self, address: str) -> None:
         self._hosts.pop(address, None)
+        self._host_cache.pop(address, None)
+        if self._world is not None and self._world.contains(address):
+            self._removed.add(address)
+        self._invalidate_views()
 
     def host_at(self, address: str) -> Optional[Host]:
-        return self._hosts.get(address)
+        """The host at an address, materialised on first touch.
+
+        Registry hosts win over the procedural world; world hosts are
+        derived lazily and kept in a bounded LRU, so repeated probes of
+        the same address reuse one object (connection caches, backend
+        rng state) while a full sweep's transient touches stay flat.
+        """
+        host = self._hosts.get(address)
+        if host is not None:
+            return host
+        if self._world is None or address in self._removed:
+            return None
+        cache = self._host_cache
+        host = cache.get(address)
+        if host is not None:
+            cache.move_to_end(address)
+            return host
+        host = self._world.derive(address)
+        if host is None:
+            return None
+        cache[address] = host
+        while len(cache) > self._host_cache_size:
+            cache.popitem(last=False)
+        if len(cache) > self.host_cache_peak:
+            self.host_cache_peak = len(cache)
+        return host
 
     def hosts(self) -> Tuple[Host, ...]:
-        return tuple(self._hosts.values())
+        """Every host, fully materialised (cached between mutations).
+
+        This is the *full-materialise path*: with a procedural world
+        attached it promotes every derivable host into the registry.
+        Scan pipelines must never call it — they stream
+        :meth:`iter_addresses` / :meth:`open_tcp_addresses` instead
+        (pinned by a regression test on ``full_materialise_calls``).
+        """
+        self.full_materialise_calls += 1
+        if self._hosts_view is None:
+            if self._world is not None:
+                for address in self._world.addresses():
+                    if address in self._hosts or address in self._removed:
+                        continue
+                    host = self._host_cache.pop(address, None)
+                    if host is None:
+                        host = self._world.derive(address)
+                    if host is not None:
+                        self._hosts[address] = host
+            self._hosts_view = tuple(self._hosts.values())
+        return self._hosts_view
 
     def hosts_with_tcp_port(self, port: int) -> Tuple[Host, ...]:
-        return tuple(host for host in self._hosts.values()
-                     if ("tcp", port) in host.services)
+        """Hosts with a TCP service on ``port`` (cached per port).
+
+        Full-materialise path too — sweeps use
+        :meth:`open_tcp_addresses`, which never builds host objects.
+        """
+        view = self._port_views.get(port)
+        if view is None:
+            view = tuple(host for host in self.hosts()
+                         if ("tcp", port) in host.services)
+            self._port_views[port] = view
+        return view
+
+    def iter_hosts(self) -> Iterator[Host]:
+        """Registry hosts in insertion order, without copying a tuple."""
+        return iter(self._hosts.values())
+
+    def iter_addresses(self) -> Iterator[str]:
+        """Every address — registry order, then unshadowed world order."""
+        yield from self._hosts
+        if self._world is not None:
+            for address in self._world.addresses():
+                if address not in self._hosts and address not in self._removed:
+                    yield address
+
+    def address_count(self) -> int:
+        """Size of the combined address space, without materialising."""
+        count = len(self._hosts)
+        if self._world is not None:
+            count += len(self._world) - self._world_shadow_count()
+        return count
+
+    def _world_shadow_count(self) -> int:
+        shadowed = sum(1 for address in self._hosts
+                       if self._world.contains(address))
+        shadowed += sum(1 for address in self._removed
+                        if self._world.contains(address))
+        return shadowed
+
+    def tcp_port_open(self, address: str, port: int) -> bool:
+        """Whether TCP ``port`` answers at ``address`` — no host built."""
+        host = self._hosts.get(address)
+        if host is None:
+            host = self._host_cache.get(address)
+        if host is not None:
+            return ("tcp", port) in host.services
+        if self._world is None or address in self._removed:
+            return False
+        ports = self._world.tcp_ports(address)
+        return ports is not None and port in ports
+
+    def open_tcp_addresses(self, port: int, start: int = 0,
+                           stop: Optional[int] = None) -> Iterator[str]:
+        """Stream port-open addresses within combined positions
+        [start, stop), in address order, materialising nothing.
+
+        Over a procedural range segment this skips dark space entirely:
+        the cost is proportional to the *open* population plus one hash
+        per stride block, not to the window size.
+        """
+        total = self.address_count()
+        stop = total if stop is None else min(stop, total)
+        if start >= stop:
+            return
+        registry_len = len(self._hosts)
+        if start < registry_len:
+            for host in islice(self._hosts.values(), start,
+                               min(stop, registry_len)):
+                if ("tcp", port) in host.services:
+                    yield host.address
+        if self._world is None or stop <= registry_len:
+            return
+        low = max(start, registry_len) - registry_len
+        high = stop - registry_len
+        if self._world_shadow_count() == 0:
+            yield from self._world.open_window(port, low, high)
+        else:
+            # Rare: explicit additions/removals shadow world addresses;
+            # fall back to a filtered walk so positions stay aligned.
+            unshadowed = (address for address in self._world.addresses()
+                          if address not in self._hosts
+                          and address not in self._removed)
+            for address in islice(unshadowed, low, high):
+                ports = self._world.tcp_ports(address)
+                if ports is not None and port in ports:
+                    yield address
 
     def add_country_policy(self, country_code: str,
                            device: Middlebox) -> None:
@@ -124,7 +315,9 @@ class Network:
         conflict = env.conflicts.get(dst_ip)
         if conflict is not None:
             return "local", conflict.device
-        host = self._hosts.get(dst_ip)
+        # host_at (not the raw registry) so procedurally-backed worlds
+        # materialise the destination on first touch.
+        host = self.host_at(dst_ip)
         if host is not None:
             return "remote", host
         return "absent", None

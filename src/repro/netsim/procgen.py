@@ -1,0 +1,256 @@
+"""Procedural address space: hosts as pure functions of (seed, address).
+
+The paper sweeps the entire IPv4 space; materialising one ``Host`` per
+address caps the simulation at ~10^4 addresses. This module makes the
+space *procedural* instead: a world is an ordered list of **segments**,
+each of which can answer three questions about any address without
+building anything —
+
+* does the segment contain it?
+* which TCP ports are open there?
+* what Host lives there? (derived on demand by the scenario's
+  stateless per-address recipe)
+
+Two segment kinds cover the whole simulated Internet:
+
+* :class:`ExplicitSegment` — the named world (resolvers, DoH fronts,
+  the background *sample*, atlas local resolvers). Finite and small;
+  ports are recorded per address at layout time.
+* :class:`RangeSegment` — the scaled synthetic background. ``count``
+  addresses carved from one netblock, of which exactly one per
+  ``stride``-sized block is port-open. The open position is a keyed
+  hash of the block index (:func:`repro.netsim.rand.keyed_offset`), so
+  membership is O(1) for arbitrary addresses and a sweep enumerates
+  only the open ones — flat memory at 10^6–10^7 addresses.
+
+Determinism contract: every answer is a pure function of the segment's
+construction arguments, so lazy, eager and sharded materialisation all
+see the same world (pinned by ``tests/test_procedural_world.py``).
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.netsim.host import Host
+from repro.netsim.ipv4 import Netblock
+from repro.netsim.rand import keyed_offset
+
+
+class ExplicitSegment:
+    """A finite, ordered address set with per-address port bindings."""
+
+    __slots__ = ("name", "_addresses", "_tcp_ports")
+
+    def __init__(self, name: str, addresses: Sequence[str],
+                 tcp_ports: Dict[str, Tuple[int, ...]]):
+        self.name = name
+        self._addresses: Tuple[str, ...] = tuple(addresses)
+        self._tcp_ports = dict(tcp_ports)
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def addresses(self) -> Iterator[str]:
+        return iter(self._addresses)
+
+    def contains(self, address: str) -> bool:
+        return address in self._tcp_ports
+
+    def tcp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        return self._tcp_ports.get(address)
+
+    def open_window(self, port: int, start: int,
+                    stop: int) -> Iterator[str]:
+        """Addresses in positions [start, stop) with ``port`` open."""
+        for address in self._addresses[start:stop]:
+            if port in self._tcp_ports[address]:
+                yield address
+
+
+class RangeSegment:
+    """``count`` procedural addresses, one port-open host per stride.
+
+    Openness is a pure function of the index: position
+    ``keyed_offset(key, block, stride)`` within each stride-sized block
+    is open, everything else is dark space. A sweep therefore walks
+    ``count / stride`` hash evaluations, not ``count`` addresses.
+    """
+
+    __slots__ = ("name", "count", "block", "port", "stride", "key")
+
+    def __init__(self, name: str, count: int, block: Netblock,
+                 port: int, stride: int, key: str):
+        if count > block.size:
+            raise ValueError(
+                f"segment {name}: {count} addresses exceed {block}")
+        self.name = name
+        self.count = count
+        self.block = block
+        self.port = port
+        self.stride = max(1, stride)
+        self.key = key
+
+    def __len__(self) -> int:
+        return self.count
+
+    def address_of(self, index: int) -> str:
+        return self.block.nth(index)
+
+    def index_of(self, address: str) -> Optional[int]:
+        offset = self.block.offset_of(address)
+        if offset is None or offset >= self.count:
+            return None
+        return offset
+
+    def is_open(self, index: int) -> bool:
+        return (index % self.stride
+                == keyed_offset(self.key, index // self.stride,
+                                self.stride))
+
+    def addresses(self) -> Iterator[str]:
+        """Every address, open or not (avoid on scaled segments)."""
+        for index in range(self.count):
+            yield self.block.nth(index)
+
+    def contains(self, address: str) -> bool:
+        return self.index_of(address) is not None
+
+    def tcp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        index = self.index_of(address)
+        if index is None:
+            return None
+        return (self.port,) if self.is_open(index) else ()
+
+    def open_items(self) -> Iterator[Tuple[int, str]]:
+        """(index, address) of every open host, in index order."""
+        yield from self.open_items_in(0, self.count)
+
+    def open_items_in(self, start: int,
+                      stop: int) -> Iterator[Tuple[int, str]]:
+        stop = min(stop, self.count)
+        if start >= stop:
+            return
+        for block_index in range(start // self.stride,
+                                 (stop - 1) // self.stride + 1):
+            index = (block_index * self.stride
+                     + keyed_offset(self.key, block_index, self.stride))
+            if start <= index < stop:
+                yield index, self.block.nth(index)
+
+    def open_count(self) -> int:
+        return sum(1 for _ in self.open_items())
+
+    def open_window(self, port: int, start: int,
+                    stop: int) -> Iterator[str]:
+        if port != self.port:
+            return
+        for _, address in self.open_items_in(start, stop):
+            yield address
+
+
+class ProceduralWorld:
+    """An ordered list of segments plus the scenario's derivation recipe.
+
+    ``derive`` is the stateless (seed, address) → Host function the
+    scenario provides; the world only decides *whether* an address
+    exists and which ports answer, so those checks never materialise a
+    host object.
+    """
+
+    def __init__(self, segments: Iterable,
+                 derive: Callable[[str], Optional[Host]]):
+        self._segments = tuple(segments)
+        self._derive = derive
+
+    @property
+    def segments(self) -> tuple:
+        return self._segments
+
+    def __len__(self) -> int:
+        return sum(len(segment) for segment in self._segments)
+
+    def addresses(self) -> Iterator[str]:
+        for segment in self._segments:
+            yield from segment.addresses()
+
+    def tcp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        for segment in self._segments:
+            ports = segment.tcp_ports(address)
+            if ports is not None:
+                return ports
+        return None
+
+    def contains(self, address: str) -> bool:
+        return self.tcp_ports(address) is not None
+
+    def derive(self, address: str) -> Optional[Host]:
+        if not self.contains(address):
+            return None
+        return self._derive(address)
+
+    def open_window(self, port: int, start: int,
+                    stop: int) -> Iterator[str]:
+        """Open addresses within combined positions [start, stop)."""
+        base = 0
+        for segment in self._segments:
+            length = len(segment)
+            low = max(start - base, 0)
+            high = min(stop - base, length)
+            if high > low:
+                yield from segment.open_window(port, low, high)
+            base += length
+            if base >= stop:
+                break
+
+
+class RestrictedWorld:
+    """A world filtered to an address allow-list (partial shard builds).
+
+    Mirrors ``only_addresses`` on eager builds: membership checks are
+    O(1); full enumeration walks the parent world and is only intended
+    for the small worlds probe shards use.
+    """
+
+    def __init__(self, world: ProceduralWorld, allowed: frozenset):
+        self._world = world
+        self._allowed = allowed
+        self._length: Optional[int] = None
+
+    def __len__(self) -> int:
+        if self._length is None:
+            self._length = sum(1 for _ in self.addresses())
+        return self._length
+
+    def addresses(self) -> Iterator[str]:
+        return (address for address in self._world.addresses()
+                if address in self._allowed)
+
+    def tcp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        if address not in self._allowed:
+            return None
+        return self._world.tcp_ports(address)
+
+    def contains(self, address: str) -> bool:
+        return self.tcp_ports(address) is not None
+
+    def derive(self, address: str) -> Optional[Host]:
+        if address not in self._allowed:
+            return None
+        return self._world.derive(address)
+
+    def open_window(self, port: int, start: int,
+                    stop: int) -> Iterator[str]:
+        for address in islice(self.addresses(), start, stop):
+            ports = self.tcp_ports(address)
+            if ports is not None and port in ports:
+                yield address

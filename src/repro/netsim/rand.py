@@ -15,6 +15,23 @@ from typing import List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def keyed_offset(key: str, index: int, modulus: int) -> int:
+    """A stateless hash draw: ``hash(key, index) % modulus``.
+
+    Procedural world segments use this to decide *which* address in a
+    block is open without materialising (or even enumerating) the block:
+    the answer is a pure function of ``(key, index)``, so membership
+    checks, streaming sweeps and eager materialisation all agree no
+    matter what order they ask in. blake2b rather than ``random`` so a
+    single probe costs one short hash and no generator state.
+    """
+    if modulus <= 1:
+        return 0
+    digest = hashlib.blake2b(f"{key}:{index}".encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
 class SeededRng:
     """A deterministic random stream derived from a seed and a path."""
 

@@ -10,8 +10,9 @@ rebuild one per protocol run.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.httpsim.uri import UriTemplate
 from repro.netsim.clock import SimClock, parse_date
@@ -49,6 +50,59 @@ class ServingWorldConfig:
     keepalive_s: Optional[float] = 30.0
     countries: Tuple[str, ...] = ("US", "DE", "JP", "BR",
                                   "IN", "GB", "SG", "ZA")
+    #: Bound on the materialised client-environment LRU; environments
+    #: outside it are re-derived on touch (field-identical), so a
+    #: 10^5+-client population costs memory proportional to this bound.
+    client_lru_size: int = 4096
+
+
+class ClientPopulation(Sequence):
+    """The serving world's clients as a procedural stream.
+
+    Indexing derives the environment on demand from its per-index rng
+    fork — the same recipe the historical eager loop ran — and keeps a
+    bounded LRU of recently-touched environments. Derivation is pure,
+    so ``population[i]`` is field-for-field identical no matter when,
+    how often, or in what order clients are touched.
+    """
+
+    def __init__(self, config: ServingWorldConfig, rng: SeededRng):
+        self._config = config
+        self._rng = rng
+        self._cache: "OrderedDict[int, ClientEnvironment]" = OrderedDict()
+        self._cache_size = max(1, config.client_lru_size)
+        self.cache_peak = 0
+
+    def __len__(self) -> int:
+        return self._config.clients
+
+    def _derive(self, index: int) -> ClientEnvironment:
+        config = self._config
+        code = config.countries[index % len(config.countries)]
+        return ClientEnvironment.in_country(
+            f"serve-client-{index:04d}",
+            f"10.77.{index // 200}.{index % 200 + 1}",
+            code, self._rng.fork(f"client-env/{index}"))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[position]
+                    for position in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"client index {index} out of range")
+        env = self._cache.get(index)
+        if env is not None:
+            self._cache.move_to_end(index)
+            return env
+        env = self._derive(index)
+        self._cache[index] = env
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        if len(self._cache) > self.cache_peak:
+            self.cache_peak = len(self._cache)
+        return env
 
 
 @dataclass
@@ -61,7 +115,7 @@ class ServingWorld:
     cache: DnsCache
     backend: RecursiveBackend
     ca_store: CaStore
-    envs: List[ClientEnvironment]
+    envs: Sequence[ClientEnvironment]
     resolver_ip: str = RESOLVER_IP
     doh_template: UriTemplate = field(
         default_factory=lambda: UriTemplate(DOH_TEMPLATE))
@@ -113,13 +167,7 @@ class ServingWorld:
             dot.keepalive_timeout_s = config.keepalive_s
         network.add_host(host)
 
-        envs = []
-        for index in range(config.clients):
-            code = config.countries[index % len(config.countries)]
-            envs.append(ClientEnvironment.in_country(
-                f"serve-client-{index:04d}",
-                f"10.77.{index // 200}.{index % 200 + 1}",
-                code, rng.fork(f"client-env/{index}")))
+        envs = ClientPopulation(config, rng)
         return cls(config=config, network=network, universe=universe,
                    cache=cache, backend=backend, ca_store=ca_store,
                    envs=envs)

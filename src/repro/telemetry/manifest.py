@@ -48,6 +48,12 @@ class RunManifest:
     #: change results, so recording them would break the byte-identity
     #: the parallel equivalence suite proves.
     execution: Dict[str, object] = field(default_factory=dict)
+    #: World-construction record: how the simulated Internet was
+    #: materialised (eager vs lazy) and at what population scale. The
+    #: mode is pure mechanics — results are identical either way — but
+    #: world_scale changes what was swept, so both belong in the
+    #: reproducibility record.
+    world: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(cls, config, registry: Optional[MetricsRegistry] = None,
@@ -68,6 +74,13 @@ class RunManifest:
             code_version=git_describe() if include_git else "unknown",
             execution=dict(execution or {}),
         )
+        if "world_mode" in scenario:
+            manifest.world = {
+                "mode": scenario["world_mode"],
+                "world_scale": scenario.get("world_scale", 1.0),
+                "vantage_scale": scenario.get("vantage_scale", 1.0),
+                "host_lru_size": scenario.get("host_lru_size"),
+            }
         if registry is not None:
             manifest.record_totals(registry)
         return manifest
@@ -98,4 +111,7 @@ class RunManifest:
         if self.execution:
             record["execution"] = {key: self.execution[key]
                                    for key in sorted(self.execution)}
+        if self.world:
+            record["world"] = {key: self.world[key]
+                               for key in sorted(self.world)}
         return record

@@ -17,7 +17,7 @@ with per-country probabilities calibrated to Table 4:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.netsim.geo import COUNTRIES, country
 from repro.netsim.host import Host
@@ -190,57 +190,82 @@ def _make_dns_proxy(env: ClientEnvironment, claimed_ip: str) -> IpConflictDevice
     return IpConflictDevice(claimed_ip, device, "dns-proxy")
 
 
-def build_proxyrack(count: int, rng: SeededRng,
-                    interception_count: int = 17,
-                    hijacked_router_count: int = 12) -> List[VantagePoint]:
-    """Build the global residential proxy population."""
-    points: List[VantagePoint] = []
+def proxyrack_point(index: int, rng: SeededRng, intercept_slots: set,
+                    hijack_slots: set) -> VantagePoint:
+    """Derive one ProxyRack endpoint — pure given (index, seed, slots).
+
+    Every random draw comes from the per-index ``pr-{index}`` fork, so
+    a point is identical whether it is built inside a full list, a
+    streamed window, or alone.
+    """
+    client_rng = rng.fork(f"pr-{index}")
+    code = _sample_country(client_rng)
+    env = ClientEnvironment.in_country(
+        f"proxyrack-{index}", _client_address(client_rng, index), code,
+        client_rng)
+    env.middleboxes.append(RandomDrop(
+        "residual-loss", client_rng.fork("loss"),
+        GLOBAL_FLAKE_PROBABILITY))
+    point = VantagePoint(
+        env=env, platform="proxyrack",
+        remaining_uptime_s=client_rng.uniform(30.0, 3600.0))
+
+    filter_probability = HIGH_FILTER_COUNTRIES.get(
+        code, BASE_FILTER_PROBABILITY)
+    if client_rng.chance(filter_probability):
+        env.middleboxes.append(PortFilter(
+            "port53-filter",
+            RuleSet(blocked_endpoints={
+                (target, 53) for target in PROMINENT_DO53_TARGETS}),
+            action=Verdict.DROP))
+
+    if index in hijack_slots:
+        conflict = _make_hijacked_router(env, "1.1.1.1")
+        env.conflicts["1.1.1.1"] = conflict
+        point.conflict_kind = conflict.kind
+    elif client_rng.chance(CONFLICT_PROBABILITY):
+        conflict = _make_conflict_device(client_rng, "1.1.1.1", None, env)
+        env.conflicts["1.1.1.1"] = conflict
+        point.conflict_kind = conflict.kind
+
+    for target in PROMINENT_DO53_TARGETS + ("9.9.9.9",):
+        if target not in env.conflicts and client_rng.chance(
+                DNS_PROXY_PROBABILITY):
+            env.conflicts[target] = _make_dns_proxy(env, target)
+
+    if index in intercept_slots:
+        _attach_interceptor(point, client_rng)
+
+    _apply_route_penalties(env, client_rng)
+    return point
+
+
+def iter_proxyrack(count: int, rng: SeededRng,
+                   interception_count: int = 17,
+                   hijacked_router_count: int = 12,
+                   start: int = 0,
+                   stop: Optional[int] = None
+                   ) -> Iterator[VantagePoint]:
+    """Stream a window of the ProxyRack population without building the
+    rest — cost is proportional to the window, not to ``start``."""
+    stop = count if stop is None else min(stop, count)
+    if start >= stop:
+        return
     intercept_slots = _spread_indices(count, interception_count, rng,
                                       "intercept")
     hijack_slots = _spread_indices(count, hijacked_router_count, rng,
                                    "hijack")
-    for index in range(count):
-        client_rng = rng.fork(f"pr-{index}")
-        code = _sample_country(client_rng)
-        env = ClientEnvironment.in_country(
-            f"proxyrack-{index}", _client_address(client_rng, index), code,
-            client_rng)
-        env.middleboxes.append(RandomDrop(
-            "residual-loss", client_rng.fork("loss"),
-            GLOBAL_FLAKE_PROBABILITY))
-        point = VantagePoint(
-            env=env, platform="proxyrack",
-            remaining_uptime_s=client_rng.uniform(30.0, 3600.0))
+    for index in range(start, stop):
+        yield proxyrack_point(index, rng, intercept_slots, hijack_slots)
 
-        filter_probability = HIGH_FILTER_COUNTRIES.get(
-            code, BASE_FILTER_PROBABILITY)
-        if client_rng.chance(filter_probability):
-            env.middleboxes.append(PortFilter(
-                "port53-filter",
-                RuleSet(blocked_endpoints={
-                    (target, 53) for target in PROMINENT_DO53_TARGETS}),
-                action=Verdict.DROP))
 
-        if index in hijack_slots:
-            conflict = _make_hijacked_router(env, "1.1.1.1")
-            env.conflicts["1.1.1.1"] = conflict
-            point.conflict_kind = conflict.kind
-        elif client_rng.chance(CONFLICT_PROBABILITY):
-            conflict = _make_conflict_device(client_rng, "1.1.1.1", None, env)
-            env.conflicts["1.1.1.1"] = conflict
-            point.conflict_kind = conflict.kind
-
-        for target in PROMINENT_DO53_TARGETS + ("9.9.9.9",):
-            if target not in env.conflicts and client_rng.chance(
-                    DNS_PROXY_PROBABILITY):
-                env.conflicts[target] = _make_dns_proxy(env, target)
-
-        if index in intercept_slots:
-            _attach_interceptor(point, client_rng)
-
-        _apply_route_penalties(env, client_rng)
-        points.append(point)
-    return points
+def build_proxyrack(count: int, rng: SeededRng,
+                    interception_count: int = 17,
+                    hijacked_router_count: int = 12) -> List[VantagePoint]:
+    """Build the global residential proxy population."""
+    return list(iter_proxyrack(count, rng,
+                               interception_count=interception_count,
+                               hijacked_router_count=hijacked_router_count))
 
 
 def _attach_interceptor(point: VantagePoint, rng: SeededRng) -> None:
@@ -294,37 +319,57 @@ ZHIMA_ASES: Tuple[Tuple[int, str], ...] = (
 )
 
 
+def zhima_point(index: int, rng: SeededRng,
+                cloudflare_blackhole_rate: float = 0.151,
+                google_do53_filter_rate: float = 0.011) -> VantagePoint:
+    """Derive one Zhima endpoint — pure given (index, seed)."""
+    client_rng = rng.fork(f"zh-{index}")
+    env = ClientEnvironment.in_country(
+        f"zhima-{index}", _client_address(client_rng, 600_000 + index),
+        "CN", client_rng)
+    asn, as_name = ZHIMA_ASES[index % len(ZHIMA_ASES)]
+    env.asn, env.as_name = asn, as_name
+    env.middleboxes.append(RandomDrop(
+        "residual-loss", client_rng.fork("loss"),
+        CENSORED_FLAKE_PROBABILITY))
+    if client_rng.chance(cloudflare_blackhole_rate):
+        # 1.1.1.1 is blackholed/squatted inside many Chinese networks;
+        # every port is dead, so Do53 and DoT fail together while DoH
+        # (other addresses) still works — the Table 4 Zhima column.
+        env.middleboxes.append(PortFilter(
+            "cn-1111-blackhole", RuleSet(blocked_ips={"1.1.1.1"}),
+            action=Verdict.DROP))
+    if client_rng.chance(google_do53_filter_rate):
+        env.middleboxes.append(PortFilter(
+            "cn-8888-filter",
+            RuleSet(blocked_endpoints={("8.8.8.8", 53)}),
+            action=Verdict.DROP))
+    return VantagePoint(
+        env=env, platform="zhima",
+        remaining_uptime_s=client_rng.uniform(30.0, 1800.0))
+
+
+def iter_zhima(count: int, rng: SeededRng,
+               cloudflare_blackhole_rate: float = 0.151,
+               google_do53_filter_rate: float = 0.011,
+               start: int = 0,
+               stop: Optional[int] = None) -> Iterator[VantagePoint]:
+    """Stream a window of the Zhima population (see iter_proxyrack)."""
+    stop = count if stop is None else min(stop, count)
+    for index in range(start, stop):
+        yield zhima_point(index, rng,
+                          cloudflare_blackhole_rate=cloudflare_blackhole_rate,
+                          google_do53_filter_rate=google_do53_filter_rate)
+
+
 def build_zhima(count: int, rng: SeededRng,
                 cloudflare_blackhole_rate: float = 0.151,
                 google_do53_filter_rate: float = 0.011) -> List[VantagePoint]:
     """Build the censored-network population (all endpoints in China)."""
-    points: List[VantagePoint] = []
-    for index in range(count):
-        client_rng = rng.fork(f"zh-{index}")
-        env = ClientEnvironment.in_country(
-            f"zhima-{index}", _client_address(client_rng, 600_000 + index),
-            "CN", client_rng)
-        asn, as_name = ZHIMA_ASES[index % len(ZHIMA_ASES)]
-        env.asn, env.as_name = asn, as_name
-        env.middleboxes.append(RandomDrop(
-            "residual-loss", client_rng.fork("loss"),
-            CENSORED_FLAKE_PROBABILITY))
-        if client_rng.chance(cloudflare_blackhole_rate):
-            # 1.1.1.1 is blackholed/squatted inside many Chinese networks;
-            # every port is dead, so Do53 and DoT fail together while DoH
-            # (other addresses) still works — the Table 4 Zhima column.
-            env.middleboxes.append(PortFilter(
-                "cn-1111-blackhole", RuleSet(blocked_ips={"1.1.1.1"}),
-                action=Verdict.DROP))
-        if client_rng.chance(google_do53_filter_rate):
-            env.middleboxes.append(PortFilter(
-                "cn-8888-filter",
-                RuleSet(blocked_endpoints={("8.8.8.8", 53)}),
-                action=Verdict.DROP))
-        points.append(VantagePoint(
-            env=env, platform="zhima",
-            remaining_uptime_s=client_rng.uniform(30.0, 1800.0)))
-    return points
+    return list(iter_zhima(
+        count, rng,
+        cloudflare_blackhole_rate=cloudflare_blackhole_rate,
+        google_do53_filter_rate=google_do53_filter_rate))
 
 
 @dataclass

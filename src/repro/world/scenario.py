@@ -22,8 +22,15 @@ from repro.errors import ScenarioError
 from repro.netsim.clock import DAY_SECONDS, SimClock, parse_date
 from repro.netsim.geo import GeoPoint, country
 from repro.netsim.host import Host, TlsConfig
+from repro.netsim.ipv4 import Netblock
 from repro.netsim.middlebox import Censor, RuleSet, Verdict
 from repro.netsim.network import Network
+from repro.netsim.procgen import (
+    ExplicitSegment,
+    ProceduralWorld,
+    RangeSegment,
+    RestrictedWorld,
+)
 from repro.netsim.rand import SeededRng
 from repro.resolvers.backends import (
     FixedAnswerBackend,
@@ -52,6 +59,8 @@ from repro.world.population import (
     build_atlas_probes,
     build_proxyrack,
     build_zhima,
+    iter_proxyrack,
+    iter_zhima,
 )
 from repro.world.providers import (
     CERT_BAD_CHAIN,
@@ -80,6 +89,20 @@ SELF_BUILT_HOSTNAME = "dns.selfbuilt.example"
 #: blocked from Chinese users").
 GOOGLE_DOH_IP = "216.58.192.10"
 GOOGLE_DO53_IPS = ("8.8.8.8", "8.8.4.4")
+
+#: Country mix of the port-853-open non-DoT background population.
+BACKGROUND_COUNTRY_CODES = ("US", "CN", "BR", "RU", "IN", "DE", "KR",
+                            "VN", "TR", "ID", "MX", "TH")
+
+#: Address space carved out for the procedurally-scaled background
+#: (``world_scale`` > 1): 16.7M addresses, enough for 10^7 sweeps.
+SCALED_BACKGROUND_BLOCK = Netblock.from_text("11.0.0.0/8")
+
+
+def background_sample_address(index: int) -> str:
+    """The materialised background sample's address for one index."""
+    return (f"203.{(index // 250) % 200}.{(index // 250) // 200}."
+            f"{index % 250 + 1}")
 
 
 @dataclass
@@ -116,9 +139,32 @@ class ScenarioConfig:
     #: First backoff delay between retries, seconds (0 = immediate retry,
     #: the historical behaviour).
     retry_backoff_s: float = 0.0
+    #: "eager" materialises every host at network-build time (the
+    #: historical behaviour); "lazy" backs the network with a
+    #: procedural world whose hosts are derived on first touch.
+    world_mode: str = "eager"
+    #: Multiplier on the background address space. Above 1.0 a
+    #: procedural dark-space segment is appended after the materialised
+    #: sample; sweeps walk it in O(open hosts), so 10^6–10^7-address
+    #: campaigns run in flat memory.
+    world_scale: float = 1.0
+    #: One port-853-open host per this many scaled-background
+    #: addresses (tiny strides make differential tests cheap).
+    background_open_stride: int = 256
+    #: Bound on each lazily-backed network's materialised-host LRU.
+    host_lru_size: int = 4096
 
     def scaled(self, value: int) -> int:
         return max(1, round(value * self.vantage_scale))
+
+    def background_space(self) -> int:
+        """Total background addresses (sample + procedural extension)."""
+        return max(self.background_sample_size,
+                   round(self.background_sample_size * self.world_scale))
+
+    def background_extra(self) -> int:
+        """Procedural background addresses beyond the explicit sample."""
+        return self.background_space() - self.background_sample_size
 
     @classmethod
     def small(cls, seed: int = 2019) -> "ScenarioConfig":
@@ -137,10 +183,48 @@ class ResolverRecord:
     tls_config: Optional[TlsConfig]
 
 
+class RoundLayout:
+    """One scan round's address plan, built once and shared by every
+    network construction (eager, lazy, full or shard-restricted).
+
+    ``addresses`` preserves the exact insertion order of the historical
+    eager build; ``builders`` maps each address to the ``(kind,
+    payload)`` its deriver needs; ``tcp_ports`` records the open-port
+    tuple so sweeps can answer port questions without building hosts.
+    ``scaled`` is the procedural dark-space segment appended after the
+    named world when ``world_scale`` > 1.
+    """
+
+    __slots__ = ("addresses", "builders", "tcp_ports", "scaled")
+
+    def __init__(self) -> None:
+        self.addresses: List[str] = []
+        self.builders: Dict[str, Tuple[str, object]] = {}
+        self.tcp_ports: Dict[str, Tuple[int, ...]] = {}
+        self.scaled: Optional[RangeSegment] = None
+
+    def add(self, address: str, kind: str, payload,
+            ports: Tuple[int, ...]) -> bool:
+        """Claim an address; returns False when already claimed
+        (mirroring the eager build's first-wins ``host_at`` dedupe)."""
+        if address in self.builders:
+            return False
+        self.addresses.append(address)
+        self.builders[address] = (kind, payload)
+        self.tcp_ports[address] = ports
+        return True
+
+
 class Scenario:
     """The fully-built world, plus lazy vantage populations."""
 
     def __init__(self, config: ScenarioConfig):
+        if config.world_mode not in ("eager", "lazy"):
+            raise ScenarioError(
+                f"unknown world_mode {config.world_mode!r} "
+                "(expected 'eager' or 'lazy')")
+        if config.world_scale < 1.0:
+            raise ScenarioError("world_scale must be >= 1.0")
         self.config = config
         self.rng = SeededRng(config.seed, "scenario")
         self.universe = DnsUniverse()
@@ -164,6 +248,9 @@ class Scenario:
         #: serial counter and costs most of a rebuild.
         self._chain_memo: Dict[str, Tuple[Certificate, ...]] = {}
         self._networks: Dict[int, Network] = {}
+        #: Per-round address plans (see :class:`RoundLayout`); built
+        #: once, then shared by every eager/lazy/shard network build.
+        self._layouts: Dict[int, RoundLayout] = {}
         #: Read-only network cache for sweep shards (see
         #: :meth:`pristine_network_for_round`). Separate from
         #: ``_networks`` so the mutable-use cache can never hand a
@@ -253,17 +340,165 @@ class Scenario:
                      + (config.background_open853_last
                         - config.background_open853_first) * fraction)
 
+    def round_layout(self, round_index: int) -> RoundLayout:
+        """The address plan for one round (built once, memoised).
+
+        Building the layout performs, exactly once and in the
+        historical eager-build order, every side effect host
+        construction used to perform: resolver ground-truth
+        registration, certificate issuance (memoised chains) and DNS
+        universe entries. Host *derivation* afterwards is pure — any
+        address, in any order, any number of times.
+        """
+        layout = self._layouts.get(round_index)
+        if layout is None:
+            layout = self._build_layout(round_index)
+            self._layouts[round_index] = layout
+        return layout
+
+    def _build_layout(self, round_index: int) -> RoundLayout:
+        from repro.httpsim.uri import UriTemplate
+        layout = RoundLayout()
+        for provider in self.providers:
+            for spec in provider.addresses_in_round(round_index):
+                if not layout.add(spec.address, "resolver",
+                                  (provider, spec), (53, 80, 853)):
+                    raise ScenarioError(
+                        f"duplicate host address {spec.address}")
+                tls = self._tls_config_for(provider, spec)
+                self.resolver_records[spec.address] = ResolverRecord(
+                    provider, spec, tls)
+            if provider.doh_template and provider.doh_hosts:
+                path = UriTemplate(provider.doh_template).path
+                for hostname, address in provider.doh_hosts.items():
+                    if not layout.add(address, "doh",
+                                      (provider, hostname, path),
+                                      (80, 443)):
+                        continue
+                    self._memoised_chain(
+                        f"doh/{hostname}/{address}",
+                        lambda hostname=hostname: make_chain(
+                            self.trusted_ca, hostname,
+                            "2018-09-01", "2019-09-01",
+                            san=(hostname,)))
+                    self.universe.host_a(hostname, address)
+        for address in GOOGLE_DO53_IPS:
+            layout.add(address, "google", None, (53, 80))
+        if layout.add(SELF_BUILT_IP, "self", None, (53, 443, 853)):
+            self._memoised_chain(
+                "self-built",
+                lambda: make_chain(self.trusted_ca, SELF_BUILT_HOSTNAME,
+                                   "2018-11-01", "2019-11-01",
+                                   san=(SELF_BUILT_HOSTNAME,)))
+            self.universe.host_a(SELF_BUILT_HOSTNAME, SELF_BUILT_IP)
+        sample_rng = self.rng.fork(f"background-{round_index}")
+        for index in range(self.config.background_sample_size):
+            # The country draw happens for every index — even ones a
+            # later partial build skips — so each host's code depends
+            # only on its index, never on which hosts were requested.
+            code = sample_rng.choice(BACKGROUND_COUNTRY_CODES)
+            layout.add(background_sample_address(index), "background",
+                       code, (853,))
+        probes, dot_capable = self.atlas()
+        capable = set(dot_capable)
+        for probe in probes:
+            if probe.uses_public_resolver:
+                continue
+            is_capable = probe.local_resolver_ip in capable
+            if not layout.add(probe.local_resolver_ip, "atlas",
+                              (probe, is_capable),
+                              (53, 853) if is_capable else (53,)):
+                continue
+            if is_capable:
+                isp_name = (f"dns.isp-{probe.env.country_code.lower()}"
+                            ".example")
+                self._memoised_chain(
+                    f"atlas/{probe.local_resolver_ip}",
+                    lambda isp_name=isp_name: make_chain(
+                        self.trusted_ca, isp_name,
+                        "2018-10-01", "2019-10-01"))
+        extra = self.config.background_extra()
+        if extra > 0:
+            layout.scaled = RangeSegment(
+                f"bg-scale-{round_index}", extra,
+                SCALED_BACKGROUND_BLOCK, 853,
+                self.config.background_open_stride,
+                f"{self.config.seed}:bg-open-{round_index}")
+        return layout
+
+    def _world_for_round(self, round_index: int,
+                         layout: RoundLayout) -> ProceduralWorld:
+        segments = [ExplicitSegment(f"named-{round_index}",
+                                    layout.addresses, layout.tcp_ports)]
+        if layout.scaled is not None:
+            segments.append(layout.scaled)
+        return ProceduralWorld(
+            segments,
+            lambda address: self._derive_address(round_index, address))
+
+    def _derive_address(self, round_index: int,
+                        address: str) -> Optional[Host]:
+        """Build the host at one address — pure given a built layout."""
+        layout = self.round_layout(round_index)
+        entry = layout.builders.get(address)
+        if entry is not None:
+            kind, payload = entry
+            if kind == "resolver":
+                provider, spec = payload
+                return self._make_resolver_host(provider, spec)
+            if kind == "doh":
+                provider, hostname, path = payload
+                return self._derive_doh_host(address, provider,
+                                             hostname, path)
+            if kind == "google":
+                return self._derive_google_host(address)
+            if kind == "self":
+                return self._derive_self_built()
+            if kind == "background":
+                return self._derive_background_host(address, payload)
+            if kind == "atlas":
+                probe, is_capable = payload
+                return self._derive_atlas_host(probe, is_capable)
+            raise ScenarioError(f"unknown builder kind {kind!r}")
+        if layout.scaled is not None:
+            index = layout.scaled.index_of(address)
+            if index is not None and layout.scaled.is_open(index):
+                return self._derive_scaled_host(round_index, index,
+                                                address)
+        return None
+
     def _build_network(self, round_index: int,
                        only_addresses=None) -> Network:
         dates = self.scan_dates()
-        network = Network(clock=SimClock(dates[round_index]))
-        for provider in self.providers:
-            self._add_provider_hosts(network, provider, round_index,
-                                     only_addresses)
-        self._add_google_hosts(network, only_addresses)
-        self._add_self_built(network, only_addresses)
-        self._add_background_sample(network, round_index, only_addresses)
-        self._add_atlas_local_resolvers(network, only_addresses)
+        clock = SimClock(dates[round_index])
+        layout = self.round_layout(round_index)
+        if self.config.world_mode == "lazy":
+            world = self._world_for_round(round_index, layout)
+            if only_addresses is not None:
+                world = RestrictedWorld(world, frozenset(only_addresses))
+            network = Network(clock=clock, world=world,
+                              host_cache_size=self.config.host_lru_size)
+        else:
+            network = Network(clock=clock)
+            for address in layout.addresses:
+                if (only_addresses is not None
+                        and address not in only_addresses):
+                    continue
+                host = self._derive_address(round_index, address)
+                assert host is not None
+                network.add_host(host)
+            if layout.scaled is not None:
+                # Eager mode materialises only the *open* scaled hosts;
+                # dark space exists solely as procedural positions, so
+                # eager sweeps at world_scale > 1 probe fewer addresses
+                # than lazy ones (tables are unaffected — openness and
+                # every derived host still match bit-for-bit).
+                for index, address in layout.scaled.open_items():
+                    if (only_addresses is not None
+                            and address not in only_addresses):
+                        continue
+                    network.add_host(self._derive_scaled_host(
+                        round_index, index, address))
         self._add_censorship(network)
         self._install_faults(network, round_index)
         return network
@@ -314,21 +549,9 @@ class Scenario:
             "gfw", RuleSet(blocked_ips={GOOGLE_DOH_IP}),
             action=Verdict.DROP))
 
-    # -- provider hosts ---------------------------------------------------------
+    # -- host derivers (pure per-address recipes) --------------------------------
 
-    def _add_provider_hosts(self, network: Network, provider: ProviderSpec,
-                            round_index: int,
-                            only_addresses=None) -> None:
-        for spec in provider.addresses_in_round(round_index):
-            if (only_addresses is not None
-                    and spec.address not in only_addresses):
-                continue
-            host = self._make_resolver_host(network, provider, spec)
-            network.add_host(host)
-        if provider.doh_template and provider.doh_hosts:
-            self._add_doh_hosts(network, provider, only_addresses)
-
-    def _make_resolver_host(self, network: Network, provider: ProviderSpec,
+    def _make_resolver_host(self, provider: ProviderSpec,
                             spec: ResolverAddressSpec) -> Host:
         host_rng = self.rng.fork(f"host-{spec.address}")
         entry = country(spec.country)
@@ -354,52 +577,39 @@ class Scenario:
         host.webpage = webpage
         host.ptr_name = (f"resolver-{spec.address.replace('.', '-')}."
                          f"{provider.cert_cn}")
-        self.resolver_records[spec.address] = ResolverRecord(
-            provider, spec, tls)
         return host
 
-    def _add_doh_hosts(self, network: Network,
-                       provider: ProviderSpec,
-                       only_addresses=None) -> None:
-        from repro.httpsim.uri import UriTemplate
-        template = UriTemplate(provider.doh_template)
-        path = template.path
-        for hostname, address in provider.doh_hosts.items():
-            if (only_addresses is not None
-                    and address not in only_addresses):
-                continue
-            if network.host_at(address) is not None:
-                continue
-            host_rng = self.rng.fork(f"doh-{address}")
-            home = "US" if provider.anycast else "DE"
-            entry = country(home)
-            host = Host(address=address, country_code=home,
-                        point=entry.point,
-                        pops=GLOBAL_POPS if provider.anycast
-                        else (entry.point,),
-                        processing_ms=host_rng.uniform(0.8, 2.0),
-                        operator=provider.name)
-            host.tags.add("doh-resolver")
-            chain = self._memoised_chain(
-                f"doh/{hostname}/{address}",
-                lambda: make_chain(self.trusted_ca, hostname,
-                                   "2018-09-01", "2019-09-01",
-                                   san=(hostname,)))
-            tls = TlsConfig(cert_chain=chain, alpn=("h2",))
-            backend = self._backend_for(provider, host_rng)
-            if provider.flaky_doh_probability > 0.0:
-                backend = FlakyForwardingBackend(
-                    backend, host_rng.fork("flaky"),
-                    slow_upstream_probability=provider.flaky_doh_probability,
-                    regional_probabilities={"AP": 0.004})
-            webpage = f"<title>{provider.name} DoH</title>"
-            host.bind("tcp", 443, DohService(
-                backend, tls, path=path, webpage_html=webpage,
-                supports_json=(provider.name == "Google")))
-            host.bind("tcp", 80, WebpageService(webpage))
-            host.webpage = webpage
-            network.add_host(host)
-            self.universe.host_a(hostname, address)
+    def _derive_doh_host(self, address: str, provider: ProviderSpec,
+                         hostname: str, path: str) -> Host:
+        host_rng = self.rng.fork(f"doh-{address}")
+        home = "US" if provider.anycast else "DE"
+        entry = country(home)
+        host = Host(address=address, country_code=home,
+                    point=entry.point,
+                    pops=GLOBAL_POPS if provider.anycast
+                    else (entry.point,),
+                    processing_ms=host_rng.uniform(0.8, 2.0),
+                    operator=provider.name)
+        host.tags.add("doh-resolver")
+        chain = self._memoised_chain(
+            f"doh/{hostname}/{address}",
+            lambda: make_chain(self.trusted_ca, hostname,
+                               "2018-09-01", "2019-09-01",
+                               san=(hostname,)))
+        tls = TlsConfig(cert_chain=chain, alpn=("h2",))
+        backend = self._backend_for(provider, host_rng)
+        if provider.flaky_doh_probability > 0.0:
+            backend = FlakyForwardingBackend(
+                backend, host_rng.fork("flaky"),
+                slow_upstream_probability=provider.flaky_doh_probability,
+                regional_probabilities={"AP": 0.004})
+        webpage = f"<title>{provider.name} DoH</title>"
+        host.bind("tcp", 443, DohService(
+            backend, tls, path=path, webpage_html=webpage,
+            supports_json=(provider.name == "Google")))
+        host.bind("tcp", 80, WebpageService(webpage))
+        host.webpage = webpage
+        return host
 
     def _memoised_chain(self, key: str, build) -> Tuple[Certificate, ...]:
         chain = self._chain_memo.get(key)
@@ -459,39 +669,29 @@ class Scenario:
 
     # -- special hosts -----------------------------------------------------------
 
-    def _add_google_hosts(self, network: Network,
-                          only_addresses=None) -> None:
+    def _derive_google_host(self, address: str) -> Host:
         """Google public DNS: Do53 on 8.8.8.8/8.8.4.4, DoH on dns.google.com.
 
         At the time of the experiment Google DoT was not announced, so
         the 8.8.8.8 host deliberately has no port-853 service (the
         Table 4 "n/a" cells).
         """
-        for address in GOOGLE_DO53_IPS:
-            if only_addresses is not None and address not in only_addresses:
-                continue
-            if network.host_at(address) is not None:
-                continue
-            host_rng = self.rng.fork(f"google-{address}")
-            host = Host(address=address, country_code="US",
-                        point=country("US").point, pops=GLOBAL_POPS,
-                        processing_ms=1.0, operator="Google")
-            backend = RecursiveBackend(self.universe,
-                                       host_rng.fork("recursive"),
-                                       resolver_label="Google")
-            host.bind("udp", 53, Do53UdpService(backend))
-            host.bind("tcp", 53, Do53TcpService(backend))
-            webpage = "<title>Google Public DNS</title>"
-            host.bind("tcp", 80, WebpageService(webpage))
-            host.webpage = webpage
-            network.add_host(host)
+        host_rng = self.rng.fork(f"google-{address}")
+        host = Host(address=address, country_code="US",
+                    point=country("US").point, pops=GLOBAL_POPS,
+                    processing_ms=1.0, operator="Google")
+        backend = RecursiveBackend(self.universe,
+                                   host_rng.fork("recursive"),
+                                   resolver_label="Google")
+        host.bind("udp", 53, Do53UdpService(backend))
+        host.bind("tcp", 53, Do53TcpService(backend))
+        webpage = "<title>Google Public DNS</title>"
+        host.bind("tcp", 80, WebpageService(webpage))
+        host.webpage = webpage
+        return host
 
-    def _add_self_built(self, network: Network,
-                        only_addresses=None) -> None:
+    def _derive_self_built(self) -> Host:
         """The paper's own resolver supporting Do53, DoT and DoH."""
-        if (only_addresses is not None
-                and SELF_BUILT_IP not in only_addresses):
-            return
         host_rng = self.rng.fork("self-built")
         entry = country("DE")
         host = Host(address=SELF_BUILT_IP, country_code="DE",
@@ -509,70 +709,59 @@ class Scenario:
         host.bind("tcp", 53, Do53TcpService(backend))
         host.bind("tcp", 853, DotService(backend, tls))
         host.bind("tcp", 443, DohService(backend, tls, path="/dns-query"))
-        network.add_host(host)
-        self.universe.host_a(SELF_BUILT_HOSTNAME, SELF_BUILT_IP)
+        return host
 
-    def _add_background_sample(self, network: Network,
-                               round_index: int,
-                               only_addresses=None) -> None:
-        """Materialise a sample of port-853-open non-DoT hosts."""
+    def _derive_background_host(self, address: str, code: str) -> Host:
+        """One sampled port-853-open non-DoT host."""
         from repro.netsim.host import CallableService
-        sample_rng = self.rng.fork(f"background-{round_index}")
-        codes = ("US", "CN", "BR", "RU", "IN", "DE", "KR", "VN", "TR",
-                 "ID", "MX", "TH")
-        for index in range(self.config.background_sample_size):
-            # The country draw happens for every index — even ones a
-            # partial build skips — so each host's code depends only on
-            # its index, never on which other hosts were requested.
-            code = sample_rng.choice(codes)
-            address = f"203.{(index // 250) % 200}.{(index // 250) // 200}.{index % 250 + 1}"
-            if only_addresses is not None and address not in only_addresses:
-                continue
-            if network.host_at(address) is not None:
-                continue
-            entry = country(code)
-            host = Host(address=address, country_code=code,
-                        point=entry.point, processing_ms=2.0)
-            host.tags.add("background-853")
-            # Port 853 accepts TCP but speaks no TLS/DoT: getdns errors.
-            host.bind("tcp", 853, CallableService(
-                lambda payload, ctx: b""))
-            network.add_host(host)
+        entry = country(code)
+        host = Host(address=address, country_code=code,
+                    point=entry.point, processing_ms=2.0)
+        host.tags.add("background-853")
+        # Port 853 accepts TCP but speaks no TLS/DoT: getdns errors.
+        host.bind("tcp", 853, CallableService(
+            lambda payload, ctx: b""))
+        return host
 
-    def _add_atlas_local_resolvers(self, network: Network,
-                                   only_addresses=None) -> None:
-        probes, dot_capable = self.atlas()
-        capable = set(dot_capable)
-        for probe in probes:
-            if probe.uses_public_resolver:
-                continue
-            if (only_addresses is not None
-                    and probe.local_resolver_ip not in only_addresses):
-                continue
-            if network.host_at(probe.local_resolver_ip) is not None:
-                continue
-            host_rng = self.rng.fork(f"local-{probe.local_resolver_ip}")
-            host = Host(address=probe.local_resolver_ip,
-                        country_code=probe.env.country_code,
-                        point=probe.env.point,
-                        processing_ms=host_rng.uniform(1.0, 3.0),
-                        operator="isp-local")
-            backend = RecursiveBackend(self.universe,
-                                       host_rng.fork("recursive"),
-                                       resolver_label="isp-local")
-            host.bind("udp", 53, Do53UdpService(backend))
-            host.bind("tcp", 53, Do53TcpService(backend))
-            if probe.local_resolver_ip in capable:
-                isp_name = (f"dns.isp-{probe.env.country_code.lower()}"
-                            ".example")
-                chain = self._memoised_chain(
-                    f"atlas/{probe.local_resolver_ip}",
-                    lambda: make_chain(self.trusted_ca, isp_name,
-                                       "2018-10-01", "2019-10-01"))
-                host.bind("tcp", 853, DotService(
-                    backend, TlsConfig(cert_chain=chain)))
-                host.tags.add("dot-local-resolver")
-            network.add_host(host)
+    def _derive_scaled_host(self, round_index: int, index: int,
+                            address: str) -> Host:
+        """One procedurally-scaled background host (open positions of
+        the round's :class:`RangeSegment`)."""
+        from repro.netsim.host import CallableService
+        host_rng = self.rng.fork(f"bg-scale-{round_index}-{index}")
+        code = host_rng.choice(BACKGROUND_COUNTRY_CODES)
+        entry = country(code)
+        host = Host(address=address, country_code=code,
+                    point=entry.point, processing_ms=2.0)
+        host.tags.add("background-853")
+        host.bind("tcp", 853, CallableService(
+            lambda payload, ctx: b""))
+        return host
+
+    def _derive_atlas_host(self, probe: AtlasProbe,
+                           is_capable: bool) -> Host:
+        host_rng = self.rng.fork(f"local-{probe.local_resolver_ip}")
+        host = Host(address=probe.local_resolver_ip,
+                    country_code=probe.env.country_code,
+                    point=probe.env.point,
+                    processing_ms=host_rng.uniform(1.0, 3.0),
+                    operator="isp-local")
+        backend = RecursiveBackend(self.universe,
+                                   host_rng.fork("recursive"),
+                                   resolver_label="isp-local")
+        host.bind("udp", 53, Do53UdpService(backend))
+        host.bind("tcp", 53, Do53TcpService(backend))
+        if is_capable:
+            isp_name = (f"dns.isp-{probe.env.country_code.lower()}"
+                        ".example")
+            chain = self._memoised_chain(
+                f"atlas/{probe.local_resolver_ip}",
+                lambda: make_chain(self.trusted_ca, isp_name,
+                                   "2018-10-01", "2019-10-01"))
+            host.bind("tcp", 853, DotService(
+                backend, TlsConfig(cert_chain=chain)))
+            host.tags.add("dot-local-resolver")
+        return host
 
     # -- vantage populations -----------------------------------------------------
 
@@ -598,6 +787,52 @@ class Scenario:
                 self.config.scaled(self.config.atlas_probes),
                 self.rng.fork("atlas"))
         return self._atlas
+
+    def platform_point_count(self, platform: str,
+                             sample: float = 1.0) -> int:
+        """How many vantage points a platform study will visit.
+
+        Matches ``platform_points``'s down-sampling rule (keep the
+        first ``round(len * sample)``, at least one) without building a
+        single point — parents plan shards from this number alone.
+        """
+        if platform == "proxyrack":
+            total = self.config.scaled(self.config.proxyrack_endpoints)
+        elif platform == "zhima":
+            total = self.config.scaled(self.config.zhima_endpoints)
+        else:
+            raise ScenarioError(f"unknown vantage platform {platform!r}")
+        if sample >= 1.0:
+            return total
+        return max(1, round(total * sample))
+
+    def iter_platform_points(self, platform: str, sample: float = 1.0,
+                             start: int = 0, stop: Optional[int] = None):
+        """Stream vantage points [start, stop) of one platform.
+
+        Point derivation is per-index pure, so a streamed window is
+        field-for-field identical to the same slice of the fully-built
+        list (and the memoised list is sliced directly when present).
+        Work and memory are proportional to the window size.
+        """
+        count = self.platform_point_count(platform, sample)
+        stop = count if stop is None else min(stop, count)
+        if start >= stop:
+            return iter(())
+        if platform == "proxyrack":
+            if self._proxyrack is not None:
+                return iter(self._proxyrack[start:stop])
+            return iter_proxyrack(
+                self.config.scaled(self.config.proxyrack_endpoints),
+                self.rng.fork("proxyrack"),
+                interception_count=self.config.intercepted_clients,
+                hijacked_router_count=self.config.hijacked_routers,
+                start=start, stop=stop)
+        if self._zhima is not None:
+            return iter(self._zhima[start:stop])
+        return iter_zhima(
+            self.config.scaled(self.config.zhima_endpoints),
+            self.rng.fork("zhima"), start=start, stop=stop)
 
     # -- public lists & datasets ---------------------------------------------------
 

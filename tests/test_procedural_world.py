@@ -1,0 +1,368 @@
+"""Differential pin for the procedural world (ISSUE 8).
+
+The determinism contract: a host is a pure function of
+``(seed, address)``. Materialisation strategy — eager registry, lazy
+LRU-backed derivation, shard-restricted partial builds, any
+materialisation *order* — must never change a single field, and full
+campaign artefacts must serialise byte-identical across eager, lazy,
+and lazy+sharded execution.
+
+``scripts/check.sh`` runs this module twice under different
+``PYTHONHASHSEED`` values (like the chaos and parallel suites) to
+prove none of it leans on hash ordering.
+"""
+
+from __future__ import annotations
+
+import random
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.analysis import tables
+from repro.core.client import FailureDiagnosis
+from repro.core.client.performance import PerformanceStudy
+from repro.core.client.reachability import ReachabilityStudy, platform_points
+from repro.core.parallel import ParallelConfig
+from repro.core.scan.campaign import ScanCampaign
+from repro.core.scan.zmap import ZmapScanner
+from repro.errors import ScenarioError
+from repro.netsim.host import Host
+from repro.netsim.ipv4 import Netblock
+from repro.netsim.procgen import RangeSegment
+from repro.netsim.rand import keyed_offset
+from repro.telemetry.manifest import RunManifest
+from repro.world.scenario import ScenarioConfig, build_scenario
+from tests.conftest import tiny_config
+
+pytestmark = pytest.mark.procedural
+
+SEED = 133
+SHARDS = 5
+ROUNDS = 2
+REACH_SAMPLE = 0.08
+PERF_SAMPLE = 0.15
+
+#: tracemalloc ceiling for the 10^6-address sweep; the bench measured
+#: ~2.5 MB, so 48 MB is generous headroom without letting an O(space)
+#: regression slip through (one Host per address would need ~1 GB).
+SCALE_PEAK_BUDGET_BYTES = 48 * 1024 * 1024
+
+
+def lazy_tiny_config(seed: int = SEED, **overrides) -> ScenarioConfig:
+    config = tiny_config(seed)
+    config.world_mode = "lazy"
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+# -- host fingerprints --------------------------------------------------------
+
+def _tls_fingerprint(service) -> tuple:
+    tls = getattr(service, "tls", None)
+    if tls is None:
+        return ()
+    # Serials are a process-global issuance counter — identical world,
+    # different scenario instance, different serials — so the
+    # fingerprint pins every *derived* certificate field except them.
+    return tuple(
+        (cert.subject_cn, cert.issuer_cn, cert.not_before, cert.not_after,
+         cert.san, cert.is_ca)
+        for cert in tls.cert_chain) + (tls.alpn,)
+
+
+def fingerprint(host: Host) -> tuple:
+    """Every derived field of a host, minus object identities."""
+    return (
+        host.address,
+        host.country_code,
+        (host.point.lat, host.point.lon),
+        tuple((point.lat, point.lon) for point in host.pops),
+        host.processing_ms,
+        tuple(sorted(host.tags)),
+        host.ptr_name,
+        host.webpage,
+        host.operator,
+        tuple(sorted(
+            (proto, port, type(service).__name__,
+             _tls_fingerprint(service))
+            for (proto, port), service in host.services.items())),
+    )
+
+
+# -- satellite 1: purity / order-invariance ----------------------------------
+
+class TestDerivationPurity:
+    def test_eager_and_lazy_worlds_match_field_for_field(self):
+        eager = build_scenario(tiny_config(SEED))
+        lazy = build_scenario(lazy_tiny_config(SEED))
+        eager_net = eager.network_for_round(0)
+        lazy_net = lazy.network_for_round(0)
+        addresses = list(eager_net.iter_addresses())
+        assert addresses == list(lazy_net.iter_addresses())
+        for address in addresses:
+            left = eager_net.host_at(address)
+            right = lazy_net.host_at(address)
+            assert fingerprint(left) == fingerprint(right), address
+
+    @settings(max_examples=8, deadline=None)
+    @given(order_seed=st.integers(0, 2**32 - 1))
+    def test_materialisation_order_never_changes_fields(self, order_seed):
+        """Touch the same world in two unrelated orders; every host must
+        come out identical — derivation draws only from per-address
+        forks, never from shared sequential state."""
+        forward = build_scenario(lazy_tiny_config(SEED))
+        shuffled = build_scenario(lazy_tiny_config(SEED))
+        net_a = forward.network_for_round(0)
+        net_b = shuffled.network_for_round(0)
+        addresses = list(net_a.iter_addresses())
+        permuted = list(addresses)
+        random.Random(order_seed).shuffle(permuted)
+        prints_a = {address: fingerprint(net_a.host_at(address))
+                    for address in addresses}
+        prints_b = {address: fingerprint(net_b.host_at(address))
+                    for address in permuted}
+        assert prints_a == prints_b
+
+    def test_repeated_touch_returns_cached_instance(self):
+        scenario = build_scenario(lazy_tiny_config(SEED))
+        network = scenario.network_for_round(0)
+        address = next(network.iter_addresses())
+        assert network.host_at(address) is network.host_at(address)
+
+    def test_partial_world_matches_full_world(self):
+        """A shard-restricted build derives the same hosts as the same
+        addresses inside the full world (the only_addresses contract)."""
+        scenario = build_scenario(lazy_tiny_config(SEED))
+        full = scenario.network_for_round(0)
+        subset = frozenset(list(full.iter_addresses())[::7])
+        partial = scenario.fresh_network_for_round(
+            0, only_addresses=subset)
+        assert set(partial.iter_addresses()) == subset
+        for address in subset:
+            assert (fingerprint(partial.host_at(address))
+                    == fingerprint(full.host_at(address)))
+
+    def test_world_mode_validated(self):
+        config = tiny_config(SEED)
+        config.world_mode = "psychic"
+        with pytest.raises(ScenarioError):
+            build_scenario(config)
+
+
+class TestScaledSegment:
+    def test_closed_scaled_address_is_absent_in_both_modes(self):
+        overrides = dict(world_scale=12.0, background_open_stride=8)
+        lazy = build_scenario(lazy_tiny_config(SEED, **overrides))
+        eager_config = tiny_config(SEED)
+        for key, value in overrides.items():
+            setattr(eager_config, key, value)
+        eager = build_scenario(eager_config)
+        segment = lazy.round_layout(0).scaled
+        assert segment is not None
+        closed = next(segment.address_of(index)
+                      for index in range(segment.stride)
+                      if not segment.is_open(index))
+        for network in (lazy.network_for_round(0),
+                        eager.network_for_round(0)):
+            assert network.host_at(closed) is None
+            assert not network.tcp_port_open(closed, 853)
+
+    def test_open_scaled_hosts_match_across_modes(self):
+        overrides = dict(world_scale=12.0, background_open_stride=8)
+        lazy = build_scenario(lazy_tiny_config(SEED, **overrides))
+        eager_config = tiny_config(SEED)
+        for key, value in overrides.items():
+            setattr(eager_config, key, value)
+        eager = build_scenario(eager_config)
+        lazy_net = lazy.network_for_round(0)
+        eager_net = eager.network_for_round(0)
+        segment = lazy.round_layout(0).scaled
+        for _, address in segment.open_items():
+            assert (fingerprint(lazy_net.host_at(address))
+                    == fingerprint(eager_net.host_at(address)))
+
+    def test_exactly_one_open_host_per_stride_block(self):
+        segment = RangeSegment("t", 4096, Netblock.from_text("11.0.0.0/16"),
+                               853, 64, "2019:bg-open-0")
+        opens = list(segment.open_items())
+        assert len(opens) == 4096 // 64
+        for block, (index, _) in enumerate(opens):
+            assert index // 64 == block
+            assert index % 64 == keyed_offset("2019:bg-open-0", block, 64)
+
+
+# -- satellite 4: full-materialise regression --------------------------------
+
+class TestFullMaterialiseRegression:
+    def test_sweep_never_materialises(self):
+        """The scan pipeline must stream; hitting ``hosts()`` on a
+        procedural world would re-grow memory with the address space."""
+        scenario = build_scenario(lazy_tiny_config(SEED))
+        network = scenario.network_for_round(0)
+        scanner = ZmapScanner(network, scenario.rng.fork("zmap-0"))
+        scanner.sweep(853, 0)
+        assert network.full_materialise_calls == 0
+        assert network.host_cache_peak == 0
+
+    def test_hosts_view_is_cached_between_mutations(self):
+        scenario = build_scenario(tiny_config(SEED))
+        network = scenario.network_for_round(0)
+        first = network.hosts()
+        assert network.hosts() is first
+        assert network.hosts_with_tcp_port(853) \
+            is network.hosts_with_tcp_port(853)
+        network.add_host(Host(address="198.51.100.99", country_code="US",
+                              point=first[0].point))
+        assert network.hosts() is not first
+
+    def test_lazy_hosts_promotes_whole_world_once(self):
+        scenario = build_scenario(lazy_tiny_config(SEED))
+        network = scenario.network_for_round(0)
+        view = network.hosts()
+        assert len(view) == network.address_count()
+        assert network.full_materialise_calls == 1
+        assert network.hosts() is view
+        assert network.full_materialise_calls == 2
+
+
+# -- satellite 2: differential golden run -------------------------------------
+
+_snapshots = {}
+
+#: (key, world_mode, workers)
+_RUNS = {
+    "eager": ("eager", 1),
+    "lazy": ("lazy", 1),
+    "lazy-sharded": ("lazy", 4),
+}
+
+
+def snapshot(key: str) -> dict:
+    """Every artefact of one full campaign in one materialisation mode.
+
+    All three runs shard with the same plan (shards define the
+    experiment); they differ only in world mode and worker count —
+    neither of which may change a byte of any artefact.
+    """
+    if key in _snapshots:
+        return _snapshots[key]
+    world_mode, workers = _RUNS[key]
+    telemetry.reset_registry()
+    try:
+        config = tiny_config(SEED)
+        config.world_mode = world_mode
+        scenario = build_scenario(config)
+        parallel = ParallelConfig(workers=workers, shards=SHARDS,
+                                  min_fanout_items=0, oversubscribe=True)
+        campaign = ScanCampaign(scenario, parallel=parallel).run(
+            rounds=ROUNDS, include_doh=True)
+        study = ReachabilityStudy(scenario)
+        report = study.run_sharded("proxyrack", parallel,
+                                   sample=REACH_SAMPLE)
+        report = study.run_sharded("zhima", parallel, sample=REACH_SAMPLE,
+                                   report=report)
+        perf = PerformanceStudy(scenario).run_sharded(parallel,
+                                                      sample=PERF_SAMPLE)
+        failed = set(report.failed_endpoints("proxyrack", "Cloudflare",
+                                             "dot"))
+        points = [point for point in platform_points(
+            scenario, "proxyrack", REACH_SAMPLE)
+            if point.env.label in failed]
+        diagnosis = FailureDiagnosis(
+            scenario.client_network(), scenario.rng.fork("diagnosis"),
+            retry_policy=scenario.retry_policy(op="client.diag")
+        ).diagnose_all(points)
+        registry = telemetry.get_registry()
+        manifest = RunManifest.collect(
+            config, registry, include_git=False,
+            execution=parallel.manifest_execution())
+        _snapshots[key] = {
+            "table2": tables.table2_text(campaign),
+            "table4": tables.table4_text(report),
+            "table5": tables.table5_text(diagnosis),
+            # The manifest deliberately records the world mode, so the
+            # byte-compared telemetry snapshot excludes it; the
+            # manifest's own contents are pinned separately below.
+            "telemetry": telemetry.to_json(registry,
+                                           telemetry.get_tracer()),
+            "manifest": manifest.as_dict(),
+            "doh": tuple((record.url, record.is_doh, record.latency_ms)
+                         for record in campaign.doh_records),
+            "timings": tuple(
+                (timing.endpoint, timing.median_do53_ms,
+                 timing.median_dot_ms, timing.median_doh_ms)
+                for timing in perf.timings),
+        }
+    finally:
+        telemetry.reset_registry()
+    return _snapshots[key]
+
+
+class TestEagerLazyEquivalence:
+    @pytest.mark.parametrize("other", ["lazy", "lazy-sharded"])
+    def test_byte_identical_artifacts(self, other):
+        base = snapshot("eager")
+        candidate = snapshot(other)
+        for key in ("table2", "table4", "table5", "telemetry", "doh",
+                    "timings"):
+            assert base[key] == candidate[key], (
+                f"artefact {key!r} differs between eager and {other}")
+
+    def test_manifest_records_world_mode_and_scale(self):
+        for key, (world_mode, _) in _RUNS.items():
+            manifest = snapshot(key)["manifest"]
+            assert manifest["world"]["mode"] == world_mode
+            assert manifest["world"]["world_scale"] == 1.0
+            assert manifest["scenario"]["world_mode"] == world_mode
+
+    def test_manifests_identical_apart_from_world_mode(self):
+        def scrub(manifest):
+            record = {key: value for key, value in manifest.items()
+                      if key != "world"}
+            record["scenario"] = {
+                key: value
+                for key, value in manifest["scenario"].items()
+                if key != "world_mode"}
+            return record
+
+        base = snapshot("eager")["manifest"]
+        for other in ("lazy", "lazy-sharded"):
+            assert scrub(base) == scrub(snapshot(other)["manifest"])
+
+
+# -- satellite 3: memory regression at 10^6 addresses -------------------------
+
+@pytest.mark.scale
+class TestScaleMemory:
+    def test_million_address_sweep_stays_flat(self):
+        config = ScenarioConfig(
+            seed=SEED, scan_rounds=2, vantage_scale=0.005,
+            background_sample_size=100, url_dataset_noise=500,
+            intercepted_clients=2, hijacked_routers=1,
+            world_mode="lazy", world_scale=10_000.0)
+        tracemalloc.start()
+        try:
+            scenario = build_scenario(config)
+            network = scenario.network_for_round(0)
+            assert network.address_count() >= 1_000_000
+            scanner = ZmapScanner(network, scenario.rng.fork("zmap-0"))
+            result = scanner.sweep(853, 0)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak <= SCALE_PEAK_BUDGET_BYTES, (
+            f"10^6-address sweep peaked at {peak / 1e6:.1f} MB")
+        # The sweep streams: nothing materialised, LRU untouched.
+        assert network.full_materialise_calls == 0
+        assert network.host_cache_peak <= network.host_cache_size
+        # Openness is procedural: one open host per stride block
+        # beyond the explicit sample.
+        segment = scenario.round_layout(0).scaled
+        extra_opens = segment.open_count()
+        assert segment.count >= 999_000
+        assert len(result.open_addresses) >= extra_opens
