@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""The four-protocol benchmark — E-DoH probe efficiency plus
+eager/lazy table determinism.
+
+Runs three deterministic legs over a small scenario and records a
+document with **no machine-dependent fields**, so the committed
+``BENCH_FOURPROTO.json`` can be byte-compared against a regeneration
+under any ``PYTHONHASHSEED``:
+
+* **E-DoH discovery** — one naive DoH scan and one probe-efficient
+  (bootstrap-precheck + template-inference + early-abort) scan over the
+  same URL corpus; the gate asserts the efficient mode confirms the
+  *identical* endpoint set with *strictly fewer* probes.
+* **Four-protocol tables** — the full Do53/DoT/DoH/DoQ + DNSCrypt
+  battery under an eager and a lazy world; the gate asserts the
+  rendered tables hash identically.
+* **Protocol sweeps** — the UDP 784 (DoQ) and UDP 443 (DNSCrypt)
+  discovery scans; the gate asserts both find their placed services.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fourproto.py [--seed 2019]
+        [--out benchmarks/BENCH_FOURPROTO.json]
+        [--validate PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+#: Vantage down-sample for the table legs (full batteries are the
+#: pipeline's job; the bench only needs every cell populated).
+SAMPLE = 0.25
+
+SCHEMA_KEYS = ("schema", "seed", "edoh", "fourproto", "sweeps")
+EDOH_KEYS = ("candidates", "naive_probes", "efficient_probes",
+             "skipped_unresolvable", "skipped_early_abort", "confirmed",
+             "confirmed_hosts", "naive_probes_per_confirmed",
+             "efficient_probes_per_confirmed")
+FOURPROTO_KEYS = ("eager_table_sha256", "lazy_table_sha256",
+                  "handshake_sha256", "timings", "fallbacks")
+SWEEP_KEYS = ("doq_addresses", "dnscrypt_addresses")
+
+
+def _config(seed: int, world_mode: str = "eager"):
+    from repro.world.scenario import ScenarioConfig
+    return ScenarioConfig(
+        seed=seed,
+        vantage_scale=0.006,
+        background_sample_size=40,
+        url_dataset_noise=500,
+        intercepted_clients=4,
+        hijacked_routers=2,
+        world_mode=world_mode,
+    )
+
+
+def _doh_discovery(scenario):
+    from repro.core.scan.doh_scan import DohDiscovery
+    return DohDiscovery(
+        scenario.client_network(),
+        scenario.rng.fork("campaign").fork("doh"),
+        scenario.trust_store, scenario.bootstrap, scenario.probe_origin,
+        scenario.expected_probe_answer(),
+        public_list=scenario.public_doh_list(),
+        retry_policy=scenario.retry_policy(op="doh.probe"))
+
+
+def _measure_edoh(seed: int) -> dict:
+    """Naive vs probe-efficient discovery over identical corpora."""
+    from repro.world.scenario import build_scenario
+
+    naive_scenario = build_scenario(_config(seed))
+    naive_records = _doh_discovery(naive_scenario).discover(
+        naive_scenario.url_dataset())
+    naive_hosts = sorted({record.hostname for record in naive_records
+                          if record.is_doh})
+
+    efficient_scenario = build_scenario(_config(seed))
+    efficient_records, stats = _doh_discovery(
+        efficient_scenario).discover_efficient(
+        efficient_scenario.url_dataset())
+    efficient_hosts = sorted({record.hostname
+                              for record in efficient_records
+                              if record.is_doh})
+    if efficient_hosts != naive_hosts:
+        raise AssertionError(
+            f"E-DoH confirmed {efficient_hosts} but the naive scan "
+            f"confirmed {naive_hosts}")
+    naive_probes = len(naive_records)
+    return {
+        "candidates": stats.candidates,
+        "naive_probes": naive_probes,
+        "efficient_probes": stats.probed,
+        "skipped_unresolvable": stats.skipped_unresolvable,
+        "skipped_early_abort": stats.skipped_early_abort,
+        "confirmed": stats.confirmed,
+        "confirmed_hosts": naive_hosts,
+        "naive_probes_per_confirmed": round(
+            naive_probes / max(1, len(naive_hosts)), 4),
+        "efficient_probes_per_confirmed": round(
+            stats.probes_per_confirmed, 4),
+    }
+
+
+def _measure_tables(seed: int) -> dict:
+    """The full battery under eager and lazy worlds, hashed."""
+    from repro.analysis import tables
+    from repro.core.client.fourproto import FourProtoStudy
+    from repro.core.client.reachability import platform_points
+    from repro.world.scenario import build_scenario
+
+    digests = {}
+    handshake_digest = ""
+    timings = fallbacks = 0
+    for mode in ("eager", "lazy"):
+        scenario = build_scenario(_config(seed, world_mode=mode))
+        study = FourProtoStudy(scenario)
+        report = study.run(platform_points(scenario, "proxyrack", SAMPLE))
+        table = tables.fourproto_table_text(report)
+        digests[mode] = hashlib.sha256(table.encode()).hexdigest()
+        handshake_digest = hashlib.sha256(
+            tables.handshake_table_text(report).encode()).hexdigest()
+        timings = len(report.timings)
+        fallbacks = report.fallbacks
+    return {
+        "eager_table_sha256": digests["eager"],
+        "lazy_table_sha256": digests["lazy"],
+        "handshake_sha256": handshake_digest,
+        "timings": timings,
+        "fallbacks": fallbacks,
+    }
+
+
+def _measure_sweeps(seed: int) -> dict:
+    """DoQ and DNSCrypt discovery over the placed services."""
+    from repro.core.scan.dnscrypt_scan import DnscryptScanner
+    from repro.core.scan.doq_scan import DoqScanner
+    from repro.netsim.rand import SeededRng
+    from repro.world.scenario import build_scenario
+
+    scenario = build_scenario(_config(seed))
+    network = scenario.client_network()
+    doq_records, _ = DoqScanner(
+        network, SeededRng(seed).fork("bench-doq"), scenario.trust_store,
+        scenario.probe_origin, scenario.expected_probe_answer()).discover()
+    dnscrypt_records, _ = DnscryptScanner(
+        network, SeededRng(seed).fork("bench-dnscrypt"),
+        scenario.probe_origin, scenario.expected_probe_answer()).discover()
+    return {
+        "doq_addresses": sorted(record.address for record in doq_records
+                                if record.is_doq),
+        "dnscrypt_addresses": sorted(record.address
+                                     for record in dnscrypt_records
+                                     if record.is_dnscrypt),
+    }
+
+
+def run_bench(seed: int) -> dict:
+    return {
+        "schema": "bench-fourproto/1",
+        "seed": seed,
+        "edoh": _measure_edoh(seed),
+        "fourproto": _measure_tables(seed),
+        "sweeps": _measure_sweeps(seed),
+    }
+
+
+def validate_document(document: dict) -> None:
+    """Raise ValueError when the document fails the four-proto gate."""
+    for key in SCHEMA_KEYS:
+        if key not in document:
+            raise ValueError(f"missing key {key!r}")
+    if document["schema"] != "bench-fourproto/1":
+        raise ValueError(f"unknown schema {document['schema']!r}")
+    edoh = document["edoh"]
+    for key in EDOH_KEYS:
+        if key not in edoh:
+            raise ValueError(f"edoh record missing {key!r}")
+    if edoh["confirmed"] <= 0 or not edoh["confirmed_hosts"]:
+        raise ValueError("discovery confirmed no DoH endpoints")
+    if edoh["confirmed"] != len(edoh["confirmed_hosts"]):
+        raise ValueError("confirmed count does not match the host list")
+    if edoh["efficient_probes"] >= edoh["naive_probes"]:
+        raise ValueError(
+            f"E-DoH probed {edoh['efficient_probes']} candidates, not "
+            f"strictly fewer than the naive {edoh['naive_probes']}")
+    if (edoh["efficient_probes"] + edoh["skipped_unresolvable"]
+            + edoh["skipped_early_abort"]) != edoh["candidates"]:
+        raise ValueError("E-DoH probe accounting does not add up")
+    if edoh["efficient_probes_per_confirmed"] >= \
+            edoh["naive_probes_per_confirmed"]:
+        raise ValueError("E-DoH probes-per-confirmed-endpoint did not "
+                         "beat the naive scan")
+    fourproto = document["fourproto"]
+    for key in FOURPROTO_KEYS:
+        if key not in fourproto:
+            raise ValueError(f"fourproto record missing {key!r}")
+    if fourproto["eager_table_sha256"] != fourproto["lazy_table_sha256"]:
+        raise ValueError("four-protocol table differs between eager and "
+                         "lazy worlds")
+    if fourproto["timings"] <= 0:
+        raise ValueError("four-protocol battery produced no timings")
+    sweeps = document["sweeps"]
+    for key in SWEEP_KEYS:
+        if key not in sweeps:
+            raise ValueError(f"sweeps record missing {key!r}")
+    if not sweeps["doq_addresses"]:
+        raise ValueError("DoQ sweep found no resolvers")
+    if not sweeps["dnscrypt_addresses"]:
+        raise ValueError("DNSCrypt sweep found no resolvers")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="scenario seed (default: 2019)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "BENCH_FOURPROTO.json"))
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_document(document)
+        except (OSError, ValueError) as error:
+            print(f"error: {args.validate}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid four-protocol benchmark document")
+        return 0
+
+    document = run_bench(args.seed)
+    validate_document(document)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    edoh = document["edoh"]
+    print(f"E-DoH: {edoh['efficient_probes']}/{edoh['naive_probes']} "
+          f"probes for the same {edoh['confirmed']} endpoints "
+          f"({edoh['efficient_probes_per_confirmed']:.2f} vs "
+          f"{edoh['naive_probes_per_confirmed']:.2f} per confirmed)")
+    print(f"tables: eager == lazy "
+          f"({document['fourproto']['eager_table_sha256'][:12]}...), "
+          f"{document['fourproto']['timings']} timings")
+    print(f"sweeps: {len(document['sweeps']['doq_addresses'])} DoQ, "
+          f"{len(document['sweeps']['dnscrypt_addresses'])} DNSCrypt "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,17 @@ echo "== procedural suite (PYTHONHASHSEED=1) =="
 PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest -x -q -m procedural
 
+# The four-protocol suite proves the Do53/DoT/DoH/DoQ + DNSCrypt
+# tables are byte-identical across eager/lazy worlds and workers 1/4;
+# two hash seeds prove the differential tier never leans on dict/set
+# order.
+echo "== fourproto suite (PYTHONHASHSEED=0) =="
+PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m fourproto
+echo "== fourproto suite (PYTHONHASHSEED=1) =="
+PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m fourproto
+
 # Memory-regression gate: a 10^6-address lazy sweep must stay under a
 # tracemalloc budget and never hit the full-materialise path.
 echo "== scale suite (10^6-address sweep) =="
@@ -102,3 +113,22 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_scale.py \
     --validate benchmarks/BENCH_SCALE.json
 echo "ok (see benchmarks/BENCH_SCALE.json for the recorded run)"
+
+# Four-protocol benchmark, error-only gate: a fresh run must confirm
+# the same DoH endpoint set as the naive scan with strictly fewer
+# probes, hash the four-protocol table identically across eager and
+# lazy worlds, and — because the document holds no machine-dependent
+# fields — reproduce the committed record byte for byte.
+echo "== four-protocol benchmark =="
+PYTHONHASHSEED=2 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_fourproto.py \
+    --out benchmarks/BENCH_FOURPROTO.tmp.json >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_fourproto.py \
+    --validate benchmarks/BENCH_FOURPROTO.tmp.json
+cmp benchmarks/BENCH_FOURPROTO.tmp.json benchmarks/BENCH_FOURPROTO.json
+rm -f benchmarks/BENCH_FOURPROTO.tmp.json
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_fourproto.py \
+    --validate benchmarks/BENCH_FOURPROTO.json
+echo "ok (see benchmarks/BENCH_FOURPROTO.json for the recorded run)"

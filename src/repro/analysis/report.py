@@ -16,6 +16,8 @@ from repro.core.parallel import ParallelConfig
 from repro.core.client import (
     AtlasStudy,
     FailureDiagnosis,
+    FourProtoReport,
+    FourProtoStudy,
     PerformanceStudy,
     ProxyNetwork,
     ReachabilityReport,
@@ -49,6 +51,7 @@ class ExperimentSuite:
     _reachability: Optional[ReachabilityReport] = field(default=None,
                                                         repr=False)
     _performance = None
+    _fourproto: Optional[FourProtoReport] = field(default=None, repr=False)
     _no_reuse = None
     _diagnosis = None
     _netflow_report = None
@@ -126,6 +129,18 @@ class ExperimentSuite:
                     self.proxyrack_network().usable_for(2_590.0))
         return self._performance
 
+    def fourproto(self) -> FourProtoReport:
+        if self._fourproto is None:
+            study = FourProtoStudy(self.scenario)
+            if self.parallel is not None:
+                self._fourproto = study.run_sharded(
+                    self.parallel, platform="proxyrack",
+                    sample=self.client_sample)
+            else:
+                self._fourproto = study.run(
+                    self.proxyrack_network().endpoints())
+        return self._fourproto
+
     def no_reuse(self):
         if self._no_reuse is None:
             study = PerformanceStudy(self.scenario)
@@ -178,6 +193,9 @@ class ExperimentSuite:
         sections.append(tables.table6_text(reachability))
         sections.append(tables.table7_text(self.no_reuse()))
         sections.append(tables.table8_text())
+        fourproto = self.fourproto()
+        sections.append(tables.fourproto_table_text(fourproto))
+        sections.append(tables.handshake_table_text(fourproto))
         dates, series = figures.figure3_series(campaign)
         sections.append(figures.series_text(
             "Figure 3: Open DoT resolvers per scan",

@@ -7,6 +7,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.textfmt import format_percent, render_table
 from repro.core.comparative import PROTOCOL_ORDER, build_comparison_table
 from repro.core.client.diagnosis import DiagnosisReport, PROBE_PORTS
+from repro.core.client.fourproto import (
+    FOURPROTO_PROTOCOLS,
+    FourProtoReport,
+)
 from repro.core.client.performance import NoReuseResult
 from repro.core.client.proxy import ProxyNetwork
 from repro.core.client.reachability import ReachabilityReport
@@ -199,6 +203,77 @@ def table7_text(results: Sequence[NoReuseResult]) -> str:
         ["Vantage", "DNS/TCP (s)", "DoT (overhead)", "DoH (overhead)"],
         table7_rows(results),
         title="Table 7: Performance test results w/o connection reuse")
+
+
+# -- Four-protocol differential tables (beyond the paper; Kosek et al. layout) -----
+
+
+def _cell_ms(cell: Dict[str, float], key: str) -> str:
+    return f"{cell[key]:.2f}" if key in cell else "n/a"
+
+
+def fourproto_table_rows(report: FourProtoReport
+                         ) -> List[Tuple[str, str, str, str, str, str]]:
+    """(target, protocol, reached, cold, warm, handshake) rows."""
+    rows = []
+    for target in report.targets():
+        for protocol in FOURPROTO_PROTOCOLS:
+            cell = report.cell(target, protocol)
+            if not cell:
+                rows.append((target, protocol, "n/a", "n/a", "n/a",
+                             "n/a"))
+                continue
+            rows.append((
+                target, protocol,
+                format_percent(cell["reached"]),
+                _cell_ms(cell, "cold_median_ms"),
+                _cell_ms(cell, "warm_median_ms"),
+                _cell_ms(cell, "handshake_median_ms"),
+            ))
+    return rows
+
+
+def fourproto_table_text(report: FourProtoReport) -> str:
+    return render_table(
+        ["Resolver", "Protocol", "Reached", "Cold (ms)", "Warm (ms)",
+         "Handshake (ms)"],
+        fourproto_table_rows(report),
+        title="Four-protocol reachability and performance "
+              "(Do53/DoT/DoH/DoQ + DNSCrypt)")
+
+
+def handshake_table_rows(report: FourProtoReport
+                         ) -> List[Tuple[str, str, str, str]]:
+    """(target, DoQ 1-RTT, DoQ 0-RTT, DNSCrypt bootstrap) rows.
+
+    Each column is a cost over the protocol's own warm path, so the
+    proxy-leg RTT cancels: the 1-RTT column is the cold QUIC handshake,
+    the 0-RTT column the resumption penalty (≈ 0 by design), and the
+    DNSCrypt column the TXT bootstrap folded into its cold start.
+    """
+    rows = []
+    for target in report.targets():
+        doq = report.cell(target, "doq")
+        dnscrypt = report.cell(target, "dnscrypt")
+        if not doq and not dnscrypt:
+            continue
+        one_rtt = _cell_ms(doq, "handshake_median_ms")
+        if "resumed_median_ms" in doq and "warm_median_ms" in doq:
+            penalty = doq["resumed_median_ms"] - doq["warm_median_ms"]
+            zero_rtt = f"{penalty:.2f}"
+        else:
+            zero_rtt = "n/a"
+        rows.append((target, one_rtt, zero_rtt,
+                     _cell_ms(dnscrypt, "handshake_median_ms")))
+    return rows
+
+
+def handshake_table_text(report: FourProtoReport) -> str:
+    return render_table(
+        ["Resolver", "DoQ 1-RTT (ms)", "DoQ 0-RTT (ms)",
+         "DNSCrypt bootstrap (ms)"],
+        handshake_table_rows(report),
+        title="Handshake-cost breakdown: cold start vs 0-RTT resumption")
 
 
 # -- Table 8: implementation survey ------------------------------------------------

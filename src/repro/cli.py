@@ -5,6 +5,8 @@ Commands mirror the paper's measurement legs:
 * ``scan`` — run the discovery campaign (Tables 2, Figures 3-4);
 * ``reachability`` — the client-side reachability study (Tables 4-6);
 * ``performance`` — the latency study (Figure 9, Table 7);
+* ``fourproto`` — the four-protocol differential study (DoQ/DNSCrypt
+  alongside Do53/DoT/DoH, with the handshake-cost breakdown);
 * ``usage`` — NetFlow + passive-DNS usage analysis (Figures 11-13);
 * ``compare`` — the protocol comparison (Tables 1 and 8);
 * ``report`` — everything, as one text report;
@@ -80,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
     sub.add_parser("reachability", help="run the reachability study")
     sub.add_parser("performance", help="run the performance study")
+    sub.add_parser("fourproto",
+                   help="run the four-protocol differential study "
+                        "(Do53/DoT/DoH/DoQ + DNSCrypt)")
     sub.add_parser("usage", help="run the traffic usage analysis")
     sub.add_parser("compare", help="print the protocol comparison")
     sub.add_parser("report", help="run everything and print all artefacts")
@@ -214,6 +219,14 @@ def cmd_performance(suite: ExperimentSuite) -> None:
           f"DoH {summary['doh_avg']:+.1f}/{summary['doh_median']:+.1f} ms")
     print()
     print(tables.table7_text(suite.no_reuse()))
+
+
+def cmd_fourproto(suite: ExperimentSuite) -> None:
+    report = suite.fourproto()
+    print(tables.fourproto_table_text(report))
+    print()
+    print(tables.handshake_table_text(report))
+    print(f"\nDoQ -> DoT fallbacks: {report.fallbacks}")
 
 
 def cmd_usage(suite: ExperimentSuite) -> None:
@@ -396,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_reachability(suite)
     elif args.command == "performance":
         cmd_performance(suite)
+    elif args.command == "fourproto":
+        cmd_fourproto(suite)
     elif args.command == "usage":
         cmd_usage(suite)
     elif args.command == "report":

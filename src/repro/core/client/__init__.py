@@ -13,6 +13,12 @@ from repro.core.client.performance import (
     PerformanceReport,
     PerformanceStudy,
 )
+from repro.core.client.fourproto import (
+    FourProtoReport,
+    FourProtoStudy,
+    fourproto_targets,
+    query_with_fallback,
+)
 from repro.core.client.atlas import AtlasStudy, AtlasResult
 
 __all__ = [
@@ -26,6 +32,10 @@ __all__ = [
     "PerformanceStudy",
     "PerformanceReport",
     "NoReuseResult",
+    "FourProtoStudy",
+    "FourProtoReport",
+    "fourproto_targets",
+    "query_with_fallback",
     "AtlasStudy",
     "AtlasResult",
 ]

@@ -64,12 +64,19 @@ def platform_points(scenario: Scenario, platform: str,
 
 @dataclass(frozen=True)
 class TargetSpec:
-    """One resolver under test (primary addresses only, as in Fig. 7)."""
+    """One resolver under test (primary addresses only, as in Fig. 7).
+
+    The optional DoQ/DNSCrypt addresses extend the original three-column
+    spec for the four-protocol pipeline; the defaults keep the classic
+    reachability study byte-identical.
+    """
 
     name: str
     do53_ip: str
     dot_ip: Optional[str]
     doh_template: Optional[str]
+    doq_ip: Optional[str] = None
+    dnscrypt_ip: Optional[str] = None
 
 
 def default_targets(scenario: Scenario) -> List[TargetSpec]:

@@ -2,7 +2,13 @@
 
 from repro.core.scan.zmap import ZmapScanner, SweepResult
 from repro.core.scan.dot_scan import DotDiscovery, DotScanRecord
-from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord, ZoneFileDohDiscovery
+from repro.core.scan.doh_scan import DohDiscovery, DohScanRecord, EdohStats, ZoneFileDohDiscovery
+from repro.core.scan.doq_scan import DoqScanner, DoqScanRecord, DoqSweepStats
+from repro.core.scan.dnscrypt_scan import (
+    DnscryptScanner,
+    DnscryptScanRecord,
+    DnscryptSweepStats,
+)
 from repro.core.scan.providers import ProviderGroup, group_into_providers
 from repro.core.scan.campaign import CampaignResult, RoundResult, ScanCampaign
 from repro.core.scan.churn import cohort_survival, provider_deltas, round_churn
@@ -14,6 +20,13 @@ __all__ = [
     "DotScanRecord",
     "DohDiscovery",
     "DohScanRecord",
+    "EdohStats",
+    "DoqScanner",
+    "DoqScanRecord",
+    "DoqSweepStats",
+    "DnscryptScanner",
+    "DnscryptScanRecord",
+    "DnscryptSweepStats",
     "ZoneFileDohDiscovery",
     "ProviderGroup",
     "group_into_providers",

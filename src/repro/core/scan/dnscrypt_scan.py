@@ -1,0 +1,145 @@
+"""DNSCrypt service discovery: UDP 443 sweep plus TXT-bootstrap vetting.
+
+DNSCrypt servers publish their sealing key through a clear-text TXT
+query (``2.dnscrypt-cert.<provider>``) on the service port itself, so a
+scanner needs no prior provider knowledge: sweep UDP 443, fetch the
+certificate, then confirm real service with a sealed probe query under
+the freshly-fetched key. Servers that answer the sweep but not the
+bootstrap (e.g. plain-DNS-on-443 middleboxes) are recorded as
+non-DNSCrypt, mirroring how the DoT pipeline separates open-853 from
+actually-speaking-DoT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
+from repro.dnswire.builder import make_query
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import RRType
+from repro.doe.dnscrypt import DNSCRYPT_PORT, DnsCryptClient
+from repro.doe.result import QueryOutcome, QueryResult
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundHistogram,
+    get_tracer,
+)
+
+_PROBE_LATENCY_MS = BoundHistogram("dnscrypt.probe.latency_ms")
+_BOOTSTRAP_OK = BoundCounter("dnscrypt.bootstrap.ok")
+_BOOTSTRAP_FAIL = BoundCounterFamily("dnscrypt.bootstrap.fail", "kind")
+_VALIDATION_OUTCOME = BoundCounterFamily("dnscrypt.validation.outcome",
+                                         "outcome")
+
+
+@dataclass
+class DnscryptScanRecord:
+    """Everything learned about one UDP-443-open address."""
+
+    address: str
+    round_index: int
+    is_dnscrypt: bool
+    provider_name: str = ""
+    answer_correct: bool = False
+    answers: Tuple[str, ...] = ()
+    #: Bootstrap TXT fetch plus sealed probe, end to end.
+    latency_ms: float = 0.0
+    error: str = ""
+    country: str = ""
+
+
+@dataclass(frozen=True)
+class DnscryptSweepStats:
+    """Headline numbers of one DNSCrypt discovery round."""
+
+    swept: int
+    dnscrypt_resolvers: int
+
+
+class DnscryptScanner:
+    """Sweeps UDP 443 and vets every open address via TXT bootstrap."""
+
+    def __init__(self, network: Network, rng: SeededRng,
+                 probe_origin: DnsName,
+                 expected_answers: Tuple[str, ...],
+                 retry_policy: Optional[RetryPolicy] = None):
+        self.network = network
+        self.rng = rng
+        self.probe_origin = probe_origin
+        self.expected_answers = expected_answers
+        self.retry_policy = retry_policy or RetryPolicy(op="dnscrypt.probe")
+        self.source = ClientEnvironment.in_country(
+            "dnscrypt-scan-src", "198.199.70.17", "US", rng.fork("src"))
+
+    def sweep_addresses(self, round_index: int = 0,
+                        start: int = 0,
+                        stop: Optional[int] = None) -> Iterator[str]:
+        """Stream UDP-443-open addresses — no hosts materialised."""
+        injector = self.network.fault_injector
+        for address in self.network.open_udp_addresses(DNSCRYPT_PORT,
+                                                       start, stop):
+            if injector is not None and injector.probe_lost(
+                    address, DNSCRYPT_PORT, protocol="udp"):
+                continue
+            yield address
+
+    def probe_one(self, address: str,
+                  round_index: int = 0) -> DnscryptScanRecord:
+        """TXT bootstrap, then a sealed probe under the fetched key."""
+        probe_rng = self.rng.fork(f"probe-{round_index}-{address}")
+        client = DnsCryptClient(self.network, probe_rng)
+        host = self.network.host_at(address)
+        country = host.country_code if host is not None else ""
+        fetched = client.fetch_certificate(self.source, address,
+                                           timeout_s=10.0)
+        if isinstance(fetched, QueryResult):
+            _BOOTSTRAP_FAIL.get(fetched.failure.value
+                                if fetched.failure else "unknown").inc()
+            _PROBE_LATENCY_MS.observe(fetched.latency_ms)
+            return DnscryptScanRecord(
+                address=address, round_index=round_index,
+                is_dnscrypt=False, error=fetched.error,
+                latency_ms=fetched.latency_ms, country=country)
+        key, bootstrap_ms = fetched
+        _BOOTSTRAP_OK.inc()
+        token = probe_rng.token(10)
+        query = make_query(self.probe_origin.child(token), RRType.A,
+                           msg_id=probe_rng.randint(1, 0xFFFF))
+        result = self.retry_policy.run_query(
+            lambda: client.query(self.source, address, key, query,
+                                 timeout_s=10.0),
+            rng=probe_rng.fork("retry"), op="dnscrypt.probe",
+            retry_on=TRANSIENT_KINDS)
+        total_ms = bootstrap_ms + result.latency_ms
+        _PROBE_LATENCY_MS.observe(total_ms)
+        if not result.ok:
+            return DnscryptScanRecord(
+                address=address, round_index=round_index,
+                is_dnscrypt=False, provider_name=key.provider_name,
+                error=result.error, latency_ms=total_ms, country=country)
+        outcome = result.classify(self.expected_answers)
+        _VALIDATION_OUTCOME.get(outcome.value).inc()
+        return DnscryptScanRecord(
+            address=address, round_index=round_index, is_dnscrypt=True,
+            provider_name=key.provider_name,
+            answer_correct=(outcome is QueryOutcome.CORRECT),
+            answers=result.addresses(),
+            latency_ms=total_ms, country=country)
+
+    def discover(self, round_index: int = 0
+                 ) -> Tuple[List[DnscryptScanRecord], DnscryptSweepStats]:
+        """Full sweep + vet pipeline for one round."""
+        with get_tracer().span("dnscrypt.discovery",
+                               clock=self.network.clock.now,
+                               round=round_index):
+            records = [self.probe_one(address, round_index)
+                       for address in self.sweep_addresses(round_index)]
+        return records, DnscryptSweepStats(
+            swept=len(records),
+            dnscrypt_resolvers=sum(1 for record in records
+                                   if record.is_dnscrypt))

@@ -33,6 +33,24 @@ _PROBE_LATENCY_MS = BoundHistogram("doh.probe.latency_ms")
 _HANDSHAKE_OK = BoundCounter("doh.handshake.ok")
 _HANDSHAKE_FAIL = BoundCounterFamily("doh.handshake.fail", "kind")
 _VALIDATION_OUTCOME = BoundCounterFamily("doh.validation.outcome", "outcome")
+_DISCOVERY_PROBES = BoundCounterFamily("doh.discovery.probes", "mode")
+
+
+@dataclass(frozen=True)
+class EdohStats:
+    """Probe-efficiency accounting of one discovery run."""
+
+    candidates: int
+    probed: int
+    skipped_unresolvable: int
+    skipped_early_abort: int
+    confirmed: int
+
+    @property
+    def probes_per_confirmed(self) -> float:
+        if self.confirmed == 0:
+            return float(self.probed)
+        return self.probed / self.confirmed
 
 
 @dataclass
@@ -125,10 +143,81 @@ class DohDiscovery:
     def discover(self, dataset: UrlDataset) -> List[DohScanRecord]:
         """Full discovery: filter, dedupe, probe everything."""
         candidates = self.candidate_urls(dataset)
+        _DISCOVERY_PROBES.get("naive").inc(len(candidates))
         with get_tracer().span("doh.discovery",
                                clock=self.network.clock.now,
                                candidates=len(candidates)):
             return self.probe_many(candidates)
+
+    def discover_efficient(
+            self, dataset: UrlDataset
+    ) -> Tuple[List[DohScanRecord], EdohStats]:
+        """E-DoH-style probe-efficient discovery.
+
+        Two savings over :meth:`discover`, both applied before any
+        probe leaves the scanner:
+
+        * **bootstrap precheck** — a candidate hostname that does not
+          resolve in clear-text DNS can never answer a DoH probe, so
+          its URLs are skipped entirely (the URL corpus is dominated by
+          lookalike paths on such hosts);
+        * **URI-template inference with early-abort ordering** — a
+          host's candidate paths are probed in well-known-template
+          order (``/dns-query`` first), and the remaining paths are
+          abandoned as soon as one confirms, since a resolver serves
+          one template.
+
+        Returns the records of *probed* candidates plus an
+        :class:`EdohStats` with the probes-per-confirmed-endpoint
+        accounting. Confirmed hostname sets are identical to the naive
+        scan's by construction — skipping only ever drops candidates
+        that cannot confirm. Run it on its own :class:`DohDiscovery`
+        instance: probing fewer URLs advances the shared rng stream
+        differently than a naive scan would.
+        """
+        from repro.httpsim.uri import WELL_KNOWN_DOH_PATHS
+        candidates = self.candidate_urls(dataset)
+        by_host: dict = {}
+        for url in candidates:
+            by_host.setdefault(parse_url(url).hostname, []).append(url)
+
+        def path_rank(url: str) -> Tuple[int, int]:
+            parsed = parse_url(url)
+            path = parsed.path.rstrip("/") or "/"
+            try:
+                return (WELL_KNOWN_DOH_PATHS.index(path), 0)
+            except ValueError:
+                return (len(WELL_KNOWN_DOH_PATHS),
+                        by_host[parsed.hostname].index(url))
+
+        records: List[DohScanRecord] = []
+        probed = 0
+        skipped_unresolvable = 0
+        skipped_early_abort = 0
+        confirmed = 0
+        with get_tracer().span("doh.discovery.efficient",
+                               clock=self.network.clock.now,
+                               candidates=len(candidates)):
+            for hostname, urls in by_host.items():
+                if not self.bootstrap(hostname):
+                    skipped_unresolvable += len(urls)
+                    continue
+                remaining = sorted(urls, key=path_rank)
+                for position, url in enumerate(remaining):
+                    probed += 1
+                    _DISCOVERY_PROBES.get("edoh").inc()
+                    record = self.probe_url(url)
+                    records.append(record)
+                    if record.is_doh:
+                        confirmed += 1
+                        skipped_early_abort += (len(remaining)
+                                                - position - 1)
+                        break
+        stats = EdohStats(candidates=len(candidates), probed=probed,
+                          skipped_unresolvable=skipped_unresolvable,
+                          skipped_early_abort=skipped_early_abort,
+                          confirmed=confirmed)
+        return records, stats
 
     @staticmethod
     def working(records: List[DohScanRecord]) -> List[DohScanRecord]:

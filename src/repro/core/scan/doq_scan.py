@@ -1,0 +1,141 @@
+"""DoQ service discovery: UDP 784 sweep plus QUIC-HELLO verification.
+
+DoQ gets a dedicated port (draft port 784), so — unlike DoH — it *can*
+be found by sweeping: the scanner streams UDP-784-open addresses from
+the procedural world, verifies each with a real QUIC handshake
+(certificate validation included), and confirms DNS service with a
+uniquely-prefixed probe query against the platform's own zone, the same
+vetting the DoT pipeline applies on 853.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.retry import TRANSIENT_KINDS, RetryPolicy
+from repro.dnswire.builder import make_query
+from repro.dnswire.names import DnsName
+from repro.dnswire.rdtypes import RRType
+from repro.doe.doq import DOQ_PORT, DoqClient
+from repro.doe.result import QueryOutcome
+from repro.netsim.network import ClientEnvironment, Network
+from repro.netsim.rand import SeededRng
+from repro.telemetry import (
+    BoundCounter,
+    BoundCounterFamily,
+    BoundHistogram,
+    get_tracer,
+)
+from repro.tlssim.certs import CaStore, ValidationReport
+
+_PROBE_LATENCY_MS = BoundHistogram("doq.probe.latency_ms")
+_HANDSHAKE_OK = BoundCounter("doq.scan.handshake.ok")
+_HANDSHAKE_FAIL = BoundCounterFamily("doq.scan.handshake.fail", "kind")
+_VALIDATION_OUTCOME = BoundCounterFamily("doq.validation.outcome",
+                                         "outcome")
+
+
+@dataclass
+class DoqScanRecord:
+    """Everything learned about one UDP-784-open address."""
+
+    address: str
+    round_index: int
+    is_doq: bool
+    answer_correct: bool = False
+    answers: Tuple[str, ...] = ()
+    latency_ms: float = 0.0
+    error: str = ""
+    chain: tuple = ()
+    cert_report: Optional[ValidationReport] = None
+    country: str = ""
+
+    @property
+    def has_invalid_cert(self) -> bool:
+        return self.cert_report is not None and not self.cert_report.valid
+
+
+@dataclass(frozen=True)
+class DoqSweepStats:
+    """Headline numbers of one DoQ discovery round."""
+
+    swept: int
+    doq_resolvers: int
+
+
+class DoqScanner:
+    """Sweeps UDP 784 and verifies every open address end-to-end."""
+
+    def __init__(self, network: Network, rng: SeededRng, ca_store: CaStore,
+                 probe_origin: DnsName,
+                 expected_answers: Tuple[str, ...],
+                 retry_policy: Optional[RetryPolicy] = None):
+        self.network = network
+        self.rng = rng
+        self.ca_store = ca_store
+        self.probe_origin = probe_origin
+        self.expected_answers = expected_answers
+        self.retry_policy = retry_policy or RetryPolicy(op="doq.probe")
+        self.source = ClientEnvironment.in_country(
+            "doq-scan-src", "198.199.70.16", "US", rng.fork("src"))
+
+    def sweep_addresses(self, round_index: int = 0,
+                        start: int = 0,
+                        stop: Optional[int] = None) -> Iterator[str]:
+        """Stream UDP-784-open addresses — no hosts materialised."""
+        injector = self.network.fault_injector
+        for address in self.network.open_udp_addresses(DOQ_PORT, start,
+                                                       stop):
+            if injector is not None and injector.probe_lost(
+                    address, DOQ_PORT, protocol="udp"):
+                continue
+            yield address
+
+    def probe_one(self, address: str,
+                  round_index: int = 0) -> DoqScanRecord:
+        """One QUIC handshake + probe query against a swept address."""
+        probe_rng = self.rng.fork(f"probe-{round_index}-{address}")
+        client = DoqClient(self.network, probe_rng, self.ca_store)
+        token = probe_rng.token(10)
+        query = make_query(self.probe_origin.child(token), RRType.A,
+                           msg_id=probe_rng.randint(1, 0xFFFF))
+        result = self.retry_policy.run_query(
+            lambda: client.query(self.source, address, query,
+                                 reuse=False, timeout_s=10.0),
+            rng=probe_rng.fork("retry"), op="doq.probe",
+            retry_on=TRANSIENT_KINDS)
+        host = self.network.host_at(address)
+        country = host.country_code if host is not None else ""
+        _PROBE_LATENCY_MS.observe(result.latency_ms)
+        if not result.ok:
+            _HANDSHAKE_FAIL.get(result.failure.value
+                                if result.failure else "unknown").inc()
+            return DoqScanRecord(
+                address=address, round_index=round_index, is_doq=False,
+                error=result.error, latency_ms=result.latency_ms,
+                chain=result.presented_chain,
+                cert_report=result.cert_report, country=country)
+        outcome = result.classify(self.expected_answers)
+        _HANDSHAKE_OK.inc()
+        _VALIDATION_OUTCOME.get(outcome.value).inc()
+        return DoqScanRecord(
+            address=address, round_index=round_index, is_doq=True,
+            answer_correct=(outcome is QueryOutcome.CORRECT),
+            answers=result.addresses(),
+            latency_ms=result.latency_ms,
+            chain=result.presented_chain,
+            cert_report=result.cert_report,
+            country=country)
+
+    def discover(self, round_index: int = 0
+                 ) -> Tuple[List[DoqScanRecord], DoqSweepStats]:
+        """Full sweep + verify pipeline for one round."""
+        with get_tracer().span("doq.discovery",
+                               clock=self.network.clock.now,
+                               round=round_index):
+            records = [self.probe_one(address, round_index)
+                       for address in self.sweep_addresses(round_index)]
+        return records, DoqSweepStats(
+            swept=len(records),
+            doq_resolvers=sum(1 for record in records if record.is_doq))

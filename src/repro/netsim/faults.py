@@ -283,9 +283,15 @@ class FaultInjector:
         fault.error.elapsed_ms = elapsed  # type: ignore[attr-defined]
         raise fault.error
 
-    def probe_lost(self, host: str, port: int) -> bool:
-        """Whether a ZMap SYN probe to ``host:port`` goes unanswered."""
-        fault = self.decide("probe", host, port, "tcp")
+    def probe_lost(self, host: str, port: int,
+                   protocol: str = "tcp") -> bool:
+        """Whether a sweep probe to ``host:port`` goes unanswered.
+
+        TCP SYN probes by default; the UDP discovery sweeps (DoQ 784,
+        DNSCrypt 443) consult with ``protocol="udp"`` so ``proto=udp``
+        rules reach them without touching the TCP sweeps.
+        """
+        fault = self.decide("probe", host, port, protocol)
         return fault is not None and fault.error is not None
 
     def hits(self, rule_index: int) -> int:
@@ -312,3 +318,28 @@ class FaultInjector:
     @staticmethod
     def _record(rule: FaultRule, op: str, protocol: str) -> None:
         _FAULTS_INJECTED.get(rule.kind.value, op, protocol).inc()
+
+
+#: Per-protocol censored-network presets (Section 4's blocked-network
+#: conditions, extended to the four-protocol pipeline). Each spec kills
+#: exactly one encrypted transport: the DoQ preset blackholes UDP 784
+#: (clients fall back per their plan, typically to DoT), the DNSCrypt
+#: preset blackholes UDP 443 *without* touching DoH's TCP 443 — the
+#: ``proto=`` matcher is what keeps the two port-443 protocols
+#: independently censorable.
+CENSORSHIP_PRESETS: Dict[str, str] = {
+    "doq-blocked": "timeout host=* port=784 proto=udp p=1",
+    "dot-blocked": "timeout host=* port=853 proto=tcp p=1",
+    "doh-blocked": "timeout host=* port=443 proto=tcp p=1",
+    "dnscrypt-blocked": "timeout host=* port=443 proto=udp p=1",
+}
+
+
+def censorship_plan(preset: str) -> FaultPlan:
+    """The parsed :class:`FaultPlan` for one censorship preset."""
+    spec = CENSORSHIP_PRESETS.get(preset)
+    if spec is None:
+        raise ScenarioError(
+            f"unknown censorship preset {preset!r} "
+            f"(expected one of {sorted(CENSORSHIP_PRESETS)})")
+    return FaultPlan.parse(spec)

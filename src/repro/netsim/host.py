@@ -59,7 +59,11 @@ class Service:
     :class:`repro.httpsim.messages.HttpRequest` for HTTP services) and
     returns the response payload, or raises a transport/application error.
     ``extra_latency_ms`` lets a service add per-request server-side cost
-    (e.g. encryption overhead for DoE frontends).
+    (e.g. encryption overhead for DoE frontends). The transport layer
+    passes the same :class:`ServiceContext` it handed to ``handle``, so
+    a service that stashes per-request cost can key it per connection
+    instead of in shared mutable state; ``ctx`` stays optional for
+    legacy callers that invoke the hook directly.
     """
 
     #: Set by subclasses that require TLS on their port.
@@ -68,7 +72,8 @@ class Service:
     def handle(self, payload: Any, ctx: ServiceContext) -> Any:
         raise NotImplementedError
 
-    def extra_latency_ms(self, rng) -> float:
+    def extra_latency_ms(self, rng,
+                         ctx: Optional[ServiceContext] = None) -> float:
         return 0.0
 
 
@@ -85,7 +90,8 @@ class CallableService(Service):
     def handle(self, payload: Any, ctx: ServiceContext) -> Any:
         return self._handler(payload, ctx)
 
-    def extra_latency_ms(self, rng) -> float:
+    def extra_latency_ms(self, rng,
+                         ctx: Optional[ServiceContext] = None) -> float:
         if self._latency_fn is None:
             return 0.0
         return self._latency_fn(rng)

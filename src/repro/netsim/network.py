@@ -292,6 +292,49 @@ class Network:
                 if ports is not None and port in ports:
                     yield address
 
+    def udp_port_open(self, address: str, port: int) -> bool:
+        """Whether UDP ``port`` answers at ``address`` — no host built."""
+        host = self._hosts.get(address)
+        if host is None:
+            host = self._host_cache.get(address)
+        if host is not None:
+            return ("udp", port) in host.services
+        if self._world is None or address in self._removed:
+            return False
+        ports = self._world.udp_ports(address)
+        return ports is not None and port in ports
+
+    def open_udp_addresses(self, port: int, start: int = 0,
+                           stop: Optional[int] = None) -> Iterator[str]:
+        """Stream UDP-port-open addresses within combined positions
+        [start, stop) — the datagram twin of :meth:`open_tcp_addresses`,
+        walked by the DoQ (784) and DNSCrypt (443) discovery sweeps.
+        """
+        total = self.address_count()
+        stop = total if stop is None else min(stop, total)
+        if start >= stop:
+            return
+        registry_len = len(self._hosts)
+        if start < registry_len:
+            for host in islice(self._hosts.values(), start,
+                               min(stop, registry_len)):
+                if ("udp", port) in host.services:
+                    yield host.address
+        if self._world is None or stop <= registry_len:
+            return
+        low = max(start, registry_len) - registry_len
+        high = stop - registry_len
+        if self._world_shadow_count() == 0:
+            yield from self._world.open_udp_window(port, low, high)
+        else:
+            unshadowed = (address for address in self._world.addresses()
+                          if address not in self._hosts
+                          and address not in self._removed)
+            for address in islice(unshadowed, low, high):
+                ports = self._world.udp_ports(address)
+                if ports is not None and port in ports:
+                    yield address
+
     def add_country_policy(self, country_code: str,
                            device: Middlebox) -> None:
         self._country_policies[country_code].append(device)

@@ -47,15 +47,22 @@ from repro.netsim.rand import keyed_offset
 
 
 class ExplicitSegment:
-    """A finite, ordered address set with per-address port bindings."""
+    """A finite, ordered address set with per-address port bindings.
 
-    __slots__ = ("name", "_addresses", "_tcp_ports")
+    ``udp_ports`` mirrors ``tcp_ports`` for datagram services (DoQ's
+    dedicated port 784, DNSCrypt's UDP 443); addresses absent from the
+    mapping expose no UDP ports.
+    """
+
+    __slots__ = ("name", "_addresses", "_tcp_ports", "_udp_ports")
 
     def __init__(self, name: str, addresses: Sequence[str],
-                 tcp_ports: Dict[str, Tuple[int, ...]]):
+                 tcp_ports: Dict[str, Tuple[int, ...]],
+                 udp_ports: Optional[Dict[str, Tuple[int, ...]]] = None):
         self.name = name
         self._addresses: Tuple[str, ...] = tuple(addresses)
         self._tcp_ports = dict(tcp_ports)
+        self._udp_ports = dict(udp_ports or {})
 
     def __len__(self) -> int:
         return len(self._addresses)
@@ -69,11 +76,23 @@ class ExplicitSegment:
     def tcp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
         return self._tcp_ports.get(address)
 
+    def udp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        if address not in self._tcp_ports:
+            return None
+        return self._udp_ports.get(address, ())
+
     def open_window(self, port: int, start: int,
                     stop: int) -> Iterator[str]:
         """Addresses in positions [start, stop) with ``port`` open."""
         for address in self._addresses[start:stop]:
             if port in self._tcp_ports[address]:
+                yield address
+
+    def open_udp_window(self, port: int, start: int,
+                        stop: int) -> Iterator[str]:
+        """Addresses in positions [start, stop) with UDP ``port`` open."""
+        for address in self._addresses[start:stop]:
+            if port in self._udp_ports.get(address, ()):
                 yield address
 
 
@@ -131,6 +150,10 @@ class RangeSegment:
             return None
         return (self.port,) if self.is_open(index) else ()
 
+    def udp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        # Scaled background hosts answer on a single TCP port only.
+        return None if self.index_of(address) is None else ()
+
     def open_items(self) -> Iterator[Tuple[int, str]]:
         """(index, address) of every open host, in index order."""
         yield from self.open_items_in(0, self.count)
@@ -156,6 +179,10 @@ class RangeSegment:
             return
         for _, address in self.open_items_in(start, stop):
             yield address
+
+    def open_udp_window(self, port: int, start: int,
+                        stop: int) -> Iterator[str]:
+        return iter(())
 
 
 class ProceduralWorld:
@@ -190,6 +217,13 @@ class ProceduralWorld:
                 return ports
         return None
 
+    def udp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        for segment in self._segments:
+            ports = segment.udp_ports(address)
+            if ports is not None:
+                return ports
+        return None
+
     def contains(self, address: str) -> bool:
         return self.tcp_ports(address) is not None
 
@@ -208,6 +242,20 @@ class ProceduralWorld:
             high = min(stop - base, length)
             if high > low:
                 yield from segment.open_window(port, low, high)
+            base += length
+            if base >= stop:
+                break
+
+    def open_udp_window(self, port: int, start: int,
+                        stop: int) -> Iterator[str]:
+        """UDP-open addresses within combined positions [start, stop)."""
+        base = 0
+        for segment in self._segments:
+            length = len(segment)
+            low = max(start - base, 0)
+            high = min(stop - base, length)
+            if high > low:
+                yield from segment.open_udp_window(port, low, high)
             base += length
             if base >= stop:
                 break
@@ -240,6 +288,11 @@ class RestrictedWorld:
             return None
         return self._world.tcp_ports(address)
 
+    def udp_ports(self, address: str) -> Optional[Tuple[int, ...]]:
+        if address not in self._allowed:
+            return None
+        return self._world.udp_ports(address)
+
     def contains(self, address: str) -> bool:
         return self.tcp_ports(address) is not None
 
@@ -252,5 +305,12 @@ class RestrictedWorld:
                     stop: int) -> Iterator[str]:
         for address in islice(self.addresses(), start, stop):
             ports = self.tcp_ports(address)
+            if ports is not None and port in ports:
+                yield address
+
+    def open_udp_window(self, port: int, start: int,
+                        stop: int) -> Iterator[str]:
+        for address in islice(self.addresses(), start, stop):
+            ports = self.udp_ports(address)
             if ports is not None and port in ports:
                 yield address

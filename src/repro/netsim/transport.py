@@ -175,8 +175,8 @@ class TcpConnection:
         )
         response = self.service.handle(payload, ctx)
         cost = (self.network.latency.sample_rtt_ms(self.profile, self.rng)
-                + self.service.extra_latency_ms(self.rng) + extra_server_ms
-                + injected_ms)
+                + self.service.extra_latency_ms(self.rng, ctx)
+                + extra_server_ms + injected_ms)
         self._spend(cost)
         self.requests_sent += 1
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 256
@@ -358,7 +358,7 @@ class UdpExchange:
             client_country=env.country_code,
         )
         response = service.handle(payload, ctx)
-        elapsed += service.extra_latency_ms(rng) + injected_ms
+        elapsed += service.extra_latency_ms(rng, ctx) + injected_ms
         size = len(payload) if isinstance(payload, (bytes, bytearray)) else 128
         _REQUESTS.get("udp").inc()
         _BYTES_SENT.get("udp").inc(size)

@@ -73,7 +73,8 @@ class _BackendService(Service):
                 KeepaliveOption.make(self.keepalive_timeout_s)))
         return response
 
-    def extra_latency_ms(self, rng: SeededRng) -> float:
+    def extra_latency_ms(self, rng: SeededRng,
+                         ctx: Optional[ServiceContext] = None) -> float:
         extra = self._pending_extra_ms
         self._pending_extra_ms = 0.0
         if self.base_overhead_ms > 0.0:

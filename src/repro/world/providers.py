@@ -102,6 +102,10 @@ class ProviderSpec:
     fixed_answer: Optional[str] = None
     flaky_doh_probability: float = 0.0
     anycast: bool = False
+    #: Also answers DoQ on UDP 784 (advertised resolver addresses only).
+    doq: bool = False
+    #: Also answers DNSCrypt on UDP 443 (advertised addresses only).
+    dnscrypt: bool = False
 
     def addresses_in_round(self, round_index: int) -> List[ResolverAddressSpec]:
         return [spec for spec in self.addresses
@@ -197,7 +201,7 @@ def _large_providers(allocator: _AddressAllocator,
 
     cloudflare = ProviderSpec(
         name="Cloudflare", cert_cn="cloudflare-dns.com", kind="large",
-        in_public_list=True, anycast=True,
+        in_public_list=True, anycast=True, doq=True,
         doh_template="https://mozilla.cloudflare-dns.com/dns-query{?dns}",
         doh_hosts={"mozilla.cloudflare-dns.com": "104.16.249.249",
                    "cloudflare-dns.com": "104.16.248.249"},
@@ -211,7 +215,7 @@ def _large_providers(allocator: _AddressAllocator,
 
     quad9 = ProviderSpec(
         name="Quad9", cert_cn="quad9.net", kind="large",
-        in_public_list=True, anycast=True,
+        in_public_list=True, anycast=True, doq=True, dnscrypt=True,
         doh_template="https://dns.quad9.net/dns-query{?dns}",
         doh_hosts={"dns.quad9.net": "9.9.9.10"},
         flaky_doh_probability=0.19,
@@ -225,7 +229,7 @@ def _large_providers(allocator: _AddressAllocator,
 
     cleanbrowsing = ProviderSpec(
         name="CleanBrowsing", cert_cn="cleanbrowsing.org", kind="large",
-        in_public_list=True,
+        in_public_list=True, dnscrypt=True,
         doh_template="https://doh.cleanbrowsing.org/doh/family-filter"
                      "{?dns}",
         doh_hosts={"doh.cleanbrowsing.org": "185.228.168.10"},

@@ -105,6 +105,19 @@ def background_sample_address(index: int) -> str:
             f"{index % 250 + 1}")
 
 
+def dnscrypt_provider_key(provider_cn: str):
+    """The DNSCrypt key a provider publishes, derived purely from its CN.
+
+    A pure string derivation (no rng, no issuance counter) keeps DoQ- and
+    DNSCrypt-flagged worlds byte-identical to unflagged ones everywhere
+    else, and makes eager/lazy/partial builds agree on the key without
+    any shared state.
+    """
+    from repro.doe.dnscrypt import ProviderKey
+    return ProviderKey(f"2.dnscrypt-cert.{provider_cn}",
+                       f"pk-{provider_cn}")
+
+
 @dataclass
 class ScenarioConfig:
     """Scenario knobs; defaults reproduce the paper's scale."""
@@ -189,22 +202,25 @@ class RoundLayout:
 
     ``addresses`` preserves the exact insertion order of the historical
     eager build; ``builders`` maps each address to the ``(kind,
-    payload)`` its deriver needs; ``tcp_ports`` records the open-port
-    tuple so sweeps can answer port questions without building hosts.
-    ``scaled`` is the procedural dark-space segment appended after the
-    named world when ``world_scale`` > 1.
+    payload)`` its deriver needs; ``tcp_ports``/``udp_ports`` record the
+    open-port tuples so sweeps can answer port questions without
+    building hosts. ``scaled`` is the procedural dark-space segment
+    appended after the named world when ``world_scale`` > 1.
     """
 
-    __slots__ = ("addresses", "builders", "tcp_ports", "scaled")
+    __slots__ = ("addresses", "builders", "tcp_ports", "udp_ports",
+                 "scaled")
 
     def __init__(self) -> None:
         self.addresses: List[str] = []
         self.builders: Dict[str, Tuple[str, object]] = {}
         self.tcp_ports: Dict[str, Tuple[int, ...]] = {}
+        self.udp_ports: Dict[str, Tuple[int, ...]] = {}
         self.scaled: Optional[RangeSegment] = None
 
     def add(self, address: str, kind: str, payload,
-            ports: Tuple[int, ...]) -> bool:
+            ports: Tuple[int, ...],
+            udp_ports: Tuple[int, ...] = ()) -> bool:
         """Claim an address; returns False when already claimed
         (mirroring the eager build's first-wins ``host_at`` dedupe)."""
         if address in self.builders:
@@ -212,6 +228,7 @@ class RoundLayout:
         self.addresses.append(address)
         self.builders[address] = (kind, payload)
         self.tcp_ports[address] = ports
+        self.udp_ports[address] = udp_ports
         return True
 
 
@@ -326,6 +343,23 @@ class Scenario:
                 addresses.update(provider.doh_hosts.values())
         return frozenset(addresses)
 
+    def doq_addresses(self, round_index: Optional[int] = None) -> frozenset:
+        """Ground-truth DoQ (UDP 784) addresses at one round."""
+        return self._udp_service_addresses(784, round_index)
+
+    def dnscrypt_addresses(self,
+                           round_index: Optional[int] = None) -> frozenset:
+        """Ground-truth DNSCrypt (UDP 443) addresses at one round."""
+        return self._udp_service_addresses(443, round_index)
+
+    def _udp_service_addresses(self, port: int,
+                               round_index: Optional[int]) -> frozenset:
+        if round_index is None:
+            round_index = self.final_round()
+        layout = self.round_layout(round_index)
+        return frozenset(address for address, ports
+                         in layout.udp_ports.items() if port in ports)
+
     def client_network(self) -> Network:
         """The world the client-side studies run against (final round)."""
         return self.network_for_round(self.final_round())
@@ -361,8 +395,14 @@ class Scenario:
         layout = RoundLayout()
         for provider in self.providers:
             for spec in provider.addresses_in_round(round_index):
+                udp = [53]
+                if provider.doq and spec.advertised:
+                    udp.append(784)
+                if provider.dnscrypt and spec.advertised:
+                    udp.append(443)
                 if not layout.add(spec.address, "resolver",
-                                  (provider, spec), (53, 80, 853)):
+                                  (provider, spec), (53, 80, 853),
+                                  udp_ports=tuple(sorted(udp))):
                     raise ScenarioError(
                         f"duplicate host address {spec.address}")
                 tls = self._tls_config_for(provider, spec)
@@ -383,8 +423,10 @@ class Scenario:
                             san=(hostname,)))
                     self.universe.host_a(hostname, address)
         for address in GOOGLE_DO53_IPS:
-            layout.add(address, "google", None, (53, 80))
-        if layout.add(SELF_BUILT_IP, "self", None, (53, 443, 853)):
+            layout.add(address, "google", None, (53, 80),
+                       udp_ports=(53,))
+        if layout.add(SELF_BUILT_IP, "self", None, (53, 443, 853),
+                      udp_ports=(53, 443, 784)):
             self._memoised_chain(
                 "self-built",
                 lambda: make_chain(self.trusted_ca, SELF_BUILT_HOSTNAME,
@@ -407,7 +449,8 @@ class Scenario:
             is_capable = probe.local_resolver_ip in capable
             if not layout.add(probe.local_resolver_ip, "atlas",
                               (probe, is_capable),
-                              (53, 853) if is_capable else (53,)):
+                              (53, 853) if is_capable else (53,),
+                              udp_ports=(53,)):
                 continue
             if is_capable:
                 isp_name = (f"dns.isp-{probe.env.country_code.lower()}"
@@ -429,7 +472,8 @@ class Scenario:
     def _world_for_round(self, round_index: int,
                          layout: RoundLayout) -> ProceduralWorld:
         segments = [ExplicitSegment(f"named-{round_index}",
-                                    layout.addresses, layout.tcp_ports)]
+                                    layout.addresses, layout.tcp_ports,
+                                    udp_ports=layout.udp_ports)]
         if layout.scaled is not None:
             segments.append(layout.scaled)
         return ProceduralWorld(
@@ -572,6 +616,18 @@ class Scenario:
         host.bind("tcp", 853, DotService(backend, tls))
         host.bind("udp", 53, Do53UdpService(backend))
         host.bind("tcp", 53, Do53TcpService(backend))
+        # DoQ/DNSCrypt frontends are derived purely from the provider
+        # flags — no rng draws, so flagged and unflagged builds walk
+        # identical random streams.
+        if provider.doq and spec.advertised:
+            from repro.doe.doq import DOQ_PORT, DoqService
+            host.bind("udp", DOQ_PORT, DoqService(backend, tls))
+            host.tags.add("doq-resolver")
+        if provider.dnscrypt and spec.advertised:
+            from repro.doe.dnscrypt import DNSCRYPT_PORT, DnsCryptService
+            host.bind("udp", DNSCRYPT_PORT, DnsCryptService(
+                backend, dnscrypt_provider_key(provider.cert_cn)))
+            host.tags.add("dnscrypt-resolver")
         webpage = f"<title>{provider.name} DNS</title>"
         host.bind("tcp", 80, WebpageService(webpage))
         host.webpage = webpage
@@ -709,6 +765,13 @@ class Scenario:
         host.bind("tcp", 53, Do53TcpService(backend))
         host.bind("tcp", 853, DotService(backend, tls))
         host.bind("tcp", 443, DohService(backend, tls, path="/dns-query"))
+        from repro.doe.dnscrypt import DNSCRYPT_PORT, DnsCryptService
+        from repro.doe.doq import DOQ_PORT, DoqService
+        host.bind("udp", DOQ_PORT, DoqService(backend, tls))
+        host.bind("udp", DNSCRYPT_PORT, DnsCryptService(
+            backend, dnscrypt_provider_key(SELF_BUILT_HOSTNAME)))
+        host.tags.add("doq-resolver")
+        host.tags.add("dnscrypt-resolver")
         return host
 
     def _derive_background_host(self, address: str, code: str) -> Host:

@@ -410,3 +410,177 @@ class TestGoldenDeterminism:
         pooled = _campaign_snapshot(
             77, GOLDEN_PLAN, ParallelConfig(workers=4, shards=4))
         assert in_process == pooled
+
+
+# -- per-protocol censorship presets (ISSUE 9) --------------------------------
+
+
+class TestCensorshipPresets:
+    """Each DoE protocol gets a canned censored-network FaultPlan, and
+    the clients react per their protocol's design: DoQ falls back to
+    DoT, DNSCrypt strictly never falls back, and the ``proto=`` matcher
+    keeps the two port-443 protocols (DoH/tcp vs DNSCrypt/udp)
+    independently blockable."""
+
+    @staticmethod
+    def _scenario(preset: str):
+        from tests.conftest import tiny_config
+
+        from repro.netsim.faults import CENSORSHIP_PRESETS
+        from repro.world.scenario import build_scenario
+        config = dataclasses.replace(tiny_config(31),
+                                     fault_plan=CENSORSHIP_PRESETS[preset])
+        return build_scenario(config)
+
+    @staticmethod
+    def _env(index: int):
+        from repro.netsim.network import ClientEnvironment
+        return ClientEnvironment.in_country(
+            f"cens-{index}", f"203.0.113.{index}", "US",
+            SeededRng(900 + index).fork("env"))
+
+    def test_every_preset_parses_into_a_plan(self):
+        from repro.netsim.faults import CENSORSHIP_PRESETS, censorship_plan
+        for preset in CENSORSHIP_PRESETS:
+            assert not censorship_plan(preset).is_empty
+        with pytest.raises(ScenarioError):
+            censorship_plan("carrier-pigeon-blocked")
+
+    def test_doq_blocked_network_falls_back_to_dot(self):
+        from repro.core.client.fourproto import query_with_fallback
+        from repro.doe.doq import DoqClient
+        scenario = self._scenario("doq-blocked")
+        network = scenario.client_network()
+        env = self._env(1)
+        doq = DoqClient(network, SeededRng(31).fork("doq"),
+                        scenario.trust_store)
+        dot = DotClient(network, SeededRng(31).fork("dot"),
+                        scenario.trust_store,
+                        profile=PrivacyProfile.OPPORTUNISTIC)
+        query = make_query(scenario.probe_name("censdoq"), RRType.A,
+                           msg_id=77)
+        alone = DoqClient(network, SeededRng(32).fork("doq"),
+                          scenario.trust_store).query(
+            env, "9.9.9.9", query, reuse=False)
+        assert not alone.ok
+        assert alone.failure is FailureKind.TIMEOUT
+        result, fell_back = query_with_fallback(
+            doq, dot, env, "9.9.9.9", "9.9.9.9", query)
+        assert fell_back
+        assert result.ok, result.error
+        assert result.transport == "dot"
+
+    def test_dnscrypt_blocked_network_never_falls_back(self):
+        from repro.doe.dnscrypt import DnsCryptClient
+        from repro.world.scenario import (
+            SELF_BUILT_HOSTNAME,
+            SELF_BUILT_IP,
+            dnscrypt_provider_key,
+        )
+        scenario = self._scenario("dnscrypt-blocked")
+        network = scenario.client_network()
+        env = self._env(2)
+        client = DnsCryptClient(network, SeededRng(33).fork("dc"))
+        bootstrap = client.fetch_certificate(env, SELF_BUILT_IP)
+        assert not isinstance(bootstrap, tuple)
+        assert bootstrap.failure is FailureKind.TIMEOUT
+        # Even with the key pinned in advance the sealed exchange fails
+        # — and that is the end of it: no clear-text, no DoT, the
+        # result is simply a failed DNSCrypt lookup.
+        key = dnscrypt_provider_key(SELF_BUILT_HOSTNAME)
+        query = make_query(scenario.probe_name("censdc"), RRType.A,
+                           msg_id=78)
+        result = client.query(env, SELF_BUILT_IP, key, query)
+        assert not result.ok
+        assert result.transport == "dnscrypt"
+        assert result.failure is FailureKind.TIMEOUT
+
+    def test_port_443_blocks_distinguish_doh_from_dnscrypt(self):
+        """``doh-blocked`` kills tcp/443 but leaves udp/443 (DNSCrypt)
+        alive; ``dnscrypt-blocked`` does the reverse."""
+        from repro.doe.dnscrypt import DnsCryptClient
+        from repro.doe.doh import DohClient, DohMethod
+        from repro.httpsim.uri import UriTemplate
+        from repro.world.scenario import (
+            SELF_BUILT_HOSTNAME,
+            SELF_BUILT_IP,
+            dnscrypt_provider_key,
+        )
+        key = dnscrypt_provider_key(SELF_BUILT_HOSTNAME)
+        template = UriTemplate(
+            "https://dns.selfbuilt.example/dns-query{?dns}")
+
+        scenario = self._scenario("doh-blocked")
+        network = scenario.client_network()
+        env = self._env(3)
+        doh = DohClient(network, SeededRng(34).fork("doh"),
+                        scenario.trust_store,
+                        bootstrap=scenario.bootstrap,
+                        method=DohMethod.POST)
+        query = make_query(scenario.probe_name("cens443"), RRType.A,
+                           msg_id=79)
+        assert not doh.query(env, template, query, reuse=False).ok
+        sealed = DnsCryptClient(network, SeededRng(34).fork("dc")).query(
+            env, SELF_BUILT_IP, key, query)
+        assert sealed.ok, sealed.error
+
+        scenario = self._scenario("dnscrypt-blocked")
+        network = scenario.client_network()
+        env = self._env(4)
+        doh = DohClient(network, SeededRng(35).fork("doh"),
+                        scenario.trust_store,
+                        bootstrap=scenario.bootstrap,
+                        method=DohMethod.POST)
+        assert doh.query(env, template, query, reuse=False).ok
+        sealed = DnsCryptClient(network, SeededRng(35).fork("dc")).query(
+            env, SELF_BUILT_IP, key, query)
+        assert not sealed.ok
+
+    def test_dot_blocked_leaves_doq_alive(self):
+        from repro.doe.doq import DoqClient
+        from repro.doe.dot import DotClient as _DotClient
+        scenario = self._scenario("dot-blocked")
+        network = scenario.client_network()
+        env = self._env(5)
+        query = make_query(scenario.probe_name("cens853"), RRType.A,
+                           msg_id=80)
+        dot = _DotClient(network, SeededRng(36).fork("dot"),
+                         scenario.trust_store,
+                         profile=PrivacyProfile.OPPORTUNISTIC)
+        assert not dot.query(env, "9.9.9.9", query, reuse=False).ok
+        doq = DoqClient(network, SeededRng(36).fork("doq"),
+                        scenario.trust_store)
+        assert doq.query(env, "9.9.9.9", query, reuse=False).ok
+
+    def test_fourproto_under_censorship_is_byte_identical(self):
+        """The whole study under a censored-network preset is a pure
+        function of the seed — and every DoQ series records fallbacks
+        instead of successes."""
+        from tests.conftest import tiny_config
+
+        from repro.core.client.fourproto import FourProtoStudy
+        from repro.core.client.reachability import platform_points
+        from repro.netsim.faults import CENSORSHIP_PRESETS
+        from repro.world.scenario import build_scenario
+
+        def run_once():
+            telemetry.reset_registry()
+            try:
+                config = dataclasses.replace(
+                    tiny_config(31),
+                    fault_plan=CENSORSHIP_PRESETS["doq-blocked"])
+                scenario = build_scenario(config)
+                study = FourProtoStudy(scenario)
+                report = study.run(
+                    platform_points(scenario, "proxyrack", 0.08))
+                return (tuple(map(repr, report.timings)),
+                        report.fallbacks)
+            finally:
+                telemetry.reset_registry()
+
+        first = run_once()
+        assert first == run_once()
+        assert first[1] > 0
+        doq_rows = [row for row in first[0] if "protocol='doq'" in row]
+        assert doq_rows
+        assert all("ok_queries=0" in row for row in doq_rows)
