@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""The longitudinal benchmark — a 100-round campaign with flat memory,
+kill/resume byte-identity, and incremental==batch goldens.
+
+Drives the :class:`repro.campaign.CampaignEngine` through four gates:
+
+* **campaign** — the full N-round run (churn, certificate rotation and
+  an adoption curve all enabled) completes and records its chained
+  fragment digest;
+* **resume** — the checkpoint is truncated after round *k* (simulating
+  a kill between appends) and a fresh engine resumes it; the resumed
+  run's digest must equal the uninterrupted run's byte-for-byte;
+* **goldens** — the engine's fragment-folded artefacts (Table 2,
+  Figure 3, Figure 4) hash identically to the batch
+  :class:`~repro.core.scan.campaign.ScanCampaign` renderings at
+  workers 1 and 4;
+* **memory** — peak traced memory of a long run must stay within
+  ``flatness_budget`` x a short run's peak (ISSUE 10 acceptance:
+  50 rounds <= 1.25x of 5 rounds), proving per-round cache release
+  actually keeps the engine flat.
+
+Wall-clock figures are recorded but never asserted on — machine
+variance — exactly like the other benchmark gates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_longitudinal.py [--seed 2019]
+        [--quick] [--out benchmarks/BENCH_LONGITUDINAL.json]
+        [--validate PATH] [--min-rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+import tracemalloc
+
+#: The long run may use at most this multiple of the short run's peak.
+FLATNESS_BUDGET = 1.25
+
+#: Full preset (the committed document).
+FULL = {"campaign_rounds": 100, "kill_after_round": 49,
+        "short_rounds": 5, "long_rounds": 50, "golden_rounds": 6}
+#: Quick preset used by scripts/check.sh for the fresh-run gate.
+QUICK = {"campaign_rounds": 10, "kill_after_round": 3,
+         "short_rounds": 3, "long_rounds": 12, "golden_rounds": 4}
+
+SCHEMA_KEYS = ("schema", "seed", "flatness_budget", "campaign",
+               "resume", "goldens", "memory")
+
+
+def _config(seed: int, rounds: int):
+    """A tiny scenario with every longitudinal axis switched on."""
+    from repro.world.scenario import ScenarioConfig
+    return ScenarioConfig(
+        seed=seed,
+        scan_rounds=rounds,
+        vantage_scale=0.006,
+        background_sample_size=40,
+        url_dataset_noise=500,
+        intercepted_clients=4,
+        hijacked_routers=2,
+        churn_rate=0.05,
+        cert_rotation_rounds=max(2, rounds // 10),
+        adoption_curve="linear",
+    )
+
+
+def _artefact_sha(table2: str, figure3, figure4) -> str:
+    digest = hashlib.sha256()
+    digest.update(table2.encode("utf-8"))
+    digest.update(repr(figure3).encode("utf-8"))
+    digest.update(repr(figure4).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _engine(seed: int, rounds: int, workers=None, checkpoint=None):
+    from repro.campaign import CampaignEngine
+    from repro.core.parallel import ParallelConfig
+    from repro.world.scenario import build_scenario
+    parallel = (ParallelConfig(workers=workers)
+                if workers is not None else None)
+    return CampaignEngine(build_scenario(_config(seed, rounds)),
+                          parallel=parallel, checkpoint_path=checkpoint)
+
+
+def _measure_campaign(seed: int, rounds: int, kill_after: int,
+                      workdir: str) -> tuple:
+    """The full run (checkpointed) plus the kill/resume replay."""
+    checkpoint = os.path.join(workdir, "campaign.jsonl")
+    started = time.perf_counter()
+    straight = _engine(seed, rounds, checkpoint=checkpoint).run(
+        include_doh=False)
+    wall_s = time.perf_counter() - started
+    campaign = {
+        "rounds": rounds,
+        "digest": straight.digest,
+        "final_resolvers": straight.accumulator.resolver_counts[-1],
+        "wall_s": round(wall_s, 4),
+        "rounds_per_sec": round(rounds / wall_s, 2) if wall_s > 0 else 0.0,
+    }
+
+    # Simulate a kill between checkpoint appends: keep the header plus
+    # the first kill_after+1 round lines, then resume a fresh engine.
+    with open(checkpoint, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    with open(checkpoint, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:kill_after + 2])
+    started = time.perf_counter()
+    resumed = _engine(seed, rounds, checkpoint=checkpoint).run(
+        include_doh=False, resume=True)
+    resume = {
+        "kill_after_round": kill_after,
+        "restored_rounds": resumed.restored_rounds,
+        "executed_rounds": resumed.executed_rounds,
+        "digest": resumed.digest,
+        "matches": resumed.digest == straight.digest,
+        "wall_s": round(time.perf_counter() - started, 4),
+    }
+    return campaign, resume
+
+
+def _measure_goldens(seed: int, rounds: int) -> dict:
+    """Incremental (engine) vs batch (ScanCampaign) artefact hashes."""
+    from repro.analysis import figures, tables
+    from repro.core.scan.campaign import ScanCampaign
+    from repro.world.scenario import build_scenario
+
+    batch = ScanCampaign(build_scenario(_config(seed, rounds))).run(
+        include_doh=False)
+    batch_sha = _artefact_sha(tables.table2_text(batch),
+                              figures.figure3_series(batch),
+                              figures.figure4_series(batch))
+    by_workers = {}
+    for workers in (1, 4):
+        summary = _engine(seed, rounds, workers=workers).run(
+            include_doh=False)
+        accumulator = summary.accumulator
+        by_workers[str(workers)] = _artefact_sha(
+            accumulator.table2_text(),
+            accumulator.figure3_series(),
+            accumulator.figure4_series())
+    return {
+        "rounds": rounds,
+        "batch_sha256": batch_sha,
+        "incremental_sha256": by_workers,
+        "matches": all(sha == batch_sha for sha in by_workers.values()),
+    }
+
+
+def _measure_memory_run(seed: int, rounds: int) -> int:
+    """Peak traced bytes for a rounds-long engine run."""
+    tracemalloc.start()
+    _engine(seed, rounds).run(include_doh=False)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak_bytes
+
+
+def run_bench(seed: int, preset: dict) -> dict:
+    workdir = tempfile.mkdtemp(prefix="bench-longitudinal-")
+    try:
+        campaign, resume = _measure_campaign(
+            seed, preset["campaign_rounds"], preset["kill_after_round"],
+            workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    goldens = _measure_goldens(seed, preset["golden_rounds"])
+    short_peak = _measure_memory_run(seed, preset["short_rounds"])
+    long_peak = _measure_memory_run(seed, preset["long_rounds"])
+    memory = {
+        "short_rounds": preset["short_rounds"],
+        "long_rounds": preset["long_rounds"],
+        "short_peak_bytes": short_peak,
+        "long_peak_bytes": long_peak,
+        "flatness_ratio": round(long_peak / max(1, short_peak), 4),
+    }
+    return {
+        "schema": "bench-longitudinal/1",
+        "seed": seed,
+        "flatness_budget": FLATNESS_BUDGET,
+        "campaign": campaign,
+        "resume": resume,
+        "goldens": goldens,
+        "memory": memory,
+    }
+
+
+def validate_document(document: dict, min_rounds: int = 5) -> None:
+    """Raise ValueError when the document fails the longitudinal gate."""
+    for key in SCHEMA_KEYS:
+        if key not in document:
+            raise ValueError(f"missing key {key!r}")
+    if document["schema"] != "bench-longitudinal/1":
+        raise ValueError(f"unknown schema {document['schema']!r}")
+
+    campaign = document["campaign"]
+    if campaign["rounds"] < min_rounds:
+        raise ValueError(
+            f"campaign covered only {campaign['rounds']} rounds "
+            f"(need >= {min_rounds})")
+    if not campaign["digest"]:
+        raise ValueError("campaign recorded no fragment digest")
+
+    resume = document["resume"]
+    if not resume["matches"]:
+        raise ValueError("resumed digest diverged from the straight run")
+    if resume["digest"] != campaign["digest"]:
+        raise ValueError(
+            "resume.matches claims equality but the digests differ")
+    expected = campaign["rounds"] - resume["restored_rounds"]
+    if resume["executed_rounds"] != expected:
+        raise ValueError(
+            f"resume executed {resume['executed_rounds']} rounds, "
+            f"expected {expected}")
+
+    goldens = document["goldens"]
+    if not goldens["matches"]:
+        raise ValueError("incremental artefacts diverged from batch")
+    for workers, sha in goldens["incremental_sha256"].items():
+        if sha != goldens["batch_sha256"]:
+            raise ValueError(
+                f"goldens.matches claims equality but workers={workers} "
+                f"hashed differently")
+
+    memory = document["memory"]
+    if memory["long_rounds"] < min_rounds:
+        raise ValueError(
+            f"memory gate covered only {memory['long_rounds']} rounds "
+            f"(need >= {min_rounds})")
+    if memory["long_rounds"] <= memory["short_rounds"]:
+        raise ValueError("long memory run must exceed the short run")
+    budget = float(document["flatness_budget"])
+    ratio = (memory["long_peak_bytes"]
+             / max(1, memory["short_peak_bytes"]))
+    if ratio > budget:
+        raise ValueError(
+            f"memory not flat: {memory['long_rounds']}-round run used "
+            f"{ratio:.2f}x the {memory['short_rounds']}-round peak "
+            f"(budget {budget}x)")
+    recorded = float(memory["flatness_ratio"])
+    if abs(recorded - ratio) > 0.01:
+        raise ValueError(
+            f"flatness_ratio {recorded} does not match the recorded "
+            f"peaks ({ratio:.4f})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="scenario seed (default: 2019)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small preset for CI fresh-run gating")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "BENCH_LONGITUDINAL.json"))
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing document and exit")
+    parser.add_argument("--min-rounds", type=int, default=5,
+                        help="round-count floor enforced by --validate")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_document(document, min_rounds=args.min_rounds)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {args.validate}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid longitudinal benchmark document")
+        return 0
+
+    preset = QUICK if args.quick else FULL
+    document = run_bench(args.seed, preset)
+    validate_document(document, min_rounds=min(preset["campaign_rounds"],
+                                               preset["long_rounds"]))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    campaign = document["campaign"]
+    memory = document["memory"]
+    print(f"campaign: {campaign['rounds']} rounds in "
+          f"{campaign['wall_s']:.1f}s "
+          f"({campaign['rounds_per_sec']:.2f} rounds/s), digest "
+          f"{campaign['digest'][:16]}...")
+    print(f"resume: restored {document['resume']['restored_rounds']}, "
+          f"executed {document['resume']['executed_rounds']}, "
+          f"digest matches: {document['resume']['matches']}")
+    print(f"goldens: incremental == batch at workers 1/4: "
+          f"{document['goldens']['matches']}")
+    print(f"memory: {memory['long_rounds']}-round peak "
+          f"{memory['long_peak_bytes'] / 1e6:.1f} MB = "
+          f"{memory['flatness_ratio']:.3f}x the "
+          f"{memory['short_rounds']}-round peak "
+          f"(budget {FLATNESS_BUDGET}x) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,17 @@ echo "== fourproto suite (PYTHONHASHSEED=1) =="
 PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest -x -q -m fourproto
 
+# The longitudinal suite proves the campaign engine: checkpoint/resume
+# byte-identity, churn/rotation determinism in any materialisation
+# order, and incremental==batch goldens at workers 1/4; two hash seeds
+# prove none of it leans on dict/set order.
+echo "== longitudinal suite (PYTHONHASHSEED=0) =="
+PYTHONHASHSEED=0 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m longitudinal
+echo "== longitudinal suite (PYTHONHASHSEED=1) =="
+PYTHONHASHSEED=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest -x -q -m longitudinal
+
 # Memory-regression gate: a 10^6-address lazy sweep must stay under a
 # tracemalloc budget and never hit the full-materialise path.
 echo "== scale suite (10^6-address sweep) =="
@@ -113,6 +124,25 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_scale.py \
     --validate benchmarks/BENCH_SCALE.json
 echo "ok (see benchmarks/BENCH_SCALE.json for the recorded run)"
+
+# Longitudinal benchmark, error-only gate: a fresh quick run must pass
+# its own validator (resume digest equals the straight run's,
+# incremental artefact hashes equal batch at workers 1/4, long-run
+# memory within the flatness budget), and the committed 100-round
+# document must validate with the 50-round floor the acceptance
+# criteria demand. Wall-clock numbers are never asserted on.
+echo "== longitudinal benchmark =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_longitudinal.py --quick \
+    --out benchmarks/BENCH_LONGITUDINAL.tmp.json >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_longitudinal.py \
+    --validate benchmarks/BENCH_LONGITUDINAL.tmp.json --min-rounds 10
+rm -f benchmarks/BENCH_LONGITUDINAL.tmp.json
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_longitudinal.py \
+    --validate benchmarks/BENCH_LONGITUDINAL.json --min-rounds 50
+echo "ok (see benchmarks/BENCH_LONGITUDINAL.json for the recorded run)"
 
 # Four-protocol benchmark, error-only gate: a fresh run must confirm
 # the same DoH endpoint set as the naive scan with strictly fewer

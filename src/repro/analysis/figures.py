@@ -8,10 +8,7 @@ from repro.analysis.textfmt import render_table
 from repro.core.client.performance import PerformanceReport
 from repro.core.client.proxy import ProxyNetwork
 from repro.core.scan.campaign import CampaignResult
-from repro.core.scan.providers import (
-    provider_stats,
-    resolvers_per_provider_cdf,
-)
+from repro.core.scan.providers import cdf_from_sizes
 from repro.core.usage.netflow_study import DotTrafficReport
 from repro.core.usage.passive_dns_study import DohUsageReport
 
@@ -70,20 +67,29 @@ def figure2_requests(domain: str = "example.com") -> Dict[str, str]:
 # -- Figure 3: open DoT resolvers per scan ------------------------------------------
 
 
-def figure3_series(campaign: CampaignResult,
-                   top_providers: int = 6
-                   ) -> Tuple[List[str], Dict[str, List[int]]]:
-    """(scan dates, {provider key or 'others': counts per scan})."""
-    dates = [round_result.date_text for round_result in campaign.rounds]
-    final_groups = sorted(campaign.last.groups,
-                          key=lambda group: -group.address_count)
-    top_keys = [group.key for group in final_groups[:top_providers]]
+def figure3_series_from(dates: List[str],
+                        provider_counts_per_round: List[List[Tuple[str,
+                                                                   int]]],
+                        resolver_totals: List[int],
+                        top_providers: int = 6
+                        ) -> Tuple[List[str], Dict[str, List[int]]]:
+    """Figure 3 from per-round (provider key, address count) pairs.
+
+    Each round's pairs must arrive in provider-group order (largest
+    first, ties in record order) — the order
+    :func:`repro.core.scan.providers.group_into_providers` emits — so
+    the final round's top-N cut breaks ties exactly as the batch path
+    does. Shared by :func:`figure3_series` and the streaming campaign
+    accumulator to keep incremental output byte-identical to batch.
+    """
+    final_pairs = provider_counts_per_round[-1] if provider_counts_per_round \
+        else []
+    top_keys = [key for key, _ in final_pairs[:top_providers]]
     series: Dict[str, List[int]] = {key: [] for key in top_keys}
     series["others"] = []
-    for round_result in campaign.rounds:
-        by_key = {group.key: group.address_count
-                  for group in round_result.groups}
-        others = len(round_result.resolvers)
+    for pairs, total in zip(provider_counts_per_round, resolver_totals):
+        by_key = dict(pairs)
+        others = total
         for key in top_keys:
             count = by_key.get(key, 0)
             series[key].append(count)
@@ -92,7 +98,33 @@ def figure3_series(campaign: CampaignResult,
     return dates, series
 
 
+def figure3_series(campaign: CampaignResult,
+                   top_providers: int = 6
+                   ) -> Tuple[List[str], Dict[str, List[int]]]:
+    """(scan dates, {provider key or 'others': counts per scan})."""
+    dates = [round_result.date_text for round_result in campaign.rounds]
+    per_round = [[(group.key, group.address_count)
+                  for group in round_result.groups]
+                 for round_result in campaign.rounds]
+    totals = [len(round_result.resolvers)
+              for round_result in campaign.rounds]
+    return figure3_series_from(dates, per_round, totals, top_providers)
+
+
 # -- Figure 4: provider counts and invalid certificates ------------------------------
+
+
+def figure4_series_from(dates: List[str], provider_counts: List[int],
+                        invalid_counts: List[int],
+                        final_sizes: List[int]
+                        ) -> Tuple[List[str], List[int], List[int],
+                                   List[Tuple[int, float]]]:
+    """Figure 4 from per-round provider/invalid counts and final sizes.
+
+    Shared by :func:`figure4_series` and the streaming campaign
+    accumulator (which never holds :class:`ProviderGroup` objects).
+    """
+    return dates, provider_counts, invalid_counts, cdf_from_sizes(final_sizes)
 
 
 def figure4_series(campaign: CampaignResult
@@ -107,8 +139,10 @@ def figure4_series(campaign: CampaignResult
         dates.append(round_result.date_text)
         provider_counts.append(stats.provider_count)
         invalid_counts.append(stats.invalid_cert_providers)
-    cdf = resolvers_per_provider_cdf(campaign.last.groups)
-    return dates, provider_counts, invalid_counts, cdf
+    final_sizes = ([group.address_count for group in campaign.last.groups]
+                   if campaign.rounds else [])
+    return figure4_series_from(dates, provider_counts, invalid_counts,
+                               final_sizes)
 
 
 # -- Figure 6: vantage-point geo distribution -----------------------------------------

@@ -219,3 +219,44 @@ class ExperimentSuite:
             return "Telemetry: no metrics recorded"
         return telemetry.to_table(
             registry, title="Telemetry: metrics recorded this process")
+
+
+def longitudinal_report(summary) -> str:
+    """The campaign artefacts one streaming run can render.
+
+    Takes a :class:`repro.campaign.CampaignSummary` (imported lazily to
+    keep the analysis layer importable without the campaign package) and
+    renders Table 2, the Figure 3/4 series and the churn summary from
+    the accumulator alone — the engine never retained a RoundResult, so
+    this is everything a 100-round run has, and the longitudinal test
+    tier proves it byte-identical to the batch renderings.
+    """
+    accumulator = summary.accumulator
+    sections: List[str] = [accumulator.table2_text()]
+    dates, series = accumulator.figure3_series()
+    sections.append(figures.series_text(
+        "Figure 3: Open DoT resolvers per scan",
+        {name: list(zip(dates, values))
+         for name, values in series.items()}))
+    _, provider_counts, invalid_counts, cdf = accumulator.figure4_series()
+    sections.append(figures.series_text(
+        "Figure 4: DoT providers per scan (and invalid-cert providers)",
+        {"providers": list(zip(dates, provider_counts)),
+         "invalid-cert": list(zip(dates, invalid_counts))}))
+    if cdf:
+        sections.append("Resolvers-per-provider CDF (final round): "
+                        + ", ".join(f"<= {size}: {share:.2f}"
+                                    for size, share in cdf))
+    churn = accumulator.churn
+    if churn:
+        moved = sum(entry.arrived + entry.departed for entry in churn[1:])
+        sections.append(
+            f"Churn: {moved} address arrivals+departures across "
+            f"{len(churn)} rounds; first-round cohort survival "
+            + (f"{accumulator.survival[-1]:.2f}"
+               if accumulator.survival else "n/a"))
+    sections.append(
+        f"Campaign digest: {summary.digest or 'n/a'} "
+        f"({summary.restored_rounds} rounds restored, "
+        f"{summary.executed_rounds} executed)")
+    return "\n\n".join(sections)

@@ -47,7 +47,8 @@ def table1_text() -> str:
 
 
 def table2_rows(campaign: CampaignResult,
-                top_n: int = 10) -> List[Tuple[str, int, int, float]]:
+                top_n: int = 10
+                ) -> List[Tuple[str, int, int, Optional[float]]]:
     return campaign.country_growth(top_n)
 
 
@@ -65,13 +66,39 @@ def _growth_percent(first: int, last: int) -> int:
     return magnitude if last >= first else -magnitude
 
 
-def table2_text(campaign: CampaignResult) -> str:
-    rows = [(code, first, last, f"{_growth_percent(first, last):+d}%")
-            for code, first, last, _ in table2_rows(campaign)]
+def _growth_cell(first: int, last: int) -> str:
+    """What the Growth column prints for one country row.
+
+    A country with no first-round resolvers has no base to compute a
+    percentage from; it prints as a ``new`` entrant instead of the
+    misleading +0% the percentage formula would produce.
+    """
+    if first <= 0 < last:
+        return "new"
+    return f"{_growth_percent(first, last):+d}%"
+
+
+def table2_text_from(first_date: str, last_date: str,
+                     rows: Sequence[Tuple[str, int, int, Optional[float]]]
+                     ) -> str:
+    """Render Table 2 from already-computed growth rows.
+
+    Shared by the batch path (:func:`table2_text`) and the streaming
+    campaign accumulator, so incremental analysis stays byte-identical
+    to batch by construction.
+    """
+    rendered = [(code, first, last, _growth_cell(first, last))
+                for code, first, last, _ in rows]
     return render_table(
-        ["CC", f"# {campaign.first.date_text}",
-         f"# {campaign.last.date_text}", "Growth"],
-        rows, title="Table 2: Top countries of open DoT resolvers")
+        ["CC", f"# {first_date}", f"# {last_date}", "Growth"],
+        rendered, title="Table 2: Top countries of open DoT resolvers")
+
+
+def table2_text(campaign: CampaignResult) -> str:
+    if not campaign.rounds:
+        return table2_text_from("first scan", "last scan", [])
+    return table2_text_from(campaign.first.date_text,
+                            campaign.last.date_text, table2_rows(campaign))
 
 
 # -- Table 3: client-side dataset -------------------------------------------------

@@ -1,0 +1,35 @@
+"""Longitudinal campaign engine: round queue, checkpoints, streaming analysis.
+
+Public surface:
+
+- :class:`CampaignEngine` / :class:`CampaignSummary` — the managed
+  round queue with checkpoint/resume (:mod:`repro.campaign.engine`).
+- :class:`RoundFragment` / :class:`FragmentAccumulator` — per-round
+  reducers and their in-order fold (:mod:`repro.campaign.fragment`).
+- :class:`CheckpointStore` — the append-only JSONL checkpoint with a
+  chained campaign digest (:mod:`repro.campaign.checkpoint`).
+"""
+
+from repro.campaign.checkpoint import (
+    CheckpointStore,
+    chain_digest,
+    config_digest,
+)
+from repro.campaign.engine import CampaignEngine, CampaignSummary, RoundJob
+from repro.campaign.fragment import (
+    FRAGMENT_WIRE_VERSION,
+    FragmentAccumulator,
+    RoundFragment,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignSummary",
+    "CheckpointStore",
+    "FRAGMENT_WIRE_VERSION",
+    "FragmentAccumulator",
+    "RoundFragment",
+    "RoundJob",
+    "chain_digest",
+    "config_digest",
+]

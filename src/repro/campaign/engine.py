@@ -1,0 +1,187 @@
+"""The longitudinal campaign engine: a managed round queue.
+
+RIPE-Atlas-style scheduling: every scan round is a queued job. The
+engine pops jobs in order, executes each through the existing
+:class:`~repro.core.scan.campaign.ScanCampaign` machinery (serial, or
+fanned out over the persistent worker pool via a
+:class:`~repro.core.parallel.ParallelConfig`), reduces the round to a
+:class:`~repro.campaign.fragment.RoundFragment`, folds it into the
+streaming :class:`~repro.campaign.fragment.FragmentAccumulator`,
+checkpoints it, and releases the round's world caches before the next
+job starts. Memory therefore stays flat in the number of rounds — the
+property ``benchmarks/bench_longitudinal.py`` gates — and a killed
+campaign resumes at the last completed round with byte-identical final
+artefacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.campaign.checkpoint import CheckpointStore, chain_digest
+from repro.campaign.fragment import FragmentAccumulator, RoundFragment
+from repro.core.parallel import ParallelConfig
+from repro.core.scan.campaign import ScanCampaign
+from repro.core.scan.doh_scan import DohScanRecord
+from repro.errors import CampaignError
+from repro.telemetry import get_registry, get_tracer
+from repro.world.scenario import Scenario
+
+
+@dataclass
+class RoundJob:
+    """One queued round and where it is in its lifecycle."""
+
+    round_index: int
+    #: "queued" -> "running" -> "done"; rounds replayed from a
+    #: checkpoint enter (and stay) at "restored".
+    status: str = "queued"
+
+
+@dataclass
+class CampaignSummary:
+    """What a campaign run produced (streaming state, never raw rounds)."""
+
+    accumulator: FragmentAccumulator
+    #: Chained SHA-256 over every round fragment, in order — equal for
+    #: an uninterrupted run and a kill/resume of the same campaign.
+    digest: str
+    total_rounds: int
+    restored_rounds: int
+    executed_rounds: int
+    #: False when the run stopped early (``stop_after_round``).
+    completed: bool
+    doh_records: List[DohScanRecord] = field(default_factory=list)
+
+    @property
+    def rounds_folded(self) -> int:
+        return self.accumulator.rounds_folded
+
+    def working_doh(self) -> List[DohScanRecord]:
+        return [record for record in self.doh_records if record.is_doh]
+
+    def table2_text(self) -> str:
+        return self.accumulator.table2_text()
+
+    def manifest_block(self) -> dict:
+        """The run-manifest ``campaign`` section."""
+        return {
+            "rounds": self.total_rounds,
+            "restored_rounds": self.restored_rounds,
+            "executed_rounds": self.executed_rounds,
+            "completed": self.completed,
+            "digest": self.digest,
+        }
+
+
+class CampaignEngine:
+    """Drives N rounds through a managed queue with checkpoint/resume."""
+
+    def __init__(self, scenario: Scenario,
+                 parallel: Optional[ParallelConfig] = None,
+                 checkpoint_path: Optional[str] = None):
+        self.scenario = scenario
+        self.parallel = parallel
+        self.campaign = ScanCampaign(scenario, parallel=parallel)
+        self.store = (CheckpointStore(checkpoint_path)
+                      if checkpoint_path else None)
+        #: The last run's queue, for inspection (tests, progress UIs).
+        self.jobs: List[RoundJob] = []
+
+    def run(self, rounds: Optional[int] = None, *, resume: bool = False,
+            stop_after_round: Optional[int] = None,
+            include_doh: bool = True) -> CampaignSummary:
+        """Run (or resume) the campaign through the round queue.
+
+        ``resume=True`` replays completed rounds from the checkpoint
+        into the accumulator and executes only the remainder;
+        ``stop_after_round=k`` exits the queue after round ``k``
+        completes (the benchmark's kill simulation). DoH discovery runs
+        once, only when the queue drains.
+        """
+        total = (self.scenario.config.scan_rounds if rounds is None
+                 else rounds)
+        if total > self.scenario.config.scan_rounds:
+            raise CampaignError(
+                f"campaign of {total} rounds exceeds the scenario's "
+                f"{self.scenario.config.scan_rounds}-round timeline")
+        restored, digest = self._restore(resume, total)
+        if len(restored) > total:
+            raise CampaignError(
+                f"checkpoint holds {len(restored)} rounds but this run "
+                f"asks for only {total}")
+        accumulator = FragmentAccumulator()
+        for fragment in restored:
+            accumulator.fold(fragment)
+        queue: Deque[RoundJob] = deque(
+            RoundJob(index) for index in range(len(restored), total))
+        self.jobs = ([RoundJob(f.round_index, "restored")
+                      for f in restored] + list(queue))
+        registry = get_registry()
+        if restored:
+            registry.inc("campaign.rounds.restored", len(restored))
+        if self.parallel is not None:
+            # Same contract as ScanCampaign.run: a campaign opens a
+            # fresh adaptive-decision log so same-seed reruns record
+            # the same decisions, not an accumulating history.
+            self.parallel.decisions.clear()
+        start = self.scenario.scan_dates()[0]
+        executed = 0
+        stopped_early = False
+        with get_tracer().span("campaign.queue", clock=lambda: start,
+                               rounds=total, restored=len(restored)):
+            while queue:
+                job = queue.popleft()
+                job.status = "running"
+                result = self.campaign.run_round(job.round_index)
+                fragment = RoundFragment.from_round(result)
+                del result  # the fragment is all later rounds may see
+                digest = chain_digest(digest, fragment.to_wire())
+                accumulator.fold(fragment)
+                if self.store is not None:
+                    self.store.append(fragment, digest)
+                # Flat memory: evict every earlier round's cached
+                # world. The current round is kept so a final-round
+                # DoH pass reuses the already-built network.
+                self.scenario.release_rounds_before(job.round_index)
+                job.status = "done"
+                executed += 1
+                registry.inc("campaign.rounds.executed")
+                registry.set_gauge("campaign.queue.depth", len(queue))
+                if (stop_after_round is not None
+                        and job.round_index >= stop_after_round):
+                    stopped_early = True
+                    break
+        completed = not stopped_early and accumulator.rounds_folded == total
+        doh_records: List[DohScanRecord] = []
+        if completed and include_doh and total > 0:
+            doh_records = self.campaign.run_doh_discovery()
+        return CampaignSummary(
+            accumulator=accumulator,
+            digest=digest,
+            total_rounds=total,
+            restored_rounds=len(restored),
+            executed_rounds=executed,
+            completed=completed,
+            doh_records=doh_records,
+        )
+
+    def _restore(self, resume: bool,
+                 total: int) -> Tuple[List[RoundFragment], str]:
+        if not resume:
+            if self.store is not None:
+                self.store.start(self.scenario.config, total)
+            return [], ""
+        if self.store is None:
+            raise CampaignError(
+                "resume requested but the engine has no checkpoint path")
+        return self.store.load(self.scenario.config)
+
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignSummary",
+    "RoundJob",
+]

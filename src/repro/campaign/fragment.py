@@ -1,0 +1,211 @@
+"""Per-round analysis fragments and their streaming fold.
+
+This extends the :meth:`MetricsRegistry.merge` algebra to the analysis
+layer: every scan round reduces to one small :class:`RoundFragment`
+(country counts, provider triples, resolver addresses — kilobytes, not
+the round's full record list), and :class:`FragmentAccumulator` folds
+fragments in round order into exactly the state Tables 2/4 and
+Figures 3-4 need. A 100-round campaign therefore renders its artefacts
+without ever holding more than one round's records in memory, and the
+longitudinal test tier proves the folded output byte-identical to the
+batch :class:`~repro.core.scan.campaign.CampaignResult` path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis import figures, tables
+from repro.core.scan.campaign import RoundResult, rank_country_growth
+from repro.core.scan.churn import RoundChurn
+from repro.errors import CampaignError
+from repro.netsim.clock import format_date
+
+#: Version pin for the fragment wire tuples (mirrors the registry's
+#: WIRE_VERSION): checkpoints written by a different fragment layout
+#: must fail loudly, never deserialise into garbage.
+FRAGMENT_WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RoundFragment:
+    """One scan round, reduced to what incremental analysis needs."""
+
+    round_index: int
+    date: float
+    total_open_estimate: int
+    probed: int
+    resolver_count: int
+    #: Per-country resolver counts, sorted by country code.
+    countries: Tuple[Tuple[str, int], ...]
+    #: (provider key, address count, invalid-cert record count) in
+    #: provider-group order — largest first, ties in record order — so
+    #: downstream top-N cuts break ties exactly like the batch path.
+    providers: Tuple[Tuple[str, int, int], ...]
+    #: Resolver addresses in record order (drives churn analysis).
+    addresses: Tuple[str, ...]
+
+    @property
+    def date_text(self) -> str:
+        return format_date(self.date)
+
+    @classmethod
+    def from_round(cls, result: RoundResult) -> "RoundFragment":
+        resolvers = result.resolvers
+        countries = tuple(sorted(
+            Counter(record.country for record in resolvers).items()))
+        providers = tuple(
+            (group.key, group.address_count,
+             len(group.invalid_cert_records))
+            for group in result.groups)
+        return cls(
+            round_index=result.round_index,
+            date=result.date,
+            total_open_estimate=result.stats.total_open_estimate,
+            probed=result.stats.probed,
+            resolver_count=len(resolvers),
+            countries=countries,
+            providers=providers,
+            addresses=tuple(record.address for record in resolvers),
+        )
+
+    def country_counter(self) -> Counter:
+        return Counter(dict(self.countries))
+
+    def provider_pairs(self) -> List[Tuple[str, int]]:
+        return [(key, count) for key, count, _ in self.providers]
+
+    # -- wire format (flat JSON-serialisable tuples, like the registry) --
+
+    def to_wire(self) -> tuple:
+        return ("roundfragment", FRAGMENT_WIRE_VERSION,
+                self.round_index, self.date,
+                self.total_open_estimate, self.probed,
+                self.resolver_count,
+                [[code, count] for code, count in self.countries],
+                [[key, count, invalid]
+                 for key, count, invalid in self.providers],
+                list(self.addresses))
+
+    @classmethod
+    def from_wire(cls, wire) -> "RoundFragment":
+        if (not isinstance(wire, (list, tuple)) or len(wire) != 10
+                or wire[0] != "roundfragment"):
+            raise CampaignError(
+                f"not a round-fragment wire record: {wire!r:.80}")
+        if wire[1] != FRAGMENT_WIRE_VERSION:
+            raise CampaignError(
+                f"unsupported fragment wire version {wire[1]!r} "
+                f"(this build reads version {FRAGMENT_WIRE_VERSION})")
+        return cls(
+            round_index=int(wire[2]),
+            date=float(wire[3]),
+            total_open_estimate=int(wire[4]),
+            probed=int(wire[5]),
+            resolver_count=int(wire[6]),
+            countries=tuple((str(code), int(count))
+                            for code, count in wire[7]),
+            providers=tuple((str(key), int(count), int(invalid))
+                            for key, count, invalid in wire[8]),
+            addresses=tuple(str(address) for address in wire[9]),
+        )
+
+
+class FragmentAccumulator:
+    """Folds in-order round fragments into the campaign's artefacts.
+
+    Carries O(rounds + providers + one round's addresses) state: small
+    per-round series for the figures, the first and latest fragments
+    for Table 2, and two address sets (previous round, first-round
+    cohort) for churn — never a list of past rounds.
+    """
+
+    def __init__(self) -> None:
+        self.rounds_folded = 0
+        self.first_fragment: Optional[RoundFragment] = None
+        self.last_fragment: Optional[RoundFragment] = None
+        self.dates: List[str] = []
+        self.resolver_counts: List[int] = []
+        self.provider_count_series: List[int] = []
+        self.invalid_provider_series: List[int] = []
+        self.provider_pairs_per_round: List[List[Tuple[str, int]]] = []
+        self.churn: List[RoundChurn] = []
+        self.survival: List[float] = []
+        self._cohort: Optional[Set[str]] = None
+        self._previous: Set[str] = set()
+
+    def fold(self, fragment: RoundFragment) -> None:
+        """Fold the next round in; rounds must arrive in ascending order."""
+        if (self.last_fragment is not None
+                and fragment.round_index <= self.last_fragment.round_index):
+            raise CampaignError(
+                f"fragments must fold in ascending round order: got round "
+                f"{fragment.round_index} after "
+                f"{self.last_fragment.round_index}")
+        if self.first_fragment is None:
+            self.first_fragment = fragment
+        current = set(fragment.addresses)
+        self.churn.append(RoundChurn(
+            round_index=fragment.round_index,
+            date_text=fragment.date_text,
+            total=len(current),
+            arrived=len(current - self._previous),
+            departed=len(self._previous - current)))
+        if self._cohort is None:
+            self._cohort = current
+        if self._cohort:
+            self.survival.append(
+                len(self._cohort & current) / len(self._cohort))
+        self._previous = current
+        self.dates.append(fragment.date_text)
+        self.resolver_counts.append(fragment.resolver_count)
+        self.provider_count_series.append(len(fragment.providers))
+        self.invalid_provider_series.append(
+            sum(1 for _, _, invalid in fragment.providers if invalid))
+        self.provider_pairs_per_round.append(fragment.provider_pairs())
+        self.last_fragment = fragment
+        self.rounds_folded += 1
+
+    # -- artefacts (byte-identical to the batch path by construction) ----
+
+    def country_growth(self, top_n: int = 10
+                       ) -> List[Tuple[str, int, int, Optional[float]]]:
+        if self.first_fragment is None or self.last_fragment is None:
+            return []
+        return rank_country_growth(self.first_fragment.country_counter(),
+                                   self.last_fragment.country_counter(),
+                                   top_n)
+
+    def table2_text(self) -> str:
+        if self.first_fragment is None or self.last_fragment is None:
+            return tables.table2_text_from("first scan", "last scan", [])
+        return tables.table2_text_from(self.first_fragment.date_text,
+                                       self.last_fragment.date_text,
+                                       self.country_growth())
+
+    def figure3_series(self, top_providers: int = 6
+                       ) -> Tuple[List[str], Dict[str, List[int]]]:
+        return figures.figure3_series_from(
+            list(self.dates), self.provider_pairs_per_round,
+            list(self.resolver_counts), top_providers)
+
+    def figure4_series(self) -> Tuple[List[str], List[int], List[int],
+                                      List[Tuple[int, float]]]:
+        final_sizes = ([count for _, count, _ in
+                        self.last_fragment.providers]
+                       if self.last_fragment is not None else [])
+        return figures.figure4_series_from(
+            list(self.dates), list(self.provider_count_series),
+            list(self.invalid_provider_series), final_sizes)
+
+    def resolvers_per_round(self) -> List[Tuple[str, int]]:
+        return list(zip(self.dates, self.resolver_counts))
+
+
+__all__ = [
+    "FRAGMENT_WIRE_VERSION",
+    "FragmentAccumulator",
+    "RoundFragment",
+]

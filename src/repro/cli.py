@@ -80,6 +80,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "run manifest (default: 8 when --workers > 1)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("scan", help="run the DoT/DoH discovery campaign")
+    camp = sub.add_parser(
+        "campaign",
+        help="longitudinal round-queue campaign with checkpoint/resume")
+    camp.add_argument("--rounds", type=int, default=100,
+                      help="scan rounds to run (default 100)")
+    camp.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="JSONL checkpoint file (enables kill/resume)")
+    camp.add_argument("--resume", action="store_true",
+                      help="resume from --checkpoint instead of starting "
+                           "over")
+    camp.add_argument("--stop-after-round", type=int, default=None,
+                      metavar="K",
+                      help="exit after round K completes (simulates a "
+                           "kill; resume later with --resume)")
+    camp.add_argument("--churn-rate", type=float, default=0.0,
+                      help="per-round probability an unadvertised "
+                           "resolver sits a round out (default 0)")
+    camp.add_argument("--cert-rotation-rounds", type=int, default=0,
+                      metavar="N",
+                      help="reissue provider certificates every N rounds "
+                           "(default 0 = never)")
+    camp.add_argument("--adoption-curve", choices=("", "linear",
+                                                   "logistic"),
+                      default="",
+                      help="growth curve shaping the open-port plan")
+    camp.add_argument("--no-doh", action="store_true",
+                      help="skip the final DoH discovery pass")
     sub.add_parser("reachability", help="run the reachability study")
     sub.add_parser("performance", help="run the performance study")
     sub.add_parser("fourproto",
@@ -202,6 +229,69 @@ def cmd_scan(suite: ExperimentSuite) -> None:
     print(f"\nDoH: {len(working)} working services, "
           f"{sum(1 for r in working if not r.in_public_list)} beyond the "
           f"public list")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Longitudinal campaign through the managed round queue."""
+    from repro.analysis.report import longitudinal_report
+    from repro.campaign import CampaignEngine
+    from repro.errors import CampaignError
+    from repro.world.scenario import build_scenario
+
+    world_mode = args.world_mode
+    if world_mode is None:
+        world_mode = "lazy" if args.world_scale > 1.0 else "eager"
+    config = ScenarioConfig(seed=args.seed, vantage_scale=args.scale,
+                            background_sample_size=200,
+                            url_dataset_noise=5_000,
+                            intercepted_clients=max(
+                                2, round(17 * args.scale)),
+                            hijacked_routers=max(1, round(12 * args.scale)),
+                            fault_plan=args.fault_plan,
+                            retry_attempts=args.retry_attempts,
+                            retry_backoff_s=args.retry_backoff,
+                            world_mode=world_mode,
+                            world_scale=args.world_scale,
+                            scan_rounds=max(1, args.rounds),
+                            churn_rate=args.churn_rate,
+                            cert_rotation_rounds=args.cert_rotation_rounds,
+                            adoption_curve=args.adoption_curve)
+    engine = CampaignEngine(build_scenario(config),
+                            parallel=_parallel_config(args),
+                            checkpoint_path=args.checkpoint)
+    try:
+        summary = engine.run(resume=args.resume,
+                             stop_after_round=args.stop_after_round,
+                             include_doh=not args.no_doh)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(longitudinal_report(summary))
+    if summary.doh_records:
+        working = summary.working_doh()
+        print(f"\nDoH: {len(working)} working services, "
+              f"{sum(1 for r in working if not r.in_public_list)} beyond "
+              f"the public list")
+    if not summary.completed:
+        print(f"\nstopped after round {args.stop_after_round}; resume "
+              f"with --resume --checkpoint {args.checkpoint}",
+              file=sys.stderr)
+    if args.metrics_out:
+        execution = (engine.parallel.manifest_execution()
+                     if engine.parallel is not None else None)
+        manifest = RunManifest.collect(
+            config, telemetry.get_registry(), execution=execution,
+            campaign=summary.manifest_block()).as_dict()
+        try:
+            path = telemetry.write_snapshot(
+                args.metrics_out, telemetry.get_registry(),
+                telemetry.get_tracer(), manifest)
+        except OSError as error:
+            print(f"error: cannot write metrics snapshot: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote telemetry snapshot to {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_reachability(suite: ExperimentSuite) -> None:
@@ -402,6 +492,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench-serving":
         status = cmd_bench_serving(args)
         return status or _write_metrics(args, None)
+    if args.command == "campaign":
+        # Writes its own snapshot: the manifest needs the campaign block.
+        return cmd_campaign(args)
     suite = _make_suite(args)
     if args.command == "scan":
         cmd_scan(suite)

@@ -27,6 +27,7 @@ from repro.core.scan.providers import (
     provider_stats,
 )
 from repro.core.scan.zmap import ZmapScanner, merge_sweeps
+from repro.errors import CampaignError
 from repro.netsim.clock import format_date
 from repro.netsim.rand import SeededRng
 from repro.telemetry import get_registry, get_tracer
@@ -63,6 +64,39 @@ class RoundResult:
         return provider_stats(self.groups)
 
 
+def rank_country_growth(first_counts: Counter, last_counts: Counter,
+                        top_n: int) -> List[Tuple[str, int, int,
+                                                  Optional[float]]]:
+    """Table 2 rows over two per-country resolver Counters.
+
+    Countries are ranked on the *union* of the two scans — by the larger
+    of the two counts, then by the final count, then by code — so a
+    country absent from the first round but large at the end still makes
+    the table. A new entrant (zero first-round count) reports ``None``
+    growth: there is no base to grow from, and renderers must flag it
+    explicitly rather than print a misleading 0%.
+    """
+    codes = set(first_counts) | set(last_counts)
+    ranked = sorted(
+        codes,
+        key=lambda code: (-max(first_counts.get(code, 0),
+                               last_counts.get(code, 0)),
+                          -last_counts.get(code, 0), code))
+    rows: List[Tuple[str, int, int, Optional[float]]] = []
+    for code in ranked[:top_n]:
+        first_count = first_counts.get(code, 0)
+        last_count = last_counts.get(code, 0)
+        growth: Optional[float]
+        if first_count:
+            growth = (last_count - first_count) / first_count * 100.0
+        elif last_count:
+            growth = None  # new entrant: no base count to grow from
+        else:
+            growth = 0.0
+        rows.append((code, first_count, last_count, growth))
+    return rows
+
+
 @dataclass
 class CampaignResult:
     """All rounds plus the DoH discovery."""
@@ -72,24 +106,32 @@ class CampaignResult:
 
     @property
     def first(self) -> RoundResult:
+        if not self.rounds:
+            raise CampaignError(
+                "campaign has no completed rounds; run at least one round "
+                "before reading per-round results")
         return self.rounds[0]
 
     @property
     def last(self) -> RoundResult:
+        if not self.rounds:
+            raise CampaignError(
+                "campaign has no completed rounds; run at least one round "
+                "before reading per-round results")
         return self.rounds[-1]
 
-    def country_growth(self, top_n: int = 10) -> List[Tuple[str, int, int, float]]:
-        """Table 2: (country, first count, last count, growth %)."""
-        first_counts = self.first.country_counts()
-        last_counts = self.last.country_counts()
-        ranked = first_counts.most_common(top_n)
-        rows = []
-        for code, first_count in ranked:
-            last_count = last_counts.get(code, 0)
-            growth = ((last_count - first_count) / first_count * 100.0
-                      if first_count else 0.0)
-            rows.append((code, first_count, last_count, growth))
-        return rows
+    def country_growth(self, top_n: int = 10
+                       ) -> List[Tuple[str, int, int, Optional[float]]]:
+        """Table 2: (country, first count, last count, growth % or None).
+
+        Ranked on the union of the first and last scans; ``None`` growth
+        marks a new entrant (see :func:`rank_country_growth`). An empty
+        campaign yields an empty table rather than crashing mid-report.
+        """
+        if not self.rounds:
+            return []
+        return rank_country_growth(self.first.country_counts(),
+                                   self.last.country_counts(), top_n)
 
     def resolvers_per_round(self) -> List[Tuple[str, int]]:
         """Figure 3's x-axis series: (date, open DoT resolver count)."""
@@ -206,6 +248,12 @@ def shard_scenario(config: ScenarioConfig, round_index: int, shard: Shard,
     (seed, shard plan), never on which worker runs the shard.
     """
     scenario = cached_scenario(config)
+    # Campaigns dispatch rounds in ascending order, so a pooled worker
+    # can drop its per-round caches for rounds that can no longer be
+    # dispatched — this keeps worker memory flat over 100-round
+    # longitudinal campaigns. Releasing is cache eviction only: a
+    # released round rebuilds deterministically if ever requested again.
+    scenario.release_rounds_before(round_index - 1)
     if pristine:
         network = scenario.pristine_network_for_round(round_index)
     else:

@@ -112,9 +112,19 @@ def provider_stats(groups: List[ProviderGroup],
 def resolvers_per_provider_cdf(
         groups: List[ProviderGroup]) -> List[Tuple[int, float]]:
     """The yellow CDF line of Figure 4: providers by address count."""
-    if not groups:
+    return cdf_from_sizes([group.address_count for group in groups])
+
+
+def cdf_from_sizes(sizes: List[int]) -> List[Tuple[int, float]]:
+    """The Figure-4 CDF from bare per-provider address counts.
+
+    Shared with the streaming campaign accumulator, which carries
+    (key, count, invalid) triples per provider rather than full
+    :class:`ProviderGroup` objects.
+    """
+    if not sizes:
         return []
-    sizes = sorted(group.address_count for group in groups)
+    sizes = sorted(sizes)
     total = len(sizes)
     cdf = []
     seen = 0

@@ -91,6 +91,10 @@ class ScanError(ReproError):
     """Internet-wide scanning failed for a reason other than per-host churn."""
 
 
+class CampaignError(ReproError):
+    """A scan campaign is empty, inconsistent, or cannot be resumed."""
+
+
 class ProxyError(ReproError):
     """A proxy network endpoint failed (expired, dropped, rate limited)."""
 

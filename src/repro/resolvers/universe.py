@@ -73,6 +73,22 @@ class DnsUniverse:
                 return None
             candidate = candidate.parent()
 
+    def release_logs(self) -> int:
+        """Drop every accumulated authoritative query-log entry.
+
+        The logs exist so interception studies can check "did this
+        query reach our server" *within* one study; no rendered
+        artefact reads them across rounds. A longitudinal campaign
+        would otherwise grow them by every probe of every round, so
+        the per-round cache release empties them. Returns the number
+        of entries dropped.
+        """
+        released = 0
+        for log in self._logs.values():
+            released += len(log.entries)
+            log.entries.clear()
+        return released
+
     def log_for(self, origin: DnsName) -> AuthoritativeLog:
         log = self._logs.get(origin)
         if log is None:

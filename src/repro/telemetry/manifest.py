@@ -54,11 +54,17 @@ class RunManifest:
     #: world_scale changes what was swept, so both belong in the
     #: reproducibility record.
     world: Dict[str, object] = field(default_factory=dict)
+    #: Longitudinal-campaign record: round counts, whether this run
+    #: resumed from a checkpoint (honestly recorded — gates compare
+    #: artefact digests, not manifests), and the chained fragment
+    #: digest that proves which campaign the artefacts came from.
+    campaign: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(cls, config, registry: Optional[MetricsRegistry] = None,
                 include_git: bool = True,
-                execution: Optional[Dict[str, object]] = None
+                execution: Optional[Dict[str, object]] = None,
+                campaign: Optional[Dict[str, object]] = None
                 ) -> "RunManifest":
         """Build a manifest from a ScenarioConfig-like object."""
         if dataclasses.is_dataclass(config):
@@ -73,6 +79,7 @@ class RunManifest:
             scenario=scenario,
             code_version=git_describe() if include_git else "unknown",
             execution=dict(execution or {}),
+            campaign=dict(campaign or {}),
         )
         if "world_mode" in scenario:
             manifest.world = {
@@ -114,4 +121,7 @@ class RunManifest:
         if self.world:
             record["world"] = {key: self.world[key]
                                for key in sorted(self.world)}
+        if self.campaign:
+            record["campaign"] = {key: self.campaign[key]
+                                  for key in sorted(self.campaign)}
         return record

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
@@ -138,6 +139,12 @@ class CertificateAuthority:
         return tuple(chain)
 
 
+#: Default bound on a store's validation memo. Generous for a single
+#: scan round (a few thousand distinct chains at most), small enough
+#: that hundreds of rotation epochs cannot grow the memo without limit.
+DEFAULT_VALIDATION_MEMO_SIZE = 4096
+
+
 @dataclass
 class CaStore:
     """A trust store (the paper uses the Mozilla CA list on CentOS 7.6)."""
@@ -149,8 +156,19 @@ class CaStore:
     #: globally unique, and the time signature captures every ``now``
     #: comparison validation makes, so a hit is exactly the report a
     #: fresh validation would produce. Invalidated when trust changes.
-    _validation_memo: dict = field(default_factory=dict, repr=False,
-                                   compare=False)
+    #: Bounded as an LRU (like the Network host cache): longitudinal
+    #: campaigns rotate certificates for hundreds of epochs, and every
+    #: rotation mints chains with fresh serials — an unbounded memo
+    #: would grow with campaign length.
+    _validation_memo: "OrderedDict" = field(default_factory=OrderedDict,
+                                            repr=False, compare=False)
+    validation_memo_size: int = DEFAULT_VALIDATION_MEMO_SIZE
+    #: How many memoised reports the LRU bound has evicted. A plain
+    #: per-store attribute (the Network host-cache idiom), NOT a
+    #: deterministic-registry metric: eviction counts depend on which
+    #: process validated which shard, so they must never leak into
+    #: worker-count-invariant artefacts.
+    memo_evictions: int = field(default=0, compare=False)
 
     def trust(self, authority: CertificateAuthority) -> None:
         root = authority
@@ -161,6 +179,20 @@ class CaStore:
 
     def is_trusted_root_key(self, key_id: str) -> bool:
         return key_id in self._roots
+
+    def memo_get(self, key) -> Optional["ValidationReport"]:
+        report = self._validation_memo.get(key)
+        if report is not None:
+            self._validation_memo.move_to_end(key)
+        return report
+
+    def memo_put(self, key, report: "ValidationReport") -> None:
+        memo = self._validation_memo
+        memo[key] = report
+        bound = max(1, self.validation_memo_size)
+        while len(memo) > bound:
+            memo.popitem(last=False)
+            self.memo_evictions += 1
 
     def __len__(self) -> int:
         return len(self._roots)
@@ -224,7 +256,7 @@ def validate_chain(chain: Tuple[Certificate, ...], store: CaStore,
                 + tuple(parent.valid_at(now) for parent in chain[1:]))
     memo_key = (tuple(cert.serial for cert in chain), time_sig,
                 expected_name)
-    cached = store._validation_memo.get(memo_key)
+    cached = store.memo_get(memo_key)
     if cached is not None:
         return cached
     failures = []
@@ -240,7 +272,7 @@ def validate_chain(chain: Tuple[Certificate, ...], store: CaStore,
     if expected_name is not None and not leaf.matches_name(expected_name):
         failures.append(ValidationFailure.NAME_MISMATCH)
     report = ValidationReport(tuple(failures), subject_cn=leaf.subject_cn)
-    store._validation_memo[memo_key] = report
+    store.memo_put(memo_key, report)
     return report
 
 

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -19,7 +20,7 @@ from repro.dnswire.names import DnsName
 from repro.dnswire.records import ResourceRecord
 from repro.dnswire.zone import Zone
 from repro.errors import ScenarioError
-from repro.netsim.clock import DAY_SECONDS, SimClock, parse_date
+from repro.netsim.clock import DAY_SECONDS, SimClock, format_date, parse_date
 from repro.netsim.geo import GeoPoint, country
 from repro.netsim.host import Host, TlsConfig
 from repro.netsim.ipv4 import Netblock
@@ -31,7 +32,7 @@ from repro.netsim.procgen import (
     RangeSegment,
     RestrictedWorld,
 )
-from repro.netsim.rand import SeededRng
+from repro.netsim.rand import SeededRng, keyed_offset
 from repro.resolvers.backends import (
     FixedAnswerBackend,
     FlakyForwardingBackend,
@@ -166,6 +167,21 @@ class ScenarioConfig:
     background_open_stride: int = 256
     #: Bound on each lazily-backed network's materialised-host LRU.
     host_lru_size: int = 4096
+    #: Longitudinal dynamics (``repro.campaign``): per-round probability
+    #: that an *unadvertised* resolver address sits a round out
+    #: (provider churn). Advertised addresses never churn — the public
+    #: anchors (1.1.1.1 and friends) stay measurable all campaign.
+    #: 0.0 reproduces the historical static population byte-for-byte.
+    churn_rate: float = 0.0
+    #: Reissue provider certificates every N rounds (0 disables). Each
+    #: epoch mints fresh leaf chains valid for the epoch plus a short
+    #: grace period; a deterministic minority of providers lag an epoch
+    #: behind, so their certificates expire partway through an epoch —
+    #: expiry crossing round boundaries, not run boundaries.
+    cert_rotation_rounds: int = 0
+    #: Adoption growth curve shaping the open-port plan over the
+    #: campaign: "" (none, historical), "linear" or "logistic".
+    adoption_curve: str = ""
 
     def scaled(self, value: int) -> int:
         return max(1, round(value * self.vantage_scale))
@@ -242,6 +258,14 @@ class Scenario:
                 "(expected 'eager' or 'lazy')")
         if config.world_scale < 1.0:
             raise ScenarioError("world_scale must be >= 1.0")
+        if not 0.0 <= config.churn_rate < 1.0:
+            raise ScenarioError("churn_rate must be in [0.0, 1.0)")
+        if config.cert_rotation_rounds < 0:
+            raise ScenarioError("cert_rotation_rounds must be >= 0")
+        if config.adoption_curve not in ("", "linear", "logistic"):
+            raise ScenarioError(
+                f"unknown adoption_curve {config.adoption_curve!r} "
+                "(expected '', 'linear' or 'logistic')")
         self.config = config
         self.rng = SeededRng(config.seed, "scenario")
         self.universe = DnsUniverse()
@@ -256,7 +280,9 @@ class Scenario:
             "Orphaned Issuing CA", trusted=False)
         self.providers: List[ProviderSpec] = []
         self.resolver_records: Dict[str, ResolverRecord] = {}
-        self._tls_configs: Dict[str, TlsConfig] = {}
+        #: Resolver TLS configs keyed by (address, rotation epoch);
+        #: without cert rotation every address lives at epoch 0.
+        self._tls_configs: Dict[Tuple[str, int], TlsConfig] = {}
         #: Memoised leaf chains for hosts outside ``_tls_config_for``
         #: (DoH fronts, the self-built resolver, atlas-local DoT).
         #: Rebuilding a round's network from a cached scenario — which
@@ -368,11 +394,113 @@ class Scenario:
         """How many non-DoT hosts have port 853 open at a round."""
         config = self.config
         if config.scan_rounds <= 1:
-            return config.background_open853_last
-        fraction = round_index / (config.scan_rounds - 1)
-        return round(config.background_open853_first
-                     + (config.background_open853_last
-                        - config.background_open853_first) * fraction)
+            base = config.background_open853_last
+        else:
+            fraction = round_index / (config.scan_rounds - 1)
+            base = (config.background_open853_first
+                    + (config.background_open853_last
+                       - config.background_open853_first) * fraction)
+        return round(base * self.adoption_factor(round_index))
+
+    # -- longitudinal dynamics (pure functions of seed and round) -------------
+
+    def adoption_factor(self, round_index: int) -> float:
+        """Multiplier the adoption growth curve applies at one round.
+
+        Scales the open-port plan — the background 853 estimate and the
+        scaled dark-space open density — from 1.0 at the first round
+        towards 2.0 at the last. The empty curve returns exactly 1.0
+        everywhere, keeping historical worlds byte-identical.
+        """
+        curve = self.config.adoption_curve
+        if not curve:
+            return 1.0
+        span = max(1, self.config.scan_rounds - 1)
+        x = min(1.0, round_index / span)
+        if curve == "linear":
+            return 1.0 + x
+        # Logistic: slow start, steep middle, saturating towards 2.0 —
+        # the adoption shape longitudinal DoH studies report.
+        return 1.0 + 1.0 / (1.0 + math.exp(-8.0 * (x - 0.5)))
+
+    def _churned_out(self, spec: ResolverAddressSpec,
+                     round_index: int) -> bool:
+        """Whether provider churn keeps one resolver out of this round.
+
+        A pure hash draw over (seed, address, round): every build
+        order, materialisation strategy and shard plan agrees on the
+        round's population. Advertised addresses never churn.
+        """
+        rate = self.config.churn_rate
+        if rate <= 0.0 or spec.advertised:
+            return False
+        draw = keyed_offset(f"{self.config.seed}:churn:{spec.address}",
+                            round_index, 1_000_000)
+        return draw < int(rate * 1_000_000)
+
+    def rotation_epoch(self, round_index: int) -> int:
+        """Which certificate-rotation epoch one round falls in."""
+        period = self.config.cert_rotation_rounds
+        return round_index // period if period > 0 else 0
+
+    def _rotation_effective_epoch(self, address: str, epoch: int) -> int:
+        """The epoch whose certificate an address actually presents.
+
+        A deterministic ~20% of addresses lag each epoch and keep
+        presenting the previous epoch's chain; consecutive lags walk
+        further back, so some chains are observed well past their
+        window — the expired-mid-campaign population of Finding 1.2.
+        """
+        while epoch > 0 and keyed_offset(
+                f"{self.config.seed}:rot-lag:{address}", epoch, 100) < 20:
+            epoch -= 1
+        return epoch
+
+    def _rotation_window(self, epoch: int) -> Tuple[str, str]:
+        """The validity window of one rotation epoch's certificates.
+
+        Valid from a month before the epoch starts until half an epoch
+        of grace after it ends. The grace is shorter than a full epoch,
+        so a chain presented one epoch late expires partway through the
+        current epoch — across a *round* boundary, never neatly at an
+        epoch edge.
+        """
+        period = self.config.cert_rotation_rounds
+        interval = self.config.scan_interval_days * DAY_SECONDS
+        span = period * interval
+        start = (parse_date(self.config.first_scan_date)
+                 + epoch * span)
+        grace = span // 2
+        return (format_date(start - 30 * DAY_SECONDS),
+                format_date(start + span + grace))
+
+    def release_rounds_before(self, round_index: int) -> int:
+        """Evict per-round caches for rounds before ``round_index``.
+
+        Longitudinal campaigns visit each round once, in order;
+        dropping finished rounds' networks, layouts and rotated-out TLS
+        configs keeps a 100-round run's memory flat. Releasing is pure
+        cache eviction — a released round rebuilds deterministically
+        (layout side effects are idempotent, host derivation is pure) —
+        so calling this can never change a result, only rebuild cost.
+        Returns the number of evicted entries.
+        """
+        released = 0
+        for cache in (self._networks, self._pristine_networks,
+                      self._layouts):
+            for key in [k for k in cache if k < round_index]:
+                del cache[key]
+                released += 1
+        if self.config.cert_rotation_rounds > 0 and round_index > 0:
+            # Keep the previous epoch too: laggards reach one back.
+            floor = self.rotation_epoch(round_index - 1) - 1
+            for key in [k for k in self._tls_configs if k[1] < floor]:
+                del self._tls_configs[key]
+                released += 1
+        # The authoritative query logs grow by every probe of every
+        # round; nothing reads them across rounds, so empty them too.
+        released += self.universe.release_logs()
+        return released
 
     def round_layout(self, round_index: int) -> RoundLayout:
         """The address plan for one round (built once, memoised).
@@ -395,6 +523,8 @@ class Scenario:
         layout = RoundLayout()
         for provider in self.providers:
             for spec in provider.addresses_in_round(round_index):
+                if self._churned_out(spec, round_index):
+                    continue
                 udp = [53]
                 if provider.doq and spec.advertised:
                     udp.append(784)
@@ -405,7 +535,7 @@ class Scenario:
                                   udp_ports=tuple(sorted(udp))):
                     raise ScenarioError(
                         f"duplicate host address {spec.address}")
-                tls = self._tls_config_for(provider, spec)
+                tls = self._tls_config_for(provider, spec, round_index)
                 self.resolver_records[spec.address] = ResolverRecord(
                     provider, spec, tls)
             if provider.doh_template and provider.doh_hosts:
@@ -462,10 +592,16 @@ class Scenario:
                         "2018-10-01", "2019-10-01"))
         extra = self.config.background_extra()
         if extra > 0:
+            # The adoption curve densifies the procedural open-port
+            # plan: a factor of 2.0 halves the stride, doubling the
+            # open hosts the dark-space segment yields at that round.
+            stride = self.config.background_open_stride
+            factor = self.adoption_factor(round_index)
+            if factor != 1.0:
+                stride = max(1, round(stride / factor))
             layout.scaled = RangeSegment(
                 f"bg-scale-{round_index}", extra,
-                SCALED_BACKGROUND_BLOCK, 853,
-                self.config.background_open_stride,
+                SCALED_BACKGROUND_BLOCK, 853, stride,
                 f"{self.config.seed}:bg-open-{round_index}")
         return layout
 
@@ -489,7 +625,8 @@ class Scenario:
             kind, payload = entry
             if kind == "resolver":
                 provider, spec = payload
-                return self._make_resolver_host(provider, spec)
+                return self._make_resolver_host(provider, spec,
+                                                round_index)
             if kind == "doh":
                 provider, hostname, path = payload
                 return self._derive_doh_host(address, provider,
@@ -596,7 +733,8 @@ class Scenario:
     # -- host derivers (pure per-address recipes) --------------------------------
 
     def _make_resolver_host(self, provider: ProviderSpec,
-                            spec: ResolverAddressSpec) -> Host:
+                            spec: ResolverAddressSpec,
+                            round_index: int = 0) -> Host:
         host_rng = self.rng.fork(f"host-{spec.address}")
         entry = country(spec.country)
         point = GeoPoint(entry.point.lat + host_rng.uniform(-2, 2),
@@ -611,7 +749,7 @@ class Scenario:
             host.tags.add("tls-inspection")
         if not spec.advertised:
             host.tags.add("unadvertised")
-        tls = self._tls_config_for(provider, spec)
+        tls = self._tls_config_for(provider, spec, round_index)
         backend = self._backend_for(provider, host_rng)
         host.bind("tcp", 853, DotService(backend, tls))
         host.bind("udp", 53, Do53UdpService(backend))
@@ -684,14 +822,25 @@ class Scenario:
         return backend
 
     def _tls_config_for(self, provider: ProviderSpec,
-                        spec: ResolverAddressSpec) -> TlsConfig:
-        cached = self._tls_configs.get(spec.address)
+                        spec: ResolverAddressSpec,
+                        round_index: int = 0) -> TlsConfig:
+        status = spec.cert_status
+        # Only well-run providers (CERT_VALID) rotate; the misconfigured
+        # statuses keep their historical frozen windows in every epoch.
+        epoch = 0
+        if status == CERT_VALID and self.config.cert_rotation_rounds > 0:
+            epoch = self._rotation_effective_epoch(
+                spec.address, self.rotation_epoch(round_index))
+        cached = self._tls_configs.get((spec.address, epoch))
         if cached is not None:
             return cached
-        status = spec.cert_status
         if status == CERT_VALID:
+            if epoch == 0:
+                not_before, not_after = "2018-08-01", "2019-08-01"
+            else:
+                not_before, not_after = self._rotation_window(epoch)
             chain = make_chain(self.trusted_ca, provider.cert_cn,
-                               "2018-08-01", "2019-08-01",
+                               not_before, not_after,
                                san=(provider.cert_cn,
                                     f"*.{provider.cert_cn}"))
         elif status == CERT_EXPIRED_2018:
@@ -720,7 +869,7 @@ class Scenario:
         else:
             raise ScenarioError(f"unknown cert status {status!r}")
         config = TlsConfig(cert_chain=chain)
-        self._tls_configs[spec.address] = config
+        self._tls_configs[(spec.address, epoch)] = config
         return config
 
     # -- special hosts -----------------------------------------------------------
